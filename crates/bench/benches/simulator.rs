@@ -1,0 +1,79 @@
+//! P2: end-to-end simulator throughput per policy — how many simulated
+//! events per second the full WQR-FT grid simulation sustains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::{simulate, SimConfig};
+use dgsched_grid::{Availability, GridConfig, Heterogeneity};
+use dgsched_workload::{BotType, Intensity, WorkloadSpec};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let grid_cfg = GridConfig::paper(Heterogeneity::HET, Availability::MED);
+    let grid = grid_cfg.build(&mut rand::rngs::StdRng::seed_from_u64(1));
+    let workload = WorkloadSpec {
+        bot_type: BotType { granularity: 5_000.0, app_size: 500_000.0, jitter: 0.5 },
+        intensity: Intensity::Medium,
+        count: 20,
+    }
+    .generate(&grid_cfg, &mut rand::rngs::StdRng::seed_from_u64(2));
+
+    let mut group = c.benchmark_group("simulate_policy");
+    group.sample_size(20);
+    for kind in PolicyKind::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.paper_name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let r = simulate(
+                        black_box(&grid),
+                        black_box(&workload),
+                        kind,
+                        &SimConfig::with_seed(7),
+                    );
+                    assert!(!r.saturated);
+                    black_box(r.events)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_failure_intensity(c: &mut Criterion) {
+    // Failure handling is the hot path on volatile grids: compare event
+    // throughput across availability levels for the same workload.
+    let mut group = c.benchmark_group("simulate_availability");
+    group.sample_size(15);
+    for (name, avail) in [
+        ("high", Availability::HIGH),
+        ("med", Availability::MED),
+        ("low", Availability::LOW),
+    ] {
+        let grid_cfg = GridConfig::paper(Heterogeneity::HOM, avail);
+        let grid = grid_cfg.build(&mut rand::rngs::StdRng::seed_from_u64(1));
+        let workload = WorkloadSpec {
+            bot_type: BotType { granularity: 25_000.0, app_size: 500_000.0, jitter: 0.5 },
+            intensity: Intensity::Low,
+            count: 15,
+        }
+        .generate(&grid_cfg, &mut rand::rngs::StdRng::seed_from_u64(2));
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let r = simulate(
+                    black_box(&grid),
+                    black_box(&workload),
+                    PolicyKind::FcfsShare,
+                    &SimConfig::with_seed(7),
+                );
+                black_box(r.events)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_failure_intensity);
+criterion_main!(benches);

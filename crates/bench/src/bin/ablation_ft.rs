@@ -1,0 +1,81 @@
+//! Experiment E3: the value of fault tolerance in the individual-bag
+//! scheduler — WorkQueue vs WQR vs WQR-FT (the paper's refs \[11\] and \[3\])
+//! on the failure-heavy Hom-LowAvail platform across granularities.
+//!
+//! * WorkQueue: threshold 1, no checkpointing;
+//! * WQR: threshold 2, no checkpointing;
+//! * WQR-FT: threshold 2, checkpointing (the paper's configuration).
+//!
+//! ```text
+//! cargo run --release -p dgsched-bench --bin ablation_ft [-- --scale quick]
+//! ```
+
+use dgsched_bench::{run_with_progress, Opts};
+use dgsched_core::experiment::{Scenario, Table, WorkloadKind};
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::SimConfig;
+use dgsched_grid::{Availability, CheckpointConfig, GridConfig, Heterogeneity};
+use dgsched_workload::{BotType, Intensity, WorkloadSpec, PAPER_GRANULARITIES};
+
+struct Variant {
+    name: &'static str,
+    threshold: u32,
+    checkpoint: CheckpointConfig,
+}
+
+fn main() {
+    let opts = Opts::from_args();
+    let variants = [
+        Variant { name: "WorkQueue", threshold: 1, checkpoint: CheckpointConfig::disabled() },
+        Variant { name: "WQR", threshold: 2, checkpoint: CheckpointConfig::disabled() },
+        Variant { name: "WQR-FT", threshold: 2, checkpoint: CheckpointConfig::default() },
+    ];
+
+    let mut scenarios = Vec::new();
+    for &g in &PAPER_GRANULARITIES {
+        for v in &variants {
+            scenarios.push(Scenario {
+                name: format!("g={g} {}", v.name),
+                grid: GridConfig {
+                    checkpoint: v.checkpoint,
+                    ..GridConfig::paper(Heterogeneity::HOM, Availability::LOW)
+                },
+                workload: WorkloadKind::Single(WorkloadSpec {
+                    bot_type: BotType::paper(g),
+                    intensity: Intensity::Low,
+                    count: opts.bags,
+                }),
+                policy: PolicyKind::FcfsShare,
+                sim: SimConfig {
+                    replication_threshold: v.threshold,
+                    warmup_bags: opts.warmup,
+                    ..SimConfig::default()
+                },
+            });
+        }
+    }
+    let results = run_with_progress(&scenarios, &opts);
+
+    let mut table =
+        Table::new(vec!["granularity (s)", "WorkQueue", "WQR", "WQR-FT"]);
+    for &g in &PAPER_GRANULARITIES {
+        let mut row = vec![format!("{g}")];
+        for v in &variants {
+            let needle = format!("g={g} {}", v.name);
+            let cell = results
+                .iter()
+                .find(|r| r.name == needle)
+                .map(dgsched_core::experiment::format_cell)
+                .unwrap_or_else(|| "—".into());
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    println!("\n## E3 — individual-bag scheduler ablation (Hom-LowAvail, U=0.5, FCFS-Share)\n");
+    if opts.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_markdown());
+    }
+    println!("\nExpected shape ([3]): WQR-FT ≤ WQR ≤ WorkQueue once tasks are long vs the MTBF.");
+}

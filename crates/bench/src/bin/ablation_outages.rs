@@ -1,0 +1,101 @@
+//! Experiment E10: correlated churn. The paper's availability model fails
+//! machines independently; real desktop grids also lose machines in
+//! correlated bursts (power cuts, reboot windows, campus closings). This
+//! ablation compares independent failures against full-grid outages at
+//! *identical* average capacity, with WQR-FT's two fault-tolerance
+//! mechanisms toggled:
+//!
+//! * replication only (no checkpointing) — correlation defeats replicas:
+//!   both copies die together;
+//! * checkpointing on — progress persists through an outage, so the two
+//!   regimes should converge.
+//!
+//! ```text
+//! cargo run --release -p dgsched-bench --bin ablation_outages [-- --scale quick]
+//! ```
+
+use dgsched_bench::{run_with_progress, Opts};
+use dgsched_core::experiment::{Scenario, Table, WorkloadKind};
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::SimConfig;
+use dgsched_des::dist::DistConfig;
+use dgsched_grid::{Availability, CheckpointConfig, GridConfig, Heterogeneity, OutageConfig};
+use dgsched_workload::{BotType, Intensity, WorkloadSpec};
+
+fn main() {
+    let opts = Opts::from_args();
+    let duration = 1_800.0;
+    // Both platforms deliver 90 % of nominal capacity on average.
+    let outages = OutageConfig {
+        mtbo: duration * 9.0,
+        duration: DistConfig::Constant { value: duration },
+        fraction: 1.0,
+    };
+    let churn: [(&str, Availability, Option<OutageConfig>); 2] = [
+        ("independent", Availability::Level { availability: 0.9 }, None),
+        ("correlated", Availability::Always, Some(outages)),
+    ];
+    let ft: [(&str, CheckpointConfig); 2] = [
+        ("replication only", CheckpointConfig::disabled()),
+        ("replication + checkpointing", CheckpointConfig::default()),
+    ];
+
+    let mut scenarios = Vec::new();
+    for (cname, availability, outage) in churn {
+        for (fname, checkpoint) in ft {
+            scenarios.push(Scenario {
+                name: format!("{cname} / {fname}"),
+                grid: GridConfig {
+                    total_power: 1000.0,
+                    heterogeneity: Heterogeneity::HOM,
+                    availability,
+                    checkpoint,
+                    outages: outage,
+                },
+                workload: WorkloadKind::Single(WorkloadSpec {
+                    bot_type: BotType::paper(125_000.0),
+                    intensity: Intensity::Low,
+                    count: opts.bags.min(60),
+                }),
+                policy: PolicyKind::FcfsShare,
+                sim: SimConfig { warmup_bags: opts.warmup.min(5), ..SimConfig::default() },
+            });
+        }
+    }
+    let results = run_with_progress(&scenarios, &opts);
+
+    let mut table = Table::new(vec![
+        "fault tolerance",
+        "independent failures",
+        "correlated outages",
+        "correlation penalty",
+    ]);
+    for (fname, _) in ft {
+        let find = |cname: &str| {
+            results.iter().find(|r| r.name == format!("{cname} / {fname}"))
+        };
+        if let (Some(ind), Some(corr)) = (find("independent"), find("correlated")) {
+            let penalty =
+                (corr.turnaround.mean - ind.turnaround.mean) / ind.turnaround.mean * 100.0;
+            table.push_row(vec![
+                fname.to_string(),
+                dgsched_core::experiment::format_cell(ind),
+                dgsched_core::experiment::format_cell(corr),
+                format!("{penalty:+.1}%"),
+            ]);
+        }
+    }
+    println!(
+        "\n## E10 — correlated vs independent churn at equal capacity (g=125000, U=0.5, FCFS-Share)\n"
+    );
+    if opts.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_markdown());
+    }
+    println!(
+        "\nReading: without checkpoints, correlation defeats replication (both copies\n\
+         die together); with checkpoints the regimes converge — the checkpoint server\n\
+         is what makes WQR-FT robust to *correlated* churn, not the replicas."
+    );
+}

@@ -1,0 +1,110 @@
+//! Experiment E2: the replication-threshold ablation behind §3.2's claim
+//! that "using higher replication threshold values brings negligible
+//! performance benefits at the price of a much higher overhead due to the
+//! larger number of replicas per task".
+//!
+//! The claim originates in single-bag experiments (the paper's ref \[3\]),
+//! so the ablation runs two contexts on the failure-heavy Hom-LowAvail
+//! platform:
+//!
+//! 1. **single bag** — one machine-sized bag on an otherwise idle grid
+//!    (the \[3\] setting): replication fights failures and stragglers for
+//!    free, so 2 should beat 1 and ≥3 should bring little;
+//! 2. **loaded system** — a Poisson stream at 50 % utilization: every
+//!    replica now takes capacity from someone else's pending task, so the
+//!    system-level optimum can sit *below* the single-bag optimum. This
+//!    tension is exactly why FCFS-Excl (threshold ∞) collapses in Fig. 1.
+//!
+//! ```text
+//! cargo run --release -p dgsched-bench --bin ablation_replication [-- --scale quick]
+//! ```
+
+use dgsched_bench::{run_with_progress, Opts};
+use dgsched_core::experiment::{Scenario, Table, WorkloadKind};
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::SimConfig;
+use dgsched_grid::{Availability, GridConfig, Heterogeneity};
+use dgsched_workload::{BotType, Intensity, WorkloadSpec};
+
+const THRESHOLDS: [u32; 4] = [1, 2, 3, 4];
+
+fn scenarios(bags: usize, warmup: usize, label: &str) -> Vec<Scenario> {
+    THRESHOLDS
+        .iter()
+        .map(|&threshold| Scenario {
+            name: format!("{label} threshold={threshold}"),
+            grid: GridConfig::paper(Heterogeneity::HOM, Availability::LOW),
+            workload: WorkloadKind::Single(WorkloadSpec {
+                bot_type: BotType::paper(25_000.0),
+                intensity: Intensity::Low,
+                count: bags,
+            }),
+            policy: PolicyKind::FcfsShare,
+            sim: SimConfig {
+                replication_threshold: threshold,
+                warmup_bags: warmup,
+                ..SimConfig::default()
+            },
+        })
+        .collect()
+}
+
+fn print_table(
+    title: &str,
+    metric: &str,
+    results: &[dgsched_core::experiment::ScenarioResult],
+    use_makespan: bool,
+    opts: &Opts,
+) {
+    let mut table =
+        Table::new(vec!["threshold", metric, "95% CI", "wasted occupancy", "replications"]);
+    for (t, r) in THRESHOLDS.iter().zip(results) {
+        let ci = if use_makespan { r.makespan } else { r.turnaround };
+        table.push_row(vec![
+            t.to_string(),
+            format!("{:.0}", ci.mean),
+            format!("±{:.0}", ci.half_width),
+            format!("{:.1}%", r.wasted_fraction * 100.0),
+            r.replications.to_string(),
+        ]);
+    }
+    println!("\n## {title}\n");
+    if opts.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_markdown());
+    }
+}
+
+fn main() {
+    let opts = Opts::from_args();
+
+    // Context 1: a single bag on an idle grid — the setting of ref [3].
+    // Makespan is the metric (waiting is zero by construction).
+    let single = scenarios(1, 0, "single");
+    let single_results = run_with_progress(&single, &opts);
+    print_table(
+        "E2a — threshold vs single-bag makespan (Hom-LowAvail, g=25000, idle grid)",
+        "makespan (s)",
+        &single_results,
+        true,
+        &opts,
+    );
+    println!("\nExpected shape ([3]): 1→2 helps; 2→3→4 negligible gain, rising waste.");
+
+    // Context 2: the same platform under a 50 %-utilization stream.
+    let loaded = scenarios(opts.bags, opts.warmup, "loaded");
+    let loaded_results = run_with_progress(&loaded, &opts);
+    print_table(
+        "E2b — threshold vs system turnaround (Hom-LowAvail, g=25000, U=0.5, FCFS-Share)",
+        "turnaround (s)",
+        &loaded_results,
+        false,
+        &opts,
+    );
+    println!(
+        "\nObserved tension: under load every extra replica displaces another bag's\n\
+         pending task, so the system-level optimum can sit below the single-bag one —\n\
+         the same trade-off that sinks FCFS-Excl in Figs. 1–2."
+    );
+}

@@ -1,0 +1,84 @@
+//! Experiment E11: failure-distribution shape sensitivity. The paper says
+//! only that fault times are Weibull (per Nurmi/Brevik/Wolski, its ref
+//! \[12\]); the shape parameter is not printed, and DESIGN.md reconstructs
+//! it as 0.7. This ablation sweeps the shape at *fixed mean availability*
+//! — if the conclusions were shape-sensitive, the reconstruction would be
+//! shaky; if not, any reasonable shape reproduces the figures.
+//!
+//! Shape < 1 means a decreasing hazard (bursty failures with long calm
+//! stretches); shape 1 is exponential; shape > 1 concentrates up-times
+//! around the mean.
+//!
+//! ```text
+//! cargo run --release -p dgsched-bench --bin ablation_weibull_shape [-- --scale quick]
+//! ```
+
+use dgsched_bench::{run_with_progress, Opts};
+use dgsched_core::experiment::{Scenario, Table, WorkloadKind};
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::SimConfig;
+use dgsched_des::dist::DistConfig;
+use dgsched_grid::availability::DEFAULT_REPAIR;
+use dgsched_grid::{Availability, GridConfig, Heterogeneity};
+use dgsched_workload::{BotType, Intensity, WorkloadSpec};
+
+fn main() {
+    let opts = Opts::from_args();
+    let shapes = [0.5f64, 0.7, 1.0, 2.0];
+    let policies = [PolicyKind::FcfsShare, PolicyKind::Rr, PolicyKind::LongIdle];
+    // LowAvail's MTBF with the default MTTR: a = 0.5 ⇒ MTBF = MTTR.
+    let mtbf = DEFAULT_REPAIR.mean();
+
+    let mut scenarios = Vec::new();
+    for &shape in &shapes {
+        for policy in policies {
+            scenarios.push(Scenario {
+                name: format!("shape={shape} {policy}"),
+                grid: GridConfig {
+                    availability: Availability::Custom {
+                        up: DistConfig::weibull_with_mean(shape, mtbf),
+                        down: DEFAULT_REPAIR,
+                    },
+                    ..GridConfig::paper(Heterogeneity::HOM, Availability::LOW)
+                },
+                workload: WorkloadKind::Single(WorkloadSpec {
+                    bot_type: BotType::paper(25_000.0),
+                    intensity: Intensity::Low,
+                    count: opts.bags,
+                }),
+                policy,
+                sim: SimConfig { warmup_bags: opts.warmup, ..SimConfig::default() },
+            });
+        }
+    }
+    let results = run_with_progress(&scenarios, &opts);
+
+    let mut table =
+        Table::new(vec!["Weibull shape", "FCFS-Share", "RR", "LongIdle"]);
+    for &shape in &shapes {
+        let mut row = vec![format!("{shape}")];
+        for policy in policies {
+            let cell = results
+                .iter()
+                .find(|r| r.name == format!("shape={shape} {policy}"))
+                .map(dgsched_core::experiment::format_cell)
+                .unwrap_or_else(|| "—".into());
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    println!(
+        "\n## E11 — Weibull-shape sensitivity at 50 % availability (g=25000, U=0.5)\n"
+    );
+    if opts.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_markdown());
+    }
+    println!(
+        "\nReading: identical mean availability, different burstiness. Heavy-tailed\n\
+         shapes (<1) give long calm stretches punctuated by failure storms; if the\n\
+         policy ranking is stable across this sweep, the reconstruction of the\n\
+         unpublished shape parameter does not drive the paper's conclusions."
+    );
+}

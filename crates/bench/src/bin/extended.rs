@@ -1,0 +1,20 @@
+//! Experiment E1: the scenario combinations the paper omits for space —
+//! MedAvail platforms at all intensities and medium intensity on the
+//! High/Low platforms — to check its claim that "the results for the other
+//! workloads and configurations do not significantly differ".
+//!
+//! ```text
+//! cargo run --release -p dgsched-bench --bin extended [-- --scale quick]
+//! ```
+
+use dgsched_bench::{run_panel, Opts};
+use dgsched_core::experiment::extended_panels;
+
+fn main() {
+    let opts = Opts::from_args();
+    for panel in extended_panels() {
+        if opts.panel_enabled(&panel.label) {
+            run_panel(&panel, &opts);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Fig. 1 of the paper: average turnaround time per policy and
+//! task granularity on the high-availability platforms, low- and
+//! high-intensity workloads (panels a–d).
+//!
+//! ```text
+//! cargo run --release -p dgsched-bench --bin fig1 [-- --panel a --scale quick]
+//! ```
+
+use dgsched_bench::{run_panel, Opts};
+use dgsched_core::experiment::fig1_panels;
+
+fn main() {
+    let opts = Opts::from_args();
+    for panel in fig1_panels() {
+        if opts.panel_enabled(&panel.label) {
+            run_panel(&panel, &opts);
+        }
+    }
+}

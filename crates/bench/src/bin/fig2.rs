@@ -1,0 +1,19 @@
+//! Regenerates Fig. 2 of the paper: average turnaround time per policy and
+//! task granularity on the low-availability platforms, low- and
+//! high-intensity workloads (panels a–d).
+//!
+//! ```text
+//! cargo run --release -p dgsched-bench --bin fig2 [-- --panel c --scale quick]
+//! ```
+
+use dgsched_bench::{run_panel, Opts};
+use dgsched_core::experiment::fig2_panels;
+
+fn main() {
+    let opts = Opts::from_args();
+    for panel in fig2_panels() {
+        if opts.panel_enabled(&panel.label) {
+            run_panel(&panel, &opts);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Experiment E4: mixed-granularity workloads — the paper's first
+//! future-work direction (§5): bags of all four granularity classes
+//! submitted simultaneously, all five policies, High- and Low-availability
+//! homogeneous platforms.
+//!
+//! ```text
+//! cargo run --release -p dgsched-bench --bin mixed_workloads [-- --scale quick]
+//! ```
+
+use dgsched_bench::{run_with_progress, Opts};
+use dgsched_core::experiment::{run_replication, Scenario, Table, WorkloadKind};
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::SimConfig;
+use dgsched_des::stats::Welford;
+use dgsched_grid::{Availability, GridConfig, Heterogeneity};
+use dgsched_workload::{Intensity, MixSpec, PAPER_GRANULARITIES};
+use std::collections::BTreeMap;
+
+fn main() {
+    let opts = Opts::from_args();
+    let platforms =
+        [("Hom-HighAvail", Availability::HIGH), ("Hom-LowAvail", Availability::LOW)];
+    let intensities = [Intensity::Low, Intensity::High];
+
+    let mut scenarios = Vec::new();
+    for (pname, avail) in platforms {
+        for intensity in intensities {
+            for policy in PolicyKind::all() {
+                scenarios.push(Scenario {
+                    name: format!("{pname} U={intensity} {policy}"),
+                    grid: GridConfig::paper(Heterogeneity::HOM, avail),
+                    workload: WorkloadKind::Mixed(MixSpec::paper_uniform(
+                        intensity, opts.bags,
+                    )),
+                    policy,
+                    sim: SimConfig { warmup_bags: opts.warmup, ..SimConfig::default() },
+                });
+            }
+        }
+    }
+    let results = run_with_progress(&scenarios, &opts);
+
+    for (pname, _) in platforms {
+        for intensity in intensities {
+            let mut table = Table::new(vec!["policy", "turnaround (s)", "95% CI", "wasted"]);
+            for policy in PolicyKind::all() {
+                let needle = format!("{pname} U={intensity} {policy}");
+                if let Some(r) = results.iter().find(|r| r.name == needle) {
+                    let (mean, hw) = if r.saturated {
+                        ("SATURATED".to_string(), String::new())
+                    } else {
+                        (
+                            format!("{:.0}", r.turnaround.mean),
+                            format!("±{:.0}", r.turnaround.half_width),
+                        )
+                    };
+                    table.push_row(vec![
+                        policy.paper_name().to_string(),
+                        mean,
+                        hw,
+                        format!("{:.1}%", r.wasted_fraction * 100.0),
+                    ]);
+                }
+            }
+            println!("\n## E4 — mixed granularities, {pname}, {intensity} intensity\n");
+            if opts.csv {
+                print!("{}", table.to_csv());
+            } else {
+                print!("{}", table.to_markdown());
+            }
+        }
+    }
+    // Per-granularity view: within one mixed stream, which classes suffer
+    // under which policy? (Aggregated over a few replications directly.)
+    let breakdown_platform = ("Hom-HighAvail", Availability::HIGH);
+    let mut per_class: BTreeMap<(&str, u64), Welford> = BTreeMap::new();
+    for policy in PolicyKind::all() {
+        let scenario = Scenario {
+            name: format!("breakdown {policy}"),
+            grid: GridConfig::paper(Heterogeneity::HOM, breakdown_platform.1),
+            workload: WorkloadKind::Mixed(MixSpec::paper_uniform(Intensity::High, opts.bags)),
+            policy,
+            sim: SimConfig { warmup_bags: opts.warmup, ..SimConfig::default() },
+        };
+        for rep in 0..opts.rule.min_replications {
+            let r = run_replication(&scenario, opts.seed, rep);
+            for (g, w) in r.turnaround_by_granularity() {
+                per_class
+                    .entry((policy.paper_name(), g))
+                    .or_default()
+                    .push(w.mean());
+            }
+        }
+    }
+    let mut table = Table::new(vec!["policy", "g=1000", "g=5000", "g=25000", "g=125000"]);
+    for policy in PolicyKind::all() {
+        let mut row = vec![policy.paper_name().to_string()];
+        for &g in &PAPER_GRANULARITIES {
+            let cell = per_class
+                .get(&(policy.paper_name(), g as u64))
+                .map(|w| format!("{:.0}", w.mean()))
+                .unwrap_or_else(|| "—".into());
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    println!(
+        "\n## E4 — per-class mean turnaround within the mix ({}, high intensity)\n",
+        breakdown_platform.0
+    );
+    if opts.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_markdown());
+    }
+    println!(
+        "\n(uniform mix of granularities {{1000, 5000, 25000, 125000}}; bags/run={}, seed={})",
+        opts.bags, opts.seed
+    );
+}

@@ -1,0 +1,240 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--scale quick|default|paper` — bags per run and replication budget;
+//! * `--panel <label>` — restrict to one panel (e.g. `a`..`d`);
+//! * `--bags N`, `--warmup N`, `--seed N`, `--min-reps N`, `--max-reps N`
+//!   — override individual knobs;
+//! * `--csv` — emit CSV instead of markdown.
+
+use dgsched_core::experiment::{
+    panel_chart, panel_table, run_matrix_with_progress, PanelSpec, Scenario, ScenarioResult,
+    Table,
+};
+use dgsched_core::policy::PolicyKind;
+use dgsched_des::stats::StoppingRule;
+use dgsched_workload::PAPER_GRANULARITIES;
+
+/// Harness options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Bags per simulation run.
+    pub bags: usize,
+    /// Bags excluded from metrics at the head of each run.
+    pub warmup: usize,
+    /// Base seed of the whole experiment.
+    pub seed: u64,
+    /// Replication control.
+    pub rule: StoppingRule,
+    /// Panel restriction (matches the suffix of the panel label).
+    pub panel: Option<String>,
+    /// Emit CSV rather than markdown.
+    pub csv: bool,
+    /// Also render each panel as a terminal bar chart.
+    pub chart: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            bags: 120,
+            warmup: 10,
+            seed: 2008,
+            rule: StoppingRule { min_replications: 5, max_replications: 15, ..Default::default() },
+            panel: None,
+            csv: false,
+            chart: false,
+        }
+    }
+}
+
+impl Opts {
+    /// Parses the common CLI flags from `std::env::args`; exits with a
+    /// usage message on error.
+    pub fn from_args() -> Opts {
+        Self::parse(std::env::args().skip(1).collect())
+    }
+
+    /// Parses the common CLI flags from an argument vector (testable core
+    /// of [`Opts::from_args`]).
+    pub fn parse(args: Vec<String>) -> Opts {
+        let mut opts = Opts::default();
+        let mut args = args.into_iter();
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--scale" => match value("--scale").as_str() {
+                    "quick" => {
+                        opts.bags = 40;
+                        opts.warmup = 4;
+                        opts.rule.min_replications = 3;
+                        opts.rule.max_replications = 5;
+                    }
+                    "default" => {}
+                    "paper" => {
+                        opts.bags = 300;
+                        opts.warmup = 20;
+                        opts.rule.min_replications = 5;
+                        opts.rule.max_replications = 30;
+                    }
+                    other => {
+                        eprintln!("unknown scale '{other}' (quick|default|paper)");
+                        std::process::exit(2);
+                    }
+                },
+                "--panel" => opts.panel = Some(value("--panel")),
+                "--bags" => opts.bags = value("--bags").parse().expect("--bags takes a number"),
+                "--warmup" => {
+                    opts.warmup = value("--warmup").parse().expect("--warmup takes a number")
+                }
+                "--seed" => opts.seed = value("--seed").parse().expect("--seed takes a number"),
+                "--min-reps" => {
+                    opts.rule.min_replications =
+                        value("--min-reps").parse().expect("--min-reps takes a number")
+                }
+                "--max-reps" => {
+                    opts.rule.max_replications =
+                        value("--max-reps").parse().expect("--max-reps takes a number")
+                }
+                "--csv" => opts.csv = true,
+                "--chart" => opts.chart = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale quick|default|paper --panel <label> --bags N \
+                         --warmup N --seed N --min-reps N --max-reps N --csv --chart"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag '{other}' (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+
+    /// True when `panel` should run under the current restriction.
+    pub fn panel_enabled(&self, label: &str) -> bool {
+        match &self.panel {
+            None => true,
+            Some(p) => {
+                label.eq_ignore_ascii_case(p)
+                    || label.to_lowercase().ends_with(&p.to_lowercase())
+            }
+        }
+    }
+}
+
+/// Runs a list of scenarios with a progress line per completed scenario.
+pub fn run_with_progress(scenarios: &[Scenario], opts: &Opts) -> Vec<ScenarioResult> {
+    run_matrix_with_progress(scenarios, opts.seed, &opts.rule, |done, total, name| {
+        eprintln!("[{done}/{total}] {name}");
+    })
+}
+
+/// Runs one figure panel and prints its table.
+pub fn run_panel(panel: &PanelSpec, opts: &Opts) {
+    let scenarios = panel.scenarios(opts.bags, opts.warmup);
+    let results = run_with_progress(&scenarios, opts);
+    let policies: Vec<&str> = PolicyKind::all().iter().map(|p| p.paper_name()).collect();
+    let table = panel_table(&PAPER_GRANULARITIES, &policies, &results);
+    print_panel(panel, &table, &results, opts);
+    if opts.chart {
+        let chart = panel_chart(
+            &format!("Fig. {} — {}", panel.label, panel.title),
+            &PAPER_GRANULARITIES,
+            &policies,
+            &results,
+        );
+        println!("\n{}", chart.render());
+    }
+}
+
+/// Prints a panel table with its headline and replication note.
+pub fn print_panel(panel: &PanelSpec, table: &Table, results: &[ScenarioResult], opts: &Opts) {
+    println!("\n## Fig. {} — {} (avg turnaround, seconds)\n", panel.label, panel.title);
+    if opts.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_markdown());
+    }
+    let reps: u64 = results.iter().map(|r| r.replications).sum();
+    let sat = results.iter().filter(|r| r.saturated).count();
+    println!(
+        "\n({} scenarios, {} replications total, {} saturated; bags/run={}, warmup={}, seed={})",
+        results.len(),
+        reps,
+        sat,
+        opts.bags,
+        opts.warmup,
+        opts.seed
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_opts_are_sane() {
+        let o = Opts::default();
+        assert!(o.bags > o.warmup);
+        assert!(o.rule.min_replications <= o.rule.max_replications);
+        assert!(o.panel_enabled("1a"));
+    }
+
+    #[test]
+    fn panel_restriction_matches_suffix() {
+        let o = Opts { panel: Some("a".into()), ..Opts::default() };
+        assert!(o.panel_enabled("1a"));
+        assert!(o.panel_enabled("2a"));
+        assert!(!o.panel_enabled("1b"));
+        let o = Opts { panel: Some("1A".into()), ..Opts::default() };
+        assert!(o.panel_enabled("1a"));
+    }
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_scales() {
+        let quick = Opts::parse(args("--scale quick"));
+        assert_eq!(quick.bags, 40);
+        assert_eq!(quick.rule.max_replications, 5);
+        let paper = Opts::parse(args("--scale paper"));
+        assert_eq!(paper.bags, 300);
+        assert_eq!(paper.rule.max_replications, 30);
+        let default = Opts::parse(args("--scale default"));
+        assert_eq!(default.bags, Opts::default().bags);
+    }
+
+    #[test]
+    fn parse_individual_flags() {
+        let o = Opts::parse(args(
+            "--bags 77 --warmup 3 --seed 9 --min-reps 2 --max-reps 4 --panel 1c --csv --chart",
+        ));
+        assert_eq!(o.bags, 77);
+        assert_eq!(o.warmup, 3);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.rule.min_replications, 2);
+        assert_eq!(o.rule.max_replications, 4);
+        assert_eq!(o.panel.as_deref(), Some("1c"));
+        assert!(o.csv);
+        assert!(o.chart);
+    }
+
+    #[test]
+    fn parse_overrides_compose_with_scale() {
+        let o = Opts::parse(args("--scale quick --bags 10"));
+        assert_eq!(o.bags, 10, "later flag overrides the scale preset");
+        assert_eq!(o.rule.max_replications, 5, "scale's other knobs remain");
+    }
+}

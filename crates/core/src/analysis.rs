@@ -1,0 +1,161 @@
+//! Analytic bounds and stability checks.
+//!
+//! Closed-form lower bounds on what any scheduler could achieve give the
+//! test-suite an absolute yardstick: simulated turnarounds must respect
+//! them, and configurations with offered load ≥ 1 must saturate. The
+//! bounds deliberately ignore failures, checkpoints and queueing — they
+//! bound from below, never estimate.
+
+use dgsched_grid::Grid;
+use dgsched_workload::BagOfTasks;
+
+/// Lower bound on one bag's makespan on an *empty, reliable* grid:
+/// the work-conservation bound `total_work / total_power` and the
+/// critical-path bound `largest_task / fastest_machine`, whichever is
+/// larger. No scheduler can beat either.
+pub fn makespan_lower_bound(bag: &BagOfTasks, grid: &Grid) -> f64 {
+    assert!(!grid.is_empty(), "empty grid");
+    let total_power = grid.nominal_power();
+    let fastest = grid
+        .machines
+        .iter()
+        .map(|m| m.power)
+        .fold(0.0f64, f64::max);
+    let largest_task = bag.tasks.iter().map(|t| t.work).fold(0.0f64, f64::max);
+    // A bag with fewer tasks than machines cannot use the whole grid
+    // usefully (replication only duplicates work): bound by the power of
+    // the |tasks| fastest machines.
+    let mut powers: Vec<f64> = grid.machines.iter().map(|m| m.power).collect();
+    powers.sort_by(|a, b| b.partial_cmp(a).expect("powers are not NaN"));
+    let usable_power: f64 = powers.iter().take(bag.len()).sum();
+    let work_bound = bag.total_work() / total_power.min(usable_power);
+    let path_bound = largest_task / fastest;
+    work_bound.max(path_bound)
+}
+
+/// Offered load ρ of a workload description on a grid: arrival rate times
+/// per-bag demand on *effective* power. A system with ρ ≥ 1 has no
+/// stationary regime and must saturate.
+pub fn offered_load(lambda: f64, mean_bag_work: f64, grid: &Grid) -> f64 {
+    assert!(lambda >= 0.0 && mean_bag_work > 0.0);
+    lambda * mean_bag_work / grid.config.effective_power()
+}
+
+/// True when the configuration admits a steady state (ρ < 1 with a small
+/// safety margin for replication overhead is NOT included — this is the
+/// pure work-conservation criterion).
+pub fn is_stable(lambda: f64, mean_bag_work: f64, grid: &Grid) -> bool {
+    offered_load(lambda, mean_bag_work, grid) < 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use crate::sim::{simulate, SimConfig};
+    use dgsched_des::time::SimTime;
+    use dgsched_grid::{Availability, CheckpointConfig, GridConfig, Heterogeneity};
+    use dgsched_workload::{BotId, TaskId, TaskSpec, Workload};
+    use rand::SeedableRng;
+
+    fn reliable_grid(n: usize, power: f64) -> Grid {
+        let cfg = GridConfig {
+            total_power: n as f64 * power,
+            heterogeneity: Heterogeneity::Homogeneous { power },
+            availability: Availability::Always,
+            checkpoint: CheckpointConfig::disabled(),
+            outages: None,
+        };
+        cfg.build(&mut rand::rngs::StdRng::seed_from_u64(0))
+    }
+
+    fn bag(works: &[f64]) -> BagOfTasks {
+        BagOfTasks {
+            id: BotId(0),
+            arrival: SimTime::ZERO,
+            tasks: works
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| TaskSpec { id: TaskId(i as u32), work: w })
+                .collect(),
+            granularity: 0.0,
+        }
+    }
+
+    #[test]
+    fn work_bound_dominates_for_many_small_tasks() {
+        let grid = reliable_grid(4, 10.0);
+        // 40 tasks × 100 work on 4×10 power: work bound 4000/40 = 100;
+        // path bound 100/10 = 10.
+        let b = bag(&vec![100.0; 40]);
+        assert_eq!(makespan_lower_bound(&b, &grid), 100.0);
+    }
+
+    #[test]
+    fn path_bound_dominates_for_one_big_task() {
+        let grid = reliable_grid(4, 10.0);
+        let b = bag(&[1000.0, 10.0]);
+        // Path: 1000/10 = 100. Work (2 tasks usable on 2 machines of 10):
+        // 1010/20 = 50.5.
+        assert_eq!(makespan_lower_bound(&b, &grid), 100.0);
+    }
+
+    #[test]
+    fn few_tasks_cannot_use_whole_grid() {
+        let grid = reliable_grid(100, 10.0);
+        // 2 tasks of 1000 work: usable power = 20, so bound = 2000/20 = 100
+        // (not 2000/1000 = 2).
+        let b = bag(&[1000.0, 1000.0]);
+        assert_eq!(makespan_lower_bound(&b, &grid), 100.0);
+    }
+
+    #[test]
+    fn simulated_makespan_respects_bound() {
+        let grid = reliable_grid(8, 10.0);
+        for seed in 0..5u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let works: Vec<f64> =
+                (0..12).map(|_| rand::Rng::gen_range(&mut rng, 100.0..5000.0)).collect();
+            let b = BagOfTasks { id: BotId(0), arrival: SimTime::ZERO, granularity: 0.0,
+                tasks: works.iter().enumerate().map(|(i, &w)| TaskSpec { id: TaskId(i as u32), work: w }).collect() };
+            let bound = makespan_lower_bound(&b, &grid);
+            let w = Workload { bags: vec![b], lambda: 1.0, label: "t".into() };
+            for policy in PolicyKind::all() {
+                let r = simulate(&grid, &w, policy, &SimConfig::with_seed(seed));
+                let makespan = r.bags[0].makespan;
+                assert!(
+                    makespan >= bound - 1e-9,
+                    "{policy} beat the bound: {makespan} < {bound} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn offered_load_and_stability() {
+        let grid = reliable_grid(10, 10.0); // effective power 100
+        assert!((offered_load(0.001, 50_000.0, &grid) - 0.5).abs() < 1e-12);
+        assert!(is_stable(0.001, 50_000.0, &grid));
+        assert!(!is_stable(0.003, 50_000.0, &grid));
+        assert!(!is_stable(0.002, 50_000.0, &grid), "ρ = 1 exactly is unstable");
+    }
+
+    #[test]
+    fn overloaded_system_saturates() {
+        let grid = reliable_grid(4, 10.0); // 40 work/s capacity
+        // 30 bags, 4000 work each, arriving every 50 s ⇒ ρ = 80/40 = 2.
+        let bags: Vec<BagOfTasks> = (0..30)
+            .map(|i| BagOfTasks {
+                id: BotId(i),
+                arrival: SimTime::new(i as f64 * 50.0),
+                tasks: (0..4).map(|j| TaskSpec { id: TaskId(j), work: 1000.0 }).collect(),
+                granularity: 1000.0,
+            })
+            .collect();
+        let w = Workload { bags, lambda: 0.02, label: "overload".into() };
+        assert!(!is_stable(0.02, 4000.0, &grid));
+        let cfg = SimConfig { horizon: Some(2_000.0), ..SimConfig::with_seed(1) };
+        let r = simulate(&grid, &w, PolicyKind::Rr, &cfg);
+        assert!(r.saturated, "ρ = 2 must saturate within the horizon");
+    }
+}

@@ -1,0 +1,200 @@
+//! `dgsched` — command-line front end to the simulator.
+//!
+//! ```text
+//! dgsched demo                          # print a sample scenario JSON
+//! dgsched run scenario.json             # run it (replications + CI) and report
+//! dgsched gen-workload -g 25000 -u low -n 50 -o w.json   # generate a workload
+//! dgsched summarize w.json              # describe a saved workload
+//! ```
+//!
+//! Scenario files are the serde form of [`dgsched_core::experiment::Scenario`].
+
+use dgsched_core::experiment::{run_replication_traced, run_scenario, Scenario, WorkloadKind};
+use dgsched_core::sim::Gantt;
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::SimConfig;
+use dgsched_des::stats::StoppingRule;
+use dgsched_grid::{Availability, GridConfig, Heterogeneity};
+use dgsched_workload::{BotType, Intensity, Workload, WorkloadSpec, WorkloadSummary};
+use std::path::Path;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  dgsched demo\n  dgsched run <scenario.json> [--seed N] [--min-reps N] [--max-reps N]\n  dgsched trace <scenario.json> [--seed N] [--rep N] [--out trace.json] [--gantt]\n  dgsched gen-workload -g <granularity> -u <low|medium|high> -n <bags> -o <file> [--seed N]\n  dgsched summarize <workload.json>"
+    );
+    exit(2)
+}
+
+fn demo_scenario() -> Scenario {
+    Scenario {
+        name: "demo: Het-MedAvail g=25000 U=0.5 LongIdle".into(),
+        grid: GridConfig::paper(Heterogeneity::HET, Availability::MED),
+        workload: WorkloadKind::Single(WorkloadSpec {
+            bot_type: BotType::paper(25_000.0),
+            intensity: Intensity::Low,
+            count: 60,
+        }),
+        policy: PolicyKind::LongIdle,
+        sim: SimConfig { warmup_bags: 5, ..SimConfig::default() },
+    }
+}
+
+fn parse_u64(args: &mut std::iter::Peekable<std::vec::IntoIter<String>>, flag: &str) -> u64 {
+    args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| {
+        eprintln!("{flag} takes a number");
+        exit(2)
+    })
+}
+
+fn cmd_run(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
+    let path = args.next().unwrap_or_else(|| usage());
+    let mut seed = 2008u64;
+    let mut rule = StoppingRule::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--seed" => seed = parse_u64(&mut args, "--seed"),
+            "--min-reps" => rule.min_replications = parse_u64(&mut args, "--min-reps"),
+            "--max-reps" => rule.max_replications = parse_u64(&mut args, "--max-reps"),
+            _ => usage(),
+        }
+    }
+    let data = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    let scenario: Scenario = serde_json::from_str(&data).unwrap_or_else(|e| {
+        eprintln!("invalid scenario file: {e}");
+        exit(1)
+    });
+    eprintln!("running '{}' (seed {seed})...", scenario.name);
+    let result = run_scenario(&scenario, seed, &rule);
+    println!("{}", serde_json::to_string_pretty(&result).expect("result serialises"));
+    if result.saturated {
+        eprintln!(
+            "note: {} of {} replications saturated — the configuration is overloaded",
+            result.saturated_replications, result.replications
+        );
+    } else {
+        eprintln!(
+            "mean turnaround {:.0} s ± {:.0} ({} replications)",
+            result.turnaround.mean, result.turnaround.half_width, result.replications
+        );
+    }
+}
+
+fn cmd_trace(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
+    let path = args.next().unwrap_or_else(|| usage());
+    let mut seed = 2008u64;
+    let mut rep = 0u64;
+    let mut out: Option<String> = None;
+    let mut gantt = false;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--seed" => seed = parse_u64(&mut args, "--seed"),
+            "--rep" => rep = parse_u64(&mut args, "--rep"),
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--gantt" => gantt = true,
+            _ => usage(),
+        }
+    }
+    let data = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    let scenario: Scenario = serde_json::from_str(&data).unwrap_or_else(|e| {
+        eprintln!("invalid scenario file: {e}");
+        exit(1)
+    });
+    let (result, trace) = run_replication_traced(&scenario, seed, rep);
+    eprintln!(
+        "replication {rep}: {} events, {} bags completed, mean turnaround {:.0} s",
+        trace.len(),
+        result.completed,
+        result.mean_turnaround()
+    );
+    match out {
+        Some(out) => {
+            let json = serde_json::to_string(&trace).expect("trace serialises");
+            std::fs::write(&out, json).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                exit(1)
+            });
+            eprintln!("wrote trace to {out}");
+        }
+        None if !gantt => {
+            println!("{}", serde_json::to_string(&trace).expect("trace serialises"));
+        }
+        None => {}
+    }
+    if gantt {
+        print!("{}", Gantt::from_trace(&trace).render(100, 20));
+    }
+}
+
+fn cmd_gen_workload(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
+    let mut granularity = 25_000.0f64;
+    let mut intensity = Intensity::Low;
+    let mut count = 50usize;
+    let mut out = String::from("workload.json");
+    let mut seed = 1u64;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "-g" | "--granularity" => {
+                granularity =
+                    args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            "-u" | "--intensity" => {
+                intensity = match args.next().unwrap_or_else(|| usage()).as_str() {
+                    "low" => Intensity::Low,
+                    "medium" => Intensity::Medium,
+                    "high" => Intensity::High,
+                    _ => usage(),
+                }
+            }
+            "-n" | "--count" => {
+                count = args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            "-o" | "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "--seed" => seed = parse_u64(&mut args, "--seed"),
+            _ => usage(),
+        }
+    }
+    let grid = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
+    let spec =
+        WorkloadSpec { bot_type: BotType::paper(granularity), intensity, count };
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let w = spec.generate(&grid, &mut rng);
+    w.save(Path::new(&out)).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1)
+    });
+    eprintln!("wrote {} bags / {} tasks to {out}", w.len(), w.total_tasks());
+}
+
+fn cmd_summarize(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
+    let path = args.next().unwrap_or_else(|| usage());
+    let w = Workload::load(Path::new(&path)).unwrap_or_else(|e| {
+        eprintln!("cannot load {path}: {e}");
+        exit(1)
+    });
+    let s = WorkloadSummary::of(&w);
+    println!("{}", serde_json::to_string_pretty(&s).expect("summary serialises"));
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).collect::<Vec<_>>().into_iter().peekable();
+    match args.next().as_deref() {
+        Some("demo") => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&demo_scenario()).expect("scenario serialises")
+            );
+        }
+        Some("run") => cmd_run(args),
+        Some("trace") => cmd_trace(args),
+        Some("gen-workload") => cmd_gen_workload(args),
+        Some("summarize") => cmd_summarize(args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,177 @@
+//! Terminal bar charts — the figures of the paper, rendered as Unicode
+//! horizontal bars so a reproduction run can be eyeballed against Fig. 1/2
+//! without leaving the terminal.
+
+use super::runner::ScenarioResult;
+
+/// A horizontal bar chart: one group per row label, one bar per series.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    series: Vec<String>,
+    groups: Vec<(String, Vec<Option<f64>>)>,
+    width: usize,
+}
+
+impl BarChart {
+    /// Creates a chart with the given series (legend) names.
+    pub fn new(title: impl Into<String>, series: Vec<String>) -> Self {
+        BarChart { title: title.into(), series, groups: Vec::new(), width: 60 }
+    }
+
+    /// Sets the bar area width in characters (default 60).
+    pub fn width(mut self, width: usize) -> Self {
+        self.width = width.max(10);
+        self
+    }
+
+    /// Adds a group of bars (`None` renders as a saturation marker).
+    pub fn push_group(&mut self, label: impl Into<String>, values: Vec<Option<f64>>) {
+        assert_eq!(values.len(), self.series.len(), "one value per series");
+        self.groups.push((label.into(), values));
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let max = self
+            .groups
+            .iter()
+            .flat_map(|(_, vs)| vs.iter().flatten())
+            .fold(0.0f64, |a, &b| a.max(b));
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        let label_w = self
+            .groups
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(self.series.iter().map(|s| s.len()))
+            .max()
+            .unwrap_or(8);
+        for (label, values) in &self.groups {
+            out.push_str(&format!("{label}\n"));
+            for (name, v) in self.series.iter().zip(values) {
+                match v {
+                    Some(v) => {
+                        let frac = if max > 0.0 { v / max } else { 0.0 };
+                        let cells = frac * self.width as f64;
+                        let full = cells.floor() as usize;
+                        // Eighth-block resolution for the final cell.
+                        let rem = ((cells - full as f64) * 8.0).round() as usize;
+                        let partial = ['\0', '▏', '▎', '▍', '▌', '▋', '▊', '▉'];
+                        let mut bar = "█".repeat(full);
+                        if rem > 0 && full < self.width {
+                            bar.push(partial[rem.min(7)]);
+                        }
+                        out.push_str(&format!(
+                            "  {name:<label_w$} {bar:<width$} {v:.0}\n",
+                            width = self.width + 1
+                        ));
+                    }
+                    None => {
+                        let bar = "▒".repeat(self.width);
+                        out.push_str(&format!(
+                            "  {name:<label_w$} {bar}▶ SATURATED\n"
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds the bar chart of one figure panel from scenario results
+/// (same lookup convention as [`super::table::panel_table`]).
+pub fn panel_chart(
+    title: &str,
+    granularities: &[f64],
+    policies: &[&str],
+    results: &[ScenarioResult],
+) -> BarChart {
+    let mut chart =
+        BarChart::new(title, policies.iter().map(|p| p.to_string()).collect());
+    for &g in granularities {
+        let needle = format!("g={g} ");
+        let values = policies
+            .iter()
+            .map(|&p| {
+                results
+                    .iter()
+                    .find(|r| {
+                        r.policy == p
+                            && (r.name.contains(&needle)
+                                || r.name.ends_with(&format!("g={g}")))
+                    })
+                    .and_then(|r| (!r.saturated).then_some(r.turnaround.mean))
+            })
+            .collect();
+        chart.push_group(format!("granularity {g} s"), values);
+    }
+    chart
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_proportional_bars() {
+        let mut c = BarChart::new("test", vec!["a".into(), "b".into()]).width(10);
+        c.push_group("g1", vec![Some(100.0), Some(50.0)]);
+        let s = c.render();
+        assert!(s.contains("test"));
+        assert!(s.contains("g1"));
+        // a's bar (max) must be longer than b's.
+        let a_len = s.lines().find(|l| l.contains(" a ")).unwrap().matches('█').count();
+        let b_len = s.lines().find(|l| l.contains(" b ")).unwrap().matches('█').count();
+        assert_eq!(a_len, 10);
+        assert!((4..=6).contains(&b_len), "b bar {b_len}");
+        assert!(s.contains("100"));
+    }
+
+    #[test]
+    fn saturated_renders_marker() {
+        let mut c = BarChart::new("t", vec!["x".into()]).width(12);
+        c.push_group("g", vec![None]);
+        let s = c.render();
+        assert!(s.contains("SATURATED"));
+        assert!(s.contains('▒'));
+    }
+
+    #[test]
+    fn zero_values_render() {
+        let mut c = BarChart::new("t", vec!["x".into()]);
+        c.push_group("g", vec![Some(0.0)]);
+        let s = c.render();
+        assert!(s.contains(" 0\n"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn group_width_mismatch_panics() {
+        let mut c = BarChart::new("t", vec!["x".into(), "y".into()]);
+        c.push_group("g", vec![Some(1.0)]);
+    }
+
+    #[test]
+    fn panel_chart_builds_from_results() {
+        use dgsched_des::stats::ConfidenceInterval;
+        let ci = ConfidenceInterval { mean: 500.0, half_width: 10.0, level: 0.95, n: 5 };
+        let results = vec![ScenarioResult {
+            name: "P g=1000 RR".into(),
+            policy: "RR".into(),
+            turnaround: ci,
+            waiting: ci,
+            makespan: ci,
+            wasted_fraction: 0.0,
+            replications: 5,
+            saturated_replications: 0,
+            saturated: false,
+            replication_means: vec![],
+        }];
+        let chart = panel_chart("Fig 1a", &[1000.0], &["RR"], &results);
+        let s = chart.render();
+        assert!(s.contains("Fig 1a"));
+        assert!(s.contains("500"));
+    }
+}

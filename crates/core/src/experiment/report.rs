@@ -1,0 +1,126 @@
+//! Result persistence: save experiment outcomes as JSON next to the run
+//! and reload them later — so figure binaries can be re-rendered, diffed
+//! and post-processed without re-simulating.
+
+use super::runner::ScenarioResult;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// A saved experiment: metadata plus the scenario results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment name (e.g. "fig1").
+    pub experiment: String,
+    /// Base seed the matrix ran with.
+    pub seed: u64,
+    /// Bags per run.
+    pub bags: usize,
+    /// Warmup bags excluded per run.
+    pub warmup: usize,
+    /// The scenario results.
+    pub results: Vec<ScenarioResult>,
+}
+
+impl Report {
+    /// Assembles a report.
+    pub fn new(
+        experiment: impl Into<String>,
+        seed: u64,
+        bags: usize,
+        warmup: usize,
+        results: Vec<ScenarioResult>,
+    ) -> Self {
+        Report { experiment: experiment.into(), seed, bags, warmup, results }
+    }
+
+    /// Saves the report as pretty JSON.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self).expect("report serialises");
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(json.as_bytes())
+    }
+
+    /// Loads a report from JSON.
+    pub fn load(path: &Path) -> std::io::Result<Report> {
+        let data = std::fs::read_to_string(path)?;
+        serde_json::from_str(&data)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// The result of a scenario by exact name, if present.
+    pub fn result(&self, name: &str) -> Option<&ScenarioResult> {
+        self.results.iter().find(|r| r.name == name)
+    }
+
+    /// A one-paragraph textual summary (scenario count, replication total,
+    /// saturation count).
+    pub fn summary(&self) -> String {
+        let reps: u64 = self.results.iter().map(|r| r.replications).sum();
+        let sat = self.results.iter().filter(|r| r.saturated).count();
+        format!(
+            "{}: {} scenarios, {} replications, {} saturated (seed {}, bags/run {}, warmup {})",
+            self.experiment,
+            self.results.len(),
+            reps,
+            sat,
+            self.seed,
+            self.bags,
+            self.warmup
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgsched_des::stats::ConfidenceInterval;
+
+    fn result(name: &str) -> ScenarioResult {
+        let ci = ConfidenceInterval { mean: 100.0, half_width: 2.0, level: 0.95, n: 5 };
+        ScenarioResult {
+            name: name.into(),
+            policy: "RR".into(),
+            turnaround: ci,
+            waiting: ci,
+            makespan: ci,
+            wasted_fraction: 0.2,
+            replications: 5,
+            saturated_replications: 0,
+            saturated: false,
+            replication_means: vec![100.0; 5],
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("dgsched-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let report = Report::new("fig1", 2008, 120, 10, vec![result("a"), result("b")]);
+        report.save(&path).unwrap();
+        let back = Report::load(&path).unwrap();
+        assert_eq!(back.experiment, "fig1");
+        assert_eq!(back.results.len(), 2);
+        assert!(back.result("a").is_some());
+        assert!(back.result("missing").is_none());
+        assert_eq!(back.results[0].turnaround.mean, 100.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn summary_counts() {
+        let mut r2 = result("b");
+        r2.saturated = true;
+        let report = Report::new("fig2", 1, 40, 4, vec![result("a"), r2]);
+        let s = report.summary();
+        assert!(s.contains("2 scenarios"));
+        assert!(s.contains("10 replications"));
+        assert!(s.contains("1 saturated"));
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(Report::load(Path::new("/nonexistent/nowhere.json")).is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! The experiment runner: independent replications, sequential stopping on
+//! the 95 % / 2.5 % rule of §4.3, and rayon-parallel sweeps.
+//!
+//! Replication `r` of every scenario draws its grid, workload and failure
+//! traces from seed streams keyed by `(base_seed, r)` only — *not* by
+//! policy — so policies are compared under common random numbers.
+
+use super::scenario::Scenario;
+use crate::sim::{simulate, RunResult, SimConfig};
+use dgsched_des::rng::StreamSeeder;
+use dgsched_des::stats::{ConfidenceInterval, StoppingRule, Welford};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Aggregated result of one scenario across replications.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// Policy name.
+    pub policy: String,
+    /// Turnaround mean and CI over replication means.
+    pub turnaround: ConfidenceInterval,
+    /// Waiting-time mean and CI.
+    pub waiting: ConfidenceInterval,
+    /// Makespan mean and CI.
+    pub makespan: ConfidenceInterval,
+    /// Mean wasted-occupancy fraction across replications.
+    pub wasted_fraction: f64,
+    /// Replications executed.
+    pub replications: u64,
+    /// Replications that saturated (hit horizon / event budget).
+    pub saturated_replications: u64,
+    /// True when the scenario is reported as saturated (the paper's "bar
+    /// beyond the frame"): any replication failed to drain the workload.
+    pub saturated: bool,
+    /// Per-replication turnaround means (for post-hoc analysis).
+    pub replication_means: Vec<f64>,
+}
+
+/// Runs one replication of a scenario.
+///
+/// Grid, workload and simulator streams derive from `(base_seed, rep)`;
+/// the policy does not influence them.
+pub fn run_replication(scenario: &Scenario, base_seed: u64, rep: u64) -> RunResult {
+    let seeder = StreamSeeder::new(base_seed).subdomain("rep", rep);
+    let mut grid_rng = seeder.stream("grid", 0);
+    let grid = scenario.grid.build(&mut grid_rng);
+    let mut wl_rng = seeder.stream("workload", 0);
+    let workload = scenario.workload.generate(&scenario.grid, &mut wl_rng);
+    let cfg = SimConfig { seed: seeder.stream_seed("sim", 0), ..scenario.sim };
+    simulate(&grid, &workload, scenario.policy, &cfg)
+}
+
+/// [`run_replication`] with full event tracing — identical seeding, so the
+/// trace reflects exactly the run that `run_replication` would produce.
+pub fn run_replication_traced(
+    scenario: &Scenario,
+    base_seed: u64,
+    rep: u64,
+) -> (RunResult, crate::sim::TraceRecorder) {
+    let seeder = StreamSeeder::new(base_seed).subdomain("rep", rep);
+    let mut grid_rng = seeder.stream("grid", 0);
+    let grid = scenario.grid.build(&mut grid_rng);
+    let mut wl_rng = seeder.stream("workload", 0);
+    let workload = scenario.workload.generate(&scenario.grid, &mut wl_rng);
+    let cfg = SimConfig { seed: seeder.stream_seed("sim", 0), ..scenario.sim };
+    let mut trace = crate::sim::TraceRecorder::new();
+    let policy = scenario.policy.create_seeded(cfg.seed);
+    let result = crate::sim::simulate_observed(&grid, &workload, policy, &cfg, &mut trace);
+    (result, trace)
+}
+
+/// Runs a scenario with the sequential stopping rule, replications in
+/// parallel batches.
+pub fn run_scenario(scenario: &Scenario, base_seed: u64, rule: &StoppingRule) -> ScenarioResult {
+    let mut turnaround = Welford::new();
+    let mut waiting = Welford::new();
+    let mut makespan = Welford::new();
+    let mut wasted = Welford::new();
+    let mut means = Vec::new();
+    let mut saturated_reps = 0u64;
+    let mut next_rep = 0u64;
+
+    loop {
+        // Batch size: reach the minimum first, then grow in small steps.
+        let batch = if next_rep < rule.min_replications {
+            rule.min_replications - next_rep
+        } else {
+            (rule.max_replications - next_rep).min(4)
+        };
+        if batch == 0 {
+            break;
+        }
+        let results: Vec<RunResult> = (next_rep..next_rep + batch)
+            .into_par_iter()
+            .map(|rep| run_replication(scenario, base_seed, rep))
+            .collect();
+        next_rep += batch;
+        for r in &results {
+            if r.saturated {
+                saturated_reps += 1;
+            } else {
+                let m = r.mean_turnaround();
+                turnaround.push(m);
+                waiting.push(r.mean_waiting());
+                makespan.push(r.mean_makespan());
+                wasted.push(r.wasted_fraction());
+                means.push(m);
+            }
+        }
+        // A saturated replication means the scenario is operationally
+        // unstable; more replications cannot tighten anything meaningful.
+        if saturated_reps > 0 {
+            break;
+        }
+        if rule.satisfied(&turnaround) {
+            break;
+        }
+    }
+
+    ScenarioResult {
+        name: scenario.name.clone(),
+        policy: scenario.policy.paper_name().to_string(),
+        turnaround: ConfidenceInterval::from_welford(&turnaround, rule.level),
+        waiting: ConfidenceInterval::from_welford(&waiting, rule.level),
+        makespan: ConfidenceInterval::from_welford(&makespan, rule.level),
+        wasted_fraction: wasted.mean(),
+        replications: next_rep,
+        saturated_replications: saturated_reps,
+        saturated: saturated_reps > 0,
+        replication_means: means,
+    }
+}
+
+/// Runs a list of scenarios, scenarios in parallel, reporting completion
+/// through `progress` (called with `(done, total, name)` after each
+/// scenario finishes).
+pub fn run_matrix_with_progress<F>(
+    scenarios: &[Scenario],
+    base_seed: u64,
+    rule: &StoppingRule,
+    progress: F,
+) -> Vec<ScenarioResult>
+where
+    F: Fn(usize, usize, &str) + Send + Sync,
+{
+    let done = AtomicUsize::new(0);
+    let progress = Mutex::new(progress);
+    scenarios
+        .par_iter()
+        .map(|s| {
+            let r = run_scenario(s, base_seed, rule);
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            (progress.lock())(d, scenarios.len(), &s.name);
+            r
+        })
+        .collect()
+}
+
+/// [`run_matrix_with_progress`] without progress reporting.
+pub fn run_matrix(scenarios: &[Scenario], base_seed: u64, rule: &StoppingRule) -> Vec<ScenarioResult> {
+    run_matrix_with_progress(scenarios, base_seed, rule, |_, _, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::scenario::WorkloadKind;
+    use crate::policy::PolicyKind;
+    use dgsched_grid::{Availability, GridConfig, Heterogeneity};
+    use dgsched_workload::{BotType, Intensity, WorkloadSpec};
+
+    fn small_scenario(policy: PolicyKind) -> Scenario {
+        Scenario {
+            name: format!("test {policy}"),
+            grid: GridConfig {
+                total_power: 100.0,
+                heterogeneity: Heterogeneity::HOM,
+                availability: Availability::HIGH,
+                checkpoint: Default::default(),
+                outages: None,
+            },
+            workload: WorkloadKind::Single(WorkloadSpec {
+                bot_type: BotType { granularity: 1_000.0, app_size: 20_000.0, jitter: 0.5 },
+                intensity: Intensity::Low,
+                count: 6,
+            }),
+            policy,
+            sim: SimConfig::default(),
+        }
+    }
+
+    fn quick_rule() -> StoppingRule {
+        StoppingRule { min_replications: 3, max_replications: 5, ..Default::default() }
+    }
+
+    #[test]
+    fn replication_is_deterministic_and_crn() {
+        let s = small_scenario(PolicyKind::Rr);
+        let a = run_replication(&s, 99, 0);
+        let b = run_replication(&s, 99, 0);
+        assert_eq!(a.bags, b.bags);
+        // Same (seed, rep) with a different policy sees the same workload
+        // and failure streams: arrivals match bag-by-bag (completion order
+        // may differ, so look bags up by id).
+        let s2 = small_scenario(PolicyKind::LongIdle);
+        let c = run_replication(&s2, 99, 0);
+        let arrival = |r: &RunResult, id: u32| {
+            r.bags.iter().find(|x| x.bag == id).expect("bag completed").arrival
+        };
+        assert_eq!(arrival(&a, 0), arrival(&c, 0));
+        // Different reps differ.
+        let d = run_replication(&s, 99, 1);
+        assert_ne!(arrival(&a, 0), arrival(&d, 0));
+    }
+
+    #[test]
+    fn scenario_runs_to_stopping_rule() {
+        let s = small_scenario(PolicyKind::FcfsShare);
+        let rule = quick_rule();
+        let r = run_scenario(&s, 7, &rule);
+        assert!(r.replications >= 3 && r.replications <= 5);
+        assert!(!r.saturated);
+        assert!(r.turnaround.mean > 0.0);
+        assert_eq!(r.replication_means.len() as u64, r.replications);
+        assert!(r.turnaround.half_width.is_finite());
+        assert!(r.waiting.mean >= 0.0);
+        assert!(r.makespan.mean > 0.0);
+    }
+
+    #[test]
+    fn saturated_scenario_is_flagged_early() {
+        let mut s = small_scenario(PolicyKind::FcfsExcl);
+        // Make the system hopeless: huge bags, tight horizon.
+        if let WorkloadKind::Single(spec) = &mut s.workload {
+            spec.bot_type.app_size = 2.0e6;
+            spec.count = 10;
+        }
+        s.sim.horizon = Some(5_000.0);
+        let rule = quick_rule();
+        let r = run_scenario(&s, 7, &rule);
+        assert!(r.saturated);
+        assert!(r.saturated_replications > 0);
+        assert_eq!(r.replications, rule.min_replications, "stops at the first batch");
+    }
+
+    #[test]
+    fn matrix_runs_all_and_reports_progress() {
+        let scenarios: Vec<Scenario> =
+            [PolicyKind::Rr, PolicyKind::FcfsShare].map(small_scenario).to_vec();
+        let count = AtomicUsize::new(0);
+        let results = run_matrix_with_progress(&scenarios, 3, &quick_rule(), |d, t, _| {
+            assert!(d <= t);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(results.len(), 2);
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+        let names: Vec<&str> = results.iter().map(|r| r.policy.as_str()).collect();
+        assert!(names.contains(&"RR") && names.contains(&"FCFS-Share"));
+    }
+}

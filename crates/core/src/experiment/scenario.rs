@@ -1,0 +1,110 @@
+//! Scenario descriptions: one cell of the paper's evaluation matrix.
+
+use crate::policy::PolicyKind;
+use crate::sim::SimConfig;
+use dgsched_grid::GridConfig;
+use dgsched_workload::{ArrivalModel, MixSpec, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// The workload half of a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum WorkloadKind {
+    /// A single-granularity stream (the paper's 12 workloads).
+    Single(WorkloadSpec),
+    /// A mixed-granularity stream (future work §5).
+    Mixed(MixSpec),
+    /// A single-granularity stream with bursty (hyperexponential)
+    /// arrivals at the same mean rate — the burstiness ablation.
+    Bursty {
+        /// The underlying workload description.
+        spec: WorkloadSpec,
+        /// Coefficient of variation of the inter-arrival gaps (> 1).
+        cv: f64,
+    },
+}
+
+impl WorkloadKind {
+    /// Number of bags the workload will contain.
+    pub fn count(&self) -> usize {
+        match self {
+            WorkloadKind::Single(s) => s.count,
+            WorkloadKind::Mixed(m) => m.count,
+            WorkloadKind::Bursty { spec, .. } => spec.count,
+        }
+    }
+
+    /// Generates the workload for `grid` with the given RNG.
+    pub fn generate<R: rand::Rng + ?Sized>(
+        &self,
+        grid: &GridConfig,
+        rng: &mut R,
+    ) -> dgsched_workload::Workload {
+        match self {
+            WorkloadKind::Single(s) => s.generate(grid, rng),
+            WorkloadKind::Mixed(m) => m.generate(grid, rng),
+            WorkloadKind::Bursty { spec, cv } => {
+                spec.generate_with(ArrivalModel::Hyperexponential { cv: *cv }, grid, rng)
+            }
+        }
+    }
+}
+
+/// One simulated configuration: platform × workload × policy × knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name (used in tables and logs).
+    pub name: String,
+    /// The grid configuration (machines are re-materialised per
+    /// replication so Het platforms vary across replications).
+    pub grid: GridConfig,
+    /// The workload description.
+    pub workload: WorkloadKind,
+    /// The bag-selection policy under test.
+    pub policy: PolicyKind,
+    /// Simulator knobs; the seed field is overridden per replication.
+    pub sim: SimConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgsched_grid::{Availability, Heterogeneity};
+    use dgsched_workload::{BotType, Intensity};
+    use rand::SeedableRng;
+
+    #[test]
+    fn workload_kind_generate_and_count() {
+        let grid = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
+        let single = WorkloadKind::Single(WorkloadSpec {
+            bot_type: BotType::paper(25_000.0),
+            intensity: Intensity::Low,
+            count: 4,
+        });
+        assert_eq!(single.count(), 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(single.generate(&grid, &mut rng).len(), 4);
+
+        let mixed = WorkloadKind::Mixed(MixSpec::paper_uniform(Intensity::Low, 6));
+        assert_eq!(mixed.count(), 6);
+        assert_eq!(mixed.generate(&grid, &mut rng).len(), 6);
+    }
+
+    #[test]
+    fn scenario_serde_round_trip() {
+        let s = Scenario {
+            name: "Hom-HighAvail g=1000 U=0.5 RR".into(),
+            grid: GridConfig::paper(Heterogeneity::HOM, Availability::HIGH),
+            workload: WorkloadKind::Single(WorkloadSpec {
+                bot_type: BotType::paper(1_000.0),
+                intensity: Intensity::Low,
+                count: 100,
+            }),
+            policy: PolicyKind::Rr,
+            sim: SimConfig::default(),
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

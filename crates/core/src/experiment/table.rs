@@ -1,0 +1,193 @@
+//! Result tables: the textual equivalent of the paper's bar charts.
+
+use super::runner::ScenarioResult;
+use serde::{Deserialize, Serialize};
+
+/// A rectangular table with named columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the headers.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}", w = *w))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |\n", dashes.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV (RFC-4180-style quoting for cells containing commas or
+    /// quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a scenario cell the way the figures encode it: mean turnaround
+/// (seconds) with its CI half-width, or `SATURATED` for bars beyond the
+/// frame.
+pub fn format_cell(r: &ScenarioResult) -> String {
+    if r.saturated {
+        "SATURATED".to_string()
+    } else {
+        format!("{:.0} ±{:.0}", r.turnaround.mean, r.turnaround.half_width)
+    }
+}
+
+/// Builds one figure panel: rows = granularities, columns = policies.
+///
+/// `results` must contain one entry per (granularity, policy) pair; lookup
+/// is by substring `g=<granularity>` in the scenario name plus exact policy
+/// name, mirroring how [`super::figures::PanelSpec::scenarios`] names them.
+pub fn panel_table(
+    granularities: &[f64],
+    policies: &[&str],
+    results: &[ScenarioResult],
+) -> Table {
+    let mut headers = vec!["granularity (s)".to_string()];
+    headers.extend(policies.iter().map(|p| p.to_string()));
+    let mut table = Table::new(headers);
+    for &g in granularities {
+        let needle = format!("g={g} ");
+        let mut row = vec![format!("{g}")];
+        for &p in policies {
+            let cell = results
+                .iter()
+                .find(|r| {
+                    r.policy == p
+                        && (r.name.contains(&needle) || r.name.ends_with(&format!("g={g}")))
+                })
+                .map(format_cell)
+                .unwrap_or_else(|| "—".to_string());
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgsched_des::stats::ConfidenceInterval;
+
+    fn result(name: &str, policy: &str, mean: f64, saturated: bool) -> ScenarioResult {
+        let ci = ConfidenceInterval { mean, half_width: mean * 0.02, level: 0.95, n: 5 };
+        ScenarioResult {
+            name: name.into(),
+            policy: policy.into(),
+            turnaround: ci,
+            waiting: ci,
+            makespan: ci,
+            wasted_fraction: 0.1,
+            replications: 5,
+            saturated_replications: u64::from(saturated),
+            saturated,
+            replication_means: vec![mean; 5],
+        }
+    }
+
+    #[test]
+    fn markdown_and_csv_render() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["1", "hello, world"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a"));
+        assert!(md.contains("hello, world"));
+        let csv = t.to_csv();
+        assert!(csv.contains("\"hello, world\""));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn panel_table_places_cells() {
+        let results = vec![
+            result("P g=1000 RR", "RR", 500.0, false),
+            result("P g=1000 FCFS-Excl", "FCFS-Excl", 450.0, false),
+            result("P g=25000 RR", "RR", 900.0, false),
+            result("P g=25000 FCFS-Excl", "FCFS-Excl", 3000.0, true),
+        ];
+        let t = panel_table(&[1000.0, 25000.0], &["FCFS-Excl", "RR"], &results);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], "1000");
+        assert!(t.rows[0][1].starts_with("450"));
+        assert!(t.rows[0][2].starts_with("500"));
+        assert_eq!(t.rows[1][1], "SATURATED");
+        assert!(t.rows[1][2].starts_with("900"));
+    }
+
+    #[test]
+    fn missing_cell_renders_dash() {
+        let results = vec![result("P g=1000 RR", "RR", 500.0, false)];
+        let t = panel_table(&[1000.0, 5000.0], &["RR"], &results);
+        assert_eq!(t.rows[1][1], "—");
+    }
+
+    #[test]
+    fn csv_quotes_quotes() {
+        let mut t = Table::new(vec!["x"]);
+        t.push_row(vec!["say \"hi\""]);
+        assert!(t.to_csv().contains("\"say \"\"hi\"\"\""));
+    }
+}

@@ -1,0 +1,112 @@
+//! FCFS-Excl: First Come First Served with exclusive grid allocation.
+//!
+//! §3.3 policy 1: bags are served strictly in arrival order and the whole
+//! grid belongs to the oldest incomplete bag. No task of any later bag runs
+//! until the current bag completes. To keep every machine busy, WQR-FT's
+//! replication threshold is raised to a potentially unlimited value: once
+//! the current bag has no pending task, freed machines start additional
+//! replicas of its still-running tasks (in the worst case the last running
+//! task is replicated on every machine of the grid).
+
+use super::{BagSelection, View};
+use dgsched_workload::BotId;
+
+/// The FCFS-Exclusive policy.
+#[derive(Debug, Default)]
+pub struct FcfsExcl;
+
+impl FcfsExcl {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        FcfsExcl
+    }
+}
+
+impl BagSelection for FcfsExcl {
+    fn name(&self) -> &'static str {
+        "FCFS-Excl"
+    }
+
+    fn replication_threshold(&self, _default_threshold: u32) -> u32 {
+        u32::MAX
+    }
+
+    fn select(&mut self, view: &View<'_>) -> Option<BotId> {
+        // Only the oldest incomplete bag may run. With an unlimited
+        // threshold an incomplete bag is always dispatchable (it has a
+        // pending or a running task), so the check is defensive.
+        let cur = *view.active.first()?;
+        view.dispatchable(cur).then_some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::*;
+    use dgsched_des::time::SimTime;
+
+    #[test]
+    fn always_serves_oldest_bag() {
+        let bags = vec![bag(0, 0.0, 3), bag(1, 1.0, 3)];
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = FcfsExcl::new();
+        let view = View {
+            now: SimTime::new(2.0),
+            active: &active,
+            bags: &bags,
+            threshold: p.replication_threshold(2),
+        };
+        for _ in 0..5 {
+            assert_eq!(p.select(&view), Some(BotId(0)));
+        }
+    }
+
+    #[test]
+    fn replicates_oldest_when_pending_drained() {
+        let mut b0 = bag(0, 0.0, 2);
+        start_all(&mut b0, 1.0);
+        let bags = vec![b0, bag(1, 1.0, 2)];
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = FcfsExcl::new();
+        let view = View {
+            now: SimTime::new(2.0),
+            active: &active,
+            bags: &bags,
+            threshold: p.replication_threshold(2),
+        };
+        // Bag 0 has no pending tasks but running ones: with the unlimited
+        // threshold it is still the (only) choice.
+        assert_eq!(p.select(&view), Some(BotId(0)));
+    }
+
+    #[test]
+    fn next_bag_served_after_first_leaves() {
+        let bags = vec![bag(0, 0.0, 1), bag(1, 1.0, 1)];
+        let active = vec![BotId(1)]; // bag 0 completed and was removed
+        let mut p = FcfsExcl::new();
+        let view = View {
+            now: SimTime::new(5.0),
+            active: &active,
+            bags: &bags,
+            threshold: p.replication_threshold(2),
+        };
+        assert_eq!(p.select(&view), Some(BotId(1)));
+    }
+
+    #[test]
+    fn empty_system_selects_nothing() {
+        let bags: Vec<crate::state::BagRt> = Vec::new();
+        let active: Vec<BotId> = Vec::new();
+        let mut p = FcfsExcl::new();
+        let view =
+            View { now: SimTime::ZERO, active: &active, bags: &bags, threshold: u32::MAX };
+        assert_eq!(p.select(&view), None);
+    }
+
+    #[test]
+    fn threshold_is_unlimited() {
+        let p = FcfsExcl::new();
+        assert_eq!(p.replication_threshold(2), u32::MAX);
+    }
+}

@@ -1,0 +1,127 @@
+//! FCFS-Share: First Come First Served over a shared grid.
+//!
+//! §3.3 policy 2: bags are still considered in arrival order, but a machine
+//! that finds the oldest bag fully served falls through to the next bag in
+//! FCFS order. "Fully served" is judged by the bag's own WQR-FT scheduler:
+//! a bag keeps absorbing machines while it has pending tasks *or* running
+//! tasks below the replication threshold — the bag-selection step merely
+//! picks the first bag whose individual scheduler still wants a machine.
+//! Restart replicas of an earlier bag outrank fresh tasks of later bags by
+//! construction: an earlier bag's failed task re-enters *its* pending
+//! queue, which is inspected first.
+
+use super::{BagSelection, View};
+use dgsched_workload::BotId;
+
+/// The FCFS-Shared policy.
+#[derive(Debug, Default)]
+pub struct FcfsShare;
+
+impl FcfsShare {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        FcfsShare
+    }
+}
+
+impl BagSelection for FcfsShare {
+    fn name(&self) -> &'static str {
+        "FCFS-Share"
+    }
+
+    fn select(&mut self, view: &View<'_>) -> Option<BotId> {
+        // Oldest bag whose WQR-FT scheduler can still use a machine
+        // (pending task or replication capacity below the threshold).
+        view.active.iter().copied().find(|&id| view.dispatchable(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::*;
+    use dgsched_des::time::SimTime;
+
+    #[test]
+    fn oldest_bag_absorbs_replicas_before_fallthrough() {
+        let mut b0 = bag(0, 0.0, 2);
+        start_all(&mut b0, 1.0); // bag 0: no pending, 2 running (1 replica each)
+        let bags = vec![b0, bag(1, 1.0, 2)];
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = FcfsShare::new();
+        let view = View { now: SimTime::new(2.0), active: &active, bags: &bags, threshold: 2 };
+        // Bag 0 still has replication capacity (threshold 2): its WQR-FT
+        // scheduler wants the machine before bag 1 is considered.
+        assert_eq!(p.select(&view), Some(BotId(0)));
+    }
+
+    #[test]
+    fn falls_through_once_oldest_is_saturated() {
+        let mut b0 = bag(0, 0.0, 2);
+        start_all(&mut b0, 1.0);
+        // Fill bag 0 to the threshold.
+        for t in 0..2 {
+            b0.note_replica_started(dgsched_workload::TaskId(t), SimTime::new(1.5));
+        }
+        let bags = vec![b0, bag(1, 1.0, 2)];
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = FcfsShare::new();
+        let view = View { now: SimTime::new(2.0), active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), Some(BotId(1)));
+    }
+
+    #[test]
+    fn oldest_pending_wins() {
+        let bags = vec![bag(0, 0.0, 2), bag(1, 1.0, 2)];
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = FcfsShare::new();
+        let view = View { now: SimTime::new(2.0), active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), Some(BotId(0)));
+    }
+
+    #[test]
+    fn restart_of_older_bag_outranks_newer_fresh() {
+        let mut b0 = bag(0, 0.0, 1);
+        start_all(&mut b0, 1.0);
+        // Bag 0's only task fails → pending restart.
+        b0.note_replica_stopped(dgsched_workload::TaskId(0), SimTime::new(3.0));
+        let bags = vec![b0, bag(1, 1.0, 2)];
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = FcfsShare::new();
+        let view = View { now: SimTime::new(4.0), active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), Some(BotId(0)), "restart has FCFS priority");
+    }
+
+    #[test]
+    fn replication_in_fcfs_order_when_nothing_pending() {
+        let mut b0 = bag(0, 0.0, 2);
+        start_all(&mut b0, 1.0);
+        let mut b1 = bag(1, 1.0, 2);
+        start_all(&mut b1, 2.0);
+        let bags = vec![b0, b1];
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = FcfsShare::new();
+        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        // Both bags fully dispatched with 1 replica per task: replicate the
+        // oldest bag first.
+        assert_eq!(p.select(&view), Some(BotId(0)));
+        // With threshold 1 nothing can be replicated at all.
+        let view1 = View { threshold: 1, ..view };
+        assert_eq!(p.select(&view1), None);
+    }
+
+    #[test]
+    fn skips_saturated_bags_for_replication() {
+        let mut b0 = bag(0, 0.0, 1);
+        start_all(&mut b0, 1.0);
+        // Replicate bag 0's only task to the threshold.
+        b0.note_replica_started(dgsched_workload::TaskId(0), SimTime::new(1.5));
+        let mut b1 = bag(1, 1.0, 1);
+        start_all(&mut b1, 2.0);
+        let bags = vec![b0, b1];
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = FcfsShare::new();
+        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), Some(BotId(1)), "bag 0 is at threshold; serve bag 1");
+    }
+}

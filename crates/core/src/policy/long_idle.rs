@@ -1,0 +1,143 @@
+//! LongIdle: serve the bag hosting the longest-waiting task.
+//!
+//! §3.3 policy 5: turnaround is often dominated by waiting time, so this
+//! policy prefers the bag containing the task with the largest accumulated
+//! waiting time — the total time during which that task had no running
+//! replica. As the paper observes, LongIdle behaves exactly like FCFS-Share
+//! while the oldest bag still has unreplicated pending tasks (those tasks
+//! have waited at least as long as anything submitted later); it diverges
+//! only once every task of the oldest bag has a replica running.
+
+use super::{BagSelection, View};
+use dgsched_workload::BotId;
+
+/// The Longest-Idle policy.
+#[derive(Debug, Default)]
+pub struct LongIdle;
+
+impl LongIdle {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        LongIdle
+    }
+}
+
+impl BagSelection for LongIdle {
+    fn name(&self) -> &'static str {
+        "LongIdle"
+    }
+
+    fn select(&mut self, view: &View<'_>) -> Option<BotId> {
+        // Primary: the bag whose pending task has waited longest. Strict
+        // comparison keeps ties on the earliest-arrived bag (active order).
+        let mut best: Option<(f64, BotId)> = None;
+        for &id in view.active {
+            if let Some(w) = view.bag(id).max_pending_wait(view.now) {
+                if best.map(|(bw, _)| w > bw).unwrap_or(true) {
+                    best = Some((w, id));
+                }
+            }
+        }
+        if let Some((_, id)) = best {
+            return Some(id);
+        }
+        // Nothing pending anywhere: replicate in FCFS order, like FCFS-Share.
+        view.active
+            .iter()
+            .copied()
+            .find(|&id| view.bag(id).can_replicate(view.threshold))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::*;
+    use dgsched_des::time::SimTime;
+    use dgsched_workload::TaskId;
+
+    #[test]
+    fn oldest_fresh_bag_has_longest_wait() {
+        let bags = vec![bag(0, 0.0, 3), bag(1, 10.0, 3)];
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = LongIdle::new();
+        let view = View { now: SimTime::new(20.0), active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), Some(BotId(0)));
+    }
+
+    #[test]
+    fn restart_with_longer_wait_wins() {
+        // Bag 0 (old): all tasks running → no pending wait.
+        let mut b0 = bag(0, 0.0, 2);
+        start_all(&mut b0, 1.0);
+        // Bag 1: one task failed at t=2 after starting at t=1.5; its wait is
+        // (1.5−1.0) + (now−2).
+        let mut b1 = bag(1, 1.0, 2);
+        let t = b1.pop_pending().unwrap();
+        b1.note_replica_started(t, SimTime::new(1.5));
+        b1.note_replica_stopped(t, SimTime::new(2.0));
+        // Bag 2 arrives late; its fresh tasks waited now−30.
+        let b2 = bag(2, 30.0, 2);
+        let bags = vec![b0, b1, b2];
+        let active = vec![BotId(0), BotId(1), BotId(2)];
+        let mut p = LongIdle::new();
+        let view = View { now: SimTime::new(40.0), active: &active, bags: &bags, threshold: 2 };
+        // Bag 1: fresh task waited 39, restart waited 0.5+38 = 38.5 → max 39.
+        // Bag 2: waited 10. Bag 0: nothing pending.
+        assert_eq!(p.select(&view), Some(BotId(1)));
+    }
+
+    #[test]
+    fn ties_go_to_earlier_bag() {
+        // Two bags arrive at the same instant: equal fresh wait.
+        let bags = vec![bag(0, 5.0, 2), bag(1, 5.0, 2)];
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = LongIdle::new();
+        let view = View { now: SimTime::new(9.0), active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), Some(BotId(0)));
+    }
+
+    #[test]
+    fn degenerates_to_fcfs_share_for_replication() {
+        let mut b0 = bag(0, 0.0, 2);
+        start_all(&mut b0, 1.0);
+        let mut b1 = bag(1, 1.0, 2);
+        start_all(&mut b1, 2.0);
+        let bags = vec![b0, b1];
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = LongIdle::new();
+        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), Some(BotId(0)), "replication falls back to FCFS order");
+    }
+
+    #[test]
+    fn prefers_pending_over_any_replication() {
+        // Bag 0 fully running (replicable); bag 1 has a pending task that
+        // has waited only a moment — pending still wins.
+        let mut b0 = bag(0, 0.0, 1);
+        start_all(&mut b0, 0.5);
+        let b1 = bag(1, 99.0, 1);
+        let bags = vec![b0, b1];
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = LongIdle::new();
+        let view = View { now: SimTime::new(100.0), active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), Some(BotId(1)));
+    }
+
+    #[test]
+    fn restart_only_queue() {
+        // A bag whose only pending entry is a restart is still selectable.
+        let mut b0 = bag(0, 0.0, 1);
+        let t = b0.pop_pending().unwrap();
+        b0.note_replica_started(t, SimTime::new(1.0));
+        b0.note_replica_stopped(t, SimTime::new(2.0));
+        assert_eq!(b0.pending_fresh.len(), 0);
+        assert_eq!(b0.pending_restarts.len(), 1);
+        let bags = vec![b0];
+        let active = vec![BotId(0)];
+        let mut p = LongIdle::new();
+        let view = View { now: SimTime::new(5.0), active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), Some(BotId(0)));
+        let _ = TaskId(0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Bag-selection policies (§3.3 of the paper).
+//!
+//! When a machine becomes free the scheduler performs *bag selection*:
+//! choosing, among the queues of incomplete bags, which one the next task
+//! (or replica) will come from. All five policies are knowledge-free: they
+//! consult only the scheduler's own bookkeeping, never task lengths or
+//! machine speeds.
+
+mod fcfs_excl;
+mod fcfs_share;
+mod long_idle;
+mod random;
+mod shortest_bag;
+mod rr;
+mod rr_nrf;
+
+pub use fcfs_excl::FcfsExcl;
+pub use fcfs_share::FcfsShare;
+pub use long_idle::LongIdle;
+pub use random::RandomSelect;
+pub use shortest_bag::ShortestBagFirst;
+pub use rr::RoundRobin;
+pub use rr_nrf::RoundRobinNrf;
+
+use crate::state::BagRt;
+use dgsched_des::time::SimTime;
+use dgsched_workload::BotId;
+use serde::{Deserialize, Serialize};
+
+/// Read-only snapshot the scheduler exposes to a policy during selection.
+pub struct View<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Incomplete bags in arrival order.
+    pub active: &'a [BotId],
+    /// All bag states, indexed by [`BotId`].
+    pub bags: &'a [BagRt],
+    /// The effective replication threshold of this run.
+    pub threshold: u32,
+}
+
+impl<'a> View<'a> {
+    /// The bag state for `id`.
+    #[inline]
+    pub fn bag(&self, id: BotId) -> &BagRt {
+        &self.bags[id.index()]
+    }
+
+    /// True when serving `id` can produce a replica to launch right now:
+    /// it has a pending task, or a running task below the replication
+    /// threshold.
+    #[inline]
+    pub fn dispatchable(&self, id: BotId) -> bool {
+        let bag = self.bag(id);
+        bag.has_pending() || bag.can_replicate(self.threshold)
+    }
+}
+
+/// A bag-selection policy.
+///
+/// `select` is invoked once per free machine; returning `None` leaves the
+/// machine idle until the next scheduling trigger. Policies may keep state
+/// (e.g. the round-robin cursor) and are notified of bag arrivals and
+/// completions.
+///
+/// Custom policies plug straight into the simulator:
+///
+/// ```
+/// use dgsched_core::policy::{BagSelection, View};
+/// use dgsched_workload::BotId;
+///
+/// /// Serve the newest bag first (LIFO — usually a bad idea, but legal).
+/// struct NewestFirst;
+///
+/// impl BagSelection for NewestFirst {
+///     fn name(&self) -> &'static str { "LIFO" }
+///     fn select(&mut self, view: &View<'_>) -> Option<BotId> {
+///         view.active.iter().rev().copied().find(|&b| view.dispatchable(b))
+///     }
+/// }
+///
+/// // …then: dgsched_core::sim::simulate_with(&grid, &workload,
+/// //                                          Box::new(NewestFirst), &cfg)
+/// ```
+pub trait BagSelection: Send {
+    /// Human-readable policy name (as used in the paper's figures).
+    fn name(&self) -> &'static str;
+
+    /// The replication threshold this policy runs WQR-FT with, given the
+    /// configured default. FCFS-Excl raises it to effectively unlimited.
+    fn replication_threshold(&self, default_threshold: u32) -> u32 {
+        default_threshold
+    }
+
+    /// Chooses the bag to serve for one free machine.
+    fn select(&mut self, view: &View<'_>) -> Option<BotId>;
+
+    /// Notification: a new bag entered the system.
+    fn on_bag_arrival(&mut self, _bag: BotId) {}
+
+    /// Notification: a bag completed and left the system.
+    fn on_bag_complete(&mut self, _bag: BotId) {}
+}
+
+/// The five policies of the paper, as scenario-file values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum PolicyKind {
+    /// First Come First Served, exclusive grid allocation.
+    FcfsExcl,
+    /// First Come First Served, shared grid.
+    FcfsShare,
+    /// Round Robin over bag queues.
+    Rr,
+    /// Round Robin, No-Replica-First.
+    RrNrf,
+    /// Longest Idle task first.
+    LongIdle,
+    /// Uniform random bag selection (the paper's ref \[9\]; not one of the
+    /// five proposed policies, provided as the baseline RR corresponds to).
+    Random,
+    /// Shortest-Bag-First — a knowledge-based baseline (uses task
+    /// execution times); quantifies the knowledge gap at the bag level.
+    Sbf,
+}
+
+impl PolicyKind {
+    /// The five policies proposed by the paper, in its presentation order.
+    pub fn all() -> [PolicyKind; 5] {
+        [
+            PolicyKind::FcfsExcl,
+            PolicyKind::FcfsShare,
+            PolicyKind::Rr,
+            PolicyKind::RrNrf,
+            PolicyKind::LongIdle,
+        ]
+    }
+
+    /// The paper's five plus the Random and Shortest-Bag-First baselines.
+    pub fn all_with_baselines() -> [PolicyKind; 7] {
+        [
+            PolicyKind::FcfsExcl,
+            PolicyKind::FcfsShare,
+            PolicyKind::Rr,
+            PolicyKind::RrNrf,
+            PolicyKind::LongIdle,
+            PolicyKind::Random,
+            PolicyKind::Sbf,
+        ]
+    }
+
+    /// Instantiates the policy. `seed` feeds policies with internal
+    /// randomness (only `Random`); deterministic policies ignore it.
+    pub fn create_seeded(self, seed: u64) -> Box<dyn BagSelection> {
+        match self {
+            PolicyKind::FcfsExcl => Box::new(FcfsExcl::new()),
+            PolicyKind::FcfsShare => Box::new(FcfsShare::new()),
+            PolicyKind::Rr => Box::new(RoundRobin::new()),
+            PolicyKind::RrNrf => Box::new(RoundRobinNrf::new()),
+            PolicyKind::LongIdle => Box::new(LongIdle::new()),
+            PolicyKind::Random => Box::new(RandomSelect::new(seed)),
+            PolicyKind::Sbf => Box::new(ShortestBagFirst::new()),
+        }
+    }
+
+    /// Instantiates the policy with a zero seed (see
+    /// [`PolicyKind::create_seeded`]).
+    pub fn create(self) -> Box<dyn BagSelection> {
+        self.create_seeded(0)
+    }
+
+    /// The name used in the paper's figures.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            PolicyKind::FcfsExcl => "FCFS-Excl",
+            PolicyKind::FcfsShare => "FCFS-Share",
+            PolicyKind::Rr => "RR",
+            PolicyKind::RrNrf => "RR-NRF",
+            PolicyKind::LongIdle => "LongIdle",
+            PolicyKind::Random => "Random",
+            PolicyKind::Sbf => "SBF",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Builders for policy unit tests: hand-crafted bag states.
+
+    use super::*;
+    use dgsched_workload::{BagOfTasks, TaskId, TaskSpec};
+
+    /// Builds a `BagRt` with `n` tasks of 100 work arriving at `arrival`.
+    pub fn bag(id: u32, arrival: f64, n: u32) -> BagRt {
+        let b = BagOfTasks {
+            id: BotId(id),
+            arrival: SimTime::new(arrival),
+            tasks: (0..n).map(|i| TaskSpec { id: TaskId(i), work: 100.0 }).collect(),
+            granularity: 100.0,
+        };
+        BagRt::new(&b, (id * 1000) as usize)
+    }
+
+    /// Starts `k` replicas (one per distinct pending task) at time `t`.
+    pub fn start_k(bag: &mut BagRt, k: usize, t: f64) {
+        for _ in 0..k {
+            let task = bag.pop_pending().expect("not enough pending tasks");
+            bag.note_replica_started(task, SimTime::new(t));
+        }
+    }
+
+    /// Drains the pending queue entirely, starting one replica per task.
+    pub fn start_all(bag: &mut BagRt, t: f64) {
+        while let Some(task) = bag.pop_pending() {
+            bag.note_replica_started(task, SimTime::new(t));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip_and_names() {
+        assert_eq!(PolicyKind::all().len(), 5);
+        assert_eq!(PolicyKind::all_with_baselines().len(), 7);
+        assert!(!PolicyKind::all().contains(&PolicyKind::Random));
+        for kind in PolicyKind::all_with_baselines() {
+            let policy = kind.create();
+            assert_eq!(policy.name(), kind.paper_name());
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: PolicyKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(kind, back);
+        }
+        assert_eq!(PolicyKind::FcfsExcl.to_string(), "FCFS-Excl");
+        assert_eq!(
+            serde_json::to_string(&PolicyKind::RrNrf).unwrap(),
+            "\"rr-nrf\""
+        );
+    }
+
+    #[test]
+    fn view_dispatchable() {
+        use testutil::*;
+        let mut b0 = bag(0, 0.0, 2);
+        start_all(&mut b0, 1.0);
+        let bags = vec![b0, bag(1, 5.0, 2)];
+        let active = vec![BotId(0), BotId(1)];
+        let view = View { now: SimTime::new(10.0), active: &active, bags: &bags, threshold: 2 };
+        assert!(view.dispatchable(BotId(0)), "running below threshold ⇒ replicable");
+        assert!(view.dispatchable(BotId(1)), "fresh bag has pending tasks");
+        let view1 = View { threshold: 1, ..view };
+        assert!(!view1.dispatchable(BotId(0)), "threshold 1 forbids replication");
+    }
+}

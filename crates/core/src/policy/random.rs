@@ -1,0 +1,101 @@
+//! Random bag selection — the strategy of Cirne et al. (the paper's ref
+//! \[9\]) in which "all BoTs are chosen with equal probability". The paper's
+//! RR policy is presented as the deterministic counterpart of this one;
+//! having both lets the correspondence be tested instead of assumed.
+
+use super::{BagSelection, View};
+use dgsched_workload::BotId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random bag selection among dispatchable bags.
+#[derive(Debug)]
+pub struct RandomSelect {
+    rng: StdRng,
+}
+
+impl RandomSelect {
+    /// Creates the policy with its own selection stream.
+    pub fn new(seed: u64) -> Self {
+        RandomSelect { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl BagSelection for RandomSelect {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn select(&mut self, view: &View<'_>) -> Option<BotId> {
+        // Reservoir-sample uniformly among dispatchable bags in one pass.
+        let mut chosen = None;
+        let mut seen = 0u32;
+        for &id in view.active {
+            if view.dispatchable(id) {
+                seen += 1;
+                if self.rng.gen_range(0..seen) == 0 {
+                    chosen = Some(id);
+                }
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::*;
+    use dgsched_des::time::SimTime;
+
+    #[test]
+    fn selects_uniformly_among_dispatchable() {
+        let bags = vec![bag(0, 0.0, 50), bag(1, 1.0, 50), bag(2, 2.0, 50)];
+        let active = vec![BotId(0), BotId(1), BotId(2)];
+        let mut p = RandomSelect::new(7);
+        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[p.select(&view).unwrap().index()] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "biased selection: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skips_undispatchable() {
+        let mut bags = vec![bag(0, 0.0, 1), bag(1, 1.0, 1)];
+        // Bag 0 fully saturated at threshold 2.
+        start_all(&mut bags[0], 0.5);
+        bags[0].note_replica_started(dgsched_workload::TaskId(0), SimTime::new(0.6));
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = RandomSelect::new(7);
+        let view = View { now: SimTime::new(1.0), active: &active, bags: &bags, threshold: 2 };
+        for _ in 0..50 {
+            assert_eq!(p.select(&view), Some(BotId(1)));
+        }
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let bags: Vec<crate::state::BagRt> = Vec::new();
+        let active: Vec<BotId> = Vec::new();
+        let mut p = RandomSelect::new(7);
+        let view = View { now: SimTime::ZERO, active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), None);
+    }
+
+    #[test]
+    fn seeded_streams_reproduce() {
+        let bags = vec![bag(0, 0.0, 5), bag(1, 1.0, 5)];
+        let active = vec![BotId(0), BotId(1)];
+        let view = View { now: SimTime::new(2.0), active: &active, bags: &bags, threshold: 2 };
+        let picks = |seed| {
+            let mut p = RandomSelect::new(seed);
+            (0..20).map(|_| p.select(&view).unwrap().0).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(1), picks(1));
+        assert_ne!(picks(1), picks(2));
+    }
+}

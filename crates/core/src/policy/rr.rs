@@ -1,0 +1,130 @@
+//! RR: Round Robin bag selection.
+//!
+//! §3.3 policy 3: bag queues are inspected in a fixed circular order; each
+//! selection serves the next dispatchable bag after the previously served
+//! one. The paper notes this realises the equal-probability random bag
+//! selection of Cirne et al. \[9\] deterministically.
+
+use super::{BagSelection, View};
+use dgsched_workload::BotId;
+
+/// The Round-Robin policy.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    /// Id of the bag served last; the scan starts just after it. Completed
+    /// bags keep their slot in the circular order by id comparison.
+    cursor: Option<BotId>,
+}
+
+impl RoundRobin {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        RoundRobin { cursor: None }
+    }
+
+    /// Scans `view.active` circularly starting after `self.cursor`,
+    /// returning the first bag satisfying `pred`.
+    pub(super) fn scan<F>(&self, view: &View<'_>, pred: F) -> Option<BotId>
+    where
+        F: Fn(BotId) -> bool,
+    {
+        if view.active.is_empty() {
+            return None;
+        }
+        // Index of the first bag strictly after the cursor (bags are in
+        // arrival order, which is id order).
+        let start = match self.cursor {
+            None => 0,
+            Some(cur) => view.active.partition_point(|&id| id <= cur),
+        };
+        let n = view.active.len();
+        (0..n).map(|k| view.active[(start + k) % n]).find(|&id| pred(id))
+    }
+}
+
+impl BagSelection for RoundRobin {
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+
+    fn select(&mut self, view: &View<'_>) -> Option<BotId> {
+        let chosen = self.scan(view, |id| view.dispatchable(id))?;
+        self.cursor = Some(chosen);
+        Some(chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::*;
+    use dgsched_des::time::SimTime;
+
+    fn three_bags() -> Vec<crate::state::BagRt> {
+        vec![bag(0, 0.0, 5), bag(1, 1.0, 5), bag(2, 2.0, 5)]
+    }
+
+    #[test]
+    fn cycles_through_bags() {
+        let bags = three_bags();
+        let active = vec![BotId(0), BotId(1), BotId(2)];
+        let mut p = RoundRobin::new();
+        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        let picks: Vec<u32> = (0..6).map(|_| p.select(&view).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn skips_undispatchable_bags() {
+        let mut bags = three_bags();
+        // Bag 1: everything running at the threshold → not dispatchable.
+        start_all(&mut bags[1], 1.5);
+        for t in 0..5 {
+            bags[1].note_replica_started(dgsched_workload::TaskId(t), SimTime::new(1.6));
+        }
+        let active = vec![BotId(0), BotId(1), BotId(2)];
+        let mut p = RoundRobin::new();
+        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        let picks: Vec<u32> = (0..4).map(|_| p.select(&view).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn cursor_survives_bag_completion() {
+        let bags = three_bags();
+        let mut p = RoundRobin::new();
+        {
+            let active = vec![BotId(0), BotId(1), BotId(2)];
+            let view =
+                View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+            assert_eq!(p.select(&view).unwrap().0, 0);
+            assert_eq!(p.select(&view).unwrap().0, 1);
+        }
+        // Bag 1 completes and vanishes from the active list; the scan must
+        // resume after its slot, i.e. at bag 2.
+        let active = vec![BotId(0), BotId(2)];
+        let view = View { now: SimTime::new(4.0), active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view).unwrap().0, 2);
+        assert_eq!(p.select(&view).unwrap().0, 0);
+    }
+
+    #[test]
+    fn empty_system() {
+        let bags: Vec<crate::state::BagRt> = Vec::new();
+        let active: Vec<BotId> = Vec::new();
+        let mut p = RoundRobin::new();
+        let view = View { now: SimTime::ZERO, active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), None);
+    }
+
+    #[test]
+    fn nothing_dispatchable_returns_none() {
+        let mut bags = vec![bag(0, 0.0, 1)];
+        start_all(&mut bags[0], 0.5);
+        bags[0].note_replica_started(dgsched_workload::TaskId(0), SimTime::new(0.6));
+        let active = vec![BotId(0)];
+        let mut p = RoundRobin::new();
+        let view = View { now: SimTime::new(1.0), active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), None);
+    }
+}

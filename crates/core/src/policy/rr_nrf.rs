@@ -1,0 +1,109 @@
+//! RR-NRF: Round Robin, No-Replica-First.
+//!
+//! §3.3 policy 4: like RR, but bags with *no running task instance at all*
+//! are served first. While such bags exist, the circular order is
+//! temporarily suspended (the cursor does not advance); it resumes once
+//! every bag has at least one running task.
+
+use super::rr::RoundRobin;
+use super::{BagSelection, View};
+use dgsched_workload::BotId;
+
+/// The Round-Robin No-Replica-First policy.
+#[derive(Debug, Default)]
+pub struct RoundRobinNrf {
+    rr: RoundRobin,
+}
+
+impl RoundRobinNrf {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        RoundRobinNrf { rr: RoundRobin::new() }
+    }
+}
+
+impl BagSelection for RoundRobinNrf {
+    fn name(&self) -> &'static str {
+        "RR-NRF"
+    }
+
+    fn select(&mut self, view: &View<'_>) -> Option<BotId> {
+        // Priority pass: bags with zero running replicas. They are served in
+        // arrival order and do NOT advance the circular cursor ("the
+        // circular order of BoT selection is temporarily suspended").
+        if let Some(&starved) = view
+            .active
+            .iter()
+            .find(|&&id| !view.bag(id).has_running() && view.dispatchable(id))
+        {
+            return Some(starved);
+        }
+        // Normal RR otherwise.
+        self.rr.select(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::*;
+    use dgsched_des::time::SimTime;
+
+    #[test]
+    fn starved_bag_jumps_the_queue() {
+        let mut bags = vec![bag(0, 0.0, 5), bag(1, 1.0, 5), bag(2, 2.0, 5)];
+        start_k(&mut bags[0], 1, 0.5);
+        start_k(&mut bags[1], 1, 1.5);
+        // Bag 2 has nothing running: it must be chosen regardless of cursor.
+        let active = vec![BotId(0), BotId(1), BotId(2)];
+        let mut p = RoundRobinNrf::new();
+        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view).unwrap().0, 2);
+    }
+
+    #[test]
+    fn cursor_frozen_during_priority_pass() {
+        let mut bags = vec![bag(0, 0.0, 5), bag(1, 1.0, 5), bag(2, 2.0, 5)];
+        let mut p = RoundRobinNrf::new();
+        {
+            // All bags start with nothing running: priority pass serves the
+            // oldest starved bag each time (the view is static here, so it
+            // keeps picking bag 0 — the cursor must not move).
+            let active = vec![BotId(0), BotId(1), BotId(2)];
+            let view =
+                View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+            assert_eq!(p.select(&view).unwrap().0, 0);
+            assert_eq!(p.select(&view).unwrap().0, 0);
+        }
+        // Give every bag a running replica: normal RR resumes from the
+        // beginning (cursor never advanced).
+        for b in bags.iter_mut() {
+            start_k(b, 1, 4.0);
+        }
+        let active = vec![BotId(0), BotId(1), BotId(2)];
+        let view = View { now: SimTime::new(5.0), active: &active, bags: &bags, threshold: 2 };
+        let picks: Vec<u32> = (0..3).map(|_| p.select(&view).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn equals_rr_when_all_bags_running() {
+        let mut bags = vec![bag(0, 0.0, 5), bag(1, 1.0, 5)];
+        start_k(&mut bags[0], 1, 0.5);
+        start_k(&mut bags[1], 1, 1.5);
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = RoundRobinNrf::new();
+        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        let picks: Vec<u32> = (0..4).map(|_| p.select(&view).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn empty_system() {
+        let bags: Vec<crate::state::BagRt> = Vec::new();
+        let active: Vec<BotId> = Vec::new();
+        let mut p = RoundRobinNrf::new();
+        let view = View { now: SimTime::ZERO, active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), None);
+    }
+}

@@ -1,0 +1,109 @@
+//! Shortest-Bag-First — a *knowledge-based* bag-selection baseline.
+//!
+//! The paper's five policies are knowledge-free by design; the natural
+//! question ("how much does bag-level knowledge buy?") parallels its
+//! knowledge-based references [2, 15, 16]. SBF knows each task's execution
+//! time and serves the bag with the least *remaining work* — the bag-level
+//! analogue of SRPT, which minimises mean response time on a single
+//! server. Comparing it against LongIdle quantifies the knowledge gap at
+//! the bag-selection level.
+
+use super::{BagSelection, View};
+use crate::state::TaskPhase;
+use dgsched_workload::BotId;
+
+/// The Shortest-Bag-First policy (knowledge-based).
+#[derive(Debug, Default)]
+pub struct ShortestBagFirst;
+
+impl ShortestBagFirst {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        ShortestBagFirst
+    }
+}
+
+/// Remaining work of a bag: the work of its not-yet-completed tasks.
+fn remaining_work(view: &View<'_>, id: BotId) -> f64 {
+    view.bag(id)
+        .tasks
+        .iter()
+        .filter(|t| t.phase != TaskPhase::Done)
+        .map(|t| t.work)
+        .sum()
+}
+
+impl BagSelection for ShortestBagFirst {
+    fn name(&self) -> &'static str {
+        "SBF"
+    }
+
+    fn select(&mut self, view: &View<'_>) -> Option<BotId> {
+        view.active
+            .iter()
+            .copied()
+            .filter(|&id| view.dispatchable(id))
+            .min_by(|&a, &b| {
+                remaining_work(view, a)
+                    .partial_cmp(&remaining_work(view, b))
+                    .expect("work is not NaN")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::*;
+    use dgsched_des::time::SimTime;
+    use dgsched_workload::TaskId;
+
+    #[test]
+    fn picks_bag_with_least_remaining_work() {
+        // bag 0: 5 × 100 = 500 remaining; bag 1: 2 × 100 = 200 remaining.
+        let bags = vec![bag(0, 0.0, 5), bag(1, 1.0, 2)];
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = ShortestBagFirst::new();
+        let view = View { now: SimTime::new(2.0), active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), Some(BotId(1)));
+    }
+
+    #[test]
+    fn completed_tasks_reduce_remaining_work() {
+        let mut b0 = bag(0, 0.0, 3); // 300 total
+        // Complete two of bag 0's tasks → 100 remaining.
+        for _ in 0..2 {
+            let t = b0.pop_pending().unwrap();
+            b0.note_replica_started(t, SimTime::new(1.0));
+            b0.note_task_completed(t, SimTime::new(2.0));
+        }
+        let b1 = bag(1, 1.0, 2); // 200 remaining
+        let bags = vec![b0, b1];
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = ShortestBagFirst::new();
+        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), Some(BotId(0)));
+    }
+
+    #[test]
+    fn skips_undispatchable_bags() {
+        let mut b0 = bag(0, 0.0, 1); // shortest, but saturated
+        start_all(&mut b0, 0.5);
+        b0.note_replica_started(TaskId(0), SimTime::new(0.6));
+        let b1 = bag(1, 1.0, 3);
+        let bags = vec![b0, b1];
+        let active = vec![BotId(0), BotId(1)];
+        let mut p = ShortestBagFirst::new();
+        let view = View { now: SimTime::new(1.0), active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), Some(BotId(1)));
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let bags: Vec<crate::state::BagRt> = Vec::new();
+        let active: Vec<BotId> = Vec::new();
+        let mut p = ShortestBagFirst::new();
+        let view = View { now: SimTime::ZERO, active: &active, bags: &bags, threshold: 2 };
+        assert_eq!(p.select(&view), None);
+    }
+}

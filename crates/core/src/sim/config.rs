@@ -1,0 +1,127 @@
+//! Simulation configuration: everything about a run that is not the grid,
+//! the workload or the bag-selection policy.
+
+use serde::{Deserialize, Serialize};
+
+/// How tasks are ordered within a bag's fresh-pending queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TaskOrder {
+    /// Arrival order — WorkQueue's knowledge-free "arbitrary order".
+    #[default]
+    Arbitrary,
+    /// Longest task first — a knowledge-*based* individual-bag scheduler
+    /// (requires task execution times), implemented for the paper's
+    /// future-work direction §5(b).
+    LongestFirst,
+}
+
+/// How free machines are scanned during dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum MachineOrder {
+    /// Machine-id order — knowledge-free (no speed information used).
+    #[default]
+    Arbitrary,
+    /// Fastest machine first — knowledge-based extension (§5(b)).
+    FastestFirst,
+    /// Fewest observed failures first — a knowledge-*free* fault-aware
+    /// heuristic in the spirit of the paper's ref \[2\]: the scheduler
+    /// prefers machines that have crashed on it least often, using only
+    /// its own observations.
+    FewestFailuresFirst,
+}
+
+/// Failure-adaptive replication — the paper's future-work direction §5(a):
+/// "scheduling algorithms for individual bags that adopt a dynamic
+/// replication strategy (rather than the static one used in this paper)".
+///
+/// The threshold switches between `calm` and `stormy` based on the
+/// observed per-machine failure rate (still knowledge-free: the scheduler
+/// only counts failures it witnesses).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicReplication {
+    /// Threshold while failures are rare.
+    pub calm: u32,
+    /// Threshold while failures are frequent.
+    pub stormy: u32,
+    /// Per-machine failure rate (failures/sec) above which the system is
+    /// considered stormy. A machine with MTBF 5400 s fails at ≈ 1.85e-4/s.
+    pub rate_cutoff: f64,
+}
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Master seed for every stochastic stream of the run.
+    pub seed: u64,
+    /// WQR-FT replication threshold (paper default: 2). FCFS-Excl
+    /// overrides this to unlimited regardless.
+    pub replication_threshold: u32,
+    /// Task ordering within a bag.
+    pub task_order: TaskOrder,
+    /// Machine scan order during dispatch.
+    pub machine_order: MachineOrder,
+    /// Optional failure-adaptive replication.
+    pub dynamic_replication: Option<DynamicReplication>,
+    /// Bags at the head of the workload excluded from metrics
+    /// (initial-transient deletion).
+    pub warmup_bags: usize,
+    /// Hard cap on simulated seconds; `None` derives a generous cap from
+    /// the workload (a run hitting the cap is reported as saturated).
+    pub horizon: Option<f64>,
+    /// Hard cap on processed events (second saturation guard).
+    pub event_limit: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            replication_threshold: 2,
+            task_order: TaskOrder::Arbitrary,
+            machine_order: MachineOrder::Arbitrary,
+            dynamic_replication: None,
+            warmup_bags: 0,
+            horizon: None,
+            event_limit: 200_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A config with the given seed and paper defaults otherwise.
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig { seed, ..SimConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.replication_threshold, 2);
+        assert_eq!(cfg.task_order, TaskOrder::Arbitrary);
+        assert_eq!(cfg.machine_order, MachineOrder::Arbitrary);
+        assert!(cfg.dynamic_replication.is_none());
+        assert_eq!(cfg.warmup_bags, 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = SimConfig {
+            dynamic_replication: Some(DynamicReplication {
+                calm: 1,
+                stormy: 3,
+                rate_cutoff: 1e-4,
+            }),
+            ..SimConfig::with_seed(7)
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,22 @@
+//! The simulator's event alphabet.
+
+use crate::state::ReplicaId;
+use dgsched_grid::MachineId;
+
+/// Everything that can happen in the grid simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// Bag `workload.bags[i]` is submitted to the scheduler.
+    BagArrival(u32),
+    /// A machine crashes / is reclaimed by its owner.
+    MachineFail(MachineId),
+    /// A machine comes back.
+    MachineRepair(MachineId),
+    /// A replica's single outstanding milestone fires; its meaning is
+    /// encoded in the replica's phase (retrieve done, checkpoint begin,
+    /// checkpoint done, or task completion).
+    Replica(ReplicaId),
+    /// A correlated outage strikes: a random fraction of the up machines
+    /// goes down together (see `dgsched_grid::OutageConfig`).
+    Outage,
+}

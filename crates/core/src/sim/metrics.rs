@@ -1,0 +1,257 @@
+//! Run-level metrics and counters.
+
+use dgsched_des::stats::Welford;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Metrics of one completed bag.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BagMetrics {
+    /// Bag index in the workload.
+    pub bag: u32,
+    /// Granularity class of the bag.
+    pub granularity: f64,
+    /// Submission time (seconds).
+    pub arrival: f64,
+    /// Completion − arrival.
+    pub turnaround: f64,
+    /// First dispatch − arrival (queue waiting time of the bag).
+    pub waiting: f64,
+    /// Completion − first dispatch.
+    pub makespan: f64,
+    /// Total work of the bag (reference-seconds).
+    pub work: f64,
+    /// Turnaround divided by the bag's ideal makespan on the empty grid
+    /// (work-conservation and critical-path bounds; see
+    /// `dgsched_core::analysis::makespan_lower_bound`). ≥ 1 by
+    /// construction; large values mean the bag was starved.
+    pub slowdown: f64,
+}
+
+/// Event/work counters accumulated over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Replicas dispatched (including restarts and extra replicas).
+    pub replicas_launched: u64,
+    /// Replicas killed by machine failures.
+    pub replicas_killed_failure: u64,
+    /// Sibling replicas killed because another replica won.
+    pub replicas_killed_sibling: u64,
+    /// Checkpoints successfully written.
+    pub checkpoints_written: u64,
+    /// Wall-seconds spent writing checkpoints.
+    pub checkpoint_time: f64,
+    /// Wall-seconds spent retrieving checkpoints.
+    pub retrieve_time: f64,
+    /// Machine failures observed (including outage-induced ones).
+    pub machine_failures: u64,
+    /// Correlated outage events that struck the grid.
+    pub outages: u64,
+    /// Reference-seconds of work delivered by completed tasks.
+    pub useful_work: f64,
+    /// Wall-seconds of machine occupancy by replicas that were killed
+    /// (the price knowledge-free replication pays for information).
+    pub killed_occupancy: f64,
+    /// Wall-seconds of machine occupancy, total.
+    pub busy_time: f64,
+}
+
+/// Per-machine summary of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineStats {
+    /// Machine id.
+    pub machine: u32,
+    /// Relative computing power.
+    pub power: f64,
+    /// Wall-seconds the machine was occupied by a replica.
+    pub busy_time: f64,
+    /// Failures suffered during the run.
+    pub failures: u64,
+}
+
+impl MachineStats {
+    /// Busy fraction over a run of length `end_time`.
+    pub fn busy_fraction(&self, end_time: f64) -> f64 {
+        if end_time <= 0.0 {
+            0.0
+        } else {
+            self.busy_time / end_time
+        }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Policy name the run used.
+    pub policy: String,
+    /// Per-bag records for completed, post-warmup bags, in completion order.
+    pub bags: Vec<BagMetrics>,
+    /// Per-machine occupancy and failure summary.
+    pub machines: Vec<MachineStats>,
+    /// Bags completed (including warmup ones).
+    pub completed: usize,
+    /// Bags submitted.
+    pub total: usize,
+    /// True when the run hit its horizon or event budget before draining —
+    /// the paper's "turnaround grew beyond any reasonable limit".
+    pub saturated: bool,
+    /// Simulated end time (seconds).
+    pub end_time: f64,
+    /// Events processed.
+    pub events: u64,
+    /// Work/overhead counters.
+    pub counters: Counters,
+}
+
+impl RunResult {
+    fn welford_of<F: Fn(&BagMetrics) -> f64>(&self, f: F) -> Welford {
+        self.bags.iter().map(f).collect()
+    }
+
+    /// Mean turnaround over measured bags (`NaN`-free: 0 when empty).
+    pub fn mean_turnaround(&self) -> f64 {
+        self.welford_of(|b| b.turnaround).mean()
+    }
+
+    /// Mean queue waiting time over measured bags.
+    pub fn mean_waiting(&self) -> f64 {
+        self.welford_of(|b| b.waiting).mean()
+    }
+
+    /// Mean makespan over measured bags.
+    pub fn mean_makespan(&self) -> f64 {
+        self.welford_of(|b| b.makespan).mean()
+    }
+
+    /// Mean slowdown (turnaround over ideal empty-grid makespan) — the
+    /// fairness view: policies that starve some class show a high mean and
+    /// a very high max even when mean turnaround looks fine.
+    pub fn mean_slowdown(&self) -> f64 {
+        self.welford_of(|b| b.slowdown).mean()
+    }
+
+    /// Largest slowdown any measured bag suffered.
+    pub fn max_slowdown(&self) -> f64 {
+        self.bags.iter().map(|b| b.slowdown).fold(0.0, f64::max)
+    }
+
+    /// Mean turnaround per granularity class — the per-type view a mixed
+    /// workload needs (ordered by granularity; the map key is the f64 bit
+    /// pattern-stable decimal rendering of the granularity).
+    pub fn turnaround_by_granularity(&self) -> BTreeMap<u64, Welford> {
+        let mut map: BTreeMap<u64, Welford> = BTreeMap::new();
+        for b in &self.bags {
+            map.entry(b.granularity as u64).or_default().push(b.turnaround);
+        }
+        map
+    }
+
+    /// Fraction of total machine occupancy that belonged to replicas which
+    /// were eventually killed (replication + failure waste).
+    pub fn wasted_fraction(&self) -> f64 {
+        if self.counters.busy_time == 0.0 {
+            0.0
+        } else {
+            self.counters.killed_occupancy / self.counters.busy_time
+        }
+    }
+
+    /// Mean machine occupancy over the run: busy machine-seconds divided by
+    /// available machine-seconds (machine count × run length). Includes
+    /// replica waste — this is occupancy, not useful utilization.
+    pub fn mean_occupancy(&self) -> f64 {
+        let denom = self.machines.len() as f64 * self.end_time;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.counters.busy_time / denom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(t: f64, w: f64) -> BagMetrics {
+        BagMetrics {
+            bag: 0,
+            granularity: 1000.0,
+            arrival: 0.0,
+            turnaround: t,
+            waiting: w,
+            makespan: t - w,
+            work: 1000.0,
+            slowdown: t / 50.0,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = RunResult {
+            policy: "RR".into(),
+            bags: vec![bag(100.0, 10.0), bag(200.0, 30.0)],
+            machines: vec![],
+            completed: 2,
+            total: 2,
+            saturated: false,
+            end_time: 500.0,
+            events: 42,
+            counters: Counters {
+                killed_occupancy: 25.0,
+                busy_time: 100.0,
+                ..Counters::default()
+            },
+        };
+        assert_eq!(r.mean_turnaround(), 150.0);
+        assert_eq!(r.mean_waiting(), 20.0);
+        assert_eq!(r.mean_makespan(), 130.0);
+        assert_eq!(r.wasted_fraction(), 0.25);
+        assert_eq!(r.mean_slowdown(), 3.0);
+        assert_eq!(r.max_slowdown(), 4.0);
+    }
+
+    #[test]
+    fn per_granularity_breakdown() {
+        let mut b1 = bag(100.0, 10.0);
+        b1.granularity = 1000.0;
+        let mut b2 = bag(300.0, 10.0);
+        b2.granularity = 5000.0;
+        let mut b3 = bag(200.0, 10.0);
+        b3.granularity = 1000.0;
+        let r = RunResult {
+            policy: "RR".into(),
+            bags: vec![b1, b2, b3],
+            machines: vec![],
+            completed: 3,
+            total: 3,
+            saturated: false,
+            end_time: 1.0,
+            events: 1,
+            counters: Counters::default(),
+        };
+        let by_g = r.turnaround_by_granularity();
+        assert_eq!(by_g.len(), 2);
+        assert_eq!(by_g[&1000].count(), 2);
+        assert_eq!(by_g[&1000].mean(), 150.0);
+        assert_eq!(by_g[&5000].mean(), 300.0);
+    }
+
+    #[test]
+    fn empty_run_is_zeroes() {
+        let r = RunResult {
+            policy: "RR".into(),
+            bags: vec![],
+            machines: vec![],
+            completed: 0,
+            total: 5,
+            saturated: true,
+            end_time: 0.0,
+            events: 0,
+            counters: Counters::default(),
+        };
+        assert_eq!(r.mean_turnaround(), 0.0);
+        assert_eq!(r.wasted_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! The multi-BoT desktop-grid simulator.
+
+mod check;
+mod config;
+mod events;
+mod gantt;
+mod metrics;
+mod observer;
+mod simulator;
+
+#[cfg(test)]
+mod tests;
+
+pub use check::CheckingObserver;
+pub use config::{DynamicReplication, MachineOrder, SimConfig, TaskOrder};
+pub use events::Event;
+pub use gantt::Gantt;
+pub use metrics::{BagMetrics, Counters, MachineStats, RunResult};
+pub use observer::{NullObserver, SimObserver, TraceEvent, TraceRecorder};
+pub use simulator::{simulate, simulate_observed, simulate_with};

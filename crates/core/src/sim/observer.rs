@@ -1,0 +1,266 @@
+//! Observation hooks into the running simulation.
+//!
+//! A [`SimObserver`] receives a callback at every semantically meaningful
+//! transition. The production path uses the no-op [`NullObserver`] (fully
+//! inlined away); tests attach invariant checkers, and [`TraceRecorder`]
+//! captures a structured, serde-able trace for debugging and for the
+//! determinism test-suite.
+
+use dgsched_des::time::SimTime;
+use dgsched_grid::MachineId;
+use dgsched_workload::{BotId, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Receiver of simulation transitions.
+///
+/// All methods default to no-ops so observers implement only what they
+/// need.
+#[allow(unused_variables)]
+pub trait SimObserver {
+    /// A replica of `(bag, task)` was dispatched on `machine`;
+    /// `is_replication` is true when the task already had a running
+    /// replica (WQR extra copy rather than first dispatch/restart).
+    fn on_dispatch(
+        &mut self,
+        now: SimTime,
+        bag: BotId,
+        task: TaskId,
+        machine: MachineId,
+        is_replication: bool,
+    ) {
+    }
+
+    /// `(bag, task)` completed on `machine`.
+    fn on_task_complete(&mut self, now: SimTime, bag: BotId, task: TaskId, machine: MachineId) {}
+
+    /// A replica of `(bag, task)` on `machine` was killed; `by_failure`
+    /// distinguishes machine failures from sibling kills.
+    fn on_replica_killed(
+        &mut self,
+        now: SimTime,
+        bag: BotId,
+        task: TaskId,
+        machine: MachineId,
+        by_failure: bool,
+    ) {
+    }
+
+    /// `machine` failed.
+    fn on_machine_fail(&mut self, now: SimTime, machine: MachineId) {}
+
+    /// `machine` was repaired.
+    fn on_machine_repair(&mut self, now: SimTime, machine: MachineId) {}
+
+    /// A bag arrived.
+    fn on_bag_arrival(&mut self, now: SimTime, bag: BotId) {}
+
+    /// A bag completed.
+    fn on_bag_complete(&mut self, now: SimTime, bag: BotId) {}
+
+    /// A checkpoint of `(bag, task)` holding `work` reference-seconds was
+    /// stored at the server.
+    fn on_checkpoint_saved(&mut self, now: SimTime, bag: BotId, task: TaskId, work: f64) {}
+}
+
+/// The no-op observer used by the plain `simulate` entry points.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+/// One recorded transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TraceEvent {
+    /// Replica dispatched.
+    Dispatch {
+        /// Event time (seconds).
+        at: f64,
+        /// Owning bag.
+        bag: u32,
+        /// Task within the bag.
+        task: u32,
+        /// Executing machine.
+        machine: u32,
+        /// WQR extra copy rather than first dispatch/restart.
+        is_replication: bool,
+    },
+    /// Task completed.
+    TaskComplete {
+        /// Event time (seconds).
+        at: f64,
+        /// Owning bag.
+        bag: u32,
+        /// Task within the bag.
+        task: u32,
+        /// Machine the winning replica ran on.
+        machine: u32,
+    },
+    /// Replica killed.
+    ReplicaKilled {
+        /// Event time (seconds).
+        at: f64,
+        /// Owning bag.
+        bag: u32,
+        /// Task within the bag.
+        task: u32,
+        /// Machine the replica ran on.
+        machine: u32,
+        /// Killed by a machine failure (vs sibling kill).
+        by_failure: bool,
+    },
+    /// Machine failed.
+    MachineFail {
+        /// Event time (seconds).
+        at: f64,
+        /// The machine.
+        machine: u32,
+    },
+    /// Machine repaired.
+    MachineRepair {
+        /// Event time (seconds).
+        at: f64,
+        /// The machine.
+        machine: u32,
+    },
+    /// Bag arrived.
+    BagArrival {
+        /// Event time (seconds).
+        at: f64,
+        /// The bag.
+        bag: u32,
+    },
+    /// Bag completed.
+    BagComplete {
+        /// Event time (seconds).
+        at: f64,
+        /// The bag.
+        bag: u32,
+    },
+    /// Checkpoint stored.
+    CheckpointSaved {
+        /// Event time (seconds).
+        at: f64,
+        /// Owning bag.
+        bag: u32,
+        /// Task within the bag.
+        task: u32,
+        /// Work saved (reference-seconds).
+        work: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> f64 {
+        match *self {
+            TraceEvent::Dispatch { at, .. }
+            | TraceEvent::TaskComplete { at, .. }
+            | TraceEvent::ReplicaKilled { at, .. }
+            | TraceEvent::MachineFail { at, .. }
+            | TraceEvent::MachineRepair { at, .. }
+            | TraceEvent::BagArrival { at, .. }
+            | TraceEvent::BagComplete { at, .. }
+            | TraceEvent::CheckpointSaved { at, .. } => at,
+        }
+    }
+}
+
+/// Records every transition into a vector.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecorder {
+    /// The recorded transitions in event order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Number of recorded transitions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Timestamps are non-decreasing (sanity check used by tests).
+    pub fn is_time_ordered(&self) -> bool {
+        self.events.windows(2).all(|w| w[0].at() <= w[1].at())
+    }
+}
+
+impl SimObserver for TraceRecorder {
+    fn on_dispatch(
+        &mut self,
+        now: SimTime,
+        bag: BotId,
+        task: TaskId,
+        machine: MachineId,
+        is_replication: bool,
+    ) {
+        self.events.push(TraceEvent::Dispatch {
+            at: now.as_secs(),
+            bag: bag.0,
+            task: task.0,
+            machine: machine.0,
+            is_replication,
+        });
+    }
+
+    fn on_task_complete(&mut self, now: SimTime, bag: BotId, task: TaskId, machine: MachineId) {
+        self.events.push(TraceEvent::TaskComplete {
+            at: now.as_secs(),
+            bag: bag.0,
+            task: task.0,
+            machine: machine.0,
+        });
+    }
+
+    fn on_replica_killed(
+        &mut self,
+        now: SimTime,
+        bag: BotId,
+        task: TaskId,
+        machine: MachineId,
+        by_failure: bool,
+    ) {
+        self.events.push(TraceEvent::ReplicaKilled {
+            at: now.as_secs(),
+            bag: bag.0,
+            task: task.0,
+            machine: machine.0,
+            by_failure,
+        });
+    }
+
+    fn on_machine_fail(&mut self, now: SimTime, machine: MachineId) {
+        self.events.push(TraceEvent::MachineFail { at: now.as_secs(), machine: machine.0 });
+    }
+
+    fn on_machine_repair(&mut self, now: SimTime, machine: MachineId) {
+        self.events.push(TraceEvent::MachineRepair { at: now.as_secs(), machine: machine.0 });
+    }
+
+    fn on_bag_arrival(&mut self, now: SimTime, bag: BotId) {
+        self.events.push(TraceEvent::BagArrival { at: now.as_secs(), bag: bag.0 });
+    }
+
+    fn on_bag_complete(&mut self, now: SimTime, bag: BotId) {
+        self.events.push(TraceEvent::BagComplete { at: now.as_secs(), bag: bag.0 });
+    }
+
+    fn on_checkpoint_saved(&mut self, now: SimTime, bag: BotId, task: TaskId, work: f64) {
+        self.events.push(TraceEvent::CheckpointSaved {
+            at: now.as_secs(),
+            bag: bag.0,
+            task: task.0,
+            work,
+        });
+    }
+}

@@ -1,0 +1,687 @@
+//! The grid simulator: WQR-FT individual-bag scheduling under a pluggable
+//! bag-selection policy, over failing machines with checkpointing.
+//!
+//! ## Execution model (normative — see DESIGN.md §6)
+//!
+//! Each *replica* is one attempt to run one task on one machine. On
+//! dispatch it optionally retrieves the task's checkpoint, then computes at
+//! the machine's power, writing a checkpoint every τ wall-seconds (Young's
+//! interval). A machine failure kills its replica; work since the last
+//! *saved* checkpoint is lost. The first replica to finish completes the
+//! task and its siblings are killed. Scheduling is triggered whenever a
+//! machine becomes free (completion, sibling kill, repair) or a bag
+//! arrives; each free machine performs one bag-selection / task-selection
+//! round.
+
+use super::config::{MachineOrder, SimConfig, TaskOrder};
+use super::events::Event;
+use super::metrics::{BagMetrics, Counters, RunResult};
+use super::observer::{NullObserver, SimObserver};
+use crate::policy::{BagSelection, PolicyKind, View};
+use crate::state::{BagRt, MachineRt, Replica, ReplicaId, ReplicaPhase, ReplicaSlab};
+use dgsched_des::engine::{Control, Engine, Handler, RunOutcome, Scheduler};
+use dgsched_des::event::EventId;
+use dgsched_des::queue::PendingEvents;
+use dgsched_des::rng::StreamSeeder;
+use dgsched_des::time::SimTime;
+use dgsched_grid::availability::UpDownSampler;
+use dgsched_grid::outage::OutageSampler;
+use dgsched_grid::checkpoint::{CheckpointSampler, CheckpointStore};
+use dgsched_grid::{Grid, MachineId};
+use dgsched_workload::{BotId, TaskId, Workload};
+use std::collections::HashMap;
+
+/// Everything a run needs besides the policy (split so the policy can
+/// borrow a read-only view while the driver stays mutable).
+struct SimState {
+    machines: Vec<MachineRt>,
+    bags: Vec<BagRt>,
+    /// Incomplete, arrived bags in arrival order.
+    active: Vec<BotId>,
+    slab: ReplicaSlab,
+    store: CheckpointStore,
+    /// Running replicas per task, for sibling kills. Bounded by the
+    /// machine count (every running replica occupies a machine).
+    task_replicas: HashMap<(u32, u32), Vec<ReplicaId>>,
+    /// Next bag's offset into the checkpoint store's key space.
+    next_ckpt_base: usize,
+    /// Young's checkpoint interval (wall seconds), `inf` disables.
+    tau: f64,
+    ckpt: CheckpointSampler,
+    avail: Option<UpDownSampler>,
+    outage: Option<OutageSampler>,
+    outage_rng: rand::rngs::StdRng,
+    completed_bags: usize,
+    counters: Counters,
+    measured: Vec<BagMetrics>,
+    /// Cumulative machine power, machines sorted fastest-first — the
+    /// usable-power table for the per-bag ideal-makespan (slowdown) bound.
+    power_prefix: Vec<f64>,
+}
+
+struct Driver<'a> {
+    state: SimState,
+    policy: Box<dyn BagSelection>,
+    workload: &'a Workload,
+    cfg: SimConfig,
+    saturated: bool,
+    observer: &'a mut dyn SimObserver,
+}
+
+impl SimState {
+    fn machine(&self, id: MachineId) -> &MachineRt {
+        &self.machines[id.index()]
+    }
+
+    fn free_machine_ids(&self, order: MachineOrder) -> Vec<MachineId> {
+        let mut ids: Vec<MachineId> = self
+            .machines
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_free())
+            .map(|(i, _)| MachineId(i as u32))
+            .collect();
+        match order {
+            MachineOrder::Arbitrary => {}
+            MachineOrder::FastestFirst => ids.sort_by(|a, b| {
+                self.machine(*b)
+                    .power
+                    .partial_cmp(&self.machine(*a).power)
+                    .expect("machine powers are not NaN")
+            }),
+            MachineOrder::FewestFailuresFirst => {
+                ids.sort_by_key(|m| self.machine(*m).failures);
+            }
+        }
+        ids
+    }
+}
+
+impl<'a> Driver<'a> {
+    /// The replication threshold in force right now: the policy's override
+    /// of either the static configured value or the failure-adaptive one.
+    fn effective_threshold(&self, now: SimTime) -> u32 {
+        let base = match self.cfg.dynamic_replication {
+            None => self.cfg.replication_threshold,
+            Some(d) => {
+                // Knowledge-free adaptation: rate of failures the scheduler
+                // itself has witnessed, per machine.
+                let elapsed = now.as_secs().max(1.0);
+                let per_machine = self.state.counters.machine_failures as f64
+                    / (elapsed * self.state.machines.len() as f64);
+                if per_machine > d.rate_cutoff {
+                    d.stormy
+                } else {
+                    d.calm
+                }
+            }
+        };
+        self.policy.replication_threshold(base)
+    }
+
+    /// One bag-selection + task-selection round for every free machine.
+    /// A single pass suffices: dispatching never makes an undispatchable
+    /// bag dispatchable (it consumes pending tasks and raises replica
+    /// counts).
+    fn dispatch_all<Q: PendingEvents<Event>>(&mut self, sched: &mut Scheduler<'_, Event, Q>) {
+        let now = sched.now();
+        let threshold = self.effective_threshold(now);
+        for mid in self.state.free_machine_ids(self.cfg.machine_order) {
+            let chosen = {
+                let view = View {
+                    now,
+                    active: &self.state.active,
+                    bags: &self.state.bags,
+                    threshold,
+                };
+                self.policy.select(&view)
+            };
+            let Some(bag_id) = chosen else { break };
+            let bag = &mut self.state.bags[bag_id.index()];
+            let (task, is_replication) = match bag.pop_pending() {
+                Some(t) => (Some(t), false),
+                None => (bag.replication_candidate(threshold), true),
+            };
+            let Some(task) = task else {
+                debug_assert!(false, "policy selected an undispatchable bag {bag_id}");
+                break;
+            };
+            self.launch(bag_id, task, mid, is_replication, sched);
+        }
+    }
+
+    fn launch<Q: PendingEvents<Event>>(
+        &mut self,
+        bag: BotId,
+        task: TaskId,
+        machine: MachineId,
+        is_replication: bool,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) {
+        let now = sched.now();
+        self.observer.on_dispatch(now, bag, task, machine, is_replication);
+        self.state.bags[bag.index()].note_replica_started(task, now);
+        let saved = if self.state.ckpt.enabled() {
+            self.state.store.saved_work(self.state.bags[bag.index()].tasks[task.index()].ckpt_key)
+        } else {
+            0.0
+        };
+        let rid = self.state.slab.insert(Replica {
+            bag,
+            task,
+            machine,
+            phase: ReplicaPhase::Retrieving { resume_work: saved },
+            event: EventId::NONE,
+            started: now,
+        });
+        self.state.machines[machine.index()].replica = Some(rid);
+        self.state.task_replicas.entry((bag.0, task.0)).or_default().push(rid);
+        self.state.counters.replicas_launched += 1;
+        if saved > 0.0 {
+            let ckpt = self.state.ckpt;
+            let cost = ckpt.retrieve_cost(&mut self.state.machines[machine.index()].xfer_rng);
+            self.state.counters.retrieve_time += cost;
+            let ev = sched.schedule_in(cost, Event::Replica(rid));
+            self.state.slab.get_mut(rid).expect("just inserted").event = ev;
+        } else {
+            self.start_computing(rid, 0.0, sched);
+        }
+    }
+
+    /// Enters (or re-enters) the computing phase with `base` work already
+    /// in hand, scheduling the next milestone: checkpoint-begin if Young's
+    /// interval elapses before completion, completion otherwise.
+    fn start_computing<Q: PendingEvents<Event>>(
+        &mut self,
+        rid: ReplicaId,
+        base: f64,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) {
+        let now = sched.now();
+        let (machine, work) = {
+            let r = self.state.slab.get(rid).expect("live replica");
+            (r.machine, self.state.bags[r.bag.index()].tasks[r.task.index()].work)
+        };
+        let power = self.state.machine(machine).power;
+        let remaining = (work - base).max(0.0);
+        let t_done = remaining / power;
+        let tau = self.state.tau;
+        let (delay, next_is_checkpoint) =
+            if tau < t_done { (tau, true) } else { (t_done, false) };
+        let ev = sched.schedule_in(delay, Event::Replica(rid));
+        let r = self.state.slab.get_mut(rid).expect("live replica");
+        r.phase = ReplicaPhase::Computing { since: now, base_work: base, next_is_checkpoint };
+        r.event = ev;
+    }
+
+    /// Handles a replica milestone according to its phase.
+    fn replica_event<Q: PendingEvents<Event>>(
+        &mut self,
+        rid: ReplicaId,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) -> Control {
+        let now = sched.now();
+        let phase = {
+            let Some(r) = self.state.slab.get(rid) else {
+                // Killed replicas cancel their events; a stale pop means a
+                // cancellation was missed.
+                debug_assert!(false, "event for a dead replica");
+                return Control::Continue;
+            };
+            r.phase
+        };
+        match phase {
+            ReplicaPhase::Retrieving { resume_work } => {
+                self.start_computing(rid, resume_work, sched);
+                Control::Continue
+            }
+            ReplicaPhase::Computing { since, base_work, next_is_checkpoint: true } => {
+                let machine = self.state.slab.get(rid).expect("live replica").machine;
+                let power = self.state.machine(machine).power;
+                let work_now = base_work + now.since(since) * power;
+                let ckpt = self.state.ckpt;
+                let cost = ckpt.save_cost(&mut self.state.machines[machine.index()].xfer_rng);
+                self.state.counters.checkpoint_time += cost;
+                let ev = sched.schedule_in(cost, Event::Replica(rid));
+                let r = self.state.slab.get_mut(rid).expect("live replica");
+                r.phase = ReplicaPhase::Checkpointing { work_at_write: work_now };
+                r.event = ev;
+                Control::Continue
+            }
+            ReplicaPhase::Computing { next_is_checkpoint: false, .. } => {
+                self.complete_task(rid, sched)
+            }
+            ReplicaPhase::Checkpointing { work_at_write } => {
+                let (key, bag, task) = {
+                    let r = self.state.slab.get(rid).expect("live replica");
+                    (self.state.bags[r.bag.index()].tasks[r.task.index()].ckpt_key, r.bag, r.task)
+                };
+                self.state.store.save(key, work_at_write);
+                self.state.counters.checkpoints_written += 1;
+                self.observer.on_checkpoint_saved(now, bag, task, work_at_write);
+                self.start_computing(rid, work_at_write, sched);
+                Control::Continue
+            }
+        }
+    }
+
+    /// A replica finished its task: kill siblings, book metrics, and
+    /// re-dispatch freed machines. Stops the run when the last bag drains.
+    fn complete_task<Q: PendingEvents<Event>>(
+        &mut self,
+        rid: ReplicaId,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) -> Control {
+        let now = sched.now();
+        let r = self.state.slab.remove(rid);
+        let (bag_id, task_id) = (r.bag, r.task);
+        self.observer.on_task_complete(now, bag_id, task_id, r.machine);
+        let machine = &mut self.state.machines[r.machine.index()];
+        machine.replica = None;
+        machine.busy_time += now.since(r.started);
+        self.state.counters.busy_time += now.since(r.started);
+
+        let (work, ckpt_key) = {
+            let bag = &mut self.state.bags[bag_id.index()];
+            let task = &bag.tasks[task_id.index()];
+            let pair = (task.work, task.ckpt_key);
+            bag.note_task_completed(task_id, now);
+            pair
+        };
+        self.state.counters.useful_work += work;
+        self.state.store.discard(ckpt_key);
+
+        // Kill sibling replicas of the completed task.
+        if let Some(mut sibs) = self.state.task_replicas.remove(&(bag_id.0, task_id.0)) {
+            sibs.retain(|&s| s != rid);
+            for sib in sibs {
+                self.kill_replica(sib, false, sched);
+                self.state.counters.replicas_killed_sibling += 1;
+            }
+        }
+
+        if self.state.bags[bag_id.index()].is_complete() {
+            self.finish_bag(now, bag_id);
+            if self.state.completed_bags == self.workload.len() {
+                return Control::Stop;
+            }
+        }
+        self.dispatch_all(sched);
+        Control::Continue
+    }
+
+    fn finish_bag(&mut self, now: SimTime, bag_id: BotId) {
+        self.state.completed_bags += 1;
+        self.state.active.retain(|&b| b != bag_id);
+        self.policy.on_bag_complete(bag_id);
+        self.observer.on_bag_complete(now, bag_id);
+        let bag = &self.state.bags[bag_id.index()];
+        if (bag_id.index()) >= self.cfg.warmup_bags {
+            let work: f64 = bag.tasks.iter().map(|t| t.work).sum();
+            let largest = bag.tasks.iter().map(|t| t.work).fold(0.0f64, f64::max);
+            // Ideal empty-grid makespan: work over the power the bag could
+            // actually use (its |tasks| fastest machines), or the critical
+            // path on the fastest machine — whichever binds.
+            let usable_idx = bag.tasks.len().min(self.state.power_prefix.len()) - 1;
+            let usable_power = self.state.power_prefix[usable_idx];
+            let fastest = self.state.power_prefix[0];
+            let ideal = (work / usable_power).max(largest / fastest);
+            let turnaround = bag.turnaround().expect("bag is complete");
+            self.state.measured.push(BagMetrics {
+                bag: bag_id.0,
+                granularity: bag.granularity,
+                arrival: bag.arrival.as_secs(),
+                turnaround,
+                waiting: bag.waiting().expect("bag was dispatched"),
+                makespan: bag.makespan().expect("bag is complete"),
+                work,
+                slowdown: turnaround / ideal,
+            });
+        }
+    }
+
+    /// Kills a replica (machine failure or sibling kill): cancels its
+    /// outstanding event, releases the machine slot, books the occupancy as
+    /// waste, and re-queues the task if this was its last replica.
+    fn kill_replica<Q: PendingEvents<Event>>(
+        &mut self,
+        rid: ReplicaId,
+        by_failure: bool,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) {
+        let now = sched.now();
+        let r = self.state.slab.remove(rid);
+        self.observer.on_replica_killed(now, r.bag, r.task, r.machine, by_failure);
+        sched.cancel(r.event);
+        let machine = &mut self.state.machines[r.machine.index()];
+        debug_assert_eq!(machine.replica, Some(rid));
+        machine.replica = None;
+        let occupancy = now.since(r.started);
+        machine.busy_time += occupancy;
+        self.state.counters.busy_time += occupancy;
+        self.state.counters.killed_occupancy += occupancy;
+
+        // Index maintenance.
+        if let Some(sibs) = self.state.task_replicas.get_mut(&(r.bag.0, r.task.0)) {
+            sibs.retain(|&s| s != rid);
+            if sibs.is_empty() {
+                self.state.task_replicas.remove(&(r.bag.0, r.task.0));
+            }
+        }
+        // Task/bag bookkeeping; a task losing its last replica re-enters the
+        // pending queue with restart priority.
+        self.state.bags[r.bag.index()].note_replica_stopped(r.task, now);
+    }
+
+    /// A correlated outage: every up machine is hit independently with the
+    /// configured probability; hit machines fail together and all come
+    /// back when the outage ends. A hit machine's own pending transition
+    /// is cancelled; its personal failure cycle restarts at repair.
+    fn outage<Q: PendingEvents<Event>>(&mut self, sched: &mut Scheduler<'_, Event, Q>) {
+        let now = sched.now();
+        let outage = self.state.outage.expect("outage event without a config");
+        self.state.counters.outages += 1;
+        let duration = outage.duration(&mut self.state.outage_rng);
+        let mut any_killed = false;
+        for i in 0..self.state.machines.len() {
+            let mid = MachineId(i as u32);
+            if !self.state.machines[i].up || !outage.hits(&mut self.state.outage_rng) {
+                continue;
+            }
+            self.observer.on_machine_fail(now, mid);
+            let victim = {
+                let m = &mut self.state.machines[i];
+                m.up = false;
+                m.failures += 1;
+                m.replica.take()
+            };
+            self.state.counters.machine_failures += 1;
+            // Override the machine's own cycle for the outage window.
+            let pending = self.state.machines[i].next_transition;
+            sched.cancel(pending);
+            let ev = sched.schedule_in(duration, Event::MachineRepair(mid));
+            self.state.machines[i].next_transition = ev;
+            if let Some(rid) = victim {
+                // `machine.replica` was already taken; restore it so the
+                // shared kill path sees a consistent machine.
+                self.state.machines[i].replica = Some(rid);
+                self.kill_replica(rid, true, sched);
+                self.state.counters.replicas_killed_failure += 1;
+                any_killed = true;
+            }
+        }
+        let gap = outage.next_gap(&mut self.state.outage_rng);
+        sched.schedule_in(gap, Event::Outage);
+        if any_killed {
+            self.dispatch_all(sched);
+        }
+    }
+
+    fn machine_fail<Q: PendingEvents<Event>>(
+        &mut self,
+        mid: MachineId,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) {
+        let now = sched.now();
+        self.observer.on_machine_fail(now, mid);
+        let m = &mut self.state.machines[mid.index()];
+        debug_assert!(m.up, "failure of a machine that is already down");
+        m.up = false;
+        m.failures += 1;
+        self.state.counters.machine_failures += 1;
+        let victim = m.replica;
+        let avail = self.state.avail.expect("failing grid has an availability process");
+        let down = avail.next_down(&mut self.state.machines[mid.index()].avail_rng);
+        let ev = sched.schedule_in(down, Event::MachineRepair(mid));
+        self.state.machines[mid.index()].next_transition = ev;
+        if let Some(rid) = victim {
+            self.kill_replica(rid, true, sched);
+            self.state.counters.replicas_killed_failure += 1;
+            // The victim task is pending again; idle machines may take it.
+            self.dispatch_all(sched);
+        }
+    }
+
+    fn machine_repair<Q: PendingEvents<Event>>(
+        &mut self,
+        mid: MachineId,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) {
+        self.observer.on_machine_repair(sched.now(), mid);
+        {
+            let m = &mut self.state.machines[mid.index()];
+            debug_assert!(!m.up, "repair of a machine that is up");
+            debug_assert!(m.replica.is_none());
+            m.up = true;
+        }
+        // Resume the machine's own failure cycle (absent when only the
+        // correlated-outage process can take machines down).
+        if let Some(avail) = self.state.avail {
+            let up = avail.next_up(&mut self.state.machines[mid.index()].avail_rng);
+            let ev = sched.schedule_in(up, Event::MachineFail(mid));
+            self.state.machines[mid.index()].next_transition = ev;
+        } else {
+            self.state.machines[mid.index()].next_transition = EventId::NONE;
+        }
+        self.dispatch_all(sched);
+    }
+
+    fn bag_arrival<Q: PendingEvents<Event>>(
+        &mut self,
+        index: u32,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) {
+        let bag = &self.workload.bags[index as usize];
+        debug_assert_eq!(bag.id.0, index);
+        debug_assert_eq!(self.state.bags.len(), index as usize, "arrivals must be in id order");
+        let ckpt_base = self.state.next_ckpt_base;
+        self.state.next_ckpt_base += bag.len();
+        let mut rt = BagRt::new(bag, ckpt_base);
+        if self.cfg.task_order == TaskOrder::LongestFirst {
+            let tasks = &rt.tasks;
+            rt.pending_fresh
+                .make_contiguous()
+                .sort_by(|a, b| {
+                    tasks[b.index()]
+                        .work
+                        .partial_cmp(&tasks[a.index()].work)
+                        .expect("task work is not NaN")
+                });
+        }
+        self.state.store.ensure(ckpt_base + bag.len());
+        self.state.bags.push(rt);
+        self.state.active.push(bag.id);
+        self.policy.on_bag_arrival(bag.id);
+        self.observer.on_bag_arrival(sched.now(), bag.id);
+        self.dispatch_all(sched);
+    }
+}
+
+impl<'a> Handler<Event> for Driver<'a> {
+    fn handle<Q: PendingEvents<Event>>(
+        &mut self,
+        event: Event,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) -> Control {
+        match event {
+            Event::BagArrival(i) => {
+                self.bag_arrival(i, sched);
+                Control::Continue
+            }
+            Event::MachineFail(m) => {
+                self.machine_fail(m, sched);
+                Control::Continue
+            }
+            Event::MachineRepair(m) => {
+                self.machine_repair(m, sched);
+                Control::Continue
+            }
+            Event::Replica(rid) => self.replica_event(rid, sched),
+            Event::Outage => {
+                self.outage(sched);
+                Control::Continue
+            }
+        }
+    }
+}
+
+/// Derives a generous simulated-time cap for saturation detection: ten
+/// times the span a stable system would need to drain the workload.
+fn auto_horizon(grid: &Grid, workload: &Workload) -> f64 {
+    let last_arrival =
+        workload.bags.last().map(|b| b.arrival.as_secs()).unwrap_or(0.0);
+    let drain = workload.total_work() / grid.config.effective_power();
+    10.0 * (last_arrival + drain) + 1e6
+}
+
+/// Runs one simulation of `workload` on `grid` under `policy`.
+///
+/// The returned [`RunResult`] contains per-bag metrics for completed,
+/// post-warmup bags and run-wide counters. A run that cannot drain the
+/// workload within its horizon or event budget is flagged `saturated`.
+pub fn simulate(
+    grid: &Grid,
+    workload: &Workload,
+    policy: PolicyKind,
+    cfg: &SimConfig,
+) -> RunResult {
+    let boxed = policy.create_seeded(cfg.seed);
+    simulate_with(grid, workload, boxed, cfg)
+}
+
+/// [`simulate`] with a caller-constructed policy (custom implementations of
+/// [`BagSelection`] welcome).
+pub fn simulate_with(
+    grid: &Grid,
+    workload: &Workload,
+    policy: Box<dyn BagSelection>,
+    cfg: &SimConfig,
+) -> RunResult {
+    let mut observer = NullObserver;
+    simulate_observed(grid, workload, policy, cfg, &mut observer)
+}
+
+/// [`simulate_with`] plus an observer that receives every dispatch,
+/// completion, kill, failure, repair, arrival and checkpoint (see
+/// [`SimObserver`]); used for tracing and invariant checking.
+pub fn simulate_observed(
+    grid: &Grid,
+    workload: &Workload,
+    policy: Box<dyn BagSelection>,
+    cfg: &SimConfig,
+    observer: &mut dyn SimObserver,
+) -> RunResult {
+    assert!(!grid.is_empty(), "cannot schedule on an empty grid");
+    assert!(!workload.is_empty(), "cannot simulate an empty workload");
+    workload.validate().expect("invalid workload");
+    assert!(
+        cfg.replication_threshold >= 1,
+        "replication threshold must be at least 1"
+    );
+
+    let seeder = StreamSeeder::new(cfg.seed);
+    let avail = grid.config.availability.sampler();
+    let ckpt = grid.config.checkpoint.sampler();
+    let tau = grid.config.checkpoint.interval_for_mtbf(grid.config.machine_mtbf());
+
+    let machines: Vec<MachineRt> = grid
+        .machines
+        .iter()
+        .map(|m| MachineRt {
+            power: m.power,
+            up: true,
+            replica: None,
+            next_transition: EventId::NONE,
+            avail_rng: seeder.stream("machine-avail", u64::from(m.id.0)),
+            xfer_rng: seeder.stream("machine-xfer", u64::from(m.id.0)),
+            busy_time: 0.0,
+            failures: 0,
+        })
+        .collect();
+
+    let mut engine: Engine<Event> = Engine::new();
+    engine.set_event_limit(cfg.event_limit);
+    let horizon = cfg.horizon.unwrap_or_else(|| auto_horizon(grid, workload));
+    engine.set_horizon(SimTime::new(horizon));
+
+    let mut driver = Driver {
+        state: SimState {
+            machines,
+            bags: Vec::with_capacity(workload.len()),
+            active: Vec::new(),
+            slab: ReplicaSlab::new(),
+            store: CheckpointStore::new(),
+            task_replicas: HashMap::new(),
+            next_ckpt_base: 0,
+            tau,
+            ckpt,
+            avail,
+            outage: grid.config.outages.map(|o| o.sampler()),
+            outage_rng: seeder.stream("outages", 0),
+            completed_bags: 0,
+            counters: Counters::default(),
+            measured: Vec::new(),
+            power_prefix: {
+                let mut powers: Vec<f64> = grid.machines.iter().map(|m| m.power).collect();
+                powers.sort_by(|a, b| b.partial_cmp(a).expect("powers are not NaN"));
+                powers
+                    .iter()
+                    .scan(0.0, |acc, p| {
+                        *acc += p;
+                        Some(*acc)
+                    })
+                    .collect()
+            },
+        },
+        policy,
+        workload,
+        cfg: *cfg,
+        saturated: false,
+        observer,
+    };
+
+    // Prime arrivals and, on failing grids, every machine's first failure.
+    for bag in &workload.bags {
+        engine.prime(bag.arrival, Event::BagArrival(bag.id.0));
+    }
+    if let Some(avail) = driver.state.avail {
+        for (i, machine) in driver.state.machines.iter_mut().enumerate() {
+            let up = avail.next_up(&mut machine.avail_rng);
+            machine.next_transition =
+                engine.prime(SimTime::new(up), Event::MachineFail(MachineId(i as u32)));
+        }
+    }
+    if let Some(outage) = driver.state.outage {
+        let gap = outage.next_gap(&mut driver.state.outage_rng);
+        engine.prime(SimTime::new(gap), Event::Outage);
+    }
+
+    let outcome = engine.run(&mut driver);
+    driver.saturated = !matches!(outcome, RunOutcome::Stopped)
+        || driver.state.completed_bags < workload.len();
+
+    let policy_name = driver.policy.name().to_string();
+    let machines = driver
+        .state
+        .machines
+        .iter()
+        .enumerate()
+        .map(|(i, m)| super::metrics::MachineStats {
+            machine: i as u32,
+            power: m.power,
+            busy_time: m.busy_time,
+            failures: m.failures,
+        })
+        .collect();
+    RunResult {
+        policy: policy_name,
+        bags: driver.state.measured,
+        machines,
+        completed: driver.state.completed_bags,
+        total: workload.len(),
+        saturated: driver.saturated,
+        end_time: engine.now().as_secs(),
+        events: engine.processed(),
+        counters: driver.state.counters,
+    }
+}

@@ -1,0 +1,302 @@
+//! Per-bag runtime state: the scheduler's queue for one BoT application.
+
+use super::task::{TaskPhase, TaskRt};
+use dgsched_des::time::SimTime;
+use dgsched_workload::{BagOfTasks, BotId, TaskId};
+use std::collections::VecDeque;
+
+/// Runtime state of one bag: its tasks, its pending queues and its
+/// completion bookkeeping.
+///
+/// The pending queue is split in two: *restarts* (tasks whose last replica
+/// failed — they resume from a checkpoint and are served first, matching
+/// WQR-FT's restart priority) and *fresh* tasks never dispatched, served in
+/// arrival order (WorkQueue's arbitrary order).
+#[derive(Debug, Clone)]
+pub struct BagRt {
+    /// This bag's id.
+    pub id: BotId,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Granularity class (reporting only).
+    pub granularity: f64,
+    /// Task runtime states, indexed by [`TaskId`].
+    pub tasks: Vec<TaskRt>,
+    /// Failed tasks awaiting a restart replica (served first).
+    pub pending_restarts: VecDeque<TaskId>,
+    /// Never-dispatched tasks in arrival order.
+    pub pending_fresh: VecDeque<TaskId>,
+    /// Tasks with at least one running replica.
+    pub running: Vec<TaskId>,
+    /// Number of completed tasks.
+    pub done: usize,
+    /// Total running replicas across the bag's tasks.
+    pub running_replicas: u32,
+    /// When the bag's first replica was dispatched.
+    pub first_dispatch: Option<SimTime>,
+    /// When the bag's last task completed.
+    pub completed_at: Option<SimTime>,
+}
+
+impl BagRt {
+    /// Builds runtime state from a submitted bag; `ckpt_base` is the bag's
+    /// offset into the run-wide checkpoint store.
+    pub fn new(bag: &BagOfTasks, ckpt_base: usize) -> Self {
+        let tasks: Vec<TaskRt> = bag
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TaskRt::new(t.work, bag.arrival, ckpt_base + i))
+            .collect();
+        BagRt {
+            id: bag.id,
+            arrival: bag.arrival,
+            granularity: bag.granularity,
+            pending_fresh: (0..tasks.len() as u32).map(TaskId).collect(),
+            pending_restarts: VecDeque::new(),
+            running: Vec::new(),
+            done: 0,
+            running_replicas: 0,
+            first_dispatch: None,
+            completed_at: None,
+            tasks,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn total_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when every task has completed.
+    pub fn is_complete(&self) -> bool {
+        self.done == self.tasks.len()
+    }
+
+    /// True when the bag has a task waiting to be dispatched.
+    pub fn has_pending(&self) -> bool {
+        !self.pending_restarts.is_empty() || !self.pending_fresh.is_empty()
+    }
+
+    /// True when the bag has at least one running replica.
+    pub fn has_running(&self) -> bool {
+        self.running_replicas > 0
+    }
+
+    /// Pops the next pending task: restarts first, then fresh arrivals.
+    pub fn pop_pending(&mut self) -> Option<TaskId> {
+        self.pending_restarts.pop_front().or_else(|| self.pending_fresh.pop_front())
+    }
+
+    /// Re-queues a task whose last replica failed (front of the restart
+    /// queue: most recently failed last — FIFO among restarts).
+    pub fn push_restart(&mut self, task: TaskId) {
+        debug_assert!(self.tasks[task.index()].phase == TaskPhase::Pending);
+        self.pending_restarts.push_back(task);
+    }
+
+    /// The running task with the fewest replicas strictly below `threshold`
+    /// (WQR's replication candidate), ties broken by lowest task id.
+    pub fn replication_candidate(&self, threshold: u32) -> Option<TaskId> {
+        self.running
+            .iter()
+            .copied()
+            .filter(|t| self.tasks[t.index()].running_replicas < threshold)
+            .min_by_key(|t| (self.tasks[t.index()].running_replicas, t.index()))
+    }
+
+    /// True when [`Self::replication_candidate`] would return a task.
+    pub fn can_replicate(&self, threshold: u32) -> bool {
+        self.running.iter().any(|t| self.tasks[t.index()].running_replicas < threshold)
+    }
+
+    /// Largest waiting time among pending tasks at `now` (LongIdle's
+    /// criterion); `None` when nothing is pending.
+    ///
+    /// Fresh tasks all share the waiting time `now − arrival`; restarts are
+    /// examined individually.
+    pub fn max_pending_wait(&self, now: SimTime) -> Option<f64> {
+        let fresh = if self.pending_fresh.is_empty() {
+            None
+        } else {
+            Some(now.since(self.arrival))
+        };
+        let restart = self
+            .pending_restarts
+            .iter()
+            .map(|t| self.tasks[t.index()].waiting_time(now))
+            .fold(None, |acc: Option<f64>, w| Some(acc.map_or(w, |a| a.max(w))));
+        match (fresh, restart) {
+            (None, r) => r,
+            (f, None) => f,
+            (Some(f), Some(r)) => Some(f.max(r)),
+        }
+    }
+
+    /// Marks a task as having gained a running replica, maintaining the
+    /// `running` index.
+    pub fn note_replica_started(&mut self, task: TaskId, now: SimTime) {
+        let t = &mut self.tasks[task.index()];
+        let was_idle = t.running_replicas == 0;
+        t.replica_started(now);
+        if was_idle {
+            debug_assert!(!self.running.contains(&task));
+            self.running.push(task);
+        }
+        self.running_replicas += 1;
+        if self.first_dispatch.is_none() {
+            self.first_dispatch = Some(now);
+        }
+    }
+
+    /// Marks a replica of `task` as stopped without completing it; returns
+    /// `true` when the task went back to pending (and was re-queued here).
+    pub fn note_replica_stopped(&mut self, task: TaskId, now: SimTime) -> bool {
+        let requeue = self.tasks[task.index()].replica_stopped(now);
+        self.running_replicas -= 1;
+        if self.tasks[task.index()].running_replicas == 0 {
+            self.running.retain(|&t| t != task);
+        }
+        if requeue {
+            self.push_restart(task);
+        }
+        requeue
+    }
+
+    /// Marks `task` complete (its winning replica finished); the caller is
+    /// responsible for killing sibling replicas (each kill then flows
+    /// through [`Self::note_replica_stopped`], which will see `Done` and
+    /// not requeue).
+    pub fn note_task_completed(&mut self, task: TaskId, now: SimTime) {
+        self.tasks[task.index()].completed();
+        self.running_replicas -= 1;
+        if self.tasks[task.index()].running_replicas == 0 {
+            self.running.retain(|&t| t != task);
+        }
+        self.done += 1;
+        if self.is_complete() {
+            self.completed_at = Some(now);
+        }
+    }
+
+    /// Turnaround time (completion − arrival), if complete.
+    pub fn turnaround(&self) -> Option<f64> {
+        self.completed_at.map(|c| c.since(self.arrival))
+    }
+
+    /// Queue waiting time of the bag (first dispatch − arrival).
+    pub fn waiting(&self) -> Option<f64> {
+        self.first_dispatch.map(|d| d.since(self.arrival))
+    }
+
+    /// Makespan (completion − first dispatch), if complete.
+    pub fn makespan(&self) -> Option<f64> {
+        match (self.first_dispatch, self.completed_at) {
+            (Some(d), Some(c)) => Some(c.since(d)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgsched_workload::TaskSpec;
+
+    fn bag3() -> BagRt {
+        let bag = BagOfTasks {
+            id: BotId(0),
+            arrival: SimTime::new(10.0),
+            tasks: (0..3).map(|i| TaskSpec { id: TaskId(i), work: 100.0 }).collect(),
+            granularity: 100.0,
+        };
+        BagRt::new(&bag, 0)
+    }
+
+    #[test]
+    fn fresh_bag_layout() {
+        let b = bag3();
+        assert_eq!(b.total_tasks(), 3);
+        assert!(b.has_pending());
+        assert!(!b.has_running());
+        assert!(!b.is_complete());
+        assert_eq!(b.tasks[2].ckpt_key, 2);
+        assert_eq!(b.max_pending_wait(SimTime::new(15.0)), Some(5.0));
+    }
+
+    #[test]
+    fn pop_order_restarts_first() {
+        let mut b = bag3();
+        let first = b.pop_pending().unwrap();
+        assert_eq!(first, TaskId(0));
+        b.note_replica_started(first, SimTime::new(12.0));
+        // Task 0 fails: back to pending with restart priority.
+        b.note_replica_stopped(first, SimTime::new(20.0));
+        assert_eq!(b.pop_pending(), Some(TaskId(0)), "restart outranks fresh tasks");
+        assert_eq!(b.pop_pending(), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn replication_candidate_prefers_fewest_replicas() {
+        let mut b = bag3();
+        for _ in 0..3 {
+            let t = b.pop_pending().unwrap();
+            b.note_replica_started(t, SimTime::new(11.0));
+        }
+        // Replicate task 0 → it now has 2 replicas.
+        b.note_replica_started(TaskId(0), SimTime::new(12.0));
+        assert_eq!(b.replication_candidate(2), Some(TaskId(1)));
+        assert!(b.can_replicate(2));
+        // With threshold 1 nothing qualifies.
+        assert!(!b.can_replicate(1));
+        assert_eq!(b.replication_candidate(1), None);
+    }
+
+    #[test]
+    fn completion_flow() {
+        let mut b = bag3();
+        let now = SimTime::new(11.0);
+        for _ in 0..3 {
+            let t = b.pop_pending().unwrap();
+            b.note_replica_started(t, now);
+        }
+        b.note_task_completed(TaskId(0), SimTime::new(50.0));
+        b.note_task_completed(TaskId(1), SimTime::new(60.0));
+        assert!(!b.is_complete());
+        b.note_task_completed(TaskId(2), SimTime::new(70.0));
+        assert!(b.is_complete());
+        assert_eq!(b.turnaround(), Some(60.0));
+        assert_eq!(b.waiting(), Some(1.0));
+        assert_eq!(b.makespan(), Some(59.0));
+        assert!(!b.has_running());
+    }
+
+    #[test]
+    fn sibling_kill_after_completion_keeps_done() {
+        let mut b = bag3();
+        let t = b.pop_pending().unwrap();
+        b.note_replica_started(t, SimTime::new(11.0));
+        b.note_replica_started(t, SimTime::new(12.0)); // replica 2
+        b.note_task_completed(t, SimTime::new(20.0));
+        // Sibling killed afterwards: no requeue, count stays consistent.
+        assert!(!b.note_replica_stopped(t, SimTime::new(20.0)));
+        assert_eq!(b.done, 1);
+        assert_eq!(b.running_replicas, 0);
+        assert!(b.running.is_empty());
+    }
+
+    #[test]
+    fn max_pending_wait_covers_restarts() {
+        let mut b = bag3();
+        let t = b.pop_pending().unwrap();
+        b.note_replica_started(t, SimTime::new(10.0)); // waited 0
+        b.note_replica_stopped(t, SimTime::new(100.0)); // restart, waiting again
+        // Fresh tasks have waited now−10; restart has waited now−100.
+        let w = b.max_pending_wait(SimTime::new(150.0)).unwrap();
+        assert_eq!(w, 140.0, "fresh tasks dominate here");
+        // Pop both fresh tasks; only the restart remains.
+        while b.pending_fresh.pop_front().is_some() {}
+        let w = b.max_pending_wait(SimTime::new(150.0)).unwrap();
+        assert_eq!(w, 50.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Per-machine runtime state.
+
+use super::replica::ReplicaId;
+use dgsched_des::event::EventId;
+use rand::rngs::StdRng;
+
+/// Runtime state of one machine.
+#[derive(Debug)]
+pub struct MachineRt {
+    /// Relative computing power (copied from the grid description).
+    pub power: f64,
+    /// True when the machine is up (not failed).
+    pub up: bool,
+    /// The replica currently occupying the machine, if any.
+    pub replica: Option<ReplicaId>,
+    /// The machine's pending fail-or-repair event (cancelled when a
+    /// correlated outage overrides the machine's own cycle).
+    pub next_transition: EventId,
+    /// This machine's private availability stream (keeps the fail/repair
+    /// trace identical across scheduling policies — common random numbers).
+    pub avail_rng: StdRng,
+    /// This machine's private checkpoint-transfer stream.
+    pub xfer_rng: StdRng,
+    /// Accumulated busy wall-seconds (occupied by a replica while up).
+    pub busy_time: f64,
+    /// Number of failures suffered.
+    pub failures: u64,
+}
+
+impl MachineRt {
+    /// True when the machine can accept a replica right now.
+    pub fn is_free(&self) -> bool {
+        self.up && self.replica.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn free_means_up_and_unoccupied() {
+        let mut m = MachineRt {
+            power: 10.0,
+            up: true,
+            replica: None,
+            next_transition: EventId::NONE,
+            avail_rng: StdRng::seed_from_u64(0),
+            xfer_rng: StdRng::seed_from_u64(1),
+            busy_time: 0.0,
+            failures: 0,
+        };
+        assert!(m.is_free());
+        m.up = false;
+        assert!(!m.is_free());
+        m.up = true;
+        m.replica = Some(ReplicaId { idx: 0, gen: 0 });
+        assert!(!m.is_free());
+    }
+}

@@ -1,0 +1,11 @@
+//! Runtime state of one simulation: tasks, bags, replicas, machines.
+
+mod bag;
+mod machine;
+mod replica;
+mod task;
+
+pub use bag::BagRt;
+pub use machine::MachineRt;
+pub use replica::{Replica, ReplicaId, ReplicaPhase, ReplicaSlab};
+pub use task::{TaskPhase, TaskRt};

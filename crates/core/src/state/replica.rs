@@ -1,0 +1,220 @@
+//! Replica slab: the unit of execution the simulator schedules events for.
+//!
+//! A replica is one attempt to run one task on one machine. Replicas are
+//! stored in a generational slab so that stale event references (a bug, but
+//! a cheap one to guard against) can never alias a recycled slot.
+
+use dgsched_des::event::EventId;
+use dgsched_des::time::SimTime;
+use dgsched_grid::MachineId;
+use dgsched_workload::{BotId, TaskId};
+
+/// Handle to a replica in the [`ReplicaSlab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplicaId {
+    /// Slot index.
+    pub idx: u32,
+    /// Generation of the slot at allocation time.
+    pub gen: u32,
+}
+
+/// What the replica is doing, and what its one outstanding event means.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplicaPhase {
+    /// Fetching a checkpoint from the server; the event is retrieve-done.
+    Retrieving {
+        /// Work already saved at the server that execution will resume from.
+        resume_work: f64,
+    },
+    /// Computing; the event is either checkpoint-begin or completion.
+    Computing {
+        /// When this compute burst began.
+        since: SimTime,
+        /// Work completed before this burst (checkpointed or in-memory).
+        base_work: f64,
+        /// True when the outstanding event is a checkpoint-begin rather
+        /// than task completion.
+        next_is_checkpoint: bool,
+    },
+    /// Writing a checkpoint; the event is write-done.
+    Checkpointing {
+        /// Work completed at the moment the write began.
+        work_at_write: f64,
+    },
+}
+
+/// One running replica.
+#[derive(Debug, Clone)]
+pub struct Replica {
+    /// Owning bag.
+    pub bag: BotId,
+    /// Task within the bag.
+    pub task: TaskId,
+    /// Machine executing it.
+    pub machine: MachineId,
+    /// Current phase (encodes the meaning of `event`).
+    pub phase: ReplicaPhase,
+    /// The replica's single outstanding event.
+    pub event: EventId,
+    /// Dispatch time (for accounting).
+    pub started: SimTime,
+}
+
+impl Replica {
+    /// Work this replica has completed (beyond what was saved before it
+    /// started) if inspected at `now` — used for waste accounting when the
+    /// replica is killed.
+    pub fn work_in_progress(&self, now: SimTime, power: f64) -> f64 {
+        match self.phase {
+            ReplicaPhase::Retrieving { .. } => 0.0,
+            ReplicaPhase::Computing { since, base_work, .. } => {
+                base_work + now.since(since) * power
+            }
+            ReplicaPhase::Checkpointing { work_at_write } => work_at_write,
+        }
+    }
+}
+
+/// Generational slab of replicas.
+#[derive(Debug, Default)]
+pub struct ReplicaSlab {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    gen: u32,
+    replica: Option<Replica>,
+}
+
+impl ReplicaSlab {
+    /// An empty slab.
+    pub fn new() -> Self {
+        ReplicaSlab::default()
+    }
+
+    /// Number of live replicas.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no replicas are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts a replica, returning its handle.
+    pub fn insert(&mut self, replica: Replica) -> ReplicaId {
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.replica.is_none());
+            slot.replica = Some(replica);
+            ReplicaId { idx, gen: slot.gen }
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot { gen: 0, replica: Some(replica) });
+            ReplicaId { idx, gen: 0 }
+        }
+    }
+
+    /// Removes a replica, invalidating its handle.
+    ///
+    /// # Panics
+    /// Panics if the handle is stale or the slot is empty.
+    pub fn remove(&mut self, id: ReplicaId) -> Replica {
+        let slot = &mut self.slots[id.idx as usize];
+        assert_eq!(slot.gen, id.gen, "stale replica handle");
+        let r = slot.replica.take().expect("removing an empty replica slot");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(id.idx);
+        self.live -= 1;
+        r
+    }
+
+    /// Borrows a live replica; `None` when the handle is stale.
+    pub fn get(&self, id: ReplicaId) -> Option<&Replica> {
+        let slot = self.slots.get(id.idx as usize)?;
+        if slot.gen != id.gen {
+            return None;
+        }
+        slot.replica.as_ref()
+    }
+
+    /// Mutably borrows a live replica; `None` when the handle is stale.
+    pub fn get_mut(&mut self, id: ReplicaId) -> Option<&mut Replica> {
+        let slot = self.slots.get_mut(id.idx as usize)?;
+        if slot.gen != id.gen {
+            return None;
+        }
+        slot.replica.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replica() -> Replica {
+        Replica {
+            bag: BotId(0),
+            task: TaskId(0),
+            machine: MachineId(0),
+            phase: ReplicaPhase::Retrieving { resume_work: 0.0 },
+            event: EventId::NONE,
+            started: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut slab = ReplicaSlab::new();
+        assert!(slab.is_empty());
+        let id = slab.insert(replica());
+        assert_eq!(slab.len(), 1);
+        assert!(slab.get(id).is_some());
+        let r = slab.remove(id);
+        assert_eq!(r.bag, BotId(0));
+        assert!(slab.is_empty());
+        assert!(slab.get(id).is_none(), "removed handle must be stale");
+    }
+
+    #[test]
+    fn recycled_slot_gets_new_generation() {
+        let mut slab = ReplicaSlab::new();
+        let a = slab.insert(replica());
+        slab.remove(a);
+        let b = slab.insert(replica());
+        assert_eq!(a.idx, b.idx, "slot should be recycled");
+        assert_ne!(a.gen, b.gen, "generation must differ");
+        assert!(slab.get(a).is_none());
+        assert!(slab.get(b).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn removing_stale_handle_panics() {
+        let mut slab = ReplicaSlab::new();
+        let a = slab.insert(replica());
+        slab.remove(a);
+        slab.insert(replica());
+        slab.remove(a);
+    }
+
+    #[test]
+    fn work_in_progress_by_phase() {
+        let mut r = replica();
+        let now = SimTime::new(100.0);
+        assert_eq!(r.work_in_progress(now, 10.0), 0.0);
+        r.phase = ReplicaPhase::Computing {
+            since: SimTime::new(40.0),
+            base_work: 200.0,
+            next_is_checkpoint: false,
+        };
+        assert_eq!(r.work_in_progress(now, 10.0), 200.0 + 600.0);
+        r.phase = ReplicaPhase::Checkpointing { work_at_write: 450.0 };
+        assert_eq!(r.work_in_progress(now, 10.0), 450.0);
+    }
+}

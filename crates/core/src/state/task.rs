@@ -1,0 +1,148 @@
+//! Per-task runtime state.
+
+use dgsched_des::time::SimTime;
+
+/// Lifecycle phase of a task (not of a replica — a task may have several
+/// replicas running at once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskPhase {
+    /// In its bag's queue, waiting to be dispatched (fresh or restart).
+    Pending,
+    /// At least one replica is running.
+    Running,
+    /// A replica finished; the task's result is in.
+    Done,
+}
+
+/// Runtime state of one task.
+#[derive(Debug, Clone)]
+pub struct TaskRt {
+    /// Total work, in reference-seconds.
+    pub work: f64,
+    /// Current phase.
+    pub phase: TaskPhase,
+    /// Number of replicas currently running (including retrieving /
+    /// checkpointing ones).
+    pub running_replicas: u32,
+    /// Accumulated time with zero running replicas (LongIdle's metric).
+    pub wait_accum: f64,
+    /// Start of the current zero-replica interval (valid while
+    /// `running_replicas == 0` and not `Done`).
+    pub wait_since: SimTime,
+    /// True once the task has failed at least once (restart priority).
+    pub is_restart: bool,
+    /// Dense key into the run-wide checkpoint store.
+    pub ckpt_key: usize,
+}
+
+impl TaskRt {
+    /// A freshly arrived task.
+    pub fn new(work: f64, arrival: SimTime, ckpt_key: usize) -> Self {
+        TaskRt {
+            work,
+            phase: TaskPhase::Pending,
+            running_replicas: 0,
+            wait_accum: 0.0,
+            wait_since: arrival,
+            is_restart: false,
+            ckpt_key,
+        }
+    }
+
+    /// The task's total waiting time if inspected at `now` (paper: the time
+    /// during which the task has no running replicas).
+    pub fn waiting_time(&self, now: SimTime) -> f64 {
+        if self.phase != TaskPhase::Done && self.running_replicas == 0 {
+            self.wait_accum + now.since(self.wait_since)
+        } else {
+            self.wait_accum
+        }
+    }
+
+    /// Records that a replica of this task started (0 → 1 closes the
+    /// current waiting interval).
+    pub fn replica_started(&mut self, now: SimTime) {
+        if self.running_replicas == 0 {
+            self.wait_accum += now.since(self.wait_since);
+        }
+        self.running_replicas += 1;
+        self.phase = TaskPhase::Running;
+    }
+
+    /// Records that a replica stopped without completing the task
+    /// (failure or sibling kill); 1 → 0 re-opens the waiting interval and
+    /// sends the task back to `Pending`. Returns `true` when the task has
+    /// just become pending again (i.e. needs re-queueing).
+    pub fn replica_stopped(&mut self, now: SimTime) -> bool {
+        debug_assert!(self.running_replicas > 0, "no replica to stop");
+        self.running_replicas -= 1;
+        if self.phase == TaskPhase::Done {
+            return false;
+        }
+        if self.running_replicas == 0 {
+            self.wait_since = now;
+            self.phase = TaskPhase::Pending;
+            self.is_restart = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records that a replica completed the task.
+    pub fn completed(&mut self) {
+        debug_assert!(self.running_replicas > 0, "completion without a running replica");
+        self.running_replicas -= 1;
+        self.phase = TaskPhase::Done;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiting_accumulates_across_gaps() {
+        let mut t = TaskRt::new(100.0, SimTime::new(0.0), 0);
+        assert_eq!(t.waiting_time(SimTime::new(10.0)), 10.0);
+        t.replica_started(SimTime::new(10.0));
+        assert_eq!(t.waiting_time(SimTime::new(50.0)), 10.0, "no wait while running");
+        let requeue = t.replica_stopped(SimTime::new(50.0));
+        assert!(requeue);
+        assert!(t.is_restart);
+        assert_eq!(t.phase, TaskPhase::Pending);
+        assert_eq!(t.waiting_time(SimTime::new(60.0)), 20.0);
+    }
+
+    #[test]
+    fn second_replica_does_not_reset_wait() {
+        let mut t = TaskRt::new(100.0, SimTime::new(0.0), 0);
+        t.replica_started(SimTime::new(5.0));
+        t.replica_started(SimTime::new(6.0));
+        assert_eq!(t.running_replicas, 2);
+        // Losing one of two replicas keeps the task running.
+        assert!(!t.replica_stopped(SimTime::new(8.0)));
+        assert_eq!(t.phase, TaskPhase::Running);
+        assert_eq!(t.waiting_time(SimTime::new(9.0)), 5.0);
+    }
+
+    #[test]
+    fn completion_freezes_wait() {
+        let mut t = TaskRt::new(100.0, SimTime::new(0.0), 0);
+        t.replica_started(SimTime::new(3.0));
+        t.completed();
+        assert_eq!(t.phase, TaskPhase::Done);
+        assert_eq!(t.running_replicas, 0);
+        assert_eq!(t.waiting_time(SimTime::new(100.0)), 3.0);
+    }
+
+    #[test]
+    fn sibling_stop_after_done_does_not_requeue() {
+        let mut t = TaskRt::new(100.0, SimTime::new(0.0), 0);
+        t.replica_started(SimTime::new(1.0));
+        t.replica_started(SimTime::new(2.0));
+        t.completed(); // one replica wins
+        assert!(!t.replica_stopped(SimTime::new(2.5)), "sibling kill must not requeue");
+        assert_eq!(t.phase, TaskPhase::Done);
+    }
+}

@@ -1,0 +1,286 @@
+//! Generic discrete-event simulation driver.
+//!
+//! The [`Engine`] owns the clock and the pending-event set; domain logic
+//! lives in a [`Handler`] that receives events in time order and schedules
+//! follow-ups through the [`Scheduler`] facade. This split keeps the hot
+//! loop monomorphised and allocation-free while letting the grid simulator
+//! stay oblivious to queue internals.
+
+use crate::event::EventId;
+use crate::queue::{BinaryHeapQueue, PendingEvents};
+use crate::time::SimTime;
+
+/// Scheduling facade handed to the [`Handler`] during event processing.
+pub struct Scheduler<'a, E, Q: PendingEvents<E>> {
+    now: SimTime,
+    queue: &'a mut Q,
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<'a, E, Q: PendingEvents<E>> Scheduler<'a, E, Q> {
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire `delay` seconds from now.
+    ///
+    /// # Panics
+    /// Panics if `delay` is negative (the past is immutable).
+    #[inline]
+    pub fn schedule_in(&mut self, delay: f64, payload: E) -> EventId {
+        assert!(delay >= 0.0, "cannot schedule an event in the past (delay={delay})");
+        self.queue.schedule(self.now + delay, payload)
+    }
+
+    /// Schedules `payload` at an absolute time `at >= now`.
+    #[inline]
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(at >= self.now, "cannot schedule an event in the past (at={at}, now={})", self.now);
+        self.queue.schedule(at, payload)
+    }
+
+    /// Cancels a pending event; returns `true` if it was still pending.
+    #[inline]
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Number of live pending events.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Outcome of handling one event: continue or stop the run early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep processing events.
+    Continue,
+    /// Stop after this event (e.g. termination condition reached).
+    Stop,
+}
+
+/// Domain logic driven by the engine.
+pub trait Handler<E> {
+    /// Handles one event at its firing time. Schedule follow-up events via
+    /// `sched`.
+    fn handle<Q: PendingEvents<E>>(
+        &mut self,
+        event: E,
+        sched: &mut Scheduler<'_, E, Q>,
+    ) -> Control;
+}
+
+/// Why the run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The pending-event set drained.
+    Drained,
+    /// The handler requested a stop.
+    Stopped,
+    /// The event budget was exhausted before draining (see
+    /// [`Engine::set_event_limit`]); usually indicates saturation.
+    EventLimit,
+    /// The time horizon was reached.
+    Horizon,
+}
+
+/// The simulation engine: clock + pending-event set + run loop.
+pub struct Engine<E, Q: PendingEvents<E> = BinaryHeapQueue<E>> {
+    now: SimTime,
+    queue: Q,
+    processed: u64,
+    event_limit: u64,
+    horizon: SimTime,
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<E> Engine<E, BinaryHeapQueue<E>> {
+    /// Creates an engine backed by the binary-heap queue (the default).
+    pub fn new() -> Self {
+        Self::with_queue(BinaryHeapQueue::new())
+    }
+}
+
+impl<E> Default for Engine<E, BinaryHeapQueue<E>> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E, Q: PendingEvents<E>> Engine<E, Q> {
+    /// Creates an engine backed by a caller-supplied queue implementation.
+    pub fn with_queue(queue: Q) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue,
+            processed: 0,
+            event_limit: u64::MAX,
+            horizon: SimTime::FAR_FUTURE,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Caps the number of processed events; the run ends with
+    /// [`RunOutcome::EventLimit`] when exceeded.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Caps simulated time; events after `horizon` are not processed.
+    pub fn set_horizon(&mut self, horizon: SimTime) {
+        self.horizon = horizon;
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules an event before the run starts (or between runs).
+    pub fn prime(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(at >= self.now, "cannot prime an event in the past");
+        self.queue.schedule(at, payload)
+    }
+
+    /// Runs the handler until the queue drains, the handler stops the run,
+    /// or a budget is exhausted.
+    pub fn run<H: Handler<E>>(&mut self, handler: &mut H) -> RunOutcome {
+        loop {
+            if self.processed >= self.event_limit {
+                return RunOutcome::EventLimit;
+            }
+            let Some((time, _id, payload)) = self.queue.pop() else {
+                return RunOutcome::Drained;
+            };
+            debug_assert!(time >= self.now, "event queue returned an event from the past");
+            if time > self.horizon {
+                // Leave the clock at the horizon; the event is dropped.
+                self.now = self.horizon;
+                return RunOutcome::Horizon;
+            }
+            self.now = time;
+            self.processed += 1;
+            let mut sched = Scheduler {
+                now: self.now,
+                queue: &mut self.queue,
+                _marker: std::marker::PhantomData,
+            };
+            if handler.handle(payload, &mut sched) == Control::Stop {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A handler that models a tiny birth process: each event spawns one
+    /// follow-up a fixed delay later, up to a population cap.
+    struct Birth {
+        spawned: u32,
+        cap: u32,
+        log: Vec<f64>,
+    }
+
+    impl Handler<u32> for Birth {
+        fn handle<Q: PendingEvents<u32>>(
+            &mut self,
+            event: u32,
+            sched: &mut Scheduler<'_, u32, Q>,
+        ) -> Control {
+            self.log.push(sched.now().as_secs());
+            if self.spawned < self.cap {
+                self.spawned += 1;
+                sched.schedule_in(1.5, event + 1);
+            }
+            Control::Continue
+        }
+    }
+
+    #[test]
+    fn drains_in_time_order() {
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(0.0), 0);
+        let mut h = Birth { spawned: 0, cap: 4, log: Vec::new() };
+        assert_eq!(engine.run(&mut h), RunOutcome::Drained);
+        assert_eq!(h.log, vec![0.0, 1.5, 3.0, 4.5, 6.0]);
+        assert_eq!(engine.processed(), 5);
+        assert_eq!(engine.now().as_secs(), 6.0);
+    }
+
+    #[test]
+    fn event_limit_reports_saturation() {
+        let mut engine = Engine::new();
+        engine.set_event_limit(3);
+        engine.prime(SimTime::new(0.0), 0);
+        let mut h = Birth { spawned: 0, cap: u32::MAX, log: Vec::new() };
+        assert_eq!(engine.run(&mut h), RunOutcome::EventLimit);
+        assert_eq!(h.log.len(), 3);
+    }
+
+    #[test]
+    fn horizon_stops_clock() {
+        let mut engine = Engine::new();
+        engine.set_horizon(SimTime::new(4.0));
+        engine.prime(SimTime::new(0.0), 0);
+        let mut h = Birth { spawned: 0, cap: u32::MAX, log: Vec::new() };
+        assert_eq!(engine.run(&mut h), RunOutcome::Horizon);
+        assert_eq!(engine.now().as_secs(), 4.0);
+        assert_eq!(h.log, vec![0.0, 1.5, 3.0]);
+    }
+
+    struct Stopper;
+    impl Handler<u32> for Stopper {
+        fn handle<Q: PendingEvents<u32>>(
+            &mut self,
+            event: u32,
+            _sched: &mut Scheduler<'_, u32, Q>,
+        ) -> Control {
+            if event >= 1 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn handler_can_stop() {
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(0.0), 0);
+        engine.prime(SimTime::new(1.0), 1);
+        engine.prime(SimTime::new(2.0), 2);
+        assert_eq!(engine.run(&mut Stopper), RunOutcome::Stopped);
+        assert_eq!(engine.now().as_secs(), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_in_past_panics() {
+        struct Bad;
+        impl Handler<u32> for Bad {
+            fn handle<Q: PendingEvents<u32>>(
+                &mut self,
+                _event: u32,
+                sched: &mut Scheduler<'_, u32, Q>,
+            ) -> Control {
+                sched.schedule_in(-1.0, 0);
+                Control::Continue
+            }
+        }
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(5.0), 0);
+        engine.run(&mut Bad);
+    }
+}

@@ -1,0 +1,36 @@
+//! Event handles and queue entries shared by the queue implementations.
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+///
+/// Handles are unique for the lifetime of a queue; they are never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// A handle that no queue will ever issue; useful as a sentinel.
+    pub const NONE: EventId = EventId(u64::MAX);
+
+    /// Raw value, for diagnostics.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// An event entry: firing time, insertion sequence (ties broken FIFO) and
+/// the caller's payload.
+#[derive(Debug, Clone)]
+pub(crate) struct Entry<E> {
+    pub time: SimTime,
+    pub id: EventId,
+    pub payload: E,
+}
+
+impl<E> Entry<E> {
+    /// Queue key: earlier time first; equal times in insertion order.
+    #[inline]
+    pub fn key(&self) -> (SimTime, u64) {
+        (self.time, self.id.0)
+    }
+}

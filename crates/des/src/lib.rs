@@ -1,0 +1,56 @@
+//! # dgsched-des — discrete-event simulation kernel
+//!
+//! The simulation substrate for the desktop-grid scheduling study: a
+//! monomorphised event loop ([`engine::Engine`]), two interchangeable
+//! pending-event sets ([`queue::BinaryHeapQueue`], [`queue::CalendarQueue`]),
+//! deterministic named RNG streams ([`rng::StreamSeeder`]), declarative
+//! random variates ([`dist::DistConfig`]), an output-analysis toolkit
+//! ([`stats`]) and a SimPy-style `async` process layer ([`process`]) for
+//! quick models.
+//!
+//! The kernel is domain-agnostic: it knows nothing about machines, bags or
+//! schedulers. Higher crates define their event enum and drive it through
+//! [`engine::Handler`].
+//!
+//! ## Example
+//!
+//! ```
+//! use dgsched_des::engine::{Control, Engine, Handler, Scheduler};
+//! use dgsched_des::queue::PendingEvents;
+//! use dgsched_des::time::SimTime;
+//!
+//! struct Ping(u32);
+//! impl Handler<u32> for Ping {
+//!     fn handle<Q: PendingEvents<u32>>(
+//!         &mut self,
+//!         n: u32,
+//!         sched: &mut Scheduler<'_, u32, Q>,
+//!     ) -> Control {
+//!         self.0 += n;
+//!         if n < 3 { sched.schedule_in(1.0, n + 1); }
+//!         Control::Continue
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new();
+//! engine.prime(SimTime::ZERO, 1);
+//! let mut h = Ping(0);
+//! engine.run(&mut h);
+//! assert_eq!(h.0, 1 + 2 + 3);
+//! assert_eq!(engine.now().as_secs(), 2.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod engine;
+pub mod event;
+pub mod process;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Control, Engine, Handler, RunOutcome, Scheduler};
+pub use event::EventId;
+pub use time::SimTime;

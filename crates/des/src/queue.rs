@@ -1,0 +1,583 @@
+//! Pending-event set implementations.
+//!
+//! Two interchangeable priority queues are provided:
+//!
+//! * [`BinaryHeapQueue`] — `std::collections::BinaryHeap` with lazy
+//!   cancellation. Simple, cache-friendly, excellent for the moderately
+//!   sized event sets of the grid simulator.
+//! * [`CalendarQueue`] — a Brown-style calendar queue with adaptive bucket
+//!   width, O(1) amortised enqueue/dequeue when event-time increments are
+//!   well behaved. Provided for large-scale runs and benchmarked against
+//!   the heap in `dgsched-bench`.
+//! * [`BTreeQueue`] — an ordered-map queue with *eager* cancellation
+//!   (O(log n) true removal, no tombstones). The reference implementation
+//!   the other two are property-tested against, and the right choice when
+//!   cancellations vastly outnumber pops.
+//!
+//! Both honour the same contract, captured by [`PendingEvents`]: events pop
+//! in non-decreasing time order, ties break in insertion (FIFO) order, and
+//! cancelled events never pop.
+
+use crate::event::{Entry, EventId};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
+
+/// Common interface of the pending-event set.
+pub trait PendingEvents<E> {
+    /// Schedules `payload` to fire at `time`, returning a cancellation handle.
+    fn schedule(&mut self, time: SimTime, payload: E) -> EventId;
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. this call removed it), `false` if it had already
+    /// fired or been cancelled.
+    fn cancel(&mut self, id: EventId) -> bool;
+
+    /// Removes and returns the earliest pending event.
+    fn pop(&mut self) -> Option<(SimTime, EventId, E)>;
+
+    /// Firing time of the earliest pending event, if any.
+    fn peek_time(&mut self) -> Option<SimTime>;
+
+    /// Number of live (non-cancelled) pending events.
+    fn len(&self) -> usize;
+
+    /// True when no live events remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// Min-heap adapter: BinaryHeap is a max-heap, so order entries by reversed key.
+struct HeapItem<E>(Entry<E>);
+
+impl<E> PartialEq for HeapItem<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl<E> Eq for HeapItem<E> {}
+impl<E> PartialOrd for HeapItem<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapItem<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.key().cmp(&self.0.key())
+    }
+}
+
+/// Binary-heap pending-event set with lazy cancellation.
+pub struct BinaryHeapQueue<E> {
+    heap: BinaryHeap<HeapItem<E>>,
+    /// Ids scheduled but not yet popped or cancelled.
+    pending: HashSet<u64>,
+    /// Ids cancelled but still physically in the heap (lazy deletion).
+    cancelled: HashSet<u64>,
+    next_id: u64,
+}
+
+impl<E> Default for BinaryHeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> BinaryHeapQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        BinaryHeapQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Creates an empty queue with capacity for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        BinaryHeapQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            pending: HashSet::with_capacity(cap),
+            cancelled: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    fn drop_cancelled_head(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.0.id.0) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<E> PendingEvents<E> for BinaryHeapQueue<E> {
+    fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(HeapItem(Entry { time, id, payload }));
+        self.pending.insert(id.0);
+        id
+    }
+
+    fn cancel(&mut self, id: EventId) -> bool {
+        // Only ids that are still pending may be cancelled; ids that already
+        // fired (or were cancelled) are absent from the pending set.
+        if self.pending.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        loop {
+            let item = self.heap.pop()?;
+            if self.cancelled.remove(&item.0.id.0) {
+                continue;
+            }
+            self.pending.remove(&item.0.id.0);
+            return Some((item.0.time, item.0.id, item.0.payload));
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.drop_cancelled_head();
+        self.heap.peek().map(|item| item.0.time)
+    }
+
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Brown's calendar queue: an array of "day" buckets spanning one "year";
+/// events beyond the current year sit in their bucket and are skipped until
+/// the year wraps around to them. Bucket count and width adapt to the live
+/// event population to keep bucket occupancy near one.
+pub struct CalendarQueue<E> {
+    buckets: Vec<Vec<Entry<E>>>,
+    bucket_width: f64,
+    /// Index of the bucket the current scan position is in.
+    cursor: usize,
+    /// Start time of the bucket under the cursor.
+    cursor_time: f64,
+    /// Ids scheduled but not yet popped or cancelled.
+    pending: HashSet<u64>,
+    /// Ids cancelled but still physically in a bucket (lazy deletion).
+    cancelled: HashSet<u64>,
+    next_id: u64,
+    live: usize,
+    resize_enabled: bool,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    const MIN_BUCKETS: usize = 4;
+
+    /// Creates an empty calendar queue with default geometry.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..Self::MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            bucket_width: 1.0,
+            cursor: 0,
+            cursor_time: 0.0,
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+            live: 0,
+            resize_enabled: true,
+        }
+    }
+
+    #[inline]
+    fn bucket_index(&self, t: f64) -> usize {
+        ((t / self.bucket_width) as usize) % self.buckets.len()
+    }
+
+    /// Estimates a good bucket width by sampling inter-event gaps near the
+    /// head of the queue, then rebuilds the calendar.
+    fn resize(&mut self, new_len: usize) {
+        let nbuckets = new_len.next_power_of_two().max(Self::MIN_BUCKETS);
+        // Sample up to 32 events with the smallest times to estimate spacing.
+        let mut times: Vec<f64> = self
+            .buckets
+            .iter()
+            .flatten()
+            .filter(|e| !self.cancelled.contains(&e.id.0))
+            .map(|e| e.time.as_secs())
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("event times are not NaN"));
+        times.truncate(32);
+        let width = if times.len() >= 2 {
+            let span = times[times.len() - 1] - times[0];
+            let mean_gap = span / (times.len() - 1) as f64;
+            // Brown's heuristic: three times the mean gap keeps occupancy ~1.
+            (3.0 * mean_gap).max(1e-9)
+        } else {
+            self.bucket_width
+        };
+
+        let old: Vec<Entry<E>> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        self.bucket_width = width;
+        // Re-anchor the cursor at the earliest live event (or keep position).
+        let anchor = old
+            .iter()
+            .filter(|e| !self.cancelled.contains(&e.id.0))
+            .map(|e| e.time.as_secs())
+            .fold(f64::INFINITY, f64::min);
+        let anchor = if anchor.is_finite() { anchor } else { self.cursor_time };
+        self.cursor = ((anchor / self.bucket_width) as usize) % self.buckets.len();
+        self.cursor_time = (anchor / self.bucket_width).floor() * self.bucket_width;
+        for e in old {
+            let idx = self.bucket_index(e.time.as_secs());
+            self.buckets[idx].push(e);
+        }
+    }
+
+    fn maybe_grow(&mut self) {
+        if self.resize_enabled && self.live > 2 * self.buckets.len() {
+            self.resize(self.live);
+        }
+    }
+
+    fn maybe_shrink(&mut self) {
+        if self.resize_enabled
+            && self.buckets.len() > Self::MIN_BUCKETS
+            && self.live < self.buckets.len() / 2
+        {
+            self.resize(self.live.max(1));
+        }
+    }
+
+    /// Finds the earliest live event and returns (bucket, position-in-bucket).
+    fn find_min(&self) -> Option<(usize, usize)> {
+        let mut best: Option<((SimTime, u64), usize, usize)> = None;
+        for (bi, bucket) in self.buckets.iter().enumerate() {
+            for (pi, e) in bucket.iter().enumerate() {
+                if self.cancelled.contains(&e.id.0) {
+                    continue;
+                }
+                let key = e.key();
+                if best.map(|(bk, _, _)| key < bk).unwrap_or(true) {
+                    best = Some((key, bi, pi));
+                }
+            }
+        }
+        best.map(|(_, bi, pi)| (bi, pi))
+    }
+
+    /// Scans forward from the cursor for the next event within the current
+    /// year; falls back to a full minimum search when a whole year is empty.
+    fn locate_next(&mut self) -> Option<(usize, usize)> {
+        if self.live == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        let mut cursor = self.cursor;
+        let mut cursor_time = self.cursor_time;
+        for _ in 0..n {
+            let year_end = cursor_time + self.bucket_width;
+            let mut best: Option<((SimTime, u64), usize)> = None;
+            for (pi, e) in self.buckets[cursor].iter().enumerate() {
+                if self.cancelled.contains(&e.id.0) {
+                    continue;
+                }
+                let t = e.time.as_secs();
+                if t < year_end {
+                    let key = e.key();
+                    if best.map(|(bk, _)| key < bk).unwrap_or(true) {
+                        best = Some((key, pi));
+                    }
+                }
+            }
+            if let Some((_, pi)) = best {
+                self.cursor = cursor;
+                self.cursor_time = cursor_time;
+                return Some((cursor, pi));
+            }
+            cursor = (cursor + 1) % n;
+            cursor_time += self.bucket_width;
+        }
+        // A full year contained nothing due soon: do a direct search and jump.
+        let (bi, pi) = self.find_min()?;
+        let t = self.buckets[bi][pi].time.as_secs();
+        self.cursor = bi;
+        self.cursor_time = (t / self.bucket_width).floor() * self.bucket_width;
+        Some((bi, pi))
+    }
+
+    fn purge_cancelled(&mut self, bi: usize) {
+        let cancelled = &mut self.cancelled;
+        self.buckets[bi].retain(|e| !cancelled.remove(&e.id.0));
+    }
+}
+
+impl<E> PendingEvents<E> for CalendarQueue<E> {
+    fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let t = time.as_secs();
+        let idx = self.bucket_index(t);
+        self.buckets[idx].push(Entry { time, id, payload });
+        self.pending.insert(id.0);
+        self.live += 1;
+        // Maintain the invariant that every live event fires at or after the
+        // start of the cursor year; otherwise the forward scan could pop a
+        // later event first.
+        if t < self.cursor_time {
+            self.cursor = idx;
+            self.cursor_time = (t / self.bucket_width).floor() * self.bucket_width;
+        }
+        self.maybe_grow();
+        id
+    }
+
+    fn cancel(&mut self, id: EventId) -> bool {
+        if self.pending.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        let (bi, _pi) = self.locate_next()?;
+        self.purge_cancelled(bi);
+        // Positions shifted after the purge; find the minimum in the bucket
+        // that is still due within the located year (it must exist: the
+        // located event was live).
+        let bucket = &mut self.buckets[bi];
+        let min_pos = bucket
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.key())
+            .map(|(i, _)| i)
+            .expect("located bucket cannot be empty after purge");
+        let e = bucket.swap_remove(min_pos);
+        self.pending.remove(&e.id.0);
+        self.live -= 1;
+        self.maybe_shrink();
+        Some((e.time, e.id, e.payload))
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        let (bi, pi) = self.locate_next()?;
+        Some(self.buckets[bi][pi].time)
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+/// Ordered-map pending-event set with eager cancellation.
+///
+/// Keys are `(time-bits, id)`: `SimTime` is non-NaN and non-negative in
+/// practice, so the IEEE-754 bit pattern of the time orders correctly and
+/// gives a fully `Ord` key. Cancellation removes the entry outright —
+/// no tombstones, so memory is exactly proportional to live events.
+pub struct BTreeQueue<E> {
+    map: BTreeMap<(u64, u64), (SimTime, E)>,
+    /// id → key, so `cancel` can find the entry.
+    index: std::collections::HashMap<u64, (u64, u64)>,
+    next_id: u64,
+}
+
+impl<E> Default for BTreeQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> BTreeQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        BTreeQueue {
+            map: BTreeMap::new(),
+            index: std::collections::HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    #[inline]
+    fn time_key(t: SimTime) -> u64 {
+        let secs = t.as_secs();
+        debug_assert!(
+            secs >= 0.0,
+            "BTreeQueue requires non-negative times (got {secs})"
+        );
+        secs.to_bits()
+    }
+}
+
+impl<E> PendingEvents<E> for BTreeQueue<E> {
+    fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let key = (Self::time_key(time), id.0);
+        self.map.insert(key, (time, payload));
+        self.index.insert(id.0, key);
+        id
+    }
+
+    fn cancel(&mut self, id: EventId) -> bool {
+        match self.index.remove(&id.0) {
+            Some(key) => {
+                let removed = self.map.remove(&key);
+                debug_assert!(removed.is_some(), "index out of sync");
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        let (key, (time, payload)) = self.map.pop_first()?;
+        self.index.remove(&key.1);
+        Some((time, EventId(key.1), payload))
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.map.first_key_value().map(|(_, (t, _))| *t)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<Q: PendingEvents<u32>>(mut q: Q) {
+        assert!(q.is_empty());
+        let a = q.schedule(SimTime::new(5.0), 5);
+        let _b = q.schedule(SimTime::new(1.0), 1);
+        let c = q.schedule(SimTime::new(3.0), 3);
+        assert_eq!(q.len(), 3);
+        assert!(q.cancel(c));
+        assert!(!q.cancel(c), "double cancel must be a no-op");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::new(1.0)));
+        assert_eq!(q.pop().map(|(t, _, p)| (t.as_secs(), p)), Some((1.0, 1)));
+        assert_eq!(q.pop().map(|(t, _, p)| (t.as_secs(), p)), Some((5.0, 5)));
+        assert!(!q.cancel(a), "cancelling a fired event must return false");
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heap_contract() {
+        exercise(BinaryHeapQueue::new());
+    }
+
+    #[test]
+    fn calendar_contract() {
+        exercise(CalendarQueue::new());
+    }
+
+    #[test]
+    fn btree_contract() {
+        exercise(BTreeQueue::new());
+    }
+
+    #[test]
+    fn btree_fifo_ties() {
+        fifo_ties(BTreeQueue::new());
+    }
+
+    #[test]
+    fn btree_cancel_is_eager() {
+        let mut q = BTreeQueue::new();
+        let ids: Vec<_> = (0..100).map(|i| q.schedule(SimTime::new(i as f64), i)).collect();
+        for id in &ids[..50] {
+            assert!(q.cancel(*id));
+        }
+        assert_eq!(q.len(), 50);
+        // Internals hold exactly the live events (no tombstones).
+        assert_eq!(q.map.len(), 50);
+        assert_eq!(q.index.len(), 50);
+        assert_eq!(q.pop().unwrap().2, 50);
+    }
+
+    fn fifo_ties<Q: PendingEvents<u32>>(mut q: Q) {
+        for i in 0..10 {
+            q.schedule(SimTime::new(7.0), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn heap_fifo_ties() {
+        fifo_ties(BinaryHeapQueue::new());
+    }
+
+    #[test]
+    fn calendar_fifo_ties() {
+        fifo_ties(CalendarQueue::new());
+    }
+
+    #[test]
+    fn calendar_handles_spread_times() {
+        let mut q = CalendarQueue::new();
+        // Times spanning many "years" force the wrap-around path.
+        let times = [1e6, 3.0, 0.5, 9e5, 12.0, 7e3, 2e6, 0.25];
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::new(t), i as u32);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, _, _)) = q.pop() {
+            popped.push(t.as_secs());
+        }
+        let mut sorted = times.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn heap_interleaved_schedule_pop() {
+        let mut q = BinaryHeapQueue::new();
+        q.schedule(SimTime::new(10.0), 10);
+        assert_eq!(q.pop().unwrap().2, 10);
+        q.schedule(SimTime::new(2.0), 2);
+        q.schedule(SimTime::new(1.0), 1);
+        assert_eq!(q.pop().unwrap().2, 1);
+        q.schedule(SimTime::new(0.5), 0);
+        assert_eq!(q.pop().unwrap().2, 0);
+        assert_eq!(q.pop().unwrap().2, 2);
+    }
+
+    #[test]
+    fn cancel_none_sentinel_is_noop() {
+        let mut q = BinaryHeapQueue::<u32>::new();
+        assert!(!q.cancel(EventId::NONE));
+        let mut c = CalendarQueue::<u32>::new();
+        assert!(!c.cancel(EventId::NONE));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = BinaryHeapQueue::new();
+        let head = q.schedule(SimTime::new(1.0), 1);
+        q.schedule(SimTime::new(2.0), 2);
+        q.cancel(head);
+        assert_eq!(q.peek_time(), Some(SimTime::new(2.0)));
+    }
+}

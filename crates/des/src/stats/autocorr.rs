@@ -1,0 +1,151 @@
+//! Autocorrelation analysis for simulation output.
+//!
+//! Turnaround observations from one run are serially correlated (bags
+//! overlap in the system), which biases naive variance estimates. This
+//! module estimates the autocorrelation function, the effective sample
+//! size, and a batch size large enough for batch means to be treated as
+//! independent.
+
+/// Sample autocorrelation at lags `0..=max_lag` (lag 0 is always 1).
+///
+/// Returns an empty vector when fewer than two observations are supplied.
+pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let c0: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if c0 == 0.0 {
+        // A constant series: define ρ₀ = 1, all other lags 0.
+        let mut out = vec![0.0; max_lag.min(n - 1) + 1];
+        out[0] = 1.0;
+        return out;
+    }
+    (0..=max_lag.min(n - 1))
+        .map(|k| {
+            let ck: f64 = xs[..n - k]
+                .iter()
+                .zip(&xs[k..])
+                .map(|(a, b)| (a - mean) * (b - mean))
+                .sum::<f64>()
+                / n as f64;
+            ck / c0
+        })
+        .collect()
+}
+
+/// Effective sample size `n / (1 + 2 Σ ρ_k)`, truncating the sum at the
+/// first non-positive autocorrelation (Geyer's initial positive sequence,
+/// simplified). At least 1.
+pub fn effective_sample_size(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return n as f64;
+    }
+    let rho = autocorrelation(xs, n / 2);
+    let mut s = 0.0;
+    for &r in rho.iter().skip(1) {
+        if r <= 0.0 {
+            break;
+        }
+        s += r;
+    }
+    (n as f64 / (1.0 + 2.0 * s)).max(1.0)
+}
+
+/// Suggests a batch size such that batch means are approximately
+/// uncorrelated: the first lag where the autocorrelation drops below
+/// `cutoff` (default recommendation: 0.05), doubled for safety margin.
+pub fn suggest_batch_size(xs: &[f64], cutoff: f64) -> usize {
+    let n = xs.len();
+    if n < 4 {
+        return 1;
+    }
+    let rho = autocorrelation(xs, n / 2);
+    let decorrelation_lag = rho
+        .iter()
+        .enumerate()
+        .skip(1)
+        .find(|(_, &r)| r.abs() < cutoff)
+        .map(|(k, _)| k)
+        .unwrap_or(n / 2);
+    (2 * decorrelation_lag).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn ar1(phi: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut x = 0.0;
+        (0..n)
+            .map(|_| {
+                let e: f64 = rng.gen::<f64>() - 0.5;
+                x = phi * x + e;
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        let xs = ar1(0.5, 500, 1);
+        let rho = autocorrelation(&xs, 10);
+        assert!((rho[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iid_series_has_tiny_autocorrelation() {
+        let xs = ar1(0.0, 20_000, 2);
+        let rho = autocorrelation(&xs, 5);
+        for &r in &rho[1..] {
+            assert!(r.abs() < 0.05, "iid lag correlation {r}");
+        }
+        let ess = effective_sample_size(&xs);
+        assert!(ess > 0.8 * xs.len() as f64, "ESS {ess} of {}", xs.len());
+    }
+
+    #[test]
+    fn ar1_autocorrelation_matches_theory() {
+        // For AR(1), ρ_k = φ^k.
+        let phi: f64 = 0.8;
+        let xs = ar1(phi, 100_000, 3);
+        let rho = autocorrelation(&xs, 3);
+        for (k, &r) in rho.iter().enumerate().skip(1) {
+            let expected = phi.powi(k as i32);
+            assert!((r - expected).abs() < 0.05, "lag {k}: {r} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn correlated_series_shrinks_ess() {
+        let xs = ar1(0.9, 20_000, 4);
+        let ess = effective_sample_size(&xs);
+        // Theory: ESS/n ≈ (1-φ)/(1+φ) ≈ 0.053.
+        let ratio = ess / xs.len() as f64;
+        assert!(ratio < 0.15, "ESS ratio {ratio}");
+        assert!(ratio > 0.01, "ESS ratio {ratio}");
+    }
+
+    #[test]
+    fn batch_size_grows_with_correlation() {
+        let weak = suggest_batch_size(&ar1(0.2, 10_000, 5), 0.05);
+        let strong = suggest_batch_size(&ar1(0.95, 10_000, 5), 0.05);
+        assert!(strong > weak, "strong {strong} vs weak {weak}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(autocorrelation(&[], 5).is_empty());
+        assert!(autocorrelation(&[1.0], 5).is_empty());
+        assert_eq!(effective_sample_size(&[1.0]), 1.0);
+        assert_eq!(suggest_batch_size(&[1.0, 2.0], 0.05), 1);
+        // Constant series must not divide by zero.
+        let rho = autocorrelation(&[3.0; 10], 4);
+        assert_eq!(rho[0], 1.0);
+        assert!(rho[1..].iter().all(|&r| r == 0.0));
+    }
+}

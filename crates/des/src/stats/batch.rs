@@ -1,0 +1,121 @@
+//! Batch-means estimation for steady-state output analysis.
+//!
+//! A single long run produces autocorrelated observations; grouping them
+//! into batches and treating batch means as i.i.d. recovers a usable
+//! variance estimate. Used by the experiment runner's single-run mode and
+//! by tests that validate the replication-based CI against it.
+
+use super::ci::ConfidenceInterval;
+use super::welford::Welford;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates observations into fixed-size batches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: usize,
+    current: Welford,
+    batches: Welford,
+    warmup_remaining: usize,
+}
+
+impl BatchMeans {
+    /// Creates an accumulator with `batch_size` observations per batch,
+    /// discarding the first `warmup` observations (initial-transient
+    /// deletion).
+    pub fn new(batch_size: usize, warmup: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current: Welford::new(),
+            batches: Welford::new(),
+            warmup_remaining: warmup,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if self.warmup_remaining > 0 {
+            self.warmup_remaining -= 1;
+            return;
+        }
+        self.current.push(x);
+        if self.current.count() as usize >= self.batch_size {
+            self.batches.push(self.current.mean());
+            self.current = Welford::new();
+        }
+    }
+
+    /// Number of complete batches.
+    pub fn batch_count(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// Mean over complete batches.
+    pub fn mean(&self) -> f64 {
+        self.batches.mean()
+    }
+
+    /// Confidence interval over complete batch means.
+    pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
+        ConfidenceInterval::from_welford(&self.batches, level)
+    }
+
+    /// Accumulator over the batch means (for merging or inspection).
+    pub fn batches(&self) -> &Welford {
+        &self.batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_partition_stream() {
+        let mut bm = BatchMeans::new(10, 0);
+        for i in 0..100 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.batch_count(), 10);
+        // Batch means are 4.5, 14.5, ..., 94.5 → overall mean 49.5.
+        assert!((bm.mean() - 49.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_discards_prefix() {
+        let mut bm = BatchMeans::new(5, 10);
+        for _ in 0..10 {
+            bm.push(1_000_000.0); // transient junk
+        }
+        for _ in 0..25 {
+            bm.push(2.0);
+        }
+        assert_eq!(bm.batch_count(), 5);
+        assert_eq!(bm.mean(), 2.0);
+    }
+
+    #[test]
+    fn incomplete_batch_excluded() {
+        let mut bm = BatchMeans::new(10, 0);
+        for _ in 0..19 {
+            bm.push(1.0);
+        }
+        assert_eq!(bm.batch_count(), 1);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_batches() {
+        let wobble = |i: usize| 10.0 + if i.is_multiple_of(2) { 1.0 } else { -1.0 };
+        let mut small = BatchMeans::new(4, 0);
+        for i in 0..40 {
+            small.push(wobble(i));
+        }
+        let mut large = BatchMeans::new(4, 0);
+        for i in 0..400 {
+            large.push(wobble(i));
+        }
+        let hw_small = small.confidence_interval(0.95).half_width;
+        let hw_large = large.confidence_interval(0.95).half_width;
+        assert!(hw_large <= hw_small);
+    }
+}

@@ -1,0 +1,108 @@
+//! Bootstrap confidence intervals — a distribution-free alternative to the
+//! Student-t interval for skewed metrics (turnaround distributions on
+//! saturating systems are heavily right-skewed, where t intervals
+//! under-cover).
+
+use super::ci::ConfidenceInterval;
+use rand::Rng;
+
+/// Percentile-bootstrap CI of the mean: resample `samples` with
+/// replacement `resamples` times and take the empirical `level` interval
+/// of the resampled means.
+///
+/// Returns a degenerate interval (infinite half-width) for fewer than two
+/// observations.
+pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
+    samples: &[f64],
+    level: f64,
+    resamples: usize,
+    rng: &mut R,
+) -> ConfidenceInterval {
+    assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0,1)");
+    assert!(resamples >= 100, "need at least 100 resamples");
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n.max(1) as f64;
+    if n < 2 {
+        return ConfidenceInterval {
+            mean,
+            half_width: f64::INFINITY,
+            level,
+            n: n as u64,
+        };
+    }
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut s = 0.0;
+        for _ in 0..n {
+            s += samples[rng.gen_range(0..n)];
+        }
+        means.push(s / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("means are not NaN"));
+    let alpha = 1.0 - level;
+    let lo_idx = ((alpha / 2.0) * resamples as f64) as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64) as usize).min(resamples - 1);
+    let (lo, hi) = (means[lo_idx], means[hi_idx]);
+    // Report as a symmetric-looking interval around the point estimate by
+    // taking the larger distance (conservative for skewed data).
+    let half_width = (mean - lo).max(hi - mean);
+    ConfidenceInterval { mean, half_width, level, n: n as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn covers_known_mean_for_normal_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let data: Vec<f64> = (0..200)
+            .map(|_| {
+                // Sum of uniforms ≈ normal around 5.0.
+                (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0 + 5.0
+            })
+            .collect();
+        let ci = bootstrap_mean_ci(&data, 0.95, 1000, &mut rng);
+        let (lo, hi) = ci.bounds();
+        assert!(lo < 5.0 && 5.0 < hi, "CI [{lo}, {hi}] must cover 5.0");
+        assert!(ci.half_width < 0.5);
+    }
+
+    #[test]
+    fn comparable_to_t_interval_for_symmetric_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let data: Vec<f64> = (0..100).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let boot = bootstrap_mean_ci(&data, 0.95, 2000, &mut rng);
+        let w: super::super::Welford = data.iter().copied().collect();
+        let t = ConfidenceInterval::from_welford(&w, 0.95);
+        let ratio = boot.half_width / t.half_width;
+        assert!((0.7..1.4).contains(&ratio), "bootstrap/t width ratio {ratio}");
+    }
+
+    #[test]
+    fn wider_for_skewed_than_symmetric_tail() {
+        // Exponential-ish data: the upper distance should exceed the lower,
+        // and the conservative half-width picks it up.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let data: Vec<f64> = (0..150)
+            .map(|_| -(1.0 - rng.gen_range(0.0..1.0f64)).ln() * 100.0)
+            .collect();
+        let ci = bootstrap_mean_ci(&data, 0.95, 2000, &mut rng);
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        assert!((ci.mean - mean).abs() < 1e-12);
+        assert!(ci.half_width > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let ci = bootstrap_mean_ci(&[], 0.95, 100, &mut rng);
+        assert!(ci.half_width.is_infinite());
+        let ci = bootstrap_mean_ci(&[7.0], 0.95, 100, &mut rng);
+        assert!(ci.half_width.is_infinite());
+        assert_eq!(ci.mean, 7.0);
+        let ci = bootstrap_mean_ci(&[3.0, 3.0, 3.0], 0.95, 100, &mut rng);
+        assert_eq!(ci.half_width, 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! MSER truncation: automatic initial-transient (warm-up) detection.
+//!
+//! The MSER-k rule (White, 1997) batches the output series into means of
+//! `k` observations and chooses the truncation point that minimises the
+//! standard error of the remaining data — the standard knowledge-free
+//! answer to "how many bags should `warmup_bags` discard?".
+
+/// Result of an MSER scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MserResult {
+    /// Number of *raw observations* to discard.
+    pub truncate: usize,
+    /// The minimised standard-error statistic at that truncation.
+    pub statistic: f64,
+    /// Mean of the retained observations.
+    pub truncated_mean: f64,
+}
+
+/// MSER-k: returns the truncation point (in raw observations) minimising
+/// the MSER statistic over batch means of size `k`.
+///
+/// Truncations beyond half the series are not considered (the standard
+/// guard against the statistic's instability on short tails). Returns
+/// `None` when fewer than `2k` observations are supplied.
+pub fn mser(xs: &[f64], k: usize) -> Option<MserResult> {
+    assert!(k >= 1, "batch size must be at least 1");
+    let n_batches = xs.len() / k;
+    if n_batches < 2 {
+        return None;
+    }
+    let batch_means: Vec<f64> = (0..n_batches)
+        .map(|b| xs[b * k..(b + 1) * k].iter().sum::<f64>() / k as f64)
+        .collect();
+    let mut best: Option<(usize, f64)> = None;
+    // Candidate truncations: drop the first d batches, d ≤ half.
+    for d in 0..=(n_batches / 2) {
+        let tail = &batch_means[d..];
+        let m = tail.len() as f64;
+        let mean = tail.iter().sum::<f64>() / m;
+        let var = tail.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / m;
+        // MSER statistic: variance of the mean of the retained batches.
+        let stat = var / m;
+        if best.map(|(_, b)| stat < b).unwrap_or(true) {
+            best = Some((d, stat));
+        }
+    }
+    let (d, statistic) = best.expect("at least one candidate");
+    let truncate = d * k;
+    let tail = &xs[truncate..];
+    let truncated_mean = tail.iter().sum::<f64>() / tail.len() as f64;
+    Some(MserResult { truncate, statistic, truncated_mean })
+}
+
+/// MSER-5, the conventional parameterisation.
+pub fn mser5(xs: &[f64]) -> Option<MserResult> {
+    mser(xs, 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    /// A series with an obvious transient: starts high, settles to ~10.
+    fn transient_series(n: usize, transient: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let noise: f64 = rng.gen_range(-1.0..1.0);
+                if i < transient {
+                    100.0 - 90.0 * (i as f64 / transient as f64) + noise
+                } else {
+                    10.0 + noise
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_transient() {
+        let xs = transient_series(1000, 100, 1);
+        let r = mser5(&xs).expect("enough data");
+        assert!(
+            (50..=200).contains(&r.truncate),
+            "should truncate near the 100-obs transient, got {}",
+            r.truncate
+        );
+        assert!((r.truncated_mean - 10.0).abs() < 1.0, "mean {}", r.truncated_mean);
+    }
+
+    #[test]
+    fn stationary_series_keeps_everything_or_little() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..1000).map(|_| 5.0 + rng.gen_range(-0.5..0.5)).collect();
+        let r = mser5(&xs).expect("enough data");
+        assert!(
+            r.truncate <= 300,
+            "stationary data needs no big truncation, got {}",
+            r.truncate
+        );
+        assert!((r.truncated_mean - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn truncation_capped_at_half() {
+        // A series that keeps trending: the rule must not throw away more
+        // than half.
+        let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let r = mser5(&xs).expect("enough data");
+        assert!(r.truncate <= 100);
+    }
+
+    #[test]
+    fn short_series_returns_none() {
+        assert!(mser5(&[1.0; 9]).is_none());
+        assert!(mser5(&[1.0; 10]).is_some());
+        assert!(mser(&[], 5).is_none());
+    }
+
+    #[test]
+    fn batch_size_one_works() {
+        let xs = transient_series(400, 50, 3);
+        let r = mser(&xs, 1).expect("enough data");
+        assert!((30..=120).contains(&r.truncate), "got {}", r.truncate);
+    }
+}

@@ -1,0 +1,202 @@
+//! P² streaming quantile estimation (Jain & Chlamtac, 1985).
+//!
+//! Estimates a single quantile of a stream in O(1) memory — five markers
+//! adjusted with piecewise-parabolic interpolation. Exactly what a long
+//! saturation run needs for "p95 turnaround" without storing every bag.
+
+/// Streaming estimator for the `q`-quantile.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (the estimates).
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+    /// First five observations, buffered until initialisation.
+    warmup: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile, `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            warmup: Vec::with_capacity(5),
+        }
+    }
+
+    /// Number of observations consumed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.warmup.len() < 5 {
+            self.warmup.push(x);
+            if self.warmup.len() == 5 {
+                self.warmup.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                for (h, w) in self.heights.iter_mut().zip(&self.warmup) {
+                    *h = *w;
+                }
+            }
+            return;
+        }
+
+        // 1. Find the cell k containing x, clamping the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[0] <= x < heights[4]
+            (0..4)
+                .find(|&i| x < self.heights[i + 1])
+                .expect("x is within the marker range")
+        };
+
+        // 2. Shift positions above the cell.
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // 3. Adjust interior markers towards their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                let new_height = if self.heights[i - 1] < parabolic
+                    && parabolic < self.heights[i + 1]
+                {
+                    parabolic
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate (`None` before five observations).
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.warmup.len() < 5 {
+            // Exact small-sample quantile from the buffer.
+            let mut s = self.warmup.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let idx = ((self.q * s.len() as f64).ceil() as usize).clamp(1, s.len()) - 1;
+            return Some(s[idx]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn exact_quantile(xs: &mut [f64], q: f64) -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        xs[((q * xs.len() as f64) as usize).min(xs.len() - 1)]
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut p2 = P2Quantile::new(0.5);
+        let mut all = Vec::new();
+        for _ in 0..50_000 {
+            let x: f64 = rng.gen_range(0.0..100.0);
+            p2.push(x);
+            all.push(x);
+        }
+        let est = p2.estimate().unwrap();
+        let exact = exact_quantile(&mut all, 0.5);
+        assert!((est - exact).abs() < 1.0, "P² {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn p95_of_skewed_stream() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut p2 = P2Quantile::new(0.95);
+        let mut all = Vec::new();
+        for _ in 0..100_000 {
+            // Exponential: heavy-ish right tail.
+            let u: f64 = rng.gen();
+            let x = -(1.0 - u).ln() * 50.0;
+            p2.push(x);
+            all.push(x);
+        }
+        let est = p2.estimate().unwrap();
+        let exact = exact_quantile(&mut all, 0.95);
+        let rel = (est - exact).abs() / exact;
+        assert!(rel < 0.05, "P² {est} vs exact {exact} ({:.1}% off)", rel * 100.0);
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut p2 = P2Quantile::new(0.5);
+        assert_eq!(p2.estimate(), None);
+        p2.push(10.0);
+        assert_eq!(p2.estimate(), Some(10.0));
+        p2.push(20.0);
+        p2.push(30.0);
+        // Median of {10,20,30} = 20.
+        assert_eq!(p2.estimate(), Some(20.0));
+        assert_eq!(p2.count(), 3);
+    }
+
+    #[test]
+    fn monotone_stream() {
+        let mut p2 = P2Quantile::new(0.9);
+        for i in 0..10_000 {
+            p2.push(i as f64);
+        }
+        let est = p2.estimate().unwrap();
+        assert!((est - 9_000.0).abs() < 200.0, "est {est}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_invalid_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

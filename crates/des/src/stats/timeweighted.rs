@@ -1,0 +1,115 @@
+//! Time-weighted statistics for piecewise-constant signals (queue lengths,
+//! busy-machine counts, utilization).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Integrates a piecewise-constant signal over simulated time and reports
+/// its time-average.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_change: SimTime,
+    value: f64,
+    integral: f64,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `start` with initial `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted { start, last_change: start, value, integral: 0.0, max: value }
+    }
+
+    /// Records that the signal changed to `value` at time `now`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `now` precedes the previous update.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        debug_assert!(now >= self.last_change, "time-weighted updates must be monotone");
+        self.integral += self.value * now.since(self.last_change);
+        self.last_change = now;
+        self.value = value;
+        self.max = self.max.max(value);
+    }
+
+    /// Adds `delta` to the signal at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Current signal value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Largest value ever observed.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Integral of the signal from `start` to `now`.
+    pub fn integral_to(&self, now: SimTime) -> f64 {
+        self.integral + self.value * now.since(self.last_change)
+    }
+
+    /// Time-average of the signal from `start` to `now` (0 over an empty
+    /// interval).
+    pub fn time_average(&self, now: SimTime) -> f64 {
+        let span = now.since(self.start);
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.integral_to(now) / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal() {
+        let tw = TimeWeighted::new(SimTime::ZERO, 3.0);
+        assert_eq!(tw.time_average(SimTime::new(10.0)), 3.0);
+        assert_eq!(tw.integral_to(SimTime::new(10.0)), 30.0);
+    }
+
+    #[test]
+    fn step_signal() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::new(2.0), 4.0); // 0 for [0,2), 4 for [2,6)
+        assert_eq!(tw.integral_to(SimTime::new(6.0)), 16.0);
+        assert_eq!(tw.time_average(SimTime::new(6.0)), 16.0 / 6.0);
+        assert_eq!(tw.max(), 4.0);
+        assert_eq!(tw.current(), 4.0);
+    }
+
+    #[test]
+    fn add_tracks_queue_length() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.add(SimTime::new(1.0), 1.0); // length 1 from t=1
+        tw.add(SimTime::new(3.0), 1.0); // length 2 from t=3
+        tw.add(SimTime::new(4.0), -2.0); // empty from t=4
+        // integral = 0*1 + 1*2 + 2*1 + 0*6 = 4 over [0,10]
+        assert_eq!(tw.integral_to(SimTime::new(10.0)), 4.0);
+        assert!((tw.time_average(SimTime::new(10.0)) - 0.4).abs() < 1e-12);
+        assert_eq!(tw.max(), 2.0);
+    }
+
+    #[test]
+    fn empty_interval_average_is_zero() {
+        let tw = TimeWeighted::new(SimTime::new(5.0), 7.0);
+        assert_eq!(tw.time_average(SimTime::new(5.0)), 0.0);
+    }
+
+    #[test]
+    fn nonzero_start_time() {
+        let mut tw = TimeWeighted::new(SimTime::new(100.0), 2.0);
+        tw.set(SimTime::new(110.0), 0.0);
+        assert_eq!(tw.integral_to(SimTime::new(120.0)), 20.0);
+        assert_eq!(tw.time_average(SimTime::new(120.0)), 1.0);
+    }
+}

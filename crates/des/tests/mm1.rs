@@ -1,0 +1,143 @@
+//! Kernel validation against queueing theory: an M/M/1 queue built on the
+//! engine must reproduce the analytic mean response time
+//! `W = 1 / (μ − λ)` and mean queue length `L = ρ / (1 − ρ)`.
+//!
+//! This exercises the entire kernel stack — engine, event queue,
+//! distributions, RNG streams, and the statistics — against closed-form
+//! ground truth, independently of the grid domain.
+
+use dgsched_des::dist::DistConfig;
+use dgsched_des::engine::{Control, Engine, Handler, Scheduler};
+use dgsched_des::queue::{BinaryHeapQueue, CalendarQueue, PendingEvents};
+use dgsched_des::rng::StreamSeeder;
+use dgsched_des::stats::{TimeWeighted, Welford};
+use dgsched_des::time::SimTime;
+use rand::rngs::StdRng;
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrival,
+    Departure,
+}
+
+struct Mm1 {
+    arrivals_rng: StdRng,
+    service_rng: StdRng,
+    interarrival: dgsched_des::dist::Sampler,
+    service: dgsched_des::dist::Sampler,
+    queue: Vec<SimTime>, // arrival times of waiting + in-service customers
+    response: Welford,
+    in_system: TimeWeighted,
+    served: u64,
+    target: u64,
+    warmup: u64,
+}
+
+impl Mm1 {
+    fn new(lambda: f64, mu: f64, target: u64, seed: u64) -> Self {
+        let seeder = StreamSeeder::new(seed);
+        Mm1 {
+            arrivals_rng: seeder.stream("arrivals", 0),
+            service_rng: seeder.stream("service", 0),
+            interarrival: DistConfig::Exponential { mean: 1.0 / lambda }.sampler(),
+            service: DistConfig::Exponential { mean: 1.0 / mu }.sampler(),
+            queue: Vec::new(),
+            response: Welford::new(),
+            in_system: TimeWeighted::new(SimTime::ZERO, 0.0),
+            served: 0,
+            target,
+            warmup: target / 10,
+        }
+    }
+}
+
+impl Handler<Ev> for Mm1 {
+    fn handle<Q: PendingEvents<Ev>>(&mut self, ev: Ev, sched: &mut Scheduler<'_, Ev, Q>) -> Control {
+        let now = sched.now();
+        match ev {
+            Ev::Arrival => {
+                self.queue.push(now);
+                self.in_system.set(now, self.queue.len() as f64);
+                if self.queue.len() == 1 {
+                    let s = self.service.sample(&mut self.service_rng);
+                    sched.schedule_in(s, Ev::Departure);
+                }
+                let gap = self.interarrival.sample(&mut self.arrivals_rng);
+                sched.schedule_in(gap, Ev::Arrival);
+                Control::Continue
+            }
+            Ev::Departure => {
+                let arrived = self.queue.remove(0);
+                self.in_system.set(now, self.queue.len() as f64);
+                self.served += 1;
+                if self.served > self.warmup {
+                    self.response.push(now.since(arrived));
+                }
+                if !self.queue.is_empty() {
+                    let s = self.service.sample(&mut self.service_rng);
+                    sched.schedule_in(s, Ev::Departure);
+                }
+                if self.served >= self.target {
+                    Control::Stop
+                } else {
+                    Control::Continue
+                }
+            }
+        }
+    }
+}
+
+fn run_mm1<Q: PendingEvents<Ev>>(queue: Q, lambda: f64, mu: f64, customers: u64, seed: u64) -> (f64, f64, f64) {
+    let mut engine = Engine::with_queue(queue);
+    let mut model = Mm1::new(lambda, mu, customers, seed);
+    engine.prime(SimTime::ZERO, Ev::Arrival);
+    engine.run(&mut model);
+    (
+        model.response.mean(),
+        model.in_system.time_average(engine.now()),
+        engine.now().as_secs(),
+    )
+}
+
+#[test]
+fn mm1_mean_response_time_matches_theory() {
+    let (lambda, mu) = (0.7, 1.0);
+    let expected_w = 1.0 / (mu - lambda); // 3.333…
+    let mut err_sum = 0.0;
+    let reps = 5;
+    for seed in 0..reps {
+        let (w, _, _) = run_mm1(BinaryHeapQueue::new(), lambda, mu, 200_000, seed);
+        err_sum += (w - expected_w) / expected_w;
+    }
+    let bias = err_sum / reps as f64;
+    assert!(bias.abs() < 0.05, "W biased by {:.1}% (expected {expected_w})", bias * 100.0);
+}
+
+#[test]
+fn mm1_mean_queue_length_matches_theory() {
+    let (lambda, mu) = (0.5, 1.0);
+    let rho = lambda / mu;
+    let expected_l = rho / (1.0 - rho); // 1.0
+    let (_, l, _) = run_mm1(BinaryHeapQueue::new(), lambda, mu, 300_000, 42);
+    assert!((l - expected_l).abs() / expected_l < 0.05, "L = {l}, expected {expected_l}");
+}
+
+#[test]
+fn both_queue_backends_agree_exactly() {
+    // Same model, same seeds, different pending-event sets: the simulated
+    // trajectory must be identical, not merely statistically similar.
+    let a = run_mm1(BinaryHeapQueue::new(), 0.8, 1.0, 50_000, 7);
+    let b = run_mm1(CalendarQueue::new(), 0.8, 1.0, 50_000, 7);
+    assert_eq!(a.0.to_bits(), b.0.to_bits(), "response means diverged");
+    assert_eq!(a.2.to_bits(), b.2.to_bits(), "end times diverged");
+}
+
+#[test]
+fn utilization_approaches_rho() {
+    // Little's-law cross-check: λ·W should equal the time-average number in
+    // system.
+    let (lambda, mu) = (0.6, 1.0);
+    let (w, l, _) = run_mm1(BinaryHeapQueue::new(), lambda, mu, 300_000, 3);
+    let little = lambda * w;
+    assert!((little - l).abs() / l < 0.06, "Little's law: λW={little} vs L={l}");
+}

@@ -1,0 +1,241 @@
+//! Checkpointing model: the checkpoint server, transfer costs and Young's
+//! optimal checkpoint interval.
+//!
+//! The paper (§3.2, footnote 1) assumes one or more checkpoint servers;
+//! saving or retrieving a checkpoint costs a transfer uniformly distributed
+//! in [240, 720] s (§4.1), and each application checkpoints at the interval
+//! given by Young's first-order formula `τ = sqrt(2 · δ · MTBF)` where δ is
+//! the mean checkpoint cost.
+
+use dgsched_des::dist::{DistConfig, Sampler};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Young's first-order optimal checkpoint interval.
+///
+/// Returns `+inf` when the MTBF is infinite (never checkpoint on a grid
+/// that never fails).
+pub fn young_interval(mean_checkpoint_cost: f64, mtbf: f64) -> f64 {
+    assert!(mean_checkpoint_cost > 0.0, "checkpoint cost must be positive");
+    assert!(mtbf > 0.0, "MTBF must be positive");
+    if mtbf.is_infinite() {
+        f64::INFINITY
+    } else {
+        (2.0 * mean_checkpoint_cost * mtbf).sqrt()
+    }
+}
+
+fn default_interval_factor() -> f64 {
+    1.0
+}
+
+/// Checkpointing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    /// Whether checkpointing is enabled at all (WQR-FT: yes; plain WQR: no).
+    pub enabled: bool,
+    /// Distribution of the time to write a checkpoint to the server.
+    pub save_cost: DistConfig,
+    /// Distribution of the time to retrieve a checkpoint from the server.
+    pub retrieve_cost: DistConfig,
+    /// Multiplier on Young's interval (1.0 = the paper's setting; < 1
+    /// checkpoints more often, > 1 less often). Exists for the
+    /// checkpoint-interval sensitivity ablation.
+    #[serde(default = "default_interval_factor")]
+    pub interval_factor: f64,
+}
+
+impl Default for CheckpointConfig {
+    /// The paper's setting: transfers uniform in [240, 720] s, Young's
+    /// interval as published.
+    fn default() -> Self {
+        CheckpointConfig {
+            enabled: true,
+            save_cost: DistConfig::Uniform { lo: 240.0, hi: 720.0 },
+            retrieve_cost: DistConfig::Uniform { lo: 240.0, hi: 720.0 },
+            interval_factor: 1.0,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// A configuration with checkpointing disabled.
+    pub fn disabled() -> Self {
+        CheckpointConfig { enabled: false, ..CheckpointConfig::default() }
+    }
+
+    /// Checkpoint interval for applications on a grid with the given MTBF
+    /// (Young's formula with this config's mean save cost, scaled by
+    /// `interval_factor`); `+inf` when checkpointing is disabled.
+    pub fn interval_for_mtbf(&self, mtbf: f64) -> f64 {
+        assert!(self.interval_factor > 0.0, "interval factor must be positive");
+        if !self.enabled {
+            f64::INFINITY
+        } else {
+            self.interval_factor * young_interval(self.save_cost.mean(), mtbf)
+        }
+    }
+
+    /// Long-run fraction of machine time spent computing (rather than
+    /// writing checkpoints): `τ / (τ + δ̄)`. Used by the workload calculator
+    /// to derive arrival rates.
+    pub fn efficiency_for_mtbf(&self, mtbf: f64) -> f64 {
+        let tau = self.interval_for_mtbf(mtbf);
+        if tau.is_infinite() {
+            1.0
+        } else {
+            tau / (tau + self.save_cost.mean())
+        }
+    }
+
+    /// Compiles the samplers.
+    pub fn sampler(&self) -> CheckpointSampler {
+        CheckpointSampler {
+            enabled: self.enabled,
+            save: self.save_cost.sampler(),
+            retrieve: self.retrieve_cost.sampler(),
+        }
+    }
+}
+
+/// Compiled checkpoint-cost samplers.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointSampler {
+    enabled: bool,
+    save: Sampler,
+    retrieve: Sampler,
+}
+
+impl CheckpointSampler {
+    /// Whether checkpointing is enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Draws a checkpoint-write duration.
+    pub fn save_cost<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.save.sample(rng)
+    }
+
+    /// Draws a checkpoint-retrieve duration.
+    pub fn retrieve_cost<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.retrieve.sample(rng)
+    }
+}
+
+/// The checkpoint server: stores, per task, the largest amount of completed
+/// work any replica has saved. Indexed by a caller-chosen dense task key.
+///
+/// The server is deliberately simple — the paper treats it as reliable
+/// shared storage whose only cost is the transfer time.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    saved: Vec<f64>,
+}
+
+impl CheckpointStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        CheckpointStore { saved: Vec::new() }
+    }
+
+    /// Ensures capacity for task keys `< n`.
+    pub fn ensure(&mut self, n: usize) {
+        if self.saved.len() < n {
+            self.saved.resize(n, 0.0);
+        }
+    }
+
+    /// Saved work for a task (0 when never checkpointed).
+    pub fn saved_work(&self, task_key: usize) -> f64 {
+        self.saved.get(task_key).copied().unwrap_or(0.0)
+    }
+
+    /// Records a checkpoint of `work` completed reference-seconds; keeps the
+    /// maximum across replicas. Returns the stored value.
+    pub fn save(&mut self, task_key: usize, work: f64) -> f64 {
+        self.ensure(task_key + 1);
+        let slot = &mut self.saved[task_key];
+        if work > *slot {
+            *slot = work;
+        }
+        *slot
+    }
+
+    /// Drops a completed task's checkpoint (frees server space).
+    pub fn discard(&mut self, task_key: usize) {
+        if let Some(slot) = self.saved.get_mut(task_key) {
+            *slot = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn young_formula_values() {
+        // τ = sqrt(2·480·88200) = sqrt(84 672 000) ≈ 9201.74
+        assert!((young_interval(480.0, 88_200.0) - 9_201.74).abs() < 0.1);
+        // τ = sqrt(2·480·1800) = sqrt(1 728 000) ≈ 1314.53
+        assert!((young_interval(480.0, 1_800.0) - 1_314.53).abs() < 0.01);
+        assert_eq!(young_interval(480.0, f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn efficiency_increases_with_mtbf() {
+        let cfg = CheckpointConfig::default();
+        let low = cfg.efficiency_for_mtbf(1_800.0);
+        let high = cfg.efficiency_for_mtbf(88_200.0);
+        assert!(low < high);
+        assert!((low - 1314.53 / (1314.53 + 480.0)).abs() < 1e-3);
+        assert!(high < 1.0);
+        assert_eq!(CheckpointConfig::disabled().efficiency_for_mtbf(1_800.0), 1.0);
+    }
+
+    #[test]
+    fn interval_factor_scales_tau() {
+        let base = CheckpointConfig::default();
+        let double = CheckpointConfig { interval_factor: 2.0, ..base };
+        let half = CheckpointConfig { interval_factor: 0.5, ..base };
+        let mtbf = 5_400.0;
+        assert!((double.interval_for_mtbf(mtbf) - 2.0 * base.interval_for_mtbf(mtbf)).abs() < 1e-9);
+        assert!((half.interval_for_mtbf(mtbf) - 0.5 * base.interval_for_mtbf(mtbf)).abs() < 1e-9);
+        // Efficiency is best near the Young point for fixed cost model.
+        assert!(half.efficiency_for_mtbf(mtbf) < base.efficiency_for_mtbf(mtbf));
+    }
+
+    #[test]
+    fn transfer_costs_in_paper_range() {
+        let s = CheckpointConfig::default().sampler();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let c = s.save_cost(&mut rng);
+            assert!((240.0..720.0).contains(&c), "save cost {c}");
+            let r = s.retrieve_cost(&mut rng);
+            assert!((240.0..720.0).contains(&r), "retrieve cost {r}");
+        }
+        assert!(s.enabled());
+    }
+
+    #[test]
+    fn store_keeps_max_progress() {
+        let mut store = CheckpointStore::new();
+        assert_eq!(store.saved_work(3), 0.0);
+        assert_eq!(store.save(3, 100.0), 100.0);
+        assert_eq!(store.save(3, 50.0), 100.0, "older checkpoint must not regress");
+        assert_eq!(store.save(3, 150.0), 150.0);
+        assert_eq!(store.saved_work(3), 150.0);
+        store.discard(3);
+        assert_eq!(store.saved_work(3), 0.0);
+    }
+
+    #[test]
+    fn store_discard_unknown_key_is_noop() {
+        let mut store = CheckpointStore::new();
+        store.discard(99);
+        assert_eq!(store.saved_work(99), 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Grid configuration: the six operational platforms of §4.1 and the
+//! builder that materialises them into concrete machine sets.
+
+use crate::availability::Availability;
+use crate::checkpoint::CheckpointConfig;
+use crate::machine::{Machine, MachineId};
+use crate::outage::OutageConfig;
+use crate::power::Heterogeneity;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Declarative description of a desktop grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// Sum of machine powers the builder targets (paper: 1000).
+    pub total_power: f64,
+    /// How machine powers are drawn.
+    pub heterogeneity: Heterogeneity,
+    /// Machine availability behaviour.
+    pub availability: Availability,
+    /// Checkpoint server behaviour.
+    pub checkpoint: CheckpointConfig,
+    /// Optional correlated-outage process on top of the per-machine
+    /// availability model (see [`OutageConfig`]).
+    #[serde(default)]
+    pub outages: Option<OutageConfig>,
+}
+
+impl GridConfig {
+    /// The paper's total computing power.
+    pub const PAPER_TOTAL_POWER: f64 = 1000.0;
+
+    /// One of the six platforms of §4.1 by name, e.g. `Hom`+`HighAvail`.
+    pub fn paper(heterogeneity: Heterogeneity, availability: Availability) -> Self {
+        GridConfig {
+            total_power: Self::PAPER_TOTAL_POWER,
+            heterogeneity,
+            availability,
+            checkpoint: CheckpointConfig::default(),
+            outages: None,
+        }
+    }
+
+    /// All six named configurations in the paper's order.
+    pub fn paper_suite() -> Vec<(String, GridConfig)> {
+        let mut out = Vec::new();
+        for (hname, het) in [("Hom", Heterogeneity::HOM), ("Het", Heterogeneity::HET)] {
+            for (aname, avail) in [
+                ("HighAvail", Availability::HIGH),
+                ("MedAvail", Availability::MED),
+                ("LowAvail", Availability::LOW),
+            ] {
+                out.push((format!("{hname}-{aname}"), GridConfig::paper(het, avail)));
+            }
+        }
+        out
+    }
+
+    /// Materialises the machine set (powers drawn from `rng`).
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Grid {
+        let powers = self.heterogeneity.generate_powers(self.total_power, rng);
+        let machines = powers
+            .into_iter()
+            .enumerate()
+            .map(|(i, power)| Machine { id: MachineId(i as u32), power })
+            .collect();
+        Grid { machines, config: *self }
+    }
+
+    /// Mean time between failures as one machine experiences it, combining
+    /// the per-machine process with its share of correlated outages:
+    /// rates add, so `1/MTBF = 1/MTBF_avail + fraction/MTBO`.
+    pub fn machine_mtbf(&self) -> f64 {
+        let avail_rate = 1.0 / self.availability.mtbf(); // 0 for Always
+        let outage_rate = self.outages.map(|o| o.fraction / o.mtbo).unwrap_or(0.0);
+        let rate = avail_rate + outage_rate;
+        if rate == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / rate
+        }
+    }
+
+    /// Long-run power the grid delivers to applications: nominal power ×
+    /// availability × checkpoint efficiency. This is the denominator of the
+    /// paper's demand calculation (§4.2). The checkpoint interval (and so
+    /// its efficiency) is driven by the combined [`Self::machine_mtbf`].
+    pub fn effective_power(&self) -> f64 {
+        let avail = self.availability.long_run_availability();
+        let eff = self.checkpoint.efficiency_for_mtbf(self.machine_mtbf());
+        let outage_up = 1.0 - self.outages.map(|o| o.unavailability()).unwrap_or(0.0);
+        self.total_power * avail * eff * outage_up
+    }
+}
+
+/// A materialised grid: concrete machines plus the config they came from.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Grid {
+    /// The machines, densely indexed by [`MachineId`].
+    pub machines: Vec<Machine>,
+    /// The configuration this grid was built from.
+    pub config: GridConfig,
+}
+
+impl Grid {
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True when the grid has no machines.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Sum of machine powers actually materialised.
+    pub fn nominal_power(&self) -> f64 {
+        self.machines.iter().map(|m| m.power).sum()
+    }
+
+    /// Mean machine power.
+    pub fn mean_power(&self) -> f64 {
+        if self.machines.is_empty() {
+            0.0
+        } else {
+            self.nominal_power() / self.machines.len() as f64
+        }
+    }
+
+    /// A machine by id.
+    pub fn machine(&self, id: MachineId) -> &Machine {
+        &self.machines[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_suite_has_six_configs() {
+        let suite = GridConfig::paper_suite();
+        assert_eq!(suite.len(), 6);
+        let names: Vec<&str> = suite.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "Hom-HighAvail",
+                "Hom-MedAvail",
+                "Hom-LowAvail",
+                "Het-HighAvail",
+                "Het-MedAvail",
+                "Het-LowAvail"
+            ]
+        );
+    }
+
+    #[test]
+    fn build_hom_high() {
+        let cfg = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let grid = cfg.build(&mut rng);
+        assert_eq!(grid.len(), 100);
+        assert_eq!(grid.nominal_power(), 1000.0);
+        assert_eq!(grid.mean_power(), 10.0);
+        assert_eq!(grid.machine(MachineId(42)).power, 10.0);
+    }
+
+    #[test]
+    fn effective_power_ordering() {
+        let high = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH).effective_power();
+        let med = GridConfig::paper(Heterogeneity::HOM, Availability::MED).effective_power();
+        let low = GridConfig::paper(Heterogeneity::HOM, Availability::LOW).effective_power();
+        assert!(high > med && med > low);
+        // HighAvail: 1000 × 0.98 × (9204/(9204+480)) ≈ 931.4
+        assert!((high - 931.4).abs() < 1.0, "high={high}");
+        // LowAvail: 1000 × 0.50 × (1314.5/(1314.5+480)) ≈ 366.3
+        assert!((low - 366.3).abs() < 1.0, "low={low}");
+    }
+
+    #[test]
+    fn no_failures_no_checkpoint_full_power() {
+        let cfg = GridConfig {
+            total_power: 500.0,
+            heterogeneity: Heterogeneity::HOM,
+            availability: Availability::Always,
+            checkpoint: CheckpointConfig::disabled(),
+            outages: None,
+        };
+        assert_eq!(cfg.effective_power(), 500.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = GridConfig::paper(Heterogeneity::HET, Availability::LOW);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: GridConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,253 @@
+//! Availability traces: generation, analysis and model fitting.
+//!
+//! The paper's availability model comes from fitting machine traces (Nurmi,
+//! Brevik & Wolski — its ref \[12\]). Real enterprise traces are not
+//! available here, so this module closes the loop synthetically: it can
+//! *record* a fail/repair trace from any [`Availability`] process,
+//! compute its empirical statistics, and *fit* a Weibull/Normal model back
+//! from the raw durations (maximum likelihood for the Weibull shape, method
+//! of moments for the rest) — the same workflow one would run on real
+//! traces to configure the simulator.
+
+use crate::availability::Availability;
+use dgsched_des::dist::DistConfig;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One up/down cycle of one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Seconds the machine stayed up.
+    pub up: f64,
+    /// Seconds the subsequent repair took.
+    pub down: f64,
+}
+
+/// A recorded fail/repair trace for a set of machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityTrace {
+    /// Per-machine cycles, in order.
+    pub machines: Vec<Vec<Segment>>,
+    /// Horizon the trace was recorded over (seconds).
+    pub horizon: f64,
+}
+
+impl AvailabilityTrace {
+    /// Records a trace of `n_machines` machines over `horizon` seconds of
+    /// the given availability process. Machines that never fail within the
+    /// horizon contribute an empty cycle list.
+    pub fn record<R: Rng + ?Sized>(
+        availability: &Availability,
+        n_machines: usize,
+        horizon: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(horizon > 0.0, "horizon must be positive");
+        let sampler = availability.sampler();
+        let machines = (0..n_machines)
+            .map(|_| {
+                let Some(s) = &sampler else { return Vec::new() };
+                let mut t = 0.0;
+                let mut cycles = Vec::new();
+                loop {
+                    let up = s.next_up(rng);
+                    if t + up >= horizon {
+                        break;
+                    }
+                    let down = s.next_down(rng);
+                    cycles.push(Segment { up, down });
+                    t += up + down;
+                    if t >= horizon {
+                        break;
+                    }
+                }
+                cycles
+            })
+            .collect();
+        AvailabilityTrace { machines, horizon }
+    }
+
+    /// All up durations across machines.
+    pub fn up_durations(&self) -> Vec<f64> {
+        self.machines.iter().flatten().map(|s| s.up).collect()
+    }
+
+    /// All down durations across machines.
+    pub fn down_durations(&self) -> Vec<f64> {
+        self.machines.iter().flatten().map(|s| s.down).collect()
+    }
+
+    /// Total failures recorded.
+    pub fn failures(&self) -> usize {
+        self.machines.iter().map(|m| m.len()).sum()
+    }
+
+    /// Empirical availability: fraction of machine-time spent up
+    /// (uncompleted final up-intervals count as up, which slightly biases
+    /// towards the truth for long horizons).
+    pub fn empirical_availability(&self) -> f64 {
+        let total = self.horizon * self.machines.len() as f64;
+        if total == 0.0 {
+            return 1.0;
+        }
+        let down: f64 = self.down_durations().iter().sum();
+        ((total - down) / total).clamp(0.0, 1.0)
+    }
+
+    /// Fits an availability model back from the recorded durations:
+    /// Weibull (MLE) for up-times, truncated Normal (moments) for repairs.
+    ///
+    /// Returns `None` when the trace holds too few cycles to fit (< 10).
+    pub fn fit(&self) -> Option<Availability> {
+        let ups = self.up_durations();
+        let downs = self.down_durations();
+        if ups.len() < 10 || downs.len() < 10 {
+            return None;
+        }
+        let (shape, scale) = fit_weibull_mle(&ups)?;
+        let (mean, sd) = fit_normal(&downs);
+        Some(Availability::Custom {
+            up: DistConfig::Weibull { shape, scale },
+            down: DistConfig::NormalTrunc { mean, sd },
+        })
+    }
+}
+
+/// Maximum-likelihood Weibull fit.
+///
+/// The profile likelihood reduces the problem to one equation in the shape
+/// `k`:  `Σ xᵏ ln x / Σ xᵏ − 1/k − mean(ln x) = 0`, which is monotone in
+/// `k`; we solve it by bisection on `[0.02, 50]` and recover the scale as
+/// `(Σ xᵏ / n)^{1/k}`. Returns `None` for degenerate inputs (all samples
+/// equal or non-positive).
+pub fn fit_weibull_mle(samples: &[f64]) -> Option<(f64, f64)> {
+    if samples.len() < 2 || samples.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let mean_ln = samples.iter().map(|x| x.ln()).sum::<f64>() / n;
+    let g = |k: f64| {
+        let mut sum_xk = 0.0;
+        let mut sum_xk_ln = 0.0;
+        for &x in samples {
+            let xk = x.powf(k);
+            sum_xk += xk;
+            sum_xk_ln += xk * x.ln();
+        }
+        sum_xk_ln / sum_xk - 1.0 / k - mean_ln
+    };
+    let (mut lo, mut hi) = (0.02, 50.0);
+    let (glo, ghi) = (g(lo), g(hi));
+    if glo.is_nan() || ghi.is_nan() || glo.signum() == ghi.signum() {
+        return None; // degenerate (e.g. constant samples)
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if g(mid) > 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi - lo < 1e-10 * hi {
+            break;
+        }
+    }
+    let k = 0.5 * (lo + hi);
+    let scale = (samples.iter().map(|x| x.powf(k)).sum::<f64>() / n).powf(1.0 / k);
+    Some((k, scale))
+}
+
+/// Sample mean and (unbiased) standard deviation.
+pub fn fit_normal(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = if samples.len() < 2 {
+        0.0
+    } else {
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    };
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgsched_des::dist::DistConfig;
+    use rand::SeedableRng;
+    use rand_distr::Distribution;
+
+    #[test]
+    fn record_respects_horizon_and_availability() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let trace = AvailabilityTrace::record(&Availability::LOW, 50, 2e6, &mut rng);
+        assert_eq!(trace.machines.len(), 50);
+        assert!(trace.failures() > 1000, "LowAvail must fail a lot: {}", trace.failures());
+        let a = trace.empirical_availability();
+        assert!((a - 0.5).abs() < 0.05, "empirical availability {a}");
+    }
+
+    #[test]
+    fn always_available_records_nothing() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let trace = AvailabilityTrace::record(&Availability::Always, 5, 1e5, &mut rng);
+        assert_eq!(trace.failures(), 0);
+        assert_eq!(trace.empirical_availability(), 1.0);
+        assert!(trace.fit().is_none(), "nothing to fit");
+    }
+
+    #[test]
+    fn weibull_mle_recovers_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for &(shape, scale) in &[(0.7f64, 2000.0f64), (1.5, 100.0), (3.0, 50.0)] {
+            let dist = rand_distr::Weibull::new(scale, shape).unwrap();
+            let samples: Vec<f64> = (0..20_000).map(|_| dist.sample(&mut rng)).collect();
+            let (k, l) = fit_weibull_mle(&samples).expect("fit must succeed");
+            assert!((k - shape).abs() / shape < 0.05, "shape {k} vs {shape}");
+            assert!((l - scale).abs() / scale < 0.05, "scale {l} vs {scale}");
+        }
+    }
+
+    #[test]
+    fn weibull_mle_rejects_degenerate() {
+        assert!(fit_weibull_mle(&[]).is_none());
+        assert!(fit_weibull_mle(&[1.0]).is_none());
+        assert!(fit_weibull_mle(&[5.0, 5.0, 5.0]).is_none(), "constant samples");
+        assert!(fit_weibull_mle(&[1.0, -2.0, 3.0]).is_none(), "negative samples");
+    }
+
+    #[test]
+    fn fit_normal_matches_moments() {
+        let (m, s) = fit_normal(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        let (m1, s1) = fit_normal(&[3.0]);
+        assert_eq!((m1, s1), (3.0, 0.0));
+    }
+
+    #[test]
+    fn round_trip_trace_fit_preserves_availability() {
+        // Record a trace of the MED process, fit a model back, and check the
+        // fitted model's long-run availability matches the original.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let trace = AvailabilityTrace::record(&Availability::MED, 100, 3e6, &mut rng);
+        let fitted = trace.fit().expect("enough cycles to fit");
+        let a = fitted.long_run_availability();
+        assert!((a - 0.75).abs() < 0.03, "fitted availability {a}");
+        // The fitted up-time distribution should be Weibull-shaped with the
+        // configured default shape.
+        if let Availability::Custom { up: DistConfig::Weibull { shape, .. }, .. } = fitted {
+            assert!((shape - 0.7).abs() < 0.07, "fitted shape {shape}");
+        } else {
+            panic!("expected a fitted Weibull");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let trace = AvailabilityTrace::record(&Availability::LOW, 3, 1e5, &mut rng);
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: AvailabilityTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+}

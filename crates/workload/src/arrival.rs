@@ -1,0 +1,261 @@
+//! Arrival-rate derivation and the Poisson arrival process.
+//!
+//! §4.2 of the paper: arrivals are Poisson with rate λ chosen so that the
+//! grid operates at a target utilization `U`. With `D` the computing demand
+//! of one bag (its total work divided by the effective power of the grid),
+//! the operational law `U = λ·D` gives `λ = U / D`. `D` accounts for the
+//! availability of resources and the cost/frequency of checkpoints.
+
+use dgsched_grid::config::GridConfig;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The three workload intensities evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Intensity {
+    /// U = 50 %.
+    Low,
+    /// U = 75 %.
+    Medium,
+    /// U = 90 %.
+    High,
+}
+
+impl Intensity {
+    /// The target utilization for this intensity.
+    pub fn utilization(self) -> f64 {
+        match self {
+            Intensity::Low => 0.50,
+            Intensity::Medium => 0.75,
+            Intensity::High => 0.90,
+        }
+    }
+
+    /// All three intensities, lightest first.
+    pub fn all() -> [Intensity; 3] {
+        [Intensity::Low, Intensity::Medium, Intensity::High]
+    }
+}
+
+impl std::fmt::Display for Intensity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Intensity::Low => "low",
+            Intensity::Medium => "medium",
+            Intensity::High => "high",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Computing demand `D` of one bag on the given grid: the grid-time one bag
+/// occupies, i.e. total work over the grid's effective delivered power
+/// (§4.2: nominal power scaled by availability and checkpoint overhead).
+pub fn bag_demand(app_size: f64, grid: &GridConfig) -> f64 {
+    assert!(app_size > 0.0, "application size must be positive");
+    app_size / grid.effective_power()
+}
+
+/// Arrival rate λ = U / D for a target utilization.
+pub fn lambda_for(intensity: Intensity, app_size: f64, grid: &GridConfig) -> f64 {
+    intensity.utilization() / bag_demand(app_size, grid)
+}
+
+/// Inter-arrival models for the submission stream.
+///
+/// The paper uses Poisson arrivals; real desktop-grid submission logs are
+/// burstier (users submit campaigns). The hyperexponential model keeps
+/// the same rate λ but inflates the coefficient of variation, for the
+/// burstiness sensitivity ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ArrivalModel {
+    /// Exponential gaps (CV = 1) — the paper's model.
+    Poisson,
+    /// Balanced-means two-phase hyperexponential with the given
+    /// coefficient of variation (> 1): bursts of close arrivals separated
+    /// by long gaps, same mean rate.
+    Hyperexponential {
+        /// Target coefficient of variation of the gaps (must be > 1).
+        cv: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// Draws one inter-arrival gap for rate `lambda`.
+    pub fn next_gap<R: Rng + ?Sized>(&self, lambda: f64, rng: &mut R) -> f64 {
+        let exp = |rate: f64, rng: &mut R| -> f64 {
+            let u: f64 = rng.gen();
+            -(1.0 - u).ln() / rate
+        };
+        match *self {
+            ArrivalModel::Poisson => exp(lambda, rng),
+            ArrivalModel::Hyperexponential { cv } => {
+                assert!(cv > 1.0, "hyperexponential needs CV > 1, got {cv}");
+                // Balanced-means H2: choose phase with prob p, rates 2pλ
+                // and 2(1−p)λ; squared CV = 2/(4p(1−p)) − 1.
+                let c2 = cv * cv;
+                let p = 0.5 * (1.0 + ((c2 - 1.0) / (c2 + 1.0)).sqrt());
+                if rng.gen::<f64>() < p {
+                    exp(2.0 * p * lambda, rng)
+                } else {
+                    exp(2.0 * (1.0 - p) * lambda, rng)
+                }
+            }
+        }
+    }
+
+    /// Generates the first `n` arrival instants at rate `lambda`.
+    pub fn arrival_times<R: Rng + ?Sized>(
+        &self,
+        lambda: f64,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        assert!(lambda > 0.0, "arrival rate must be positive");
+        let mut t = 0.0;
+        (0..n)
+            .map(|_| {
+                t += self.next_gap(lambda, rng);
+                t
+            })
+            .collect()
+    }
+}
+
+/// A Poisson arrival process: exponential inter-arrival times of rate λ.
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonArrivals {
+    lambda: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with rate `lambda` (arrivals per second).
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "arrival rate must be positive, got {lambda}");
+        PoissonArrivals { lambda }
+    }
+
+    /// The rate λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Mean inter-arrival time 1/λ.
+    pub fn mean_interarrival(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    /// Draws the next inter-arrival gap.
+    pub fn next_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse-CDF sampling; `1 - U` avoids ln(0).
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.lambda
+    }
+
+    /// Generates the first `n` arrival instants (monotone, starting after 0).
+    pub fn arrival_times<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        let mut t = 0.0;
+        (0..n)
+            .map(|_| {
+                t += self.next_gap(rng);
+                t
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgsched_grid::availability::Availability;
+    use dgsched_grid::power::Heterogeneity;
+    use rand::SeedableRng;
+
+    #[test]
+    fn intensity_levels() {
+        assert_eq!(Intensity::Low.utilization(), 0.50);
+        assert_eq!(Intensity::Medium.utilization(), 0.75);
+        assert_eq!(Intensity::High.utilization(), 0.90);
+        assert_eq!(Intensity::all().len(), 3);
+        assert_eq!(Intensity::High.to_string(), "high");
+    }
+
+    #[test]
+    fn demand_scales_with_availability() {
+        let high = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
+        let low = GridConfig::paper(Heterogeneity::HOM, Availability::LOW);
+        let d_high = bag_demand(2.5e6, &high);
+        let d_low = bag_demand(2.5e6, &low);
+        assert!(d_low > d_high, "lower availability ⇒ larger demand");
+        // d_high ≈ 2.5e6 / 931.4 ≈ 2684 s
+        assert!((d_high - 2684.0).abs() < 10.0, "d_high={d_high}");
+    }
+
+    #[test]
+    fn lambda_is_utilization_over_demand() {
+        let grid = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
+        let d = bag_demand(2.5e6, &grid);
+        let l = lambda_for(Intensity::High, 2.5e6, &grid);
+        assert!((l - 0.9 / d).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empirical_rate_matches_lambda() {
+        let p = PoissonArrivals::new(0.01);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let times = p.arrival_times(20_000, &mut rng);
+        assert_eq!(times.len(), 20_000);
+        assert!(times.windows(2).all(|w| w[1] > w[0]), "arrivals must be monotone");
+        let rate = times.len() as f64 / times.last().unwrap();
+        assert!((rate - 0.01).abs() / 0.01 < 0.03, "rate={rate}");
+    }
+
+    #[test]
+    fn mean_interarrival() {
+        let p = PoissonArrivals::new(0.25);
+        assert_eq!(p.mean_interarrival(), 4.0);
+        assert_eq!(p.lambda(), 0.25);
+    }
+
+    #[test]
+    fn hyperexponential_preserves_rate_and_inflates_cv() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for &cv in &[1.5, 3.0, 5.0] {
+            let model = ArrivalModel::Hyperexponential { cv };
+            let gaps: Vec<f64> = (0..100_000).map(|_| model.next_gap(0.01, &mut rng)).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            assert!((mean - 100.0).abs() / 100.0 < 0.05, "cv={cv}: mean gap {mean}");
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>()
+                / (gaps.len() - 1) as f64;
+            let emp_cv = var.sqrt() / mean;
+            assert!((emp_cv - cv).abs() / cv < 0.1, "cv={cv}: empirical {emp_cv}");
+        }
+    }
+
+    #[test]
+    fn poisson_model_matches_struct() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(7);
+        let mut b = rand::rngs::StdRng::seed_from_u64(7);
+        let from_model = ArrivalModel::Poisson.arrival_times(0.02, 50, &mut a);
+        let from_struct = PoissonArrivals::new(0.02).arrival_times(50, &mut b);
+        assert_eq!(from_model, from_struct);
+    }
+
+    #[test]
+    fn arrival_times_monotone_for_both_models() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for model in [ArrivalModel::Poisson, ArrivalModel::Hyperexponential { cv: 4.0 }] {
+            let times = model.arrival_times(0.1, 500, &mut rng);
+            assert!(times.windows(2).all(|w| w[1] > w[0]), "{model:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn hyperexponential_rejects_cv_below_one() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let _ = ArrivalModel::Hyperexponential { cv: 0.5 }.next_gap(1.0, &mut rng);
+    }
+}

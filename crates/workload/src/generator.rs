@@ -1,0 +1,139 @@
+//! Workload generation: combining BoT types, arrival processes and grids
+//! into the 12 workloads of §4.2 (and arbitrary custom ones).
+
+use crate::arrival::{lambda_for, ArrivalModel, Intensity, PoissonArrivals};
+use crate::bot::{BagOfTasks, BotId};
+use crate::bot_type::BotType;
+use crate::workload::Workload;
+use dgsched_des::time::SimTime;
+use dgsched_grid::config::GridConfig;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Declarative workload description: one BoT type at one intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// The application type every bag is drawn from.
+    pub bot_type: BotType,
+    /// Target grid utilization.
+    pub intensity: Intensity,
+    /// Number of bags to generate.
+    pub count: usize,
+}
+
+impl WorkloadSpec {
+    /// Generates the workload for a given grid (the grid determines the
+    /// effective power and hence λ) with the paper's Poisson arrivals.
+    pub fn generate<R: Rng + ?Sized>(&self, grid: &GridConfig, rng: &mut R) -> Workload {
+        self.generate_with(ArrivalModel::Poisson, grid, rng)
+    }
+
+    /// [`WorkloadSpec::generate`] with an explicit arrival model (e.g.
+    /// bursty hyperexponential gaps at the same mean rate).
+    pub fn generate_with<R: Rng + ?Sized>(
+        &self,
+        model: ArrivalModel,
+        grid: &GridConfig,
+        rng: &mut R,
+    ) -> Workload {
+        assert!(self.count > 0, "workload must contain at least one bag");
+        let lambda = lambda_for(self.intensity, self.bot_type.app_size, grid);
+        let _ = PoissonArrivals::new(lambda); // validates λ > 0 uniformly
+        let arrivals = model.arrival_times(lambda, self.count, rng);
+        let bags = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, at)| BagOfTasks {
+                id: BotId(i as u32),
+                arrival: SimTime::new(at),
+                tasks: self.bot_type.generate_tasks(rng),
+                granularity: self.bot_type.granularity,
+            })
+            .collect();
+        Workload {
+            bags,
+            lambda,
+            label: format!("g={} U={}", self.bot_type.granularity, self.intensity),
+        }
+    }
+
+    /// The paper's 12 workloads (4 granularities × 3 intensities) with
+    /// `count` bags each.
+    pub fn paper_suite(count: usize) -> Vec<WorkloadSpec> {
+        let mut out = Vec::with_capacity(12);
+        for bot_type in BotType::paper_suite() {
+            for intensity in Intensity::all() {
+                out.push(WorkloadSpec { bot_type, intensity, count });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgsched_grid::availability::Availability;
+    use dgsched_grid::power::Heterogeneity;
+    use rand::SeedableRng;
+
+    fn grid() -> GridConfig {
+        GridConfig::paper(Heterogeneity::HOM, Availability::HIGH)
+    }
+
+    #[test]
+    fn generates_valid_workload() {
+        let spec = WorkloadSpec {
+            bot_type: BotType::paper(25_000.0),
+            intensity: Intensity::Low,
+            count: 20,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let w = spec.generate(&grid(), &mut rng);
+        assert_eq!(w.len(), 20);
+        assert!(w.validate().is_ok());
+        assert!(w.label.contains("25000"));
+        // Every bag carries ~app_size of work.
+        for bag in &w.bags {
+            assert!(bag.total_work() >= spec.bot_type.app_size);
+            assert!(bag.total_work() < spec.bot_type.app_size + 2.0 * 25_000.0);
+        }
+    }
+
+    #[test]
+    fn lambda_reflects_intensity() {
+        let spec_low = WorkloadSpec {
+            bot_type: BotType::paper(5_000.0),
+            intensity: Intensity::Low,
+            count: 5,
+        };
+        let spec_high = WorkloadSpec { intensity: Intensity::High, ..spec_low };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let w_low = spec_low.generate(&grid(), &mut rng);
+        let w_high = spec_high.generate(&grid(), &mut rng);
+        assert!((w_high.lambda / w_low.lambda - 0.9 / 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_suite_is_twelve() {
+        let suite = WorkloadSpec::paper_suite(10);
+        assert_eq!(suite.len(), 12);
+        assert!(suite.iter().all(|s| s.count == 10));
+        // 4 distinct granularities × 3 intensities
+        let mut gs: Vec<f64> = suite.iter().map(|s| s.bot_type.granularity).collect();
+        gs.dedup();
+        assert_eq!(gs.len(), 4 * 3 / 3);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let spec = WorkloadSpec {
+            bot_type: BotType::paper(1_000.0),
+            intensity: Intensity::Medium,
+            count: 3,
+        };
+        let w1 = spec.generate(&grid(), &mut rand::rngs::StdRng::seed_from_u64(7));
+        let w2 = spec.generate(&grid(), &mut rand::rngs::StdRng::seed_from_u64(7));
+        assert_eq!(w1, w2);
+    }
+}

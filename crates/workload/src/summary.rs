@@ -1,0 +1,123 @@
+//! Workload summary statistics — sanity-checking generated workloads
+//! against their specification before burning simulation time on them.
+
+use crate::workload::Workload;
+use dgsched_des::stats::Welford;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregate description of a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSummary {
+    /// Number of bags.
+    pub bags: usize,
+    /// Number of tasks across bags.
+    pub tasks: usize,
+    /// Total work (reference-seconds).
+    pub total_work: f64,
+    /// Mean tasks per bag.
+    pub mean_tasks_per_bag: f64,
+    /// Mean task work.
+    pub mean_task_work: f64,
+    /// Mean inter-arrival gap (seconds).
+    pub mean_interarrival: f64,
+    /// Coefficient of variation of inter-arrival gaps (≈1 for Poisson).
+    pub interarrival_cv: f64,
+    /// Bags per granularity class.
+    pub per_granularity: BTreeMap<String, usize>,
+    /// Time of the last arrival.
+    pub span: f64,
+}
+
+impl WorkloadSummary {
+    /// Computes the summary.
+    pub fn of(workload: &Workload) -> Self {
+        let mut task_work = Welford::new();
+        let mut per_granularity: BTreeMap<String, usize> = BTreeMap::new();
+        for bag in &workload.bags {
+            for t in &bag.tasks {
+                task_work.push(t.work);
+            }
+            *per_granularity.entry(format!("{}", bag.granularity)).or_insert(0) += 1;
+        }
+        let gaps: Welford = workload
+            .bags
+            .windows(2)
+            .map(|w| w[1].arrival.since(w[0].arrival))
+            .collect();
+        let cv = if gaps.mean() > 0.0 { gaps.std_dev() / gaps.mean() } else { 0.0 };
+        WorkloadSummary {
+            bags: workload.len(),
+            tasks: workload.total_tasks(),
+            total_work: workload.total_work(),
+            mean_tasks_per_bag: workload.total_tasks() as f64 / workload.len().max(1) as f64,
+            mean_task_work: task_work.mean(),
+            mean_interarrival: gaps.mean(),
+            interarrival_cv: cv,
+            per_granularity,
+            span: workload.bags.last().map(|b| b.arrival.as_secs()).unwrap_or(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bot_type::BotType;
+    use crate::generator::WorkloadSpec;
+    use crate::mix::MixSpec;
+    use crate::Intensity;
+    use dgsched_grid::{Availability, GridConfig, Heterogeneity};
+    use rand::SeedableRng;
+
+    fn grid() -> GridConfig {
+        GridConfig::paper(Heterogeneity::HOM, Availability::HIGH)
+    }
+
+    #[test]
+    fn summary_of_single_type_workload() {
+        let spec = WorkloadSpec {
+            bot_type: BotType::paper(25_000.0),
+            intensity: Intensity::Low,
+            count: 50,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let w = spec.generate(&grid(), &mut rng);
+        let s = WorkloadSummary::of(&w);
+        assert_eq!(s.bags, 50);
+        assert!((s.mean_tasks_per_bag - 100.0).abs() < 5.0, "{}", s.mean_tasks_per_bag);
+        assert!((s.mean_task_work - 25_000.0).abs() < 1_000.0);
+        // Poisson arrivals: CV of exponential gaps ≈ 1.
+        assert!((s.interarrival_cv - 1.0).abs() < 0.35, "cv={}", s.interarrival_cv);
+        // λ = U/D ⇒ mean gap = D/U.
+        let expected_gap = 1.0 / w.lambda;
+        assert!((s.mean_interarrival - expected_gap).abs() / expected_gap < 0.35);
+        assert_eq!(s.per_granularity.len(), 1);
+        assert!(s.span > 0.0);
+    }
+
+    #[test]
+    fn summary_of_mixed_workload_counts_classes() {
+        let spec = MixSpec::paper_uniform(Intensity::Low, 100);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let w = spec.generate(&grid(), &mut rng);
+        let s = WorkloadSummary::of(&w);
+        assert_eq!(s.per_granularity.len(), 4);
+        let total: usize = s.per_granularity.values().sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = WorkloadSpec {
+            bot_type: BotType::paper(5_000.0),
+            intensity: Intensity::Low,
+            count: 5,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let s = WorkloadSummary::of(&spec.generate(&grid(), &mut rng));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: WorkloadSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

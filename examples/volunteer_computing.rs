@@ -1,0 +1,64 @@
+//! Volunteer computing: pick a bag-selection policy for a volatile,
+//! SETI@home-style platform.
+//!
+//! Volunteer hosts "come and go unpredictably with a relatively high
+//! frequency" (§4.3) — the paper's LowAvail configuration. This example
+//! compares all five policies on such a platform for a coarse-grained
+//! science workload (many concurrent submitters) and prints the ranking.
+//!
+//! ```text
+//! cargo run --release -p dgsched-core --example volunteer_computing
+//! ```
+
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::{simulate, SimConfig};
+use dgsched_grid::{Availability, GridConfig, Heterogeneity};
+use dgsched_workload::{BotType, Intensity, WorkloadSpec};
+use rand::SeedableRng;
+
+fn main() {
+    // Volunteer grid: heterogeneous home PCs, only 50 % available.
+    let grid_cfg = GridConfig::paper(Heterogeneity::HET, Availability::LOW);
+
+    // Parameter-sweep bags: 100 tasks of ~25 000 reference-seconds each,
+    // submitted by many users at once (75 % target utilization).
+    let spec = WorkloadSpec {
+        bot_type: BotType::paper(25_000.0),
+        intensity: Intensity::Medium,
+        count: 30,
+    };
+
+    println!("volunteer platform: Het-LowAvail, g=25000 s, U=75 %, {} bags", spec.count);
+    println!("\npolicy       avg turnaround  avg waiting  wasted  failures hit");
+
+    let mut rows: Vec<(String, f64, f64, f64, u64)> = PolicyKind::all()
+        .iter()
+        .map(|&kind| {
+            // Same seeds across policies: identical machines, arrivals and
+            // failure traces (common random numbers).
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let grid = grid_cfg.build(&mut rng);
+            let workload = spec.generate(&grid_cfg, &mut rng);
+            let r = simulate(&grid, &workload, kind, &SimConfig::with_seed(7));
+            assert!(!r.saturated, "{kind} saturated — grow the horizon");
+            (
+                kind.paper_name().to_string(),
+                r.mean_turnaround(),
+                r.mean_waiting(),
+                r.wasted_fraction() * 100.0,
+                r.counters.replicas_killed_failure,
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("turnaround is not NaN"));
+
+    for (name, turnaround, waiting, wasted, failures) in &rows {
+        println!(
+            "{name:<12} {turnaround:>14.0}  {waiting:>11.0}  {wasted:>5.1}%  {failures:>12}"
+        );
+    }
+    println!(
+        "\n→ '{}' wins this configuration; on volatile grids replication-friendly\n  policies absorb host departures (the paper's Fig. 2 regime).",
+        rows[0].0
+    );
+}

@@ -1,0 +1,129 @@
+//! Black-box tests of the `dgsched` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dgsched")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dgsched-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn demo_emits_parseable_scenario() {
+    let out = Command::new(bin()).arg("demo").output().expect("run demo");
+    assert!(out.status.success());
+    let json: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("demo output is JSON");
+    assert_eq!(json["policy"], "long-idle");
+    assert!(json["grid"]["total_power"].as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn run_executes_demo_scenario() {
+    let demo = Command::new(bin()).arg("demo").output().expect("demo");
+    let path = tmp("scenario.json");
+    std::fs::write(&path, &demo.stdout).expect("write scenario");
+    let out = Command::new(bin())
+        .args(["run", path.to_str().unwrap(), "--min-reps", "2", "--max-reps", "2", "--seed", "5"])
+        .output()
+        .expect("run scenario");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let json: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("run output is JSON");
+    assert_eq!(json["replications"], 2);
+    assert!(json["turnaround"]["mean"].as_f64().unwrap() > 0.0);
+    assert_eq!(json["saturated"], false);
+}
+
+#[test]
+fn gen_and_summarize_workload() {
+    let path = tmp("workload.json");
+    let out = Command::new(bin())
+        .args([
+            "gen-workload",
+            "-g",
+            "5000",
+            "-u",
+            "low",
+            "-n",
+            "8",
+            "-o",
+            path.to_str().unwrap(),
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("gen-workload");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = Command::new(bin())
+        .args(["summarize", path.to_str().unwrap()])
+        .output()
+        .expect("summarize");
+    assert!(out.status.success());
+    let json: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("summary is JSON");
+    assert_eq!(json["bags"], 8);
+    assert!(json["mean_task_work"].as_f64().unwrap() > 2000.0);
+}
+
+#[test]
+fn trace_emits_parseable_trace_and_gantt() {
+    let demo = Command::new(bin()).arg("demo").output().expect("demo");
+    let scenario = tmp("trace-scenario.json");
+    std::fs::write(&scenario, &demo.stdout).expect("write scenario");
+    let trace_path = tmp("trace.json");
+    let out = Command::new(bin())
+        .args([
+            "trace",
+            scenario.to_str().unwrap(),
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--gantt",
+        ])
+        .output()
+        .expect("trace");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let gantt = String::from_utf8_lossy(&out.stdout);
+    assert!(gantt.contains("machines"), "gantt header missing: {gantt}");
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+    let events = trace["events"].as_array().expect("events array");
+    assert!(events.len() > 100, "trace too small: {}", events.len());
+    assert!(events.iter().any(|e| e["kind"] == "dispatch"));
+    assert!(events.iter().any(|e| e["kind"] == "bag_complete"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = Command::new(bin()).arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    let out = Command::new(bin()).output().expect("run");
+    assert!(!out.status.success());
+    let out = Command::new(bin())
+        .args(["run", "/nonexistent/scenario.json"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn run_is_deterministic_across_invocations() {
+    let demo = Command::new(bin()).arg("demo").output().expect("demo");
+    let path = tmp("det-scenario.json");
+    std::fs::write(&path, &demo.stdout).expect("write scenario");
+    let run = || {
+        let out = Command::new(bin())
+            .args(["run", path.to_str().unwrap(), "--min-reps", "2", "--max-reps", "2"])
+            .output()
+            .expect("run");
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).expect("utf8")
+    };
+    assert_eq!(run(), run(), "same scenario + default seed must reproduce exactly");
+}

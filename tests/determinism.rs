@@ -1,0 +1,82 @@
+//! Reproducibility guarantees across the whole stack: identical seeds give
+//! identical traces; common random numbers hold across policies; the
+//! experiment runner is deterministic despite parallel execution.
+
+use dgsched_core::experiment::{run_replication, run_scenario, Scenario, WorkloadKind};
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::{simulate, SimConfig};
+use dgsched_des::stats::StoppingRule;
+use dgsched_grid::{Availability, GridConfig, Heterogeneity};
+use dgsched_workload::{BotType, Intensity, WorkloadSpec};
+use rand::SeedableRng;
+
+fn scenario(policy: PolicyKind) -> Scenario {
+    Scenario {
+        name: format!("det {policy}"),
+        grid: GridConfig::paper(Heterogeneity::HET, Availability::MED),
+        workload: WorkloadKind::Single(WorkloadSpec {
+            bot_type: BotType { granularity: 2_000.0, app_size: 50_000.0, jitter: 0.5 },
+            intensity: Intensity::Medium,
+            count: 6,
+        }),
+        policy,
+        sim: SimConfig::default(),
+    }
+}
+
+#[test]
+fn simulate_bitwise_reproducible() {
+    let cfg = GridConfig::paper(Heterogeneity::HET, Availability::LOW);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let grid = cfg.build(&mut rng);
+    let workload = WorkloadSpec {
+        bot_type: BotType { granularity: 10_000.0, app_size: 100_000.0, jitter: 0.5 },
+        intensity: Intensity::Low,
+        count: 5,
+    }
+    .generate(&cfg, &mut rng);
+    let a = simulate(&grid, &workload, PolicyKind::LongIdle, &SimConfig::with_seed(9));
+    let b = simulate(&grid, &workload, PolicyKind::LongIdle, &SimConfig::with_seed(9));
+    let ja = serde_json::to_string(&a).unwrap();
+    let jb = serde_json::to_string(&b).unwrap();
+    assert_eq!(ja, jb, "simulation must be bitwise reproducible");
+}
+
+#[test]
+fn replication_streams_keyed_by_rep_not_policy() {
+    // The runner's seeding contract: the same (base_seed, rep) produces the
+    // same platform/workload/failure randomness for every policy.
+    let reps: Vec<u64> = vec![0, 1, 2];
+    for rep in reps {
+        let a = run_replication(&scenario(PolicyKind::Rr), 31, rep);
+        let b = run_replication(&scenario(PolicyKind::FcfsExcl), 31, rep);
+        // Arrivals come straight from the workload stream — they must match
+        // across policies bag-by-bag (completion order differs, so look the
+        // bags up by id).
+        for bag_id in 0..3u32 {
+            let aa = a.bags.iter().find(|x| x.bag == bag_id).expect("bag completed");
+            let bb = b.bags.iter().find(|x| x.bag == bag_id).expect("bag completed");
+            assert_eq!(aa.arrival, bb.arrival, "rep {rep} bag {bag_id}");
+        }
+        assert_eq!(a.total, b.total);
+    }
+}
+
+#[test]
+fn run_scenario_deterministic_despite_rayon() {
+    let rule = StoppingRule { min_replications: 4, max_replications: 6, ..Default::default() };
+    let a = run_scenario(&scenario(PolicyKind::FcfsShare), 17, &rule);
+    let b = run_scenario(&scenario(PolicyKind::FcfsShare), 17, &rule);
+    assert_eq!(a.replications, b.replications);
+    assert_eq!(a.replication_means, b.replication_means);
+    assert_eq!(a.turnaround.mean, b.turnaround.mean);
+    assert_eq!(a.turnaround.half_width, b.turnaround.half_width);
+}
+
+#[test]
+fn different_base_seeds_differ() {
+    let rule = StoppingRule { min_replications: 3, max_replications: 3, ..Default::default() };
+    let a = run_scenario(&scenario(PolicyKind::FcfsShare), 1, &rule);
+    let b = run_scenario(&scenario(PolicyKind::FcfsShare), 2, &rule);
+    assert_ne!(a.turnaround.mean, b.turnaround.mean);
+}

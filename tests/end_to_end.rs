@@ -1,0 +1,185 @@
+//! End-to-end integration: grid substrate → workload substrate → scheduler
+//! → metrics, across all six paper platforms and all five policies.
+
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::{simulate, SimConfig};
+use dgsched_grid::{Availability, GridConfig, Heterogeneity};
+use dgsched_workload::{BotType, Intensity, WorkloadSpec};
+use rand::SeedableRng;
+
+/// A scaled-down paper bag type: same granularity structure, smaller app
+/// size so tests stay fast.
+fn small_type(granularity: f64) -> BotType {
+    BotType { granularity, app_size: 20.0 * granularity, jitter: 0.5 }
+}
+
+#[test]
+fn every_platform_and_policy_completes() {
+    for (name, grid_cfg) in GridConfig::paper_suite() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let grid = grid_cfg.build(&mut rng);
+        let workload = WorkloadSpec {
+            bot_type: small_type(5_000.0),
+            intensity: Intensity::Low,
+            count: 5,
+        }
+        .generate(&grid_cfg, &mut rng);
+        for kind in PolicyKind::all() {
+            let r = simulate(&grid, &workload, kind, &SimConfig::with_seed(2));
+            assert_eq!(r.completed, 5, "{name}/{kind} must complete");
+            assert!(!r.saturated, "{name}/{kind} must not saturate");
+            assert!(r.mean_turnaround() > 0.0, "{name}/{kind}");
+        }
+    }
+}
+
+#[test]
+fn availability_degrades_turnaround() {
+    // Same workload and heterogeneity: turnaround must rise monotonically
+    // as availability falls (the Fig.1 → Fig.2 doubling the paper reports).
+    let mut means = Vec::new();
+    for avail in [Availability::HIGH, Availability::MED, Availability::LOW] {
+        let grid_cfg = GridConfig::paper(Heterogeneity::HOM, avail);
+        let mut sum = 0.0;
+        let reps = 5;
+        for seed in 0..reps {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let grid = grid_cfg.build(&mut rng);
+            let workload = WorkloadSpec {
+                bot_type: small_type(25_000.0),
+                intensity: Intensity::Low,
+                count: 6,
+            }
+            .generate(&grid_cfg, &mut rng);
+            let r = simulate(&grid, &workload, PolicyKind::FcfsShare, &SimConfig::with_seed(seed));
+            assert!(!r.saturated);
+            sum += r.mean_turnaround();
+        }
+        means.push(sum / reps as f64);
+    }
+    assert!(
+        means[0] < means[1] && means[1] < means[2],
+        "turnaround must degrade with availability: {means:?}"
+    );
+}
+
+#[test]
+fn higher_intensity_raises_turnaround() {
+    let grid_cfg = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
+    let mut means = Vec::new();
+    for intensity in [Intensity::Low, Intensity::High] {
+        let mut sum = 0.0;
+        let reps = 5;
+        for seed in 0..reps {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(100 + seed);
+            let grid = grid_cfg.build(&mut rng);
+            let workload = WorkloadSpec {
+                bot_type: small_type(5_000.0),
+                intensity,
+                count: 12,
+            }
+            .generate(&grid_cfg, &mut rng);
+            let r = simulate(&grid, &workload, PolicyKind::Rr, &SimConfig::with_seed(seed));
+            assert!(!r.saturated);
+            sum += r.mean_turnaround();
+        }
+        means.push(sum / reps as f64);
+    }
+    assert!(
+        means[1] > means[0],
+        "high intensity must raise turnaround: {means:?}"
+    );
+}
+
+#[test]
+fn het_platform_uses_replication_better_than_threshold_one() {
+    // On heterogeneous machines a replica gives a slow task a second chance
+    // on a faster machine ([3]); threshold 2 should beat threshold 1 for a
+    // machine-sized bag on an otherwise idle grid.
+    let grid_cfg = GridConfig::paper(Heterogeneity::HET, Availability::Always);
+    let grid_cfg = GridConfig {
+        checkpoint: dgsched_grid::CheckpointConfig::disabled(),
+        ..grid_cfg
+    };
+    let mut gained = 0;
+    let reps = 8;
+    for seed in 0..reps {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let grid = grid_cfg.build(&mut rng);
+        let workload = WorkloadSpec {
+            bot_type: BotType { granularity: 10_000.0, app_size: 4.0e5, jitter: 0.5 },
+            intensity: Intensity::Low,
+            count: 1,
+        }
+        .generate(&grid_cfg, &mut rng);
+        let base = SimConfig::with_seed(seed);
+        let r1 = simulate(
+            &grid,
+            &workload,
+            PolicyKind::FcfsShare,
+            &SimConfig { replication_threshold: 1, ..base },
+        );
+        let r2 = simulate(
+            &grid,
+            &workload,
+            PolicyKind::FcfsShare,
+            &SimConfig { replication_threshold: 2, ..base },
+        );
+        if r2.mean_turnaround() < r1.mean_turnaround() {
+            gained += 1;
+        }
+    }
+    assert!(
+        gained > reps / 2,
+        "replication should usually help on Het grids ({gained}/{reps} runs)"
+    );
+}
+
+#[test]
+fn counters_are_internally_consistent() {
+    let grid_cfg = GridConfig::paper(Heterogeneity::HOM, Availability::LOW);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let grid = grid_cfg.build(&mut rng);
+    let workload = WorkloadSpec {
+        bot_type: small_type(25_000.0),
+        intensity: Intensity::Medium,
+        count: 8,
+    }
+    .generate(&grid_cfg, &mut rng);
+    let r = simulate(&grid, &workload, PolicyKind::LongIdle, &SimConfig::with_seed(4));
+    assert!(!r.saturated);
+    let c = &r.counters;
+    // Every launched replica either completed a task, was killed by a
+    // failure, or was killed as a sibling.
+    let total_tasks: u64 = workload.total_tasks() as u64;
+    assert_eq!(
+        c.replicas_launched,
+        total_tasks + c.replicas_killed_failure + c.replicas_killed_sibling,
+        "replica conservation"
+    );
+    // All work delivered exactly once.
+    assert!((c.useful_work - workload.total_work()).abs() < 1e-6);
+    // Waste is occupancy of killed replicas, a subset of all occupancy.
+    assert!(c.killed_occupancy <= c.busy_time);
+    assert!(c.machine_failures > 0);
+}
+
+#[test]
+fn checkpoint_efficiency_enters_lambda() {
+    // The demand model must use effective power: for the same intensity the
+    // LowAvail grid sees a proportionally slower arrival stream.
+    let high = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
+    let low = GridConfig::paper(Heterogeneity::HOM, Availability::LOW);
+    let spec = WorkloadSpec {
+        bot_type: BotType::paper(5_000.0),
+        intensity: Intensity::High,
+        count: 3,
+    };
+    let mut rng1 = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng2 = rand::rngs::StdRng::seed_from_u64(1);
+    let wl_high = spec.generate(&high, &mut rng1);
+    let wl_low = spec.generate(&low, &mut rng2);
+    let ratio = wl_high.lambda / wl_low.lambda;
+    let expected = high.effective_power() / low.effective_power();
+    assert!((ratio - expected).abs() < 1e-9, "ratio {ratio} vs {expected}");
+}

@@ -1,0 +1,82 @@
+//! Golden-trace contract: a fixed scenario must produce a byte-identical
+//! event trace across releases. This is the determinism promise made to
+//! downstream users (saved workloads and seeds replay exactly); any
+//! intentional change to scheduling semantics must update the fingerprint
+//! below *and* the corresponding entry in EXPERIMENTS.md.
+
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::{simulate_observed, SimConfig, TraceRecorder};
+use dgsched_des::time::SimTime;
+use dgsched_grid::{Availability, CheckpointConfig, GridConfig, Heterogeneity};
+use dgsched_workload::{BagOfTasks, BotId, TaskId, TaskSpec, Workload};
+use rand::SeedableRng;
+
+/// FNV-1a over the serialised trace — cheap, stable, dependency-free.
+fn fingerprint(trace: &TraceRecorder) -> u64 {
+    let json = serde_json::to_string(trace).expect("trace serialises");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in json.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn golden_run() -> TraceRecorder {
+    let grid_cfg = GridConfig {
+        total_power: 60.0,
+        heterogeneity: Heterogeneity::Homogeneous { power: 10.0 },
+        availability: Availability::MED,
+        checkpoint: CheckpointConfig::default(),
+        outages: None,
+    };
+    let grid = grid_cfg.build(&mut rand::rngs::StdRng::seed_from_u64(7));
+    let mk = |id: u32, at: f64, works: &[f64]| BagOfTasks {
+        id: BotId(id),
+        arrival: SimTime::new(at),
+        tasks: works
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| TaskSpec { id: TaskId(i as u32), work: w })
+            .collect(),
+        granularity: 10_000.0,
+    };
+    let workload = Workload {
+        bags: vec![
+            mk(0, 0.0, &[12_000.0, 8_000.0, 15_000.0]),
+            mk(1, 1_000.0, &[20_000.0, 5_000.0]),
+            mk(2, 2_500.0, &[30_000.0]),
+        ],
+        lambda: 1e-3,
+        label: "golden".into(),
+    };
+    let mut trace = TraceRecorder::new();
+    let cfg = SimConfig::with_seed(2008);
+    let r = simulate_observed(
+        &grid,
+        &workload,
+        PolicyKind::LongIdle.create_seeded(2008),
+        &cfg,
+        &mut trace,
+    );
+    assert_eq!(r.completed, 3);
+    trace
+}
+
+#[test]
+fn golden_trace_fingerprint_is_stable() {
+    let trace = golden_run();
+    assert!(trace.is_time_ordered());
+    let fp = fingerprint(&trace);
+    // Two runs in-process must agree bit-for-bit...
+    assert_eq!(fp, fingerprint(&golden_run()));
+    // ...and with the recorded release fingerprint. If this fails after an
+    // *intentional* semantic change, re-record with:
+    //   cargo test -p dgsched-core --test golden_trace -- --nocapture
+    // and update both constants below and EXPERIMENTS.md.
+    let expected_events = 52;
+    let expected_fp: u64 = 0x3d01_7e4f_fec8_1066;
+    eprintln!("golden trace: {} events, fingerprint {:#018x}", trace.len(), fp);
+    assert_eq!(trace.len(), expected_events, "event count drifted");
+    assert_eq!(fp, expected_fp, "trace fingerprint drifted");
+}

@@ -1,0 +1,313 @@
+//! Scheduler invariants enforced over full traces via the observer hooks:
+//! machines are never double-booked or used while down, replica counts
+//! respect the threshold, FCFS-Excl really is exclusive, checkpoints are
+//! monotone, and traces are deterministic.
+
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::{
+    simulate_observed, CheckingObserver, SimConfig, SimObserver, TraceRecorder,
+};
+use dgsched_des::time::SimTime;
+use dgsched_grid::{Availability, GridConfig, Heterogeneity, MachineId};
+use dgsched_workload::{BotId, BotType, Intensity, TaskId, WorkloadSpec};
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+/// Shadows the simulator's state from observer callbacks alone and panics
+/// on any inconsistency.
+#[derive(Default)]
+struct InvariantObserver {
+    /// The policy's replication threshold (`None` = unlimited, FCFS-Excl).
+    threshold: Option<u32>,
+    /// Whether dispatches must always target the oldest active bag.
+    exclusive: bool,
+    machine_busy: HashMap<u32, (u32, u32)>,
+    machine_down: HashSet<u32>,
+    replica_counts: HashMap<(u32, u32), u32>,
+    active_bags: Vec<u32>,
+    completed_tasks: HashSet<(u32, u32)>,
+    checkpoint_progress: HashMap<(u32, u32), f64>,
+    dispatches: u64,
+}
+
+impl SimObserver for InvariantObserver {
+    fn on_bag_arrival(&mut self, _now: SimTime, bag: BotId) {
+        self.active_bags.push(bag.0);
+    }
+
+    fn on_bag_complete(&mut self, _now: SimTime, bag: BotId) {
+        self.active_bags.retain(|&b| b != bag.0);
+    }
+
+    fn on_dispatch(
+        &mut self,
+        _now: SimTime,
+        bag: BotId,
+        task: TaskId,
+        machine: MachineId,
+        _is_replication: bool,
+    ) {
+        self.dispatches += 1;
+        assert!(
+            !self.machine_busy.contains_key(&machine.0),
+            "machine {machine} double-booked"
+        );
+        assert!(
+            !self.machine_down.contains(&machine.0),
+            "dispatch onto failed machine {machine}"
+        );
+        assert!(
+            !self.completed_tasks.contains(&(bag.0, task.0)),
+            "dispatch of a completed task {bag}/{task}"
+        );
+        if self.exclusive {
+            assert_eq!(
+                Some(bag.0),
+                self.active_bags.first().copied(),
+                "FCFS-Excl dispatched a bag that is not the oldest"
+            );
+        }
+        let count = self.replica_counts.entry((bag.0, task.0)).or_insert(0);
+        *count += 1;
+        if let Some(thr) = self.threshold {
+            assert!(*count <= thr, "task {bag}/{task} exceeded threshold: {count}");
+        }
+        self.machine_busy.insert(machine.0, (bag.0, task.0));
+    }
+
+    fn on_task_complete(&mut self, _now: SimTime, bag: BotId, task: TaskId, machine: MachineId) {
+        let occupant = self.machine_busy.remove(&machine.0);
+        assert_eq!(occupant, Some((bag.0, task.0)), "completion from wrong machine");
+        let count = self.replica_counts.get_mut(&(bag.0, task.0)).expect("counted");
+        *count -= 1;
+        assert!(
+            self.completed_tasks.insert((bag.0, task.0)),
+            "task {bag}/{task} completed twice"
+        );
+    }
+
+    fn on_replica_killed(
+        &mut self,
+        _now: SimTime,
+        bag: BotId,
+        task: TaskId,
+        machine: MachineId,
+        _by_failure: bool,
+    ) {
+        let occupant = self.machine_busy.remove(&machine.0);
+        assert_eq!(occupant, Some((bag.0, task.0)), "kill of wrong occupant");
+        let count = self.replica_counts.get_mut(&(bag.0, task.0)).expect("counted");
+        *count -= 1;
+    }
+
+    fn on_machine_fail(&mut self, _now: SimTime, machine: MachineId) {
+        assert!(self.machine_down.insert(machine.0), "double failure of {machine}");
+    }
+
+    fn on_machine_repair(&mut self, _now: SimTime, machine: MachineId) {
+        assert!(self.machine_down.remove(&machine.0), "repair of healthy {machine}");
+        assert!(
+            !self.machine_busy.contains_key(&machine.0),
+            "machine {machine} repaired while still booked"
+        );
+    }
+
+    fn on_checkpoint_saved(&mut self, _now: SimTime, bag: BotId, task: TaskId, work: f64) {
+        let prev = self.checkpoint_progress.entry((bag.0, task.0)).or_insert(0.0);
+        // Per-replica progress is monotone; across replicas the server keeps
+        // the max, so the observed stream may dip but must stay positive.
+        assert!(work > 0.0, "empty checkpoint for {bag}/{task}");
+        *prev = prev.max(work);
+    }
+}
+
+fn run_with_invariants(policy: PolicyKind, threshold: u32, seed: u64) -> InvariantObserver {
+    let grid_cfg = GridConfig::paper(Heterogeneity::HET, Availability::LOW);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let grid = grid_cfg.build(&mut rng);
+    let workload = WorkloadSpec {
+        bot_type: BotType { granularity: 20_000.0, app_size: 200_000.0, jitter: 0.5 },
+        intensity: Intensity::Medium,
+        count: 8,
+    }
+    .generate(&grid_cfg, &mut rng);
+    let mut obs = InvariantObserver {
+        threshold: (policy != PolicyKind::FcfsExcl).then_some(threshold),
+        exclusive: policy == PolicyKind::FcfsExcl,
+        ..Default::default()
+    };
+    let cfg = SimConfig { replication_threshold: threshold, ..SimConfig::with_seed(seed) };
+    let r = simulate_observed(&grid, &workload, policy.create_seeded(seed), &cfg, &mut obs);
+    assert_eq!(r.completed, 8, "{policy} must complete under invariant checking");
+    assert_eq!(r.counters.replicas_launched, obs.dispatches, "observer saw every dispatch");
+    obs
+}
+
+#[test]
+fn invariants_hold_for_all_policies() {
+    for policy in PolicyKind::all_with_baselines() {
+        for seed in [1, 2] {
+            let obs = run_with_invariants(policy, 2, seed);
+            assert!(obs.machine_busy.is_empty(), "{policy}: machines left booked at drain");
+            assert!(obs.active_bags.is_empty(), "{policy}: bags left active at drain");
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_for_higher_thresholds() {
+    for threshold in [1, 3, 4] {
+        run_with_invariants(PolicyKind::FcfsShare, threshold, 3);
+        run_with_invariants(PolicyKind::Rr, threshold, 3);
+    }
+}
+
+/// The library's own `CheckingObserver` (the productised version of the
+/// shadow state above) must agree that every policy is clean — including
+/// on a failure-heavy platform with extra thresholds.
+#[test]
+fn library_checker_agrees() {
+    let grid_cfg = GridConfig::paper(Heterogeneity::HET, Availability::LOW);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let grid = grid_cfg.build(&mut rng);
+    let workload = WorkloadSpec {
+        bot_type: BotType { granularity: 15_000.0, app_size: 150_000.0, jitter: 0.5 },
+        intensity: Intensity::High,
+        count: 6,
+    }
+    .generate(&grid_cfg, &mut rng);
+    for policy in PolicyKind::all_with_baselines() {
+        let mut checker = if policy == PolicyKind::FcfsExcl {
+            CheckingObserver::exclusive()
+        } else {
+            CheckingObserver::with_threshold(2)
+        };
+        let cfg = SimConfig::with_seed(6);
+        let r = simulate_observed(
+            &grid,
+            &workload,
+            policy.create_seeded(6),
+            &cfg,
+            &mut checker,
+        );
+        assert_eq!(r.completed, 6, "{policy}");
+        checker.assert_clean();
+        checker.assert_drained();
+        assert_eq!(checker.dispatches, r.counters.replicas_launched, "{policy}");
+    }
+}
+
+/// The correlated-outage path honours the same invariants: no machine is
+/// double-failed, kills match occupants, and repairs restore machines that
+/// were actually down.
+#[test]
+fn invariants_hold_under_correlated_outages() {
+    use dgsched_des::dist::DistConfig;
+    use dgsched_grid::{CheckpointConfig, GridConfig as GC, OutageConfig};
+    let grid_cfg = GC {
+        total_power: 200.0,
+        heterogeneity: Heterogeneity::HET,
+        availability: Availability::MED,
+        checkpoint: CheckpointConfig::default(),
+        outages: Some(OutageConfig {
+            mtbo: 6_000.0,
+            duration: DistConfig::NormalTrunc { mean: 1_200.0, sd: 200.0 },
+            fraction: 0.6,
+        }),
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let grid = grid_cfg.build(&mut rng);
+    let workload = WorkloadSpec {
+        bot_type: BotType { granularity: 20_000.0, app_size: 120_000.0, jitter: 0.5 },
+        intensity: Intensity::Medium,
+        count: 6,
+    }
+    .generate(&grid_cfg, &mut rng);
+    for policy in [PolicyKind::FcfsShare, PolicyKind::LongIdle, PolicyKind::FcfsExcl] {
+        let mut checker = if policy == PolicyKind::FcfsExcl {
+            CheckingObserver::exclusive()
+        } else {
+            CheckingObserver::with_threshold(2)
+        };
+        let cfg = SimConfig::with_seed(9);
+        let r = simulate_observed(
+            &grid,
+            &workload,
+            policy.create_seeded(9),
+            &cfg,
+            &mut checker,
+        );
+        assert_eq!(r.completed, 6, "{policy} under outages");
+        assert!(r.counters.outages > 0, "outages must fire");
+        checker.assert_clean();
+        checker.assert_drained();
+    }
+}
+
+#[test]
+fn traces_are_deterministic_and_time_ordered() {
+    let grid_cfg = GridConfig::paper(Heterogeneity::HOM, Availability::MED);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let grid = grid_cfg.build(&mut rng);
+    let workload = WorkloadSpec {
+        bot_type: BotType { granularity: 10_000.0, app_size: 100_000.0, jitter: 0.5 },
+        intensity: Intensity::Low,
+        count: 5,
+    }
+    .generate(&grid_cfg, &mut rng);
+
+    let record = || {
+        let mut trace = TraceRecorder::new();
+        let cfg = SimConfig::with_seed(4);
+        simulate_observed(
+            &grid,
+            &workload,
+            PolicyKind::LongIdle.create_seeded(4),
+            &cfg,
+            &mut trace,
+        );
+        trace
+    };
+    let a = record();
+    let b = record();
+    assert!(!a.is_empty());
+    assert!(a.is_time_ordered(), "trace must be in event order");
+    assert_eq!(a, b, "identical seeds must give identical event traces");
+    // The trace must carry every lifecycle stage.
+    let kinds: Vec<&str> = a
+        .events
+        .iter()
+        .map(|e| match e {
+            dgsched_core::sim::TraceEvent::Dispatch { .. } => "dispatch",
+            dgsched_core::sim::TraceEvent::TaskComplete { .. } => "complete",
+            dgsched_core::sim::TraceEvent::ReplicaKilled { .. } => "killed",
+            dgsched_core::sim::TraceEvent::MachineFail { .. } => "fail",
+            dgsched_core::sim::TraceEvent::MachineRepair { .. } => "repair",
+            dgsched_core::sim::TraceEvent::BagArrival { .. } => "arrival",
+            dgsched_core::sim::TraceEvent::BagComplete { .. } => "bag-complete",
+            dgsched_core::sim::TraceEvent::CheckpointSaved { .. } => "checkpoint",
+        })
+        .collect();
+    for expected in ["dispatch", "complete", "arrival", "bag-complete", "fail", "repair"] {
+        assert!(kinds.contains(&expected), "trace lacks {expected} events");
+    }
+}
+
+#[test]
+fn trace_serde_round_trip() {
+    let grid_cfg = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    let grid = grid_cfg.build(&mut rng);
+    let workload = WorkloadSpec {
+        bot_type: BotType { granularity: 5_000.0, app_size: 25_000.0, jitter: 0.5 },
+        intensity: Intensity::Low,
+        count: 2,
+    }
+    .generate(&grid_cfg, &mut rng);
+    let mut trace = TraceRecorder::new();
+    let cfg = SimConfig::with_seed(1);
+    simulate_observed(&grid, &workload, PolicyKind::Rr.create(), &cfg, &mut trace);
+    let json = serde_json::to_string(&trace).unwrap();
+    let back: TraceRecorder = serde_json::from_str(&json).unwrap();
+    assert_eq!(trace, back);
+}

@@ -1,0 +1,96 @@
+//! End-to-end output analysis: a single long run analysed with the
+//! steady-state toolkit (MSER warm-up deletion, autocorrelation-sized batch
+//! means) must agree with the independent-replications estimate — the
+//! textbook cross-validation of the two estimation routes.
+
+use dgsched_core::experiment::{run_scenario, Scenario, WorkloadKind};
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::{simulate, SimConfig};
+use dgsched_des::stats::{
+    effective_sample_size, mser5, suggest_batch_size, BatchMeans, StoppingRule,
+};
+use dgsched_grid::{Availability, GridConfig, Heterogeneity};
+use dgsched_workload::{BotType, Intensity, WorkloadSpec};
+use rand::SeedableRng;
+
+fn grid_cfg() -> GridConfig {
+    GridConfig::paper(Heterogeneity::HOM, Availability::HIGH)
+}
+
+fn spec(count: usize) -> WorkloadSpec {
+    WorkloadSpec { bot_type: BotType::paper(25_000.0), intensity: Intensity::Low, count }
+}
+
+#[test]
+fn single_long_run_agrees_with_replications() {
+    // Route 1: one long run, MSER truncation, batch means.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(50);
+    let grid = grid_cfg().build(&mut rng);
+    let workload = spec(600).generate(&grid_cfg(), &mut rng);
+    let long = simulate(&grid, &workload, PolicyKind::FcfsShare, &SimConfig::with_seed(50));
+    assert!(!long.saturated);
+    let series: Vec<f64> = long.bags.iter().map(|b| b.turnaround).collect();
+    assert!(series.len() >= 500);
+
+    let trunc = mser5(&series).expect("long series").truncate;
+    let tail = &series[trunc..];
+    let batch = suggest_batch_size(tail, 0.05).max(5);
+    let mut bm = BatchMeans::new(batch, 0);
+    for &x in tail {
+        bm.push(x);
+    }
+    assert!(bm.batch_count() >= 5, "need enough batches (batch size {batch})");
+    let single_ci = bm.confidence_interval(0.95);
+
+    // Route 2: independent replications through the experiment runner.
+    let scenario = Scenario {
+        name: "steady-state".into(),
+        grid: grid_cfg(),
+        workload: WorkloadKind::Single(spec(120)),
+        policy: PolicyKind::FcfsShare,
+        sim: SimConfig { warmup_bags: 10, ..SimConfig::default() },
+    };
+    let rule = StoppingRule { min_replications: 6, max_replications: 10, ..Default::default() };
+    let reps = run_scenario(&scenario, 51, &rule);
+    assert!(!reps.saturated);
+
+    // The two point estimates must be compatible: each mean inside the
+    // other's interval widened by a tolerance factor (the estimators are
+    // biased differently at finite n).
+    let tol = 3.0;
+    let (lo, hi) = (
+        reps.turnaround.mean - tol * reps.turnaround.half_width.max(single_ci.half_width),
+        reps.turnaround.mean + tol * reps.turnaround.half_width.max(single_ci.half_width),
+    );
+    assert!(
+        (lo..hi).contains(&single_ci.mean),
+        "single-run mean {:.0} vs replications {:.0} ± {:.0} (batch {batch}, trunc {trunc})",
+        single_ci.mean,
+        reps.turnaround.mean,
+        reps.turnaround.half_width,
+    );
+}
+
+#[test]
+fn turnarounds_are_autocorrelated_under_load() {
+    // Sanity of the premise behind batch means: consecutive bags share the
+    // queue, so their turnarounds must be positively correlated — the
+    // effective sample size is visibly below the raw count.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(52);
+    let grid = grid_cfg().build(&mut rng);
+    let workload = WorkloadSpec {
+        bot_type: BotType::paper(25_000.0),
+        intensity: Intensity::High,
+        count: 400,
+    }
+    .generate(&grid_cfg(), &mut rng);
+    let r = simulate(&grid, &workload, PolicyKind::Rr, &SimConfig::with_seed(52));
+    assert!(!r.saturated);
+    let series: Vec<f64> = r.bags.iter().map(|b| b.turnaround).collect();
+    let ess = effective_sample_size(&series);
+    assert!(
+        ess < 0.8 * series.len() as f64,
+        "high-load turnarounds should be correlated: ESS {ess:.0} of {}",
+        series.len()
+    );
+}
