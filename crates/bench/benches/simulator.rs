@@ -13,7 +13,11 @@ fn bench_policies(c: &mut Criterion) {
     let grid_cfg = GridConfig::paper(Heterogeneity::HET, Availability::MED);
     let grid = grid_cfg.build(&mut rand::rngs::StdRng::seed_from_u64(1));
     let workload = WorkloadSpec {
-        bot_type: BotType { granularity: 5_000.0, app_size: 500_000.0, jitter: 0.5 },
+        bot_type: BotType {
+            granularity: 5_000.0,
+            app_size: 500_000.0,
+            jitter: 0.5,
+        },
         intensity: Intensity::Medium,
         count: 20,
     }
@@ -55,7 +59,11 @@ fn bench_failure_intensity(c: &mut Criterion) {
         let grid_cfg = GridConfig::paper(Heterogeneity::HOM, avail);
         let grid = grid_cfg.build(&mut rand::rngs::StdRng::seed_from_u64(1));
         let workload = WorkloadSpec {
-            bot_type: BotType { granularity: 25_000.0, app_size: 500_000.0, jitter: 0.5 },
+            bot_type: BotType {
+                granularity: 25_000.0,
+                app_size: 500_000.0,
+                jitter: 0.5,
+            },
             intensity: Intensity::Low,
             count: 15,
         }

@@ -39,14 +39,16 @@ fn main() {
                 grid: GridConfig::paper(Heterogeneity::HOM, Availability::HIGH),
                 workload,
                 policy,
-                sim: SimConfig { warmup_bags: opts.warmup, ..SimConfig::default() },
+                sim: SimConfig {
+                    warmup_bags: opts.warmup,
+                    ..SimConfig::default()
+                },
             });
         }
     }
     let results = run_with_progress(&scenarios, &opts);
 
-    let mut table =
-        Table::new(vec!["arrival CV", "FCFS-Share", "RR", "LongIdle"]);
+    let mut table = Table::new(vec!["arrival CV", "FCFS-Share", "RR", "LongIdle"]);
     for &cv in &cvs {
         let mut row = vec![format!("{cv}")];
         for policy in policies {
@@ -59,9 +61,7 @@ fn main() {
         }
         table.push_row(row);
     }
-    println!(
-        "\n## E9 — arrival burstiness (Hom-HighAvail, g=25000, U=0.75, same mean rate)\n"
-    );
+    println!("\n## E9 — arrival burstiness (Hom-HighAvail, g=25000, U=0.75, same mean rate)\n");
     if opts.csv {
         print!("{}", table.to_csv());
     } else {

@@ -23,7 +23,10 @@ fn main() {
         .map(|&factor| Scenario {
             name: format!("tau x{factor}"),
             grid: GridConfig {
-                checkpoint: CheckpointConfig { interval_factor: factor, ..Default::default() },
+                checkpoint: CheckpointConfig {
+                    interval_factor: factor,
+                    ..Default::default()
+                },
                 ..GridConfig::paper(Heterogeneity::HOM, Availability::LOW)
             },
             workload: WorkloadKind::Single(WorkloadSpec {
@@ -34,7 +37,10 @@ fn main() {
                 count: opts.bags.min(60),
             }),
             policy: PolicyKind::LongIdle,
-            sim: SimConfig { warmup_bags: opts.warmup.min(5), ..SimConfig::default() },
+            sim: SimConfig {
+                warmup_bags: opts.warmup.min(5),
+                ..SimConfig::default()
+            },
         })
         .collect();
     scenarios.push(Scenario {
@@ -50,13 +56,20 @@ fn main() {
 
     let results = run_with_progress(&scenarios, &opts);
 
-    let mut table =
-        Table::new(vec!["interval", "turnaround (s)", "95% CI", "wasted occupancy"]);
+    let mut table = Table::new(vec![
+        "interval",
+        "turnaround (s)",
+        "95% CI",
+        "wasted occupancy",
+    ]);
     for (s, r) in scenarios.iter().zip(&results) {
         let cell = if r.saturated {
             ("SATURATED".to_string(), String::new())
         } else {
-            (format!("{:.0}", r.turnaround.mean), format!("±{:.0}", r.turnaround.half_width))
+            (
+                format!("{:.0}", r.turnaround.mean),
+                format!("±{:.0}", r.turnaround.half_width),
+            )
         };
         table.push_row(vec![
             s.name.clone(),

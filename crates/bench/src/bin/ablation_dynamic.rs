@@ -19,15 +19,21 @@ fn main() {
     let opts = Opts::from_args();
     // Cutoff between HighAvail (1/88200 ≈ 1.1e-5) and LowAvail
     // (1/1800 ≈ 5.6e-4) per-machine failure rates.
-    let adaptive = DynamicReplication { calm: 1, stormy: 3, rate_cutoff: 1e-4 };
+    let adaptive = DynamicReplication {
+        calm: 1,
+        stormy: 3,
+        rate_cutoff: 1e-4,
+    };
     let variants: [(&str, Option<DynamicReplication>, u32); 4] = [
         ("static-1", None, 1),
         ("static-2", None, 2),
         ("static-3", None, 3),
         ("adaptive 1↔3", Some(adaptive), 2),
     ];
-    let platforms =
-        [("Hom-HighAvail", Availability::HIGH), ("Hom-LowAvail", Availability::LOW)];
+    let platforms = [
+        ("Hom-HighAvail", Availability::HIGH),
+        ("Hom-LowAvail", Availability::LOW),
+    ];
 
     let mut scenarios = Vec::new();
     for (pname, avail) in platforms {
@@ -53,8 +59,12 @@ fn main() {
     let results = run_with_progress(&scenarios, &opts);
 
     for (pname, _) in platforms {
-        let mut table =
-            Table::new(vec!["replication", "turnaround (s)", "95% CI", "wasted occupancy"]);
+        let mut table = Table::new(vec![
+            "replication",
+            "turnaround (s)",
+            "95% CI",
+            "wasted occupancy",
+        ]);
         for (vname, _, _) in variants {
             let needle = format!("{pname} {vname}");
             if let Some(r) = results.iter().find(|r| r.name == needle) {

@@ -26,9 +26,21 @@ struct Variant {
 fn main() {
     let opts = Opts::from_args();
     let variants = [
-        Variant { name: "WorkQueue", threshold: 1, checkpoint: CheckpointConfig::disabled() },
-        Variant { name: "WQR", threshold: 2, checkpoint: CheckpointConfig::disabled() },
-        Variant { name: "WQR-FT", threshold: 2, checkpoint: CheckpointConfig::default() },
+        Variant {
+            name: "WorkQueue",
+            threshold: 1,
+            checkpoint: CheckpointConfig::disabled(),
+        },
+        Variant {
+            name: "WQR",
+            threshold: 2,
+            checkpoint: CheckpointConfig::disabled(),
+        },
+        Variant {
+            name: "WQR-FT",
+            threshold: 2,
+            checkpoint: CheckpointConfig::default(),
+        },
     ];
 
     let mut scenarios = Vec::new();
@@ -56,8 +68,7 @@ fn main() {
     }
     let results = run_with_progress(&scenarios, &opts);
 
-    let mut table =
-        Table::new(vec!["granularity (s)", "WorkQueue", "WQR", "WQR-FT"]);
+    let mut table = Table::new(vec!["granularity (s)", "WorkQueue", "WQR", "WQR-FT"]);
     for &g in &PAPER_GRANULARITIES {
         let mut row = vec![format!("{g}")];
         for v in &variants {

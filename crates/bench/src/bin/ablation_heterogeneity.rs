@@ -21,9 +21,15 @@ fn main() {
     // Het is [2.3, 17.7]).
     let spreads: [(&str, Heterogeneity); 4] = [
         ("none (Hom)", Heterogeneity::HOM),
-        ("narrow [7,13]", Heterogeneity::UniformRange { lo: 7.0, hi: 13.0 }),
+        (
+            "narrow [7,13]",
+            Heterogeneity::UniformRange { lo: 7.0, hi: 13.0 },
+        ),
         ("paper [2.3,17.7]", Heterogeneity::HET),
-        ("extreme [1,19]", Heterogeneity::UniformRange { lo: 1.0, hi: 19.0 }),
+        (
+            "extreme [1,19]",
+            Heterogeneity::UniformRange { lo: 1.0, hi: 19.0 },
+        ),
     ];
 
     let mut scenarios = Vec::new();

@@ -19,8 +19,16 @@ use dgsched_workload::{BotType, Intensity, WorkloadSpec, PAPER_GRANULARITIES};
 fn main() {
     let opts = Opts::from_args();
     let variants: [(&str, TaskOrder, MachineOrder); 2] = [
-        ("knowledge-free", TaskOrder::Arbitrary, MachineOrder::Arbitrary),
-        ("knowledge-based", TaskOrder::LongestFirst, MachineOrder::FastestFirst),
+        (
+            "knowledge-free",
+            TaskOrder::Arbitrary,
+            MachineOrder::Arbitrary,
+        ),
+        (
+            "knowledge-based",
+            TaskOrder::LongestFirst,
+            MachineOrder::FastestFirst,
+        ),
     ];
     let policies = [PolicyKind::FcfsShare, PolicyKind::Rr];
 
@@ -50,18 +58,21 @@ fn main() {
     let results = run_with_progress(&scenarios, &opts);
 
     for policy in policies {
-        let mut table =
-            Table::new(vec!["granularity (s)", "knowledge-free", "knowledge-based", "gain"]);
+        let mut table = Table::new(vec![
+            "granularity (s)",
+            "knowledge-free",
+            "knowledge-based",
+            "gain",
+        ]);
         for &g in &PAPER_GRANULARITIES {
             let find = |vname: &str| {
-                results.iter().find(|r| r.name == format!("g={g} {policy} {vname}"))
+                results
+                    .iter()
+                    .find(|r| r.name == format!("g={g} {policy} {vname}"))
             };
-            if let (Some(free), Some(based)) =
-                (find("knowledge-free"), find("knowledge-based"))
-            {
-                let gain = (free.turnaround.mean - based.turnaround.mean)
-                    / free.turnaround.mean
-                    * 100.0;
+            if let (Some(free), Some(based)) = (find("knowledge-free"), find("knowledge-based")) {
+                let gain =
+                    (free.turnaround.mean - based.turnaround.mean) / free.turnaround.mean * 100.0;
                 table.push_row(vec![
                     format!("{g}"),
                     dgsched_core::experiment::format_cell(free),
@@ -100,13 +111,20 @@ fn main() {
                     count: opts.bags,
                 }),
                 policy,
-                sim: SimConfig { warmup_bags: opts.warmup, ..SimConfig::default() },
+                sim: SimConfig {
+                    warmup_bags: opts.warmup,
+                    ..SimConfig::default()
+                },
             });
         }
     }
     let results = run_with_progress(&scenarios, &opts);
-    let mut table =
-        Table::new(vec!["granularity (s)", "SBF (knows work)", "LongIdle", "FCFS-Share"]);
+    let mut table = Table::new(vec![
+        "granularity (s)",
+        "SBF (knows work)",
+        "LongIdle",
+        "FCFS-Share",
+    ]);
     for &g in &PAPER_GRANULARITIES {
         let mut row = vec![format!("{g}")];
         for policy in bag_policies {

@@ -32,7 +32,11 @@ fn main() {
         fraction: 1.0,
     };
     let churn: [(&str, Availability, Option<OutageConfig>); 2] = [
-        ("independent", Availability::Level { availability: 0.9 }, None),
+        (
+            "independent",
+            Availability::Level { availability: 0.9 },
+            None,
+        ),
         ("correlated", Availability::Always, Some(outages)),
     ];
     let ft: [(&str, CheckpointConfig); 2] = [
@@ -58,7 +62,10 @@ fn main() {
                     count: opts.bags.min(60),
                 }),
                 policy: PolicyKind::FcfsShare,
-                sim: SimConfig { warmup_bags: opts.warmup.min(5), ..SimConfig::default() },
+                sim: SimConfig {
+                    warmup_bags: opts.warmup.min(5),
+                    ..SimConfig::default()
+                },
             });
         }
     }
@@ -72,7 +79,9 @@ fn main() {
     ]);
     for (fname, _) in ft {
         let find = |cname: &str| {
-            results.iter().find(|r| r.name == format!("{cname} / {fname}"))
+            results
+                .iter()
+                .find(|r| r.name == format!("{cname} / {fname}"))
         };
         if let (Some(ind), Some(corr)) = (find("independent"), find("correlated")) {
             let penalty =

@@ -56,10 +56,19 @@ fn print_table(
     use_makespan: bool,
     opts: &Opts,
 ) {
-    let mut table =
-        Table::new(vec!["threshold", metric, "95% CI", "wasted occupancy", "replications"]);
+    let mut table = Table::new(vec![
+        "threshold",
+        metric,
+        "95% CI",
+        "wasted occupancy",
+        "replications",
+    ]);
     for (t, r) in THRESHOLDS.iter().zip(results) {
-        let ci = if use_makespan { r.makespan } else { r.turnaround };
+        let ci = if use_makespan {
+            r.makespan
+        } else {
+            r.turnaround
+        };
         table.push_row(vec![
             t.to_string(),
             format!("{:.0}", ci.mean),

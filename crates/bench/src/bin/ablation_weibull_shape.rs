@@ -47,14 +47,16 @@ fn main() {
                     count: opts.bags,
                 }),
                 policy,
-                sim: SimConfig { warmup_bags: opts.warmup, ..SimConfig::default() },
+                sim: SimConfig {
+                    warmup_bags: opts.warmup,
+                    ..SimConfig::default()
+                },
             });
         }
     }
     let results = run_with_progress(&scenarios, &opts);
 
-    let mut table =
-        Table::new(vec!["Weibull shape", "FCFS-Share", "RR", "LongIdle"]);
+    let mut table = Table::new(vec!["Weibull shape", "FCFS-Share", "RR", "LongIdle"]);
     for &shape in &shapes {
         let mut row = vec![format!("{shape}")];
         for policy in policies {
@@ -67,9 +69,7 @@ fn main() {
         }
         table.push_row(row);
     }
-    println!(
-        "\n## E11 — Weibull-shape sensitivity at 50 % availability (g=25000, U=0.5)\n"
-    );
+    println!("\n## E11 — Weibull-shape sensitivity at 50 % availability (g=25000, U=0.5)\n");
     if opts.csv {
         print!("{}", table.to_csv());
     } else {

@@ -1,0 +1,151 @@
+//! Machine-readable simulator throughput: events per second for every
+//! policy at two scales, written as JSON for regression tracking.
+//!
+//! ```text
+//! cargo run --release -p dgsched-bench --bin bench_sim_json [--out BENCH_sim.json]
+//! ```
+//!
+//! `paper` is the study's own scale (100 machines); `large` is the
+//! many-machine / many-bag regime where the scheduler's incremental
+//! indices matter (a fleet that is mostly idle at any instant).
+
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::{simulate, SimConfig};
+use dgsched_grid::{Availability, CheckpointConfig, GridConfig, Heterogeneity};
+use dgsched_workload::{BotType, Intensity, WorkloadSpec};
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+struct Scale {
+    name: &'static str,
+    grid: GridConfig,
+    spec: WorkloadSpec,
+}
+
+#[derive(Serialize)]
+struct BenchRow {
+    scenario: &'static str,
+    policy: &'static str,
+    machines: usize,
+    bags: usize,
+    events: u64,
+    elapsed_s: f64,
+    events_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct BenchDoc {
+    unit: &'static str,
+    benchmarks: Vec<BenchRow>,
+}
+
+fn scales() -> Vec<Scale> {
+    vec![
+        Scale {
+            name: "paper",
+            grid: GridConfig::paper(Heterogeneity::HET, Availability::MED),
+            spec: WorkloadSpec {
+                bot_type: BotType {
+                    granularity: 5_000.0,
+                    app_size: 500_000.0,
+                    jitter: 0.5,
+                },
+                intensity: Intensity::Medium,
+                count: 20,
+            },
+        },
+        Scale {
+            name: "large",
+            grid: GridConfig {
+                total_power: 10_000.0, // 1000 Hom machines
+                heterogeneity: Heterogeneity::HOM,
+                availability: Availability::HIGH,
+                checkpoint: CheckpointConfig::default(),
+                outages: None,
+            },
+            spec: WorkloadSpec {
+                bot_type: BotType {
+                    granularity: 5_000.0,
+                    app_size: 250_000.0,
+                    jitter: 0.5,
+                },
+                intensity: Intensity::Low,
+                count: 50,
+            },
+        },
+    ]
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_sim.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown flag {other}; usage: bench_sim_json [--out PATH]");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for scale in scales() {
+        let grid = scale.grid.build(&mut rand::rngs::StdRng::seed_from_u64(1));
+        let workload = scale
+            .spec
+            .generate(&scale.grid, &mut rand::rngs::StdRng::seed_from_u64(2));
+        for kind in PolicyKind::all_with_baselines() {
+            // One warm-up, then time the best of three runs: cheap and
+            // stable enough for trend tracking.
+            let cfg = SimConfig::with_seed(7);
+            let warm = simulate(&grid, &workload, kind, &cfg);
+            assert!(
+                !warm.saturated,
+                "{}: {} saturated",
+                scale.name,
+                kind.paper_name()
+            );
+            let mut best = f64::INFINITY;
+            let mut events = 0u64;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let r = simulate(&grid, &workload, kind, &cfg);
+                let dt = t0.elapsed().as_secs_f64();
+                if dt < best {
+                    best = dt;
+                    events = r.events;
+                }
+            }
+            let eps = events as f64 / best;
+            eprintln!(
+                "{:<6} {:<12} {:>9} events  {:>8.1} ms  {:>12.0} events/s",
+                scale.name,
+                kind.paper_name(),
+                events,
+                best * 1e3,
+                eps
+            );
+            rows.push(BenchRow {
+                scenario: scale.name,
+                policy: kind.paper_name(),
+                machines: grid.len(),
+                bags: workload.len(),
+                events,
+                elapsed_s: best,
+                events_per_s: eps,
+            });
+        }
+    }
+    let doc = BenchDoc {
+        unit: "events/s",
+        benchmarks: rows,
+    };
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&doc).expect("serialises"),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -18,8 +18,10 @@ use std::collections::BTreeMap;
 
 fn main() {
     let opts = Opts::from_args();
-    let platforms =
-        [("Hom-HighAvail", Availability::HIGH), ("Hom-LowAvail", Availability::LOW)];
+    let platforms = [
+        ("Hom-HighAvail", Availability::HIGH),
+        ("Hom-LowAvail", Availability::LOW),
+    ];
     let intensities = [Intensity::Low, Intensity::High];
 
     let mut scenarios = Vec::new();
@@ -29,11 +31,12 @@ fn main() {
                 scenarios.push(Scenario {
                     name: format!("{pname} U={intensity} {policy}"),
                     grid: GridConfig::paper(Heterogeneity::HOM, avail),
-                    workload: WorkloadKind::Mixed(MixSpec::paper_uniform(
-                        intensity, opts.bags,
-                    )),
+                    workload: WorkloadKind::Mixed(MixSpec::paper_uniform(intensity, opts.bags)),
                     policy,
-                    sim: SimConfig { warmup_bags: opts.warmup, ..SimConfig::default() },
+                    sim: SimConfig {
+                        warmup_bags: opts.warmup,
+                        ..SimConfig::default()
+                    },
                 });
             }
         }
@@ -80,7 +83,10 @@ fn main() {
             grid: GridConfig::paper(Heterogeneity::HOM, breakdown_platform.1),
             workload: WorkloadKind::Mixed(MixSpec::paper_uniform(Intensity::High, opts.bags)),
             policy,
-            sim: SimConfig { warmup_bags: opts.warmup, ..SimConfig::default() },
+            sim: SimConfig {
+                warmup_bags: opts.warmup,
+                ..SimConfig::default()
+            },
         };
         for rep in 0..opts.rule.min_replications {
             let r = run_replication(&scenario, opts.seed, rep);

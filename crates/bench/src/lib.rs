@@ -9,8 +9,7 @@
 //! * `--csv` — emit CSV instead of markdown.
 
 use dgsched_core::experiment::{
-    panel_chart, panel_table, run_matrix_with_progress, PanelSpec, Scenario, ScenarioResult,
-    Table,
+    panel_chart, panel_table, run_matrix_with_progress, PanelSpec, Scenario, ScenarioResult, Table,
 };
 use dgsched_core::policy::PolicyKind;
 use dgsched_des::stats::StoppingRule;
@@ -41,7 +40,11 @@ impl Default for Opts {
             bags: 120,
             warmup: 10,
             seed: 2008,
-            rule: StoppingRule { min_replications: 5, max_replications: 15, ..Default::default() },
+            rule: StoppingRule {
+                min_replications: 5,
+                max_replications: 15,
+                ..Default::default()
+            },
             panel: None,
             csv: false,
             chart: false,
@@ -95,12 +98,14 @@ impl Opts {
                 }
                 "--seed" => opts.seed = value("--seed").parse().expect("--seed takes a number"),
                 "--min-reps" => {
-                    opts.rule.min_replications =
-                        value("--min-reps").parse().expect("--min-reps takes a number")
+                    opts.rule.min_replications = value("--min-reps")
+                        .parse()
+                        .expect("--min-reps takes a number")
                 }
                 "--max-reps" => {
-                    opts.rule.max_replications =
-                        value("--max-reps").parse().expect("--max-reps takes a number")
+                    opts.rule.max_replications = value("--max-reps")
+                        .parse()
+                        .expect("--max-reps takes a number")
                 }
                 "--csv" => opts.csv = true,
                 "--chart" => opts.chart = true,
@@ -125,8 +130,7 @@ impl Opts {
         match &self.panel {
             None => true,
             Some(p) => {
-                label.eq_ignore_ascii_case(p)
-                    || label.to_lowercase().ends_with(&p.to_lowercase())
+                label.eq_ignore_ascii_case(p) || label.to_lowercase().ends_with(&p.to_lowercase())
             }
         }
     }
@@ -159,7 +163,10 @@ pub fn run_panel(panel: &PanelSpec, opts: &Opts) {
 
 /// Prints a panel table with its headline and replication note.
 pub fn print_panel(panel: &PanelSpec, table: &Table, results: &[ScenarioResult], opts: &Opts) {
-    println!("\n## Fig. {} — {} (avg turnaround, seconds)\n", panel.label, panel.title);
+    println!(
+        "\n## Fig. {} — {} (avg turnaround, seconds)\n",
+        panel.label, panel.title
+    );
     if opts.csv {
         print!("{}", table.to_csv());
     } else {
@@ -192,11 +199,17 @@ mod tests {
 
     #[test]
     fn panel_restriction_matches_suffix() {
-        let o = Opts { panel: Some("a".into()), ..Opts::default() };
+        let o = Opts {
+            panel: Some("a".into()),
+            ..Opts::default()
+        };
         assert!(o.panel_enabled("1a"));
         assert!(o.panel_enabled("2a"));
         assert!(!o.panel_enabled("1b"));
-        let o = Opts { panel: Some("1A".into()), ..Opts::default() };
+        let o = Opts {
+            panel: Some("1A".into()),
+            ..Opts::default()
+        };
         assert!(o.panel_enabled("1a"));
     }
 

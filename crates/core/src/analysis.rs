@@ -16,17 +16,13 @@ use dgsched_workload::BagOfTasks;
 pub fn makespan_lower_bound(bag: &BagOfTasks, grid: &Grid) -> f64 {
     assert!(!grid.is_empty(), "empty grid");
     let total_power = grid.nominal_power();
-    let fastest = grid
-        .machines
-        .iter()
-        .map(|m| m.power)
-        .fold(0.0f64, f64::max);
+    let fastest = grid.machines.iter().map(|m| m.power).fold(0.0f64, f64::max);
     let largest_task = bag.tasks.iter().map(|t| t.work).fold(0.0f64, f64::max);
     // A bag with fewer tasks than machines cannot use the whole grid
     // usefully (replication only duplicates work): bound by the power of
     // the |tasks| fastest machines.
     let mut powers: Vec<f64> = grid.machines.iter().map(|m| m.power).collect();
-    powers.sort_by(|a, b| b.partial_cmp(a).expect("powers are not NaN"));
+    powers.sort_by(|a, b| b.total_cmp(a));
     let usable_power: f64 = powers.iter().take(bag.len()).sum();
     let work_bound = bag.total_work() / total_power.min(usable_power);
     let path_bound = largest_task / fastest;
@@ -76,7 +72,10 @@ mod tests {
             tasks: works
                 .iter()
                 .enumerate()
-                .map(|(i, &w)| TaskSpec { id: TaskId(i as u32), work: w })
+                .map(|(i, &w)| TaskSpec {
+                    id: TaskId(i as u32),
+                    work: w,
+                })
                 .collect(),
             granularity: 0.0,
         }
@@ -114,12 +113,28 @@ mod tests {
         let grid = reliable_grid(8, 10.0);
         for seed in 0..5u64 {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let works: Vec<f64> =
-                (0..12).map(|_| rand::Rng::gen_range(&mut rng, 100.0..5000.0)).collect();
-            let b = BagOfTasks { id: BotId(0), arrival: SimTime::ZERO, granularity: 0.0,
-                tasks: works.iter().enumerate().map(|(i, &w)| TaskSpec { id: TaskId(i as u32), work: w }).collect() };
+            let works: Vec<f64> = (0..12)
+                .map(|_| rand::Rng::gen_range(&mut rng, 100.0..5000.0))
+                .collect();
+            let b = BagOfTasks {
+                id: BotId(0),
+                arrival: SimTime::ZERO,
+                granularity: 0.0,
+                tasks: works
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| TaskSpec {
+                        id: TaskId(i as u32),
+                        work: w,
+                    })
+                    .collect(),
+            };
             let bound = makespan_lower_bound(&b, &grid);
-            let w = Workload { bags: vec![b], lambda: 1.0, label: "t".into() };
+            let w = Workload {
+                bags: vec![b],
+                lambda: 1.0,
+                label: "t".into(),
+            };
             for policy in PolicyKind::all() {
                 let r = simulate(&grid, &w, policy, &SimConfig::with_seed(seed));
                 let makespan = r.bags[0].makespan;
@@ -137,24 +152,39 @@ mod tests {
         assert!((offered_load(0.001, 50_000.0, &grid) - 0.5).abs() < 1e-12);
         assert!(is_stable(0.001, 50_000.0, &grid));
         assert!(!is_stable(0.003, 50_000.0, &grid));
-        assert!(!is_stable(0.002, 50_000.0, &grid), "ρ = 1 exactly is unstable");
+        assert!(
+            !is_stable(0.002, 50_000.0, &grid),
+            "ρ = 1 exactly is unstable"
+        );
     }
 
     #[test]
     fn overloaded_system_saturates() {
         let grid = reliable_grid(4, 10.0); // 40 work/s capacity
-        // 30 bags, 4000 work each, arriving every 50 s ⇒ ρ = 80/40 = 2.
+                                           // 30 bags, 4000 work each, arriving every 50 s ⇒ ρ = 80/40 = 2.
         let bags: Vec<BagOfTasks> = (0..30)
             .map(|i| BagOfTasks {
                 id: BotId(i),
                 arrival: SimTime::new(i as f64 * 50.0),
-                tasks: (0..4).map(|j| TaskSpec { id: TaskId(j), work: 1000.0 }).collect(),
+                tasks: (0..4)
+                    .map(|j| TaskSpec {
+                        id: TaskId(j),
+                        work: 1000.0,
+                    })
+                    .collect(),
                 granularity: 1000.0,
             })
             .collect();
-        let w = Workload { bags, lambda: 0.02, label: "overload".into() };
+        let w = Workload {
+            bags,
+            lambda: 0.02,
+            label: "overload".into(),
+        };
         assert!(!is_stable(0.02, 4000.0, &grid));
-        let cfg = SimConfig { horizon: Some(2_000.0), ..SimConfig::with_seed(1) };
+        let cfg = SimConfig {
+            horizon: Some(2_000.0),
+            ..SimConfig::with_seed(1)
+        };
         let r = simulate(&grid, &w, PolicyKind::Rr, &cfg);
         assert!(r.saturated, "ρ = 2 must saturate within the horizon");
     }

@@ -10,8 +10,8 @@
 //! Scenario files are the serde form of [`dgsched_core::experiment::Scenario`].
 
 use dgsched_core::experiment::{run_replication_traced, run_scenario, Scenario, WorkloadKind};
-use dgsched_core::sim::Gantt;
 use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::Gantt;
 use dgsched_core::sim::SimConfig;
 use dgsched_des::stats::StoppingRule;
 use dgsched_grid::{Availability, GridConfig, Heterogeneity};
@@ -36,15 +36,21 @@ fn demo_scenario() -> Scenario {
             count: 60,
         }),
         policy: PolicyKind::LongIdle,
-        sim: SimConfig { warmup_bags: 5, ..SimConfig::default() },
+        sim: SimConfig {
+            warmup_bags: 5,
+            ..SimConfig::default()
+        },
     }
 }
 
 fn parse_u64(args: &mut std::iter::Peekable<std::vec::IntoIter<String>>, flag: &str) -> u64 {
-    args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| {
-        eprintln!("{flag} takes a number");
-        exit(2)
-    })
+    args.next()
+        .unwrap_or_else(|| usage())
+        .parse()
+        .unwrap_or_else(|_| {
+            eprintln!("{flag} takes a number");
+            exit(2)
+        })
 }
 
 fn cmd_run(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
@@ -67,9 +73,16 @@ fn cmd_run(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
         eprintln!("invalid scenario file: {e}");
         exit(1)
     });
+    if let Err(e) = scenario.validate() {
+        eprintln!("invalid scenario file: {e}");
+        exit(1)
+    }
     eprintln!("running '{}' (seed {seed})...", scenario.name);
     let result = run_scenario(&scenario, seed, &rule);
-    println!("{}", serde_json::to_string_pretty(&result).expect("result serialises"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&result).expect("result serialises")
+    );
     if result.saturated {
         eprintln!(
             "note: {} of {} replications saturated — the configuration is overloaded",
@@ -106,6 +119,10 @@ fn cmd_trace(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
         eprintln!("invalid scenario file: {e}");
         exit(1)
     });
+    if let Err(e) = scenario.validate() {
+        eprintln!("invalid scenario file: {e}");
+        exit(1)
+    }
     let (result, trace) = run_replication_traced(&scenario, seed, rep);
     eprintln!(
         "replication {rep}: {} events, {} bags completed, mean turnaround {:.0} s",
@@ -123,7 +140,10 @@ fn cmd_trace(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
             eprintln!("wrote trace to {out}");
         }
         None if !gantt => {
-            println!("{}", serde_json::to_string(&trace).expect("trace serialises"));
+            println!(
+                "{}",
+                serde_json::to_string(&trace).expect("trace serialises")
+            );
         }
         None => {}
     }
@@ -141,8 +161,11 @@ fn cmd_gen_workload(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "-g" | "--granularity" => {
-                granularity =
-                    args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+                granularity = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "-u" | "--intensity" => {
                 intensity = match args.next().unwrap_or_else(|| usage()).as_str() {
@@ -153,7 +176,11 @@ fn cmd_gen_workload(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
                 }
             }
             "-n" | "--count" => {
-                count = args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+                count = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "-o" | "--out" => out = args.next().unwrap_or_else(|| usage()),
             "--seed" => seed = parse_u64(&mut args, "--seed"),
@@ -161,15 +188,22 @@ fn cmd_gen_workload(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
         }
     }
     let grid = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
-    let spec =
-        WorkloadSpec { bot_type: BotType::paper(granularity), intensity, count };
+    let spec = WorkloadSpec {
+        bot_type: BotType::paper(granularity),
+        intensity,
+        count,
+    };
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
     let w = spec.generate(&grid, &mut rng);
     w.save(Path::new(&out)).unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");
         exit(1)
     });
-    eprintln!("wrote {} bags / {} tasks to {out}", w.len(), w.total_tasks());
+    eprintln!(
+        "wrote {} bags / {} tasks to {out}",
+        w.len(),
+        w.total_tasks()
+    );
 }
 
 fn cmd_summarize(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
@@ -179,11 +213,18 @@ fn cmd_summarize(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
         exit(1)
     });
     let s = WorkloadSummary::of(&w);
-    println!("{}", serde_json::to_string_pretty(&s).expect("summary serialises"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&s).expect("summary serialises")
+    );
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1).collect::<Vec<_>>().into_iter().peekable();
+    let mut args = std::env::args()
+        .skip(1)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .peekable();
     match args.next().as_deref() {
         Some("demo") => {
             println!(

@@ -49,20 +49,76 @@ fn panel(
 /// Fig. 1: the four high-availability panels (a)–(d).
 pub fn fig1_panels() -> Vec<PanelSpec> {
     vec![
-        panel("1a", Heterogeneity::HOM, "Hom", Availability::HIGH, "HighAvail", Intensity::Low),
-        panel("1b", Heterogeneity::HET, "Het", Availability::HIGH, "HighAvail", Intensity::Low),
-        panel("1c", Heterogeneity::HOM, "Hom", Availability::HIGH, "HighAvail", Intensity::High),
-        panel("1d", Heterogeneity::HET, "Het", Availability::HIGH, "HighAvail", Intensity::High),
+        panel(
+            "1a",
+            Heterogeneity::HOM,
+            "Hom",
+            Availability::HIGH,
+            "HighAvail",
+            Intensity::Low,
+        ),
+        panel(
+            "1b",
+            Heterogeneity::HET,
+            "Het",
+            Availability::HIGH,
+            "HighAvail",
+            Intensity::Low,
+        ),
+        panel(
+            "1c",
+            Heterogeneity::HOM,
+            "Hom",
+            Availability::HIGH,
+            "HighAvail",
+            Intensity::High,
+        ),
+        panel(
+            "1d",
+            Heterogeneity::HET,
+            "Het",
+            Availability::HIGH,
+            "HighAvail",
+            Intensity::High,
+        ),
     ]
 }
 
 /// Fig. 2: the four low-availability panels (a)–(d).
 pub fn fig2_panels() -> Vec<PanelSpec> {
     vec![
-        panel("2a", Heterogeneity::HOM, "Hom", Availability::LOW, "LowAvail", Intensity::Low),
-        panel("2b", Heterogeneity::HET, "Het", Availability::LOW, "LowAvail", Intensity::Low),
-        panel("2c", Heterogeneity::HOM, "Hom", Availability::LOW, "LowAvail", Intensity::High),
-        panel("2d", Heterogeneity::HET, "Het", Availability::LOW, "LowAvail", Intensity::High),
+        panel(
+            "2a",
+            Heterogeneity::HOM,
+            "Hom",
+            Availability::LOW,
+            "LowAvail",
+            Intensity::Low,
+        ),
+        panel(
+            "2b",
+            Heterogeneity::HET,
+            "Het",
+            Availability::LOW,
+            "LowAvail",
+            Intensity::Low,
+        ),
+        panel(
+            "2c",
+            Heterogeneity::HOM,
+            "Hom",
+            Availability::LOW,
+            "LowAvail",
+            Intensity::High,
+        ),
+        panel(
+            "2d",
+            Heterogeneity::HET,
+            "Het",
+            Availability::LOW,
+            "LowAvail",
+            Intensity::High,
+        ),
     ]
 }
 
@@ -82,9 +138,10 @@ pub fn extended_panels() -> Vec<PanelSpec> {
             ));
         }
         // Medium intensity on the High/Low platforms of Figs. 1–2.
-        for (avail, aname) in
-            [(Availability::HIGH, "HighAvail"), (Availability::LOW, "LowAvail")]
-        {
+        for (avail, aname) in [
+            (Availability::HIGH, "HighAvail"),
+            (Availability::LOW, "LowAvail"),
+        ] {
             out.push(panel(
                 &format!("E-{hname}-{aname}-medium"),
                 het,
@@ -131,7 +188,10 @@ impl PanelSpec {
                         count: bags,
                     }),
                     policy,
-                    sim: SimConfig { warmup_bags: warmup, ..SimConfig::default() },
+                    sim: SimConfig {
+                        warmup_bags: warmup,
+                        ..SimConfig::default()
+                    },
                 });
             }
         }
@@ -164,7 +224,10 @@ mod tests {
         assert!(scenarios.iter().all(|s| s.workload.count() == 100));
         assert!(scenarios.iter().all(|s| s.sim.warmup_bags == 10));
         // All five policies appear for each granularity.
-        let rr = scenarios.iter().filter(|s| s.policy == PolicyKind::Rr).count();
+        let rr = scenarios
+            .iter()
+            .filter(|s| s.policy == PolicyKind::Rr)
+            .count();
         assert_eq!(rr, 4);
     }
 

@@ -16,7 +16,12 @@ pub struct BarChart {
 impl BarChart {
     /// Creates a chart with the given series (legend) names.
     pub fn new(title: impl Into<String>, series: Vec<String>) -> Self {
-        BarChart { title: title.into(), series, groups: Vec::new(), width: 60 }
+        BarChart {
+            title: title.into(),
+            series,
+            groups: Vec::new(),
+            width: 60,
+        }
     }
 
     /// Sets the bar area width in characters (default 60).
@@ -69,9 +74,7 @@ impl BarChart {
                     }
                     None => {
                         let bar = "▒".repeat(self.width);
-                        out.push_str(&format!(
-                            "  {name:<label_w$} {bar}▶ SATURATED\n"
-                        ));
+                        out.push_str(&format!("  {name:<label_w$} {bar}▶ SATURATED\n"));
                     }
                 }
             }
@@ -88,8 +91,7 @@ pub fn panel_chart(
     policies: &[&str],
     results: &[ScenarioResult],
 ) -> BarChart {
-    let mut chart =
-        BarChart::new(title, policies.iter().map(|p| p.to_string()).collect());
+    let mut chart = BarChart::new(title, policies.iter().map(|p| p.to_string()).collect());
     for &g in granularities {
         let needle = format!("g={g} ");
         let values = policies
@@ -99,8 +101,7 @@ pub fn panel_chart(
                     .iter()
                     .find(|r| {
                         r.policy == p
-                            && (r.name.contains(&needle)
-                                || r.name.ends_with(&format!("g={g}")))
+                            && (r.name.contains(&needle) || r.name.ends_with(&format!("g={g}")))
                     })
                     .and_then(|r| (!r.saturated).then_some(r.turnaround.mean))
             })
@@ -122,8 +123,18 @@ mod tests {
         assert!(s.contains("test"));
         assert!(s.contains("g1"));
         // a's bar (max) must be longer than b's.
-        let a_len = s.lines().find(|l| l.contains(" a ")).unwrap().matches('█').count();
-        let b_len = s.lines().find(|l| l.contains(" b ")).unwrap().matches('█').count();
+        let a_len = s
+            .lines()
+            .find(|l| l.contains(" a "))
+            .unwrap()
+            .matches('█')
+            .count();
+        let b_len = s
+            .lines()
+            .find(|l| l.contains(" b "))
+            .unwrap()
+            .matches('█')
+            .count();
         assert_eq!(a_len, 10);
         assert!((4..=6).contains(&b_len), "b bar {b_len}");
         assert!(s.contains("100"));
@@ -156,7 +167,12 @@ mod tests {
     #[test]
     fn panel_chart_builds_from_results() {
         use dgsched_des::stats::ConfidenceInterval;
-        let ci = ConfidenceInterval { mean: 500.0, half_width: 10.0, level: 0.95, n: 5 };
+        let ci = ConfidenceInterval {
+            mean: 500.0,
+            half_width: 10.0,
+            level: 0.95,
+            n: 5,
+        };
         let results = vec![ScenarioResult {
             name: "P g=1000 RR".into(),
             policy: "RR".into(),

@@ -31,7 +31,13 @@ impl Report {
         warmup: usize,
         results: Vec<ScenarioResult>,
     ) -> Self {
-        Report { experiment: experiment.into(), seed, bags, warmup, results }
+        Report {
+            experiment: experiment.into(),
+            seed,
+            bags,
+            warmup,
+            results,
+        }
     }
 
     /// Saves the report as pretty JSON.
@@ -77,7 +83,12 @@ mod tests {
     use dgsched_des::stats::ConfidenceInterval;
 
     fn result(name: &str) -> ScenarioResult {
-        let ci = ConfidenceInterval { mean: 100.0, half_width: 2.0, level: 0.95, n: 5 };
+        let ci = ConfidenceInterval {
+            mean: 100.0,
+            half_width: 2.0,
+            level: 0.95,
+            n: 5,
+        };
         ScenarioResult {
             name: name.into(),
             policy: "RR".into(),

@@ -15,6 +15,13 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Aggregated result of one scenario across replications.
+///
+/// Every field is finite, whatever happened during the run: when all
+/// replications saturate there are no usable observations, and the CIs
+/// are reported as `mean 0.0 ± 0.0` over `n` draws actually used (0).
+/// Consumers must gate on [`saturated`](Self::saturated) — the paper's
+/// "bar beyond the frame" — before reading the statistics, exactly as
+/// the report table does.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioResult {
     /// Scenario name.
@@ -50,7 +57,10 @@ pub fn run_replication(scenario: &Scenario, base_seed: u64, rep: u64) -> RunResu
     let grid = scenario.grid.build(&mut grid_rng);
     let mut wl_rng = seeder.stream("workload", 0);
     let workload = scenario.workload.generate(&scenario.grid, &mut wl_rng);
-    let cfg = SimConfig { seed: seeder.stream_seed("sim", 0), ..scenario.sim };
+    let cfg = SimConfig {
+        seed: seeder.stream_seed("sim", 0),
+        ..scenario.sim
+    };
     simulate(&grid, &workload, scenario.policy, &cfg)
 }
 
@@ -66,11 +76,29 @@ pub fn run_replication_traced(
     let grid = scenario.grid.build(&mut grid_rng);
     let mut wl_rng = seeder.stream("workload", 0);
     let workload = scenario.workload.generate(&scenario.grid, &mut wl_rng);
-    let cfg = SimConfig { seed: seeder.stream_seed("sim", 0), ..scenario.sim };
+    let cfg = SimConfig {
+        seed: seeder.stream_seed("sim", 0),
+        ..scenario.sim
+    };
     let mut trace = crate::sim::TraceRecorder::new();
     let policy = scenario.policy.create_seeded(cfg.seed);
     let result = crate::sim::simulate_observed(&grid, &workload, policy, &cfg, &mut trace);
     (result, trace)
+}
+
+/// A confidence interval that always serialises cleanly. With fewer than
+/// two usable replications — one batch that saturated everywhere leaves
+/// zero — [`ConfidenceInterval::from_welford`] reports an infinite
+/// half-width, which the JSON writer emits as `null` and a reader then
+/// rejects when parsing back into an `f64`. Reports clamp it to `0.0`;
+/// the `saturated` flag, not the interval, is what marks the result as
+/// off the chart.
+fn reportable_ci(w: &Welford, level: f64) -> ConfidenceInterval {
+    let mut ci = ConfidenceInterval::from_welford(w, level);
+    if !ci.half_width.is_finite() {
+        ci.half_width = 0.0;
+    }
+    ci
 }
 
 /// Runs a scenario with the sequential stopping rule, replications in
@@ -124,9 +152,9 @@ pub fn run_scenario(scenario: &Scenario, base_seed: u64, rule: &StoppingRule) ->
     ScenarioResult {
         name: scenario.name.clone(),
         policy: scenario.policy.paper_name().to_string(),
-        turnaround: ConfidenceInterval::from_welford(&turnaround, rule.level),
-        waiting: ConfidenceInterval::from_welford(&waiting, rule.level),
-        makespan: ConfidenceInterval::from_welford(&makespan, rule.level),
+        turnaround: reportable_ci(&turnaround, rule.level),
+        waiting: reportable_ci(&waiting, rule.level),
+        makespan: reportable_ci(&makespan, rule.level),
         wasted_fraction: wasted.mean(),
         replications: next_rep,
         saturated_replications: saturated_reps,
@@ -161,7 +189,11 @@ where
 }
 
 /// [`run_matrix_with_progress`] without progress reporting.
-pub fn run_matrix(scenarios: &[Scenario], base_seed: u64, rule: &StoppingRule) -> Vec<ScenarioResult> {
+pub fn run_matrix(
+    scenarios: &[Scenario],
+    base_seed: u64,
+    rule: &StoppingRule,
+) -> Vec<ScenarioResult> {
     run_matrix_with_progress(scenarios, base_seed, rule, |_, _, _| {})
 }
 
@@ -184,7 +216,11 @@ mod tests {
                 outages: None,
             },
             workload: WorkloadKind::Single(WorkloadSpec {
-                bot_type: BotType { granularity: 1_000.0, app_size: 20_000.0, jitter: 0.5 },
+                bot_type: BotType {
+                    granularity: 1_000.0,
+                    app_size: 20_000.0,
+                    jitter: 0.5,
+                },
                 intensity: Intensity::Low,
                 count: 6,
             }),
@@ -194,7 +230,11 @@ mod tests {
     }
 
     fn quick_rule() -> StoppingRule {
-        StoppingRule { min_replications: 3, max_replications: 5, ..Default::default() }
+        StoppingRule {
+            min_replications: 3,
+            max_replications: 5,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -209,7 +249,11 @@ mod tests {
         let s2 = small_scenario(PolicyKind::LongIdle);
         let c = run_replication(&s2, 99, 0);
         let arrival = |r: &RunResult, id: u32| {
-            r.bags.iter().find(|x| x.bag == id).expect("bag completed").arrival
+            r.bags
+                .iter()
+                .find(|x| x.bag == id)
+                .expect("bag completed")
+                .arrival
         };
         assert_eq!(arrival(&a, 0), arrival(&c, 0));
         // Different reps differ.
@@ -244,13 +288,44 @@ mod tests {
         let r = run_scenario(&s, 7, &rule);
         assert!(r.saturated);
         assert!(r.saturated_replications > 0);
-        assert_eq!(r.replications, rule.min_replications, "stops at the first batch");
+        assert_eq!(
+            r.replications, rule.min_replications,
+            "stops at the first batch"
+        );
+    }
+
+    #[test]
+    fn saturated_result_serialises_and_roundtrips() {
+        // All replications saturate, so the Welford accumulators stay
+        // empty. The raw CI half-width would be infinite — which our JSON
+        // writer emits as `null`, unreadable as f64 — so the result must
+        // come out clamped, finite, and roundtrippable.
+        let mut s = small_scenario(PolicyKind::Rr);
+        if let WorkloadKind::Single(spec) = &mut s.workload {
+            spec.bot_type.app_size = 2.0e6;
+            spec.count = 10;
+        }
+        s.sim.horizon = Some(5_000.0);
+        let r = run_scenario(&s, 7, &quick_rule());
+        assert!(r.saturated);
+        assert_eq!(r.replication_means.len(), 0);
+        for ci in [&r.turnaround, &r.waiting, &r.makespan] {
+            assert!(ci.mean.is_finite() && ci.half_width.is_finite());
+            assert_eq!(ci.n, 0);
+        }
+        assert!(r.wasted_fraction.is_finite());
+        let json = serde_json::to_string(&r).expect("saturated result serialises");
+        assert!(!json.contains("null"), "no field degraded to null: {json}");
+        let back: ScenarioResult = serde_json::from_str(&json).expect("roundtrips");
+        assert!(back.saturated);
+        assert_eq!(back.turnaround.half_width, 0.0);
     }
 
     #[test]
     fn matrix_runs_all_and_reports_progress() {
-        let scenarios: Vec<Scenario> =
-            [PolicyKind::Rr, PolicyKind::FcfsShare].map(small_scenario).to_vec();
+        let scenarios: Vec<Scenario> = [PolicyKind::Rr, PolicyKind::FcfsShare]
+            .map(small_scenario)
+            .to_vec();
         let count = AtomicUsize::new(0);
         let results = run_matrix_with_progress(&scenarios, 3, &quick_rule(), |d, t, _| {
             assert!(d <= t);

@@ -34,6 +34,35 @@ impl WorkloadKind {
         }
     }
 
+    /// Checks granularity/size parameters for NaN/∞/non-positive values
+    /// that would hang the fill construction or poison every statistic.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            WorkloadKind::Single(s) => s.bot_type.validate(),
+            WorkloadKind::Mixed(m) => {
+                for (i, c) in m.components.iter().enumerate() {
+                    c.bot_type
+                        .validate()
+                        .map_err(|e| format!("mix component {i}: {e}"))?;
+                    if !(c.weight.is_finite() && c.weight > 0.0) {
+                        return Err(format!(
+                            "mix component {i}: weight must be finite and > 0, got {}",
+                            c.weight
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            WorkloadKind::Bursty { spec, cv } => {
+                spec.bot_type.validate()?;
+                if !(cv.is_finite() && *cv >= 1.0) {
+                    return Err(format!("bursty cv must be finite and >= 1, got {cv}"));
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Generates the workload for `grid` with the given RNG.
     pub fn generate<R: rand::Rng + ?Sized>(
         &self,
@@ -66,6 +95,23 @@ pub struct Scenario {
     pub sim: SimConfig,
 }
 
+impl Scenario {
+    /// Validates the grid and workload halves together. Run this on every
+    /// scenario read from JSON before simulating: `serde` accepts any
+    /// number the wire format can carry (including `null` → NaN-shaped
+    /// holes), and a non-finite power or granularity surfaces only much
+    /// later as a hung builder or an all-NaN report.
+    pub fn validate(&self) -> Result<(), String> {
+        self.grid
+            .validate()
+            .map_err(|e| format!("scenario '{}': {e}", self.name))?;
+        self.workload
+            .validate()
+            .map_err(|e| format!("scenario '{}': {e}", self.name))?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +134,41 @@ mod tests {
         let mixed = WorkloadKind::Mixed(MixSpec::paper_uniform(Intensity::Low, 6));
         assert_eq!(mixed.count(), 6);
         assert_eq!(mixed.generate(&grid, &mut rng).len(), 6);
+    }
+
+    #[test]
+    fn validate_flags_bad_granularity() {
+        let mut s = Scenario {
+            name: "probe".into(),
+            grid: GridConfig::paper(Heterogeneity::HOM, Availability::HIGH),
+            workload: WorkloadKind::Single(WorkloadSpec {
+                bot_type: BotType::paper(25_000.0),
+                intensity: Intensity::Low,
+                count: 4,
+            }),
+            policy: PolicyKind::Rr,
+            sim: SimConfig::default(),
+        };
+        assert!(s.validate().is_ok());
+        if let WorkloadKind::Single(spec) = &mut s.workload {
+            spec.bot_type.granularity = f64::NAN;
+        }
+        let err = s.validate().unwrap_err();
+        assert!(
+            err.contains("probe") && err.contains("granularity"),
+            "{err}"
+        );
+        s.workload = WorkloadKind::Bursty {
+            spec: WorkloadSpec {
+                bot_type: BotType::paper(1_000.0),
+                intensity: Intensity::Low,
+                count: 4,
+            },
+            cv: 0.5,
+        };
+        assert!(s.validate().unwrap_err().contains("cv"));
+        s.grid.total_power = f64::INFINITY;
+        assert!(s.validate().unwrap_err().contains("total_power"));
     }
 
     #[test]

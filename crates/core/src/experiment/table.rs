@@ -15,7 +15,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -67,7 +70,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
@@ -93,11 +103,7 @@ pub fn format_cell(r: &ScenarioResult) -> String {
 /// `results` must contain one entry per (granularity, policy) pair; lookup
 /// is by substring `g=<granularity>` in the scenario name plus exact policy
 /// name, mirroring how [`super::figures::PanelSpec::scenarios`] names them.
-pub fn panel_table(
-    granularities: &[f64],
-    policies: &[&str],
-    results: &[ScenarioResult],
-) -> Table {
+pub fn panel_table(granularities: &[f64], policies: &[&str], results: &[ScenarioResult]) -> Table {
     let mut headers = vec!["granularity (s)".to_string()];
     headers.extend(policies.iter().map(|p| p.to_string()));
     let mut table = Table::new(headers);
@@ -126,7 +132,12 @@ mod tests {
     use dgsched_des::stats::ConfidenceInterval;
 
     fn result(name: &str, policy: &str, mean: f64, saturated: bool) -> ScenarioResult {
-        let ci = ConfidenceInterval { mean, half_width: mean * 0.02, level: 0.95, n: 5 };
+        let ci = ConfidenceInterval {
+            mean,
+            half_width: mean * 0.02,
+            level: 0.95,
+            n: 5,
+        };
         ScenarioResult {
             name: name.into(),
             policy: policy.into(),

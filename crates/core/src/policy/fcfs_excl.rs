@@ -35,7 +35,7 @@ impl BagSelection for FcfsExcl {
         // Only the oldest incomplete bag may run. With an unlimited
         // threshold an incomplete bag is always dispatchable (it has a
         // pending or a running task), so the check is defensive.
-        let cur = *view.active.first()?;
+        let cur = *view.active().first()?;
         view.dispatchable(cur).then_some(cur)
     }
 }
@@ -51,12 +51,12 @@ mod tests {
         let bags = vec![bag(0, 0.0, 3), bag(1, 1.0, 3)];
         let active = vec![BotId(0), BotId(1)];
         let mut p = FcfsExcl::new();
-        let view = View {
-            now: SimTime::new(2.0),
-            active: &active,
-            bags: &bags,
-            threshold: p.replication_threshold(2),
-        };
+        let view = View::new(
+            SimTime::new(2.0),
+            &active,
+            &bags,
+            p.replication_threshold(2),
+        );
         for _ in 0..5 {
             assert_eq!(p.select(&view), Some(BotId(0)));
         }
@@ -69,12 +69,12 @@ mod tests {
         let bags = vec![b0, bag(1, 1.0, 2)];
         let active = vec![BotId(0), BotId(1)];
         let mut p = FcfsExcl::new();
-        let view = View {
-            now: SimTime::new(2.0),
-            active: &active,
-            bags: &bags,
-            threshold: p.replication_threshold(2),
-        };
+        let view = View::new(
+            SimTime::new(2.0),
+            &active,
+            &bags,
+            p.replication_threshold(2),
+        );
         // Bag 0 has no pending tasks but running ones: with the unlimited
         // threshold it is still the (only) choice.
         assert_eq!(p.select(&view), Some(BotId(0)));
@@ -85,12 +85,12 @@ mod tests {
         let bags = vec![bag(0, 0.0, 1), bag(1, 1.0, 1)];
         let active = vec![BotId(1)]; // bag 0 completed and was removed
         let mut p = FcfsExcl::new();
-        let view = View {
-            now: SimTime::new(5.0),
-            active: &active,
-            bags: &bags,
-            threshold: p.replication_threshold(2),
-        };
+        let view = View::new(
+            SimTime::new(5.0),
+            &active,
+            &bags,
+            p.replication_threshold(2),
+        );
         assert_eq!(p.select(&view), Some(BotId(1)));
     }
 
@@ -99,8 +99,7 @@ mod tests {
         let bags: Vec<crate::state::BagRt> = Vec::new();
         let active: Vec<BotId> = Vec::new();
         let mut p = FcfsExcl::new();
-        let view =
-            View { now: SimTime::ZERO, active: &active, bags: &bags, threshold: u32::MAX };
+        let view = View::new(SimTime::ZERO, &active, &bags, u32::MAX);
         assert_eq!(p.select(&view), None);
     }
 

@@ -32,7 +32,10 @@ impl BagSelection for FcfsShare {
     fn select(&mut self, view: &View<'_>) -> Option<BotId> {
         // Oldest bag whose WQR-FT scheduler can still use a machine
         // (pending task or replication capacity below the threshold).
-        view.active.iter().copied().find(|&id| view.dispatchable(id))
+        view.active()
+            .iter()
+            .copied()
+            .find(|&id| view.dispatchable(id))
     }
 }
 
@@ -49,7 +52,7 @@ mod tests {
         let bags = vec![b0, bag(1, 1.0, 2)];
         let active = vec![BotId(0), BotId(1)];
         let mut p = FcfsShare::new();
-        let view = View { now: SimTime::new(2.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(2.0), &active, &bags, 2);
         // Bag 0 still has replication capacity (threshold 2): its WQR-FT
         // scheduler wants the machine before bag 1 is considered.
         assert_eq!(p.select(&view), Some(BotId(0)));
@@ -66,7 +69,7 @@ mod tests {
         let bags = vec![b0, bag(1, 1.0, 2)];
         let active = vec![BotId(0), BotId(1)];
         let mut p = FcfsShare::new();
-        let view = View { now: SimTime::new(2.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(2.0), &active, &bags, 2);
         assert_eq!(p.select(&view), Some(BotId(1)));
     }
 
@@ -75,7 +78,7 @@ mod tests {
         let bags = vec![bag(0, 0.0, 2), bag(1, 1.0, 2)];
         let active = vec![BotId(0), BotId(1)];
         let mut p = FcfsShare::new();
-        let view = View { now: SimTime::new(2.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(2.0), &active, &bags, 2);
         assert_eq!(p.select(&view), Some(BotId(0)));
     }
 
@@ -88,7 +91,7 @@ mod tests {
         let bags = vec![b0, bag(1, 1.0, 2)];
         let active = vec![BotId(0), BotId(1)];
         let mut p = FcfsShare::new();
-        let view = View { now: SimTime::new(4.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(4.0), &active, &bags, 2);
         assert_eq!(p.select(&view), Some(BotId(0)), "restart has FCFS priority");
     }
 
@@ -101,12 +104,12 @@ mod tests {
         let bags = vec![b0, b1];
         let active = vec![BotId(0), BotId(1)];
         let mut p = FcfsShare::new();
-        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(3.0), &active, &bags, 2);
         // Both bags fully dispatched with 1 replica per task: replicate the
         // oldest bag first.
         assert_eq!(p.select(&view), Some(BotId(0)));
         // With threshold 1 nothing can be replicated at all.
-        let view1 = View { threshold: 1, ..view };
+        let view1 = view.with_threshold(1);
         assert_eq!(p.select(&view1), None);
     }
 
@@ -121,7 +124,11 @@ mod tests {
         let bags = vec![b0, b1];
         let active = vec![BotId(0), BotId(1)];
         let mut p = FcfsShare::new();
-        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
-        assert_eq!(p.select(&view), Some(BotId(1)), "bag 0 is at threshold; serve bag 1");
+        let view = View::new(SimTime::new(3.0), &active, &bags, 2);
+        assert_eq!(
+            p.select(&view),
+            Some(BotId(1)),
+            "bag 0 is at threshold; serve bag 1"
+        );
     }
 }

@@ -31,8 +31,8 @@ impl BagSelection for LongIdle {
         // Primary: the bag whose pending task has waited longest. Strict
         // comparison keeps ties on the earliest-arrived bag (active order).
         let mut best: Option<(f64, BotId)> = None;
-        for &id in view.active {
-            if let Some(w) = view.bag(id).max_pending_wait(view.now) {
+        for &id in view.active() {
+            if let Some(w) = view.max_pending_wait(id) {
                 if best.map(|(bw, _)| w > bw).unwrap_or(true) {
                     best = Some((w, id));
                 }
@@ -42,10 +42,10 @@ impl BagSelection for LongIdle {
             return Some(id);
         }
         // Nothing pending anywhere: replicate in FCFS order, like FCFS-Share.
-        view.active
+        view.active()
             .iter()
             .copied()
-            .find(|&id| view.bag(id).can_replicate(view.threshold))
+            .find(|&id| view.can_replicate(id))
     }
 }
 
@@ -61,7 +61,7 @@ mod tests {
         let bags = vec![bag(0, 0.0, 3), bag(1, 10.0, 3)];
         let active = vec![BotId(0), BotId(1)];
         let mut p = LongIdle::new();
-        let view = View { now: SimTime::new(20.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(20.0), &active, &bags, 2);
         assert_eq!(p.select(&view), Some(BotId(0)));
     }
 
@@ -81,7 +81,7 @@ mod tests {
         let bags = vec![b0, b1, b2];
         let active = vec![BotId(0), BotId(1), BotId(2)];
         let mut p = LongIdle::new();
-        let view = View { now: SimTime::new(40.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(40.0), &active, &bags, 2);
         // Bag 1: fresh task waited 39, restart waited 0.5+38 = 38.5 → max 39.
         // Bag 2: waited 10. Bag 0: nothing pending.
         assert_eq!(p.select(&view), Some(BotId(1)));
@@ -93,7 +93,7 @@ mod tests {
         let bags = vec![bag(0, 5.0, 2), bag(1, 5.0, 2)];
         let active = vec![BotId(0), BotId(1)];
         let mut p = LongIdle::new();
-        let view = View { now: SimTime::new(9.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(9.0), &active, &bags, 2);
         assert_eq!(p.select(&view), Some(BotId(0)));
     }
 
@@ -106,8 +106,12 @@ mod tests {
         let bags = vec![b0, b1];
         let active = vec![BotId(0), BotId(1)];
         let mut p = LongIdle::new();
-        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
-        assert_eq!(p.select(&view), Some(BotId(0)), "replication falls back to FCFS order");
+        let view = View::new(SimTime::new(3.0), &active, &bags, 2);
+        assert_eq!(
+            p.select(&view),
+            Some(BotId(0)),
+            "replication falls back to FCFS order"
+        );
     }
 
     #[test]
@@ -120,7 +124,7 @@ mod tests {
         let bags = vec![b0, b1];
         let active = vec![BotId(0), BotId(1)];
         let mut p = LongIdle::new();
-        let view = View { now: SimTime::new(100.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(100.0), &active, &bags, 2);
         assert_eq!(p.select(&view), Some(BotId(1)));
     }
 
@@ -136,7 +140,7 @@ mod tests {
         let bags = vec![b0];
         let active = vec![BotId(0)];
         let mut p = LongIdle::new();
-        let view = View { now: SimTime::new(5.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(5.0), &active, &bags, 2);
         assert_eq!(p.select(&view), Some(BotId(0)));
         let _ = TaskId(0);
     }

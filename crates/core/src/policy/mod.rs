@@ -10,17 +10,17 @@ mod fcfs_excl;
 mod fcfs_share;
 mod long_idle;
 mod random;
-mod shortest_bag;
 mod rr;
 mod rr_nrf;
+mod shortest_bag;
 
 pub use fcfs_excl::FcfsExcl;
 pub use fcfs_share::FcfsShare;
 pub use long_idle::LongIdle;
 pub use random::RandomSelect;
-pub use shortest_bag::ShortestBagFirst;
 pub use rr::RoundRobin;
 pub use rr_nrf::RoundRobinNrf;
+pub use shortest_bag::ShortestBagFirst;
 
 use crate::state::BagRt;
 use dgsched_des::time::SimTime;
@@ -28,21 +28,77 @@ use dgsched_workload::BotId;
 use serde::{Deserialize, Serialize};
 
 /// Read-only snapshot the scheduler exposes to a policy during selection.
+///
+/// Built with [`View::new`] (index-backed: queries read the incremental
+/// per-bag indices, O(1)/O(log) per probe) or [`View::new_reference`]
+/// (naive: queries rescan the task vectors). Policies are written once
+/// against the query methods and work identically in both modes — the
+/// reference mode exists so equivalence tests can prove the indices change
+/// nothing.
+#[derive(Clone, Copy)]
 pub struct View<'a> {
-    /// Current simulated time.
-    pub now: SimTime,
-    /// Incomplete bags in arrival order.
-    pub active: &'a [BotId],
-    /// All bag states, indexed by [`BotId`].
-    pub bags: &'a [BagRt],
-    /// The effective replication threshold of this run.
-    pub threshold: u32,
+    now: SimTime,
+    active: &'a [BotId],
+    bags: &'a [BagRt],
+    threshold: u32,
+    reference: bool,
 }
 
 impl<'a> View<'a> {
+    /// An index-backed view (the normal mode).
+    pub fn new(now: SimTime, active: &'a [BotId], bags: &'a [BagRt], threshold: u32) -> Self {
+        View {
+            now,
+            active,
+            bags,
+            threshold,
+            reference: false,
+        }
+    }
+
+    /// A full-scan view: every query recomputes its answer from the task
+    /// vectors, bypassing the incremental indices.
+    pub fn new_reference(
+        now: SimTime,
+        active: &'a [BotId],
+        bags: &'a [BagRt],
+        threshold: u32,
+    ) -> Self {
+        View {
+            now,
+            active,
+            bags,
+            threshold,
+            reference: true,
+        }
+    }
+
+    /// Same view with a different replication threshold.
+    pub fn with_threshold(self, threshold: u32) -> Self {
+        View { threshold, ..self }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Incomplete bags in arrival order.
+    #[inline]
+    pub fn active(&self) -> &'a [BotId] {
+        self.active
+    }
+
+    /// The effective replication threshold of this run.
+    #[inline]
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
     /// The bag state for `id`.
     #[inline]
-    pub fn bag(&self, id: BotId) -> &BagRt {
+    pub fn bag(&self, id: BotId) -> &'a BagRt {
         &self.bags[id.index()]
     }
 
@@ -52,7 +108,41 @@ impl<'a> View<'a> {
     #[inline]
     pub fn dispatchable(&self, id: BotId) -> bool {
         let bag = self.bag(id);
-        bag.has_pending() || bag.can_replicate(self.threshold)
+        bag.has_pending() || self.can_replicate(id)
+    }
+
+    /// True when `id` has a running task below the replication threshold.
+    #[inline]
+    pub fn can_replicate(&self, id: BotId) -> bool {
+        let bag = self.bag(id);
+        if self.reference {
+            bag.can_replicate_scan(self.threshold)
+        } else {
+            bag.can_replicate(self.threshold)
+        }
+    }
+
+    /// Largest waiting time among `id`'s pending tasks (LongIdle's
+    /// criterion); `None` when nothing is pending.
+    #[inline]
+    pub fn max_pending_wait(&self, id: BotId) -> Option<f64> {
+        let bag = self.bag(id);
+        if self.reference {
+            bag.max_pending_wait_scan(self.now)
+        } else {
+            bag.max_pending_wait(self.now)
+        }
+    }
+
+    /// Total work of `id`'s incomplete tasks (SBF's criterion).
+    #[inline]
+    pub fn remaining_work(&self, id: BotId) -> f64 {
+        let bag = self.bag(id);
+        if self.reference {
+            bag.remaining_work_scan()
+        } else {
+            bag.remaining_work()
+        }
     }
 }
 
@@ -75,7 +165,7 @@ impl<'a> View<'a> {
 /// impl BagSelection for NewestFirst {
 ///     fn name(&self) -> &'static str { "LIFO" }
 ///     fn select(&mut self, view: &View<'_>) -> Option<BotId> {
-///         view.active.iter().rev().copied().find(|&b| view.dispatchable(b))
+///         view.active().iter().rev().copied().find(|&b| view.dispatchable(b))
 ///     }
 /// }
 ///
@@ -201,7 +291,12 @@ pub(crate) mod testutil {
         let b = BagOfTasks {
             id: BotId(id),
             arrival: SimTime::new(arrival),
-            tasks: (0..n).map(|i| TaskSpec { id: TaskId(i), work: 100.0 }).collect(),
+            tasks: (0..n)
+                .map(|i| TaskSpec {
+                    id: TaskId(i),
+                    work: 100.0,
+                })
+                .collect(),
             granularity: 100.0,
         };
         BagRt::new(&b, (id * 1000) as usize)
@@ -253,10 +348,24 @@ mod tests {
         start_all(&mut b0, 1.0);
         let bags = vec![b0, bag(1, 5.0, 2)];
         let active = vec![BotId(0), BotId(1)];
-        let view = View { now: SimTime::new(10.0), active: &active, bags: &bags, threshold: 2 };
-        assert!(view.dispatchable(BotId(0)), "running below threshold ⇒ replicable");
+        let view = View::new(SimTime::new(10.0), &active, &bags, 2);
+        assert!(
+            view.dispatchable(BotId(0)),
+            "running below threshold ⇒ replicable"
+        );
         assert!(view.dispatchable(BotId(1)), "fresh bag has pending tasks");
-        let view1 = View { threshold: 1, ..view };
-        assert!(!view1.dispatchable(BotId(0)), "threshold 1 forbids replication");
+        let view1 = view.with_threshold(1);
+        assert!(
+            !view1.dispatchable(BotId(0)),
+            "threshold 1 forbids replication"
+        );
+        // The reference (full-scan) mode must agree on every query.
+        let refv = View::new_reference(SimTime::new(10.0), &active, &bags, 2);
+        for id in [BotId(0), BotId(1)] {
+            assert_eq!(view.dispatchable(id), refv.dispatchable(id));
+            assert_eq!(view.can_replicate(id), refv.can_replicate(id));
+            assert_eq!(view.max_pending_wait(id), refv.max_pending_wait(id));
+            assert_eq!(view.remaining_work(id), refv.remaining_work(id));
+        }
     }
 }

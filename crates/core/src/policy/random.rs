@@ -17,7 +17,9 @@ pub struct RandomSelect {
 impl RandomSelect {
     /// Creates the policy with its own selection stream.
     pub fn new(seed: u64) -> Self {
-        RandomSelect { rng: StdRng::seed_from_u64(seed) }
+        RandomSelect {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -30,7 +32,7 @@ impl BagSelection for RandomSelect {
         // Reservoir-sample uniformly among dispatchable bags in one pass.
         let mut chosen = None;
         let mut seen = 0u32;
-        for &id in view.active {
+        for &id in view.active() {
             if view.dispatchable(id) {
                 seen += 1;
                 if self.rng.gen_range(0..seen) == 0 {
@@ -53,7 +55,7 @@ mod tests {
         let bags = vec![bag(0, 0.0, 50), bag(1, 1.0, 50), bag(2, 2.0, 50)];
         let active = vec![BotId(0), BotId(1), BotId(2)];
         let mut p = RandomSelect::new(7);
-        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(3.0), &active, &bags, 2);
         let mut counts = [0usize; 3];
         for _ in 0..3000 {
             counts[p.select(&view).unwrap().index()] += 1;
@@ -71,7 +73,7 @@ mod tests {
         bags[0].note_replica_started(dgsched_workload::TaskId(0), SimTime::new(0.6));
         let active = vec![BotId(0), BotId(1)];
         let mut p = RandomSelect::new(7);
-        let view = View { now: SimTime::new(1.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(1.0), &active, &bags, 2);
         for _ in 0..50 {
             assert_eq!(p.select(&view), Some(BotId(1)));
         }
@@ -82,7 +84,7 @@ mod tests {
         let bags: Vec<crate::state::BagRt> = Vec::new();
         let active: Vec<BotId> = Vec::new();
         let mut p = RandomSelect::new(7);
-        let view = View { now: SimTime::ZERO, active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::ZERO, &active, &bags, 2);
         assert_eq!(p.select(&view), None);
     }
 
@@ -90,10 +92,12 @@ mod tests {
     fn seeded_streams_reproduce() {
         let bags = vec![bag(0, 0.0, 5), bag(1, 1.0, 5)];
         let active = vec![BotId(0), BotId(1)];
-        let view = View { now: SimTime::new(2.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(2.0), &active, &bags, 2);
         let picks = |seed| {
             let mut p = RandomSelect::new(seed);
-            (0..20).map(|_| p.select(&view).unwrap().0).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| p.select(&view).unwrap().0)
+                .collect::<Vec<_>>()
         };
         assert_eq!(picks(1), picks(1));
         assert_ne!(picks(1), picks(2));

@@ -22,23 +22,24 @@ impl RoundRobin {
         RoundRobin { cursor: None }
     }
 
-    /// Scans `view.active` circularly starting after `self.cursor`,
+    /// Scans the active list circularly starting after `self.cursor`,
     /// returning the first bag satisfying `pred`.
     pub(super) fn scan<F>(&self, view: &View<'_>, pred: F) -> Option<BotId>
     where
         F: Fn(BotId) -> bool,
     {
-        if view.active.is_empty() {
+        let active = view.active();
+        if active.is_empty() {
             return None;
         }
         // Index of the first bag strictly after the cursor (bags are in
         // arrival order, which is id order).
         let start = match self.cursor {
             None => 0,
-            Some(cur) => view.active.partition_point(|&id| id <= cur),
+            Some(cur) => active.partition_point(|&id| id <= cur),
         };
-        let n = view.active.len();
-        (0..n).map(|k| view.active[(start + k) % n]).find(|&id| pred(id))
+        let n = active.len();
+        (0..n).map(|k| active[(start + k) % n]).find(|&id| pred(id))
     }
 }
 
@@ -69,7 +70,7 @@ mod tests {
         let bags = three_bags();
         let active = vec![BotId(0), BotId(1), BotId(2)];
         let mut p = RoundRobin::new();
-        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(3.0), &active, &bags, 2);
         let picks: Vec<u32> = (0..6).map(|_| p.select(&view).unwrap().0).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
@@ -84,7 +85,7 @@ mod tests {
         }
         let active = vec![BotId(0), BotId(1), BotId(2)];
         let mut p = RoundRobin::new();
-        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(3.0), &active, &bags, 2);
         let picks: Vec<u32> = (0..4).map(|_| p.select(&view).unwrap().0).collect();
         assert_eq!(picks, vec![0, 2, 0, 2]);
     }
@@ -95,15 +96,14 @@ mod tests {
         let mut p = RoundRobin::new();
         {
             let active = vec![BotId(0), BotId(1), BotId(2)];
-            let view =
-                View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+            let view = View::new(SimTime::new(3.0), &active, &bags, 2);
             assert_eq!(p.select(&view).unwrap().0, 0);
             assert_eq!(p.select(&view).unwrap().0, 1);
         }
         // Bag 1 completes and vanishes from the active list; the scan must
         // resume after its slot, i.e. at bag 2.
         let active = vec![BotId(0), BotId(2)];
-        let view = View { now: SimTime::new(4.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(4.0), &active, &bags, 2);
         assert_eq!(p.select(&view).unwrap().0, 2);
         assert_eq!(p.select(&view).unwrap().0, 0);
     }
@@ -113,7 +113,7 @@ mod tests {
         let bags: Vec<crate::state::BagRt> = Vec::new();
         let active: Vec<BotId> = Vec::new();
         let mut p = RoundRobin::new();
-        let view = View { now: SimTime::ZERO, active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::ZERO, &active, &bags, 2);
         assert_eq!(p.select(&view), None);
     }
 
@@ -124,7 +124,7 @@ mod tests {
         bags[0].note_replica_started(dgsched_workload::TaskId(0), SimTime::new(0.6));
         let active = vec![BotId(0)];
         let mut p = RoundRobin::new();
-        let view = View { now: SimTime::new(1.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(1.0), &active, &bags, 2);
         assert_eq!(p.select(&view), None);
     }
 }

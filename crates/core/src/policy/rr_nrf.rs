@@ -18,7 +18,9 @@ pub struct RoundRobinNrf {
 impl RoundRobinNrf {
     /// Creates the policy.
     pub fn new() -> Self {
-        RoundRobinNrf { rr: RoundRobin::new() }
+        RoundRobinNrf {
+            rr: RoundRobin::new(),
+        }
     }
 }
 
@@ -32,7 +34,7 @@ impl BagSelection for RoundRobinNrf {
         // arrival order and do NOT advance the circular cursor ("the
         // circular order of BoT selection is temporarily suspended").
         if let Some(&starved) = view
-            .active
+            .active()
             .iter()
             .find(|&&id| !view.bag(id).has_running() && view.dispatchable(id))
         {
@@ -57,7 +59,7 @@ mod tests {
         // Bag 2 has nothing running: it must be chosen regardless of cursor.
         let active = vec![BotId(0), BotId(1), BotId(2)];
         let mut p = RoundRobinNrf::new();
-        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(3.0), &active, &bags, 2);
         assert_eq!(p.select(&view).unwrap().0, 2);
     }
 
@@ -70,8 +72,7 @@ mod tests {
             // oldest starved bag each time (the view is static here, so it
             // keeps picking bag 0 — the cursor must not move).
             let active = vec![BotId(0), BotId(1), BotId(2)];
-            let view =
-                View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+            let view = View::new(SimTime::new(3.0), &active, &bags, 2);
             assert_eq!(p.select(&view).unwrap().0, 0);
             assert_eq!(p.select(&view).unwrap().0, 0);
         }
@@ -81,7 +82,7 @@ mod tests {
             start_k(b, 1, 4.0);
         }
         let active = vec![BotId(0), BotId(1), BotId(2)];
-        let view = View { now: SimTime::new(5.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(5.0), &active, &bags, 2);
         let picks: Vec<u32> = (0..3).map(|_| p.select(&view).unwrap().0).collect();
         assert_eq!(picks, vec![0, 1, 2]);
     }
@@ -93,7 +94,7 @@ mod tests {
         start_k(&mut bags[1], 1, 1.5);
         let active = vec![BotId(0), BotId(1)];
         let mut p = RoundRobinNrf::new();
-        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(3.0), &active, &bags, 2);
         let picks: Vec<u32> = (0..4).map(|_| p.select(&view).unwrap().0).collect();
         assert_eq!(picks, vec![0, 1, 0, 1]);
     }
@@ -103,7 +104,7 @@ mod tests {
         let bags: Vec<crate::state::BagRt> = Vec::new();
         let active: Vec<BotId> = Vec::new();
         let mut p = RoundRobinNrf::new();
-        let view = View { now: SimTime::ZERO, active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::ZERO, &active, &bags, 2);
         assert_eq!(p.select(&view), None);
     }
 }

@@ -9,7 +9,6 @@
 //! the bag-selection level.
 
 use super::{BagSelection, View};
-use crate::state::TaskPhase;
 use dgsched_workload::BotId;
 
 /// The Shortest-Bag-First policy (knowledge-based).
@@ -23,31 +22,17 @@ impl ShortestBagFirst {
     }
 }
 
-/// Remaining work of a bag: the work of its not-yet-completed tasks.
-fn remaining_work(view: &View<'_>, id: BotId) -> f64 {
-    view.bag(id)
-        .tasks
-        .iter()
-        .filter(|t| t.phase != TaskPhase::Done)
-        .map(|t| t.work)
-        .sum()
-}
-
 impl BagSelection for ShortestBagFirst {
     fn name(&self) -> &'static str {
         "SBF"
     }
 
     fn select(&mut self, view: &View<'_>) -> Option<BotId> {
-        view.active
+        view.active()
             .iter()
             .copied()
             .filter(|&id| view.dispatchable(id))
-            .min_by(|&a, &b| {
-                remaining_work(view, a)
-                    .partial_cmp(&remaining_work(view, b))
-                    .expect("work is not NaN")
-            })
+            .min_by(|&a, &b| view.remaining_work(a).total_cmp(&view.remaining_work(b)))
     }
 }
 
@@ -64,14 +49,14 @@ mod tests {
         let bags = vec![bag(0, 0.0, 5), bag(1, 1.0, 2)];
         let active = vec![BotId(0), BotId(1)];
         let mut p = ShortestBagFirst::new();
-        let view = View { now: SimTime::new(2.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(2.0), &active, &bags, 2);
         assert_eq!(p.select(&view), Some(BotId(1)));
     }
 
     #[test]
     fn completed_tasks_reduce_remaining_work() {
         let mut b0 = bag(0, 0.0, 3); // 300 total
-        // Complete two of bag 0's tasks → 100 remaining.
+                                     // Complete two of bag 0's tasks → 100 remaining.
         for _ in 0..2 {
             let t = b0.pop_pending().unwrap();
             b0.note_replica_started(t, SimTime::new(1.0));
@@ -81,7 +66,7 @@ mod tests {
         let bags = vec![b0, b1];
         let active = vec![BotId(0), BotId(1)];
         let mut p = ShortestBagFirst::new();
-        let view = View { now: SimTime::new(3.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(3.0), &active, &bags, 2);
         assert_eq!(p.select(&view), Some(BotId(0)));
     }
 
@@ -94,7 +79,7 @@ mod tests {
         let bags = vec![b0, b1];
         let active = vec![BotId(0), BotId(1)];
         let mut p = ShortestBagFirst::new();
-        let view = View { now: SimTime::new(1.0), active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::new(1.0), &active, &bags, 2);
         assert_eq!(p.select(&view), Some(BotId(1)));
     }
 
@@ -103,7 +88,7 @@ mod tests {
         let bags: Vec<crate::state::BagRt> = Vec::new();
         let active: Vec<BotId> = Vec::new();
         let mut p = ShortestBagFirst::new();
-        let view = View { now: SimTime::ZERO, active: &active, bags: &bags, threshold: 2 };
+        let view = View::new(SimTime::ZERO, &active, &bags, 2);
         assert_eq!(p.select(&view), None);
     }
 }

@@ -41,13 +41,20 @@ pub struct CheckingObserver {
 impl CheckingObserver {
     /// A checker enforcing a replica threshold (the standard WQR-FT case).
     pub fn with_threshold(threshold: u32) -> Self {
-        CheckingObserver { threshold: Some(threshold), ..Default::default() }
+        CheckingObserver {
+            threshold: Some(threshold),
+            ..Default::default()
+        }
     }
 
     /// A checker for an exclusive policy (unlimited replicas, oldest bag
     /// only).
     pub fn exclusive() -> Self {
-        CheckingObserver { threshold: None, exclusive: true, ..Default::default() }
+        CheckingObserver {
+            threshold: None,
+            exclusive: true,
+            ..Default::default()
+        }
     }
 
     fn violate(&mut self, msg: String) {
@@ -121,7 +128,9 @@ impl SimObserver for CheckingObserver {
             self.violate(format!("{now}: dispatch of completed task {bag}/{task}"));
         }
         if self.exclusive && Some(bag.0) != self.active_bags.first().copied() {
-            self.violate(format!("{now}: exclusive policy served non-oldest bag {bag}"));
+            self.violate(format!(
+                "{now}: exclusive policy served non-oldest bag {bag}"
+            ));
         }
         let count = {
             let c = self.replica_counts.entry((bag.0, task.0)).or_insert(0);

@@ -92,7 +92,10 @@ impl Default for SimConfig {
 impl SimConfig {
     /// A config with the given seed and paper defaults otherwise.
     pub fn with_seed(seed: u64) -> Self {
-        SimConfig { seed, ..SimConfig::default() }
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
     }
 }
 

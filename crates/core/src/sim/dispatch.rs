@@ -1,0 +1,208 @@
+//! The scheduling round: bag selection and replica dispatch.
+//!
+//! A round runs whenever a machine becomes free (completion, sibling kill,
+//! repair) or a bag arrives. Each free machine — taken from the
+//! [`FreeMachineIndex`](super::indices::FreeMachineIndex) in the configured
+//! machine order — performs one bag-selection / task-selection step; the
+//! round ends when the policy declines a machine or no free machine
+//! remains.
+
+use super::config::{MachineOrder, TaskOrder};
+use super::driver::{Driver, SimState};
+use super::events::Event;
+use crate::policy::View;
+use crate::state::{BagRt, Replica, ReplicaPhase};
+use dgsched_des::engine::Scheduler;
+use dgsched_des::event::EventId;
+use dgsched_des::queue::PendingEvents;
+use dgsched_des::time::SimTime;
+use dgsched_grid::MachineId;
+use dgsched_workload::{BotId, TaskId};
+
+impl SimState {
+    /// Naive twin of the free-machine index: scans and sorts every machine
+    /// per call, exactly as the pre-index scheduler did. Reference mode
+    /// dispatches from this list.
+    pub(super) fn free_machine_ids_scan(&self, order: MachineOrder) -> Vec<MachineId> {
+        let mut ids: Vec<MachineId> = self
+            .machines
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_free())
+            .map(|(i, _)| MachineId(i as u32))
+            .collect();
+        match order {
+            MachineOrder::Arbitrary => {}
+            MachineOrder::FastestFirst => {
+                ids.sort_by(|a, b| self.machine(*b).power.total_cmp(&self.machine(*a).power))
+            }
+            MachineOrder::FewestFailuresFirst => {
+                ids.sort_by_key(|m| self.machine(*m).failures);
+            }
+        }
+        debug_assert_eq!(
+            ids.len(),
+            self.free.len(),
+            "free index out of sync with machines"
+        );
+        ids
+    }
+}
+
+impl Driver<'_> {
+    /// The replication threshold in force right now: the policy's override
+    /// of either the static configured value or the failure-adaptive one.
+    pub(super) fn effective_threshold(&self, now: SimTime) -> u32 {
+        let base = match self.cfg.dynamic_replication {
+            None => self.cfg.replication_threshold,
+            Some(d) => {
+                // Knowledge-free adaptation: rate of failures the scheduler
+                // itself has witnessed, per machine.
+                let elapsed = now.as_secs().max(1.0);
+                let per_machine = self.state.counters.machine_failures as f64
+                    / (elapsed * self.state.machines.len() as f64);
+                if per_machine > d.rate_cutoff {
+                    d.stormy
+                } else {
+                    d.calm
+                }
+            }
+        };
+        self.policy.replication_threshold(base)
+    }
+
+    /// One bag-selection + task-selection round for every free machine.
+    /// A single pass suffices: dispatching never makes an undispatchable
+    /// bag dispatchable (it consumes pending tasks and raises replica
+    /// counts). Iterating the live index equals iterating a snapshot:
+    /// a dispatch removes only the machine just used, and nothing becomes
+    /// free mid-round.
+    pub(super) fn dispatch_all<Q: PendingEvents<Event>>(
+        &mut self,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) {
+        let now = sched.now();
+        let threshold = self.effective_threshold(now);
+        if self.reference {
+            for mid in self.state.free_machine_ids_scan(self.cfg.machine_order) {
+                if !self.dispatch_one(mid, now, threshold, sched) {
+                    break;
+                }
+            }
+        } else {
+            while let Some(mid) = self.state.free.first() {
+                if !self.dispatch_one(mid, now, threshold, sched) {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// One selection step for one free machine; `false` ends the round.
+    fn dispatch_one<Q: PendingEvents<Event>>(
+        &mut self,
+        mid: MachineId,
+        now: SimTime,
+        threshold: u32,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) -> bool {
+        let chosen = {
+            let view = if self.reference {
+                View::new_reference(now, &self.state.active, &self.state.bags, threshold)
+            } else {
+                View::new(now, &self.state.active, &self.state.bags, threshold)
+            };
+            self.policy.select(&view)
+        };
+        let Some(bag_id) = chosen else { return false };
+        let bag = &mut self.state.bags[bag_id.index()];
+        let (task, is_replication) = match bag.pop_pending() {
+            Some(t) => (Some(t), false),
+            None => {
+                let cand = if self.reference {
+                    bag.replication_candidate_scan(threshold)
+                } else {
+                    bag.replication_candidate(threshold)
+                };
+                (cand, true)
+            }
+        };
+        let Some(task) = task else {
+            debug_assert!(false, "policy selected an undispatchable bag {bag_id}");
+            return false;
+        };
+        self.launch(bag_id, task, mid, is_replication, sched);
+        true
+    }
+
+    pub(super) fn launch<Q: PendingEvents<Event>>(
+        &mut self,
+        bag: BotId,
+        task: TaskId,
+        machine: MachineId,
+        is_replication: bool,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) {
+        let now = sched.now();
+        self.observer
+            .on_dispatch(now, bag, task, machine, is_replication);
+        self.state.bags[bag.index()].note_replica_started(task, now);
+        let ckpt_key = self.state.bags[bag.index()].tasks[task.index()].ckpt_key;
+        let saved = if self.state.ckpt.enabled() {
+            self.state.store.saved_work(ckpt_key)
+        } else {
+            0.0
+        };
+        let rid = self.state.slab.insert(Replica {
+            bag,
+            task,
+            machine,
+            phase: ReplicaPhase::Retrieving { resume_work: saved },
+            event: EventId::NONE,
+            started: now,
+        });
+        self.state.machines[machine.index()].replica = Some(rid);
+        self.state.free.remove(machine);
+        self.state.task_replicas.attach(ckpt_key, rid);
+        self.state.counters.replicas_launched += 1;
+        if saved > 0.0 {
+            let ckpt = self.state.ckpt;
+            let cost = ckpt.retrieve_cost(&mut self.state.machines[machine.index()].xfer_rng);
+            self.state.counters.retrieve_time += cost;
+            let ev = sched.schedule_in(cost, Event::Replica(rid));
+            self.state.slab.get_mut(rid).expect("just inserted").event = ev;
+        } else {
+            self.start_computing(rid, 0.0, sched);
+        }
+    }
+
+    pub(super) fn bag_arrival<Q: PendingEvents<Event>>(
+        &mut self,
+        index: u32,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) {
+        let bag = &self.workload.bags[index as usize];
+        debug_assert_eq!(bag.id.0, index);
+        debug_assert_eq!(
+            self.state.bags.len(),
+            index as usize,
+            "arrivals must be in id order"
+        );
+        let ckpt_base = self.state.next_ckpt_base;
+        self.state.next_ckpt_base += bag.len();
+        let mut rt = BagRt::new(bag, ckpt_base);
+        if self.cfg.task_order == TaskOrder::LongestFirst {
+            let tasks = &rt.tasks;
+            rt.pending_fresh
+                .make_contiguous()
+                .sort_by(|a, b| tasks[b.index()].work.total_cmp(&tasks[a.index()].work));
+        }
+        self.state.store.ensure(ckpt_base + bag.len());
+        self.state.task_replicas.ensure(ckpt_base + bag.len());
+        self.state.bags.push(rt);
+        self.state.active.push(bag.id);
+        self.policy.on_bag_arrival(bag.id);
+        self.observer.on_bag_arrival(sched.now(), bag.id);
+        self.dispatch_all(sched);
+    }
+}

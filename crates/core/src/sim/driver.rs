@@ -1,0 +1,308 @@
+//! Run state, event routing and the public `simulate*` entry points.
+//!
+//! The driver owns everything a run needs — machine and bag state, the
+//! incremental indices, the RNG streams — and routes each event to the
+//! dispatch / lifecycle / fault subsystems. The scheduling semantics live
+//! in those modules; this one only wires them together.
+
+use super::config::SimConfig;
+use super::events::Event;
+use super::indices::{FreeMachineIndex, TaskReplicaIndex};
+use super::metrics::{BagMetrics, Counters, MachineStats, RunResult};
+use super::observer::{NullObserver, SimObserver};
+use crate::policy::{BagSelection, PolicyKind};
+use crate::state::{BagRt, MachineRt, ReplicaId, ReplicaSlab};
+use dgsched_des::engine::{Control, Engine, Handler, RunOutcome, Scheduler};
+use dgsched_des::event::EventId;
+use dgsched_des::queue::PendingEvents;
+use dgsched_des::rng::StreamSeeder;
+use dgsched_des::time::SimTime;
+use dgsched_grid::availability::UpDownSampler;
+use dgsched_grid::checkpoint::{CheckpointSampler, CheckpointStore};
+use dgsched_grid::outage::OutageSampler;
+use dgsched_grid::{Grid, MachineId};
+use dgsched_workload::{BotId, Workload};
+
+/// Everything a run needs besides the policy (split so the policy can
+/// borrow a read-only view while the driver stays mutable).
+pub(super) struct SimState {
+    pub(super) machines: Vec<MachineRt>,
+    pub(super) bags: Vec<BagRt>,
+    /// Incomplete, arrived bags in arrival order.
+    pub(super) active: Vec<BotId>,
+    pub(super) slab: ReplicaSlab,
+    pub(super) store: CheckpointStore,
+    /// Free machines, iterable in the configured machine order. Maintained
+    /// on every dispatch / free / fail / repair (in reference mode too, so
+    /// both modes exercise the same mutation paths).
+    pub(super) free: FreeMachineIndex,
+    /// Running replicas per task (keyed by checkpoint key), for sibling
+    /// kills. Bounded by the machine count.
+    pub(super) task_replicas: TaskReplicaIndex,
+    /// Scratch buffer for sibling kills, reused across completions.
+    pub(super) sibling_scratch: Vec<ReplicaId>,
+    /// Next bag's offset into the checkpoint store's key space.
+    pub(super) next_ckpt_base: usize,
+    /// Young's checkpoint interval (wall seconds), `inf` disables.
+    pub(super) tau: f64,
+    pub(super) ckpt: CheckpointSampler,
+    pub(super) avail: Option<UpDownSampler>,
+    pub(super) outage: Option<OutageSampler>,
+    pub(super) outage_rng: rand::rngs::StdRng,
+    pub(super) completed_bags: usize,
+    pub(super) counters: Counters,
+    pub(super) measured: Vec<BagMetrics>,
+    /// Cumulative machine power, machines sorted fastest-first — the
+    /// usable-power table for the per-bag ideal-makespan (slowdown) bound.
+    pub(super) power_prefix: Vec<f64>,
+}
+
+impl SimState {
+    pub(super) fn machine(&self, id: MachineId) -> &MachineRt {
+        &self.machines[id.index()]
+    }
+}
+
+pub(super) struct Driver<'a> {
+    pub(super) state: SimState,
+    pub(super) policy: Box<dyn BagSelection>,
+    pub(super) workload: &'a Workload,
+    pub(super) cfg: SimConfig,
+    pub(super) saturated: bool,
+    pub(super) observer: &'a mut dyn SimObserver,
+    /// Full-scan mode: selection bypasses the incremental indices (the
+    /// indices are still maintained, just not consulted). Used to validate
+    /// index equivalence.
+    pub(super) reference: bool,
+}
+
+impl Handler<Event> for Driver<'_> {
+    fn handle<Q: PendingEvents<Event>>(
+        &mut self,
+        event: Event,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) -> Control {
+        match event {
+            Event::BagArrival(i) => {
+                self.bag_arrival(i, sched);
+                Control::Continue
+            }
+            Event::MachineFail(m) => {
+                self.machine_fail(m, sched);
+                Control::Continue
+            }
+            Event::MachineRepair(m) => {
+                self.machine_repair(m, sched);
+                Control::Continue
+            }
+            Event::Replica(rid) => self.replica_event(rid, sched),
+            Event::Outage => {
+                self.outage(sched);
+                Control::Continue
+            }
+        }
+    }
+}
+
+/// Derives a generous simulated-time cap for saturation detection: ten
+/// times the span a stable system would need to drain the workload.
+fn auto_horizon(grid: &Grid, workload: &Workload) -> f64 {
+    let last_arrival = workload
+        .bags
+        .last()
+        .map(|b| b.arrival.as_secs())
+        .unwrap_or(0.0);
+    let drain = workload.total_work() / grid.config.effective_power();
+    10.0 * (last_arrival + drain) + 1e6
+}
+
+/// Runs one simulation of `workload` on `grid` under `policy`.
+///
+/// The returned [`RunResult`] contains per-bag metrics for completed,
+/// post-warmup bags and run-wide counters. A run that cannot drain the
+/// workload within its horizon or event budget is flagged `saturated`.
+pub fn simulate(
+    grid: &Grid,
+    workload: &Workload,
+    policy: PolicyKind,
+    cfg: &SimConfig,
+) -> RunResult {
+    let boxed = policy.create_seeded(cfg.seed);
+    simulate_with(grid, workload, boxed, cfg)
+}
+
+/// [`simulate`] with a caller-constructed policy (custom implementations of
+/// [`BagSelection`] welcome).
+pub fn simulate_with(
+    grid: &Grid,
+    workload: &Workload,
+    policy: Box<dyn BagSelection>,
+    cfg: &SimConfig,
+) -> RunResult {
+    let mut observer = NullObserver;
+    simulate_observed(grid, workload, policy, cfg, &mut observer)
+}
+
+/// [`simulate_with`] plus an observer that receives every dispatch,
+/// completion, kill, failure, repair, arrival and checkpoint (see
+/// [`SimObserver`]); used for tracing and invariant checking.
+pub fn simulate_observed(
+    grid: &Grid,
+    workload: &Workload,
+    policy: Box<dyn BagSelection>,
+    cfg: &SimConfig,
+    observer: &mut dyn SimObserver,
+) -> RunResult {
+    run(grid, workload, policy, cfg, observer, false)
+}
+
+/// [`simulate_observed`] in reference mode: every scheduling decision is
+/// recomputed with naive full scans instead of the incremental indices.
+/// Slower, but structurally independent of the index bookkeeping — the
+/// equivalence tests replay scenarios in both modes and require identical
+/// traces.
+pub fn simulate_observed_reference(
+    grid: &Grid,
+    workload: &Workload,
+    policy: Box<dyn BagSelection>,
+    cfg: &SimConfig,
+    observer: &mut dyn SimObserver,
+) -> RunResult {
+    run(grid, workload, policy, cfg, observer, true)
+}
+
+fn run(
+    grid: &Grid,
+    workload: &Workload,
+    policy: Box<dyn BagSelection>,
+    cfg: &SimConfig,
+    observer: &mut dyn SimObserver,
+    reference: bool,
+) -> RunResult {
+    assert!(!grid.is_empty(), "cannot schedule on an empty grid");
+    assert!(!workload.is_empty(), "cannot simulate an empty workload");
+    workload.validate().expect("invalid workload");
+    assert!(
+        cfg.replication_threshold >= 1,
+        "replication threshold must be at least 1"
+    );
+
+    let seeder = StreamSeeder::new(cfg.seed);
+    let avail = grid.config.availability.sampler();
+    let ckpt = grid.config.checkpoint.sampler();
+    let tau = grid
+        .config
+        .checkpoint
+        .interval_for_mtbf(grid.config.machine_mtbf());
+
+    let machines: Vec<MachineRt> = grid
+        .machines
+        .iter()
+        .map(|m| MachineRt {
+            power: m.power,
+            up: true,
+            replica: None,
+            next_transition: EventId::NONE,
+            avail_rng: seeder.stream("machine-avail", u64::from(m.id.0)),
+            xfer_rng: seeder.stream("machine-xfer", u64::from(m.id.0)),
+            busy_time: 0.0,
+            failures: 0,
+        })
+        .collect();
+
+    let powers: Vec<f64> = grid.machines.iter().map(|m| m.power).collect();
+    let mut free = FreeMachineIndex::new(&powers, cfg.machine_order);
+    for i in 0..machines.len() {
+        free.insert(MachineId(i as u32));
+    }
+    let power_prefix = {
+        let mut sorted = powers;
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        sorted
+            .iter()
+            .scan(0.0, |acc, p| {
+                *acc += p;
+                Some(*acc)
+            })
+            .collect()
+    };
+
+    let mut engine: Engine<Event> = Engine::new();
+    engine.set_event_limit(cfg.event_limit);
+    let horizon = cfg.horizon.unwrap_or_else(|| auto_horizon(grid, workload));
+    engine.set_horizon(SimTime::new(horizon));
+
+    let mut driver = Driver {
+        state: SimState {
+            machines,
+            bags: Vec::with_capacity(workload.len()),
+            active: Vec::new(),
+            slab: ReplicaSlab::new(),
+            store: CheckpointStore::new(),
+            free,
+            task_replicas: TaskReplicaIndex::default(),
+            sibling_scratch: Vec::new(),
+            next_ckpt_base: 0,
+            tau,
+            ckpt,
+            avail,
+            outage: grid.config.outages.map(|o| o.sampler()),
+            outage_rng: seeder.stream("outages", 0),
+            completed_bags: 0,
+            counters: Counters::default(),
+            measured: Vec::new(),
+            power_prefix,
+        },
+        policy,
+        workload,
+        cfg: *cfg,
+        saturated: false,
+        observer,
+        reference,
+    };
+
+    // Prime arrivals and, on failing grids, every machine's first failure.
+    for bag in &workload.bags {
+        engine.prime(bag.arrival, Event::BagArrival(bag.id.0));
+    }
+    if let Some(avail) = driver.state.avail {
+        for (i, machine) in driver.state.machines.iter_mut().enumerate() {
+            let up = avail.next_up(&mut machine.avail_rng);
+            machine.next_transition =
+                engine.prime(SimTime::new(up), Event::MachineFail(MachineId(i as u32)));
+        }
+    }
+    if let Some(outage) = driver.state.outage {
+        let gap = outage.next_gap(&mut driver.state.outage_rng);
+        engine.prime(SimTime::new(gap), Event::Outage);
+    }
+
+    let outcome = engine.run(&mut driver);
+    driver.saturated =
+        !matches!(outcome, RunOutcome::Stopped) || driver.state.completed_bags < workload.len();
+
+    let policy_name = driver.policy.name().to_string();
+    let machines = driver
+        .state
+        .machines
+        .iter()
+        .enumerate()
+        .map(|(i, m)| MachineStats {
+            machine: i as u32,
+            power: m.power,
+            busy_time: m.busy_time,
+            failures: m.failures,
+        })
+        .collect();
+    RunResult {
+        policy: policy_name,
+        bags: driver.state.measured,
+        machines,
+        completed: driver.state.completed_bags,
+        total: workload.len(),
+        saturated: driver.saturated,
+        end_time: engine.now().as_secs(),
+        events: engine.processed(),
+        counters: driver.state.counters,
+    }
+}

@@ -1,0 +1,120 @@
+//! Machine failure, repair and correlated-outage handling.
+//!
+//! Fault events are where the free-machine index learns about
+//! availability: a failing free machine leaves the index (and its failure
+//! count — the `FewestFailuresFirst` key — is bumped only once it is out),
+//! a repaired machine re-enters it.
+
+use super::driver::Driver;
+use super::events::Event;
+use dgsched_des::engine::Scheduler;
+use dgsched_des::event::EventId;
+use dgsched_des::queue::PendingEvents;
+use dgsched_grid::MachineId;
+
+impl Driver<'_> {
+    /// A correlated outage: every up machine is hit independently with the
+    /// configured probability; hit machines fail together and all come
+    /// back when the outage ends. A hit machine's own pending transition
+    /// is cancelled; its personal failure cycle restarts at repair.
+    pub(super) fn outage<Q: PendingEvents<Event>>(&mut self, sched: &mut Scheduler<'_, Event, Q>) {
+        let now = sched.now();
+        let outage = self.state.outage.expect("outage event without a config");
+        self.state.counters.outages += 1;
+        let duration = outage.duration(&mut self.state.outage_rng);
+        let mut any_killed = false;
+        for i in 0..self.state.machines.len() {
+            let mid = MachineId(i as u32);
+            if !self.state.machines[i].up || !outage.hits(&mut self.state.outage_rng) {
+                continue;
+            }
+            self.observer.on_machine_fail(now, mid);
+            if self.state.machines[i].is_free() {
+                self.state.free.remove(mid);
+            }
+            let victim = {
+                let m = &mut self.state.machines[i];
+                m.up = false;
+                m.failures += 1;
+                m.replica.take()
+            };
+            self.state.free.note_failure(mid);
+            self.state.counters.machine_failures += 1;
+            // Override the machine's own cycle for the outage window.
+            let pending = self.state.machines[i].next_transition;
+            sched.cancel(pending);
+            let ev = sched.schedule_in(duration, Event::MachineRepair(mid));
+            self.state.machines[i].next_transition = ev;
+            if let Some(rid) = victim {
+                // `machine.replica` was already taken; restore it so the
+                // shared kill path sees a consistent machine.
+                self.state.machines[i].replica = Some(rid);
+                self.kill_replica(rid, true, sched);
+                self.state.counters.replicas_killed_failure += 1;
+                any_killed = true;
+            }
+        }
+        let gap = outage.next_gap(&mut self.state.outage_rng);
+        sched.schedule_in(gap, Event::Outage);
+        if any_killed {
+            self.dispatch_all(sched);
+        }
+    }
+
+    pub(super) fn machine_fail<Q: PendingEvents<Event>>(
+        &mut self,
+        mid: MachineId,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) {
+        let now = sched.now();
+        self.observer.on_machine_fail(now, mid);
+        if self.state.machine(mid).is_free() {
+            self.state.free.remove(mid);
+        }
+        let m = &mut self.state.machines[mid.index()];
+        debug_assert!(m.up, "failure of a machine that is already down");
+        m.up = false;
+        m.failures += 1;
+        let victim = m.replica;
+        self.state.free.note_failure(mid);
+        self.state.counters.machine_failures += 1;
+        let avail = self
+            .state
+            .avail
+            .expect("failing grid has an availability process");
+        let down = avail.next_down(&mut self.state.machines[mid.index()].avail_rng);
+        let ev = sched.schedule_in(down, Event::MachineRepair(mid));
+        self.state.machines[mid.index()].next_transition = ev;
+        if let Some(rid) = victim {
+            self.kill_replica(rid, true, sched);
+            self.state.counters.replicas_killed_failure += 1;
+            // The victim task is pending again; idle machines may take it.
+            self.dispatch_all(sched);
+        }
+    }
+
+    pub(super) fn machine_repair<Q: PendingEvents<Event>>(
+        &mut self,
+        mid: MachineId,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) {
+        self.observer.on_machine_repair(sched.now(), mid);
+        {
+            let m = &mut self.state.machines[mid.index()];
+            debug_assert!(!m.up, "repair of a machine that is up");
+            debug_assert!(m.replica.is_none());
+            m.up = true;
+        }
+        self.state.free.insert(mid);
+        // Resume the machine's own failure cycle (absent when only the
+        // correlated-outage process can take machines down).
+        if let Some(avail) = self.state.avail {
+            let up = avail.next_up(&mut self.state.machines[mid.index()].avail_rng);
+            let ev = sched.schedule_in(up, Event::MachineFail(mid));
+            self.state.machines[mid.index()].next_transition = ev;
+        } else {
+            self.state.machines[mid.index()].next_transition = EventId::NONE;
+        }
+        self.dispatch_all(sched);
+    }
+}

@@ -37,7 +37,9 @@ impl Gantt {
         for ev in &trace.events {
             end = end.max(ev.at());
             match *ev {
-                TraceEvent::Dispatch { at, bag, machine, .. } => {
+                TraceEvent::Dispatch {
+                    at, bag, machine, ..
+                } => {
                     let lane = lanes.entry(machine).or_default();
                     debug_assert!(lane.open_busy.is_none(), "double booking in trace");
                     lane.open_busy = Some((at, bag));
@@ -122,8 +124,7 @@ impl Gantt {
                     .iter()
                     .find(|(bs, be, _)| *bs <= mid_t && mid_t < *be)
                     .map(|(_, _, bag)| *bag);
-                let down =
-                    lane.down.iter().any(|(ds, de)| *ds <= mid_t && mid_t < *de);
+                let down = lane.down.iter().any(|(ds, de)| *ds <= mid_t && mid_t < *de);
                 row.push(match (busy, down) {
                     (Some(bag), _) => GLYPHS[bag as usize % GLYPHS.len()] as char,
                     (None, true) => '×',
@@ -136,7 +137,10 @@ impl Gantt {
             ));
         }
         if self.lanes.len() > max_machines {
-            out.push_str(&format!("… {} more machines\n", self.lanes.len() - max_machines));
+            out.push_str(&format!(
+                "… {} more machines\n",
+                self.lanes.len() - max_machines
+            ));
         }
         out
     }
@@ -157,9 +161,20 @@ mod tests {
                     machine: 0,
                     is_replication: false,
                 },
-                TraceEvent::MachineFail { at: 20.0, machine: 1 },
-                TraceEvent::MachineRepair { at: 40.0, machine: 1 },
-                TraceEvent::TaskComplete { at: 50.0, bag: 0, task: 0, machine: 0 },
+                TraceEvent::MachineFail {
+                    at: 20.0,
+                    machine: 1,
+                },
+                TraceEvent::MachineRepair {
+                    at: 40.0,
+                    machine: 1,
+                },
+                TraceEvent::TaskComplete {
+                    at: 50.0,
+                    bag: 0,
+                    task: 0,
+                    machine: 0,
+                },
                 TraceEvent::Dispatch {
                     at: 50.0,
                     bag: 1,
@@ -167,7 +182,12 @@ mod tests {
                     machine: 0,
                     is_replication: false,
                 },
-                TraceEvent::TaskComplete { at: 100.0, bag: 1, task: 0, machine: 0 },
+                TraceEvent::TaskComplete {
+                    at: 100.0,
+                    bag: 1,
+                    task: 0,
+                    machine: 0,
+                },
             ],
         }
     }
@@ -177,7 +197,10 @@ mod tests {
         let g = Gantt::from_trace(&trace());
         assert_eq!(g.machines(), 2);
         assert_eq!(g.end_time(), 100.0);
-        assert!((g.busy_fraction(0) - 1.0).abs() < 1e-9, "machine 0 always busy");
+        assert!(
+            (g.busy_fraction(0) - 1.0).abs() < 1e-9,
+            "machine 0 always busy"
+        );
         assert_eq!(g.busy_fraction(1), 0.0);
     }
 
@@ -199,7 +222,10 @@ mod tests {
     fn truncates_machine_list() {
         let mut t = TraceRecorder::new();
         for m in 0..5 {
-            t.events.push(TraceEvent::MachineFail { at: 1.0, machine: m });
+            t.events.push(TraceEvent::MachineFail {
+                at: 1.0,
+                machine: m,
+            });
         }
         let g = Gantt::from_trace(&t);
         let s = g.render(10, 2);
@@ -224,7 +250,10 @@ mod tests {
                     machine: 0,
                     is_replication: false,
                 },
-                TraceEvent::MachineFail { at: 10.0, machine: 1 },
+                TraceEvent::MachineFail {
+                    at: 10.0,
+                    machine: 1,
+                },
                 TraceEvent::BagArrival { at: 40.0, bag: 1 },
             ],
         };

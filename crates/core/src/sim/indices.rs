@@ -1,0 +1,345 @@
+//! Incrementally maintained indices for the scheduling round.
+//!
+//! Every scheduling trigger used to rebuild its free-machine list with an
+//! O(machines) scan (plus a sort for non-arbitrary orders) and look sibling
+//! replicas up through a hash map. These structures replace both with
+//! event-driven maintenance:
+//!
+//! * [`FreeMachineIndex`] — the set of machines that can accept a replica,
+//!   updated on dispatch / free / fail / repair. `first()` returns the next
+//!   machine in the configured [`MachineOrder`] without scanning or
+//!   sorting. Invariant: a machine is in the index iff `up && replica ==
+//!   None`, and its failure count (the `FewestFailuresFirst` sort key) never
+//!   changes while it is in the index — failures only happen to `up`
+//!   machines, which leave the index at that instant.
+//! * [`TaskReplicaIndex`] — running replicas per task, keyed by the task's
+//!   dense run-wide checkpoint key. Lists keep their attach order, which is
+//!   the sibling-kill order determinism depends on.
+
+use super::config::MachineOrder;
+use crate::state::ReplicaId;
+use dgsched_grid::MachineId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Two-level bitset over dense indices: O(1) insert/remove/contains and
+/// first-set lookup that touches one summary word per 4096 keys.
+#[derive(Debug, Default, Clone)]
+struct BitSet {
+    leaf: Vec<u64>,
+    summary: Vec<u64>,
+}
+
+impl BitSet {
+    fn with_capacity(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        BitSet {
+            leaf: vec![0; words],
+            summary: vec![0; words.div_ceil(64).max(1)],
+        }
+    }
+
+    /// Sets bit `i`; returns `false` when it was already set.
+    fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        let was = self.leaf[w] & (1 << b) != 0;
+        self.leaf[w] |= 1 << b;
+        self.summary[w / 64] |= 1 << (w % 64);
+        !was
+    }
+
+    /// Clears bit `i`; returns `false` when it was already clear.
+    fn remove(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        let was = self.leaf[w] & (1 << b) != 0;
+        self.leaf[w] &= !(1 << b);
+        if self.leaf[w] == 0 {
+            self.summary[w / 64] &= !(1 << (w % 64));
+        }
+        was
+    }
+
+    fn contains(&self, i: usize) -> bool {
+        self.leaf[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Lowest set bit, if any.
+    fn first(&self) -> Option<usize> {
+        for (sw, &s) in self.summary.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            let w = sw * 64 + s.trailing_zeros() as usize;
+            let l = self.leaf[w];
+            debug_assert_ne!(l, 0, "summary bit set over an empty leaf word");
+            return Some(w * 64 + l.trailing_zeros() as usize);
+        }
+        None
+    }
+}
+
+/// The set of free machines, iterable in the configured [`MachineOrder`]
+/// without per-round scanning, sorting or allocation.
+///
+/// Order contracts (each reproduces the order the old per-round
+/// `Vec`-collect-and-sort produced, bit for bit):
+///
+/// * `Arbitrary` — ascending machine id;
+/// * `FastestFirst` — descending power, ties ascending id (the rank
+///   permutation is computed once at build: powers never change);
+/// * `FewestFailuresFirst` — ascending observed failure count, ties
+///   ascending id. Sound incrementally because a free machine's failure
+///   count is frozen: failures strike `up` machines, which leave the index
+///   in the same event.
+#[derive(Debug)]
+pub(crate) struct FreeMachineIndex {
+    order: MachineOrder,
+    by_id: BitSet,
+    len: usize,
+    /// `FastestFirst` only: machine id per power rank and its inverse.
+    machine_of_rank: Vec<u32>,
+    rank_of_machine: Vec<u32>,
+    by_rank: BitSet,
+    /// `FewestFailuresFirst` only: observed failure count per machine and
+    /// the free machines bucketed by it.
+    failures: Vec<u64>,
+    buckets: BTreeMap<u64, BTreeSet<u32>>,
+}
+
+impl FreeMachineIndex {
+    /// Builds an empty index for `powers.len()` machines.
+    pub fn new(powers: &[f64], order: MachineOrder) -> Self {
+        let n = powers.len();
+        let (machine_of_rank, rank_of_machine, by_rank) = if order == MachineOrder::FastestFirst {
+            let mut ids: Vec<u32> = (0..n as u32).collect();
+            // Stable sort: power descending, ties keep ascending id.
+            ids.sort_by(|a, b| powers[*b as usize].total_cmp(&powers[*a as usize]));
+            let mut rank_of = vec![0u32; n];
+            for (rank, &id) in ids.iter().enumerate() {
+                rank_of[id as usize] = rank as u32;
+            }
+            (ids, rank_of, BitSet::with_capacity(n))
+        } else {
+            (Vec::new(), Vec::new(), BitSet::default())
+        };
+        FreeMachineIndex {
+            order,
+            by_id: BitSet::with_capacity(n),
+            len: 0,
+            machine_of_rank,
+            rank_of_machine,
+            by_rank,
+            failures: vec![0; n],
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// Number of free machines.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when `id` is currently free.
+    pub fn contains(&self, id: MachineId) -> bool {
+        self.by_id.contains(id.index())
+    }
+
+    /// Marks `id` free (machine repaired, or its replica finished/killed).
+    pub fn insert(&mut self, id: MachineId) {
+        let i = id.index();
+        let fresh = self.by_id.insert(i);
+        debug_assert!(fresh, "machine {id} inserted while already free");
+        self.len += 1;
+        match self.order {
+            MachineOrder::Arbitrary => {}
+            MachineOrder::FastestFirst => {
+                self.by_rank.insert(self.rank_of_machine[i] as usize);
+            }
+            MachineOrder::FewestFailuresFirst => {
+                self.buckets
+                    .entry(self.failures[i])
+                    .or_default()
+                    .insert(i as u32);
+            }
+        }
+    }
+
+    /// Marks `id` busy or down.
+    pub fn remove(&mut self, id: MachineId) {
+        let i = id.index();
+        let was = self.by_id.remove(i);
+        debug_assert!(was, "machine {id} removed while not free");
+        self.len -= 1;
+        match self.order {
+            MachineOrder::Arbitrary => {}
+            MachineOrder::FastestFirst => {
+                self.by_rank.remove(self.rank_of_machine[i] as usize);
+            }
+            MachineOrder::FewestFailuresFirst => {
+                let count = self.failures[i];
+                let bucket = self.buckets.get_mut(&count).expect("machine was indexed");
+                bucket.remove(&(i as u32));
+                if bucket.is_empty() {
+                    self.buckets.remove(&count);
+                }
+            }
+        }
+    }
+
+    /// Records one more observed failure of `id`. Must be called while the
+    /// machine is not in the index (a failing machine is down).
+    pub fn note_failure(&mut self, id: MachineId) {
+        debug_assert!(
+            !self.contains(id),
+            "failure of a machine still indexed as free"
+        );
+        self.failures[id.index()] += 1;
+    }
+
+    /// The next free machine in the configured order, if any.
+    pub fn first(&self) -> Option<MachineId> {
+        match self.order {
+            MachineOrder::Arbitrary => self.by_id.first().map(|i| MachineId(i as u32)),
+            MachineOrder::FastestFirst => self
+                .by_rank
+                .first()
+                .map(|rank| MachineId(self.machine_of_rank[rank])),
+            MachineOrder::FewestFailuresFirst => self
+                .buckets
+                .values()
+                .next()
+                .map(|set| MachineId(*set.iter().next().expect("buckets hold no empty sets"))),
+        }
+    }
+}
+
+/// Running replicas per task, keyed by the task's dense checkpoint key.
+///
+/// Replaces a `HashMap<(u32, u32), Vec<ReplicaId>>`: lookup is a plain
+/// index and the per-task lists are reused for the whole run instead of
+/// being allocated and dropped as entries churn. Lists preserve attach
+/// order — the order sibling replicas are killed in when a task completes,
+/// which the golden traces depend on.
+#[derive(Debug, Default)]
+pub(crate) struct TaskReplicaIndex {
+    lists: Vec<Vec<ReplicaId>>,
+}
+
+impl TaskReplicaIndex {
+    /// Grows the key space to at least `keys` entries.
+    pub fn ensure(&mut self, keys: usize) {
+        if self.lists.len() < keys {
+            self.lists.resize_with(keys, Vec::new);
+        }
+    }
+
+    /// Registers a running replica of the task at `key`.
+    pub fn attach(&mut self, key: usize, rid: ReplicaId) {
+        self.lists[key].push(rid);
+    }
+
+    /// Unregisters a replica (no-op if it is not listed — the completing
+    /// task's list is drained before its siblings are killed).
+    pub fn detach(&mut self, key: usize, rid: ReplicaId) {
+        let list = &mut self.lists[key];
+        if let Some(pos) = list.iter().position(|&r| r == rid) {
+            list.remove(pos);
+        }
+    }
+
+    /// Empties the task's list, yielding the replicas in attach order.
+    pub fn take(&mut self, key: usize) -> std::vec::Drain<'_, ReplicaId> {
+        self.lists[key].drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(index: &mut FreeMachineIndex) -> Vec<u32> {
+        // Drain in order, then restore.
+        let mut out = Vec::new();
+        while let Some(m) = index.first() {
+            out.push(m.0);
+            index.remove(m);
+        }
+        for &i in &out {
+            index.insert(MachineId(i));
+        }
+        out
+    }
+
+    #[test]
+    fn arbitrary_is_ascending_id() {
+        let powers = [5.0, 1.0, 9.0, 3.0];
+        let mut idx = FreeMachineIndex::new(&powers, MachineOrder::Arbitrary);
+        for i in [3u32, 0, 2] {
+            idx.insert(MachineId(i));
+        }
+        assert_eq!(ids(&mut idx), vec![0, 2, 3]);
+        assert_eq!(idx.len(), 3);
+        assert!(idx.contains(MachineId(2)));
+        idx.remove(MachineId(2));
+        assert!(!idx.contains(MachineId(2)));
+        assert_eq!(ids(&mut idx), vec![0, 3]);
+    }
+
+    #[test]
+    fn fastest_first_orders_by_power_then_id() {
+        // Machines 1 and 3 tie on power: id order breaks the tie.
+        let powers = [5.0, 9.0, 2.0, 9.0];
+        let mut idx = FreeMachineIndex::new(&powers, MachineOrder::FastestFirst);
+        for i in 0..4 {
+            idx.insert(MachineId(i));
+        }
+        assert_eq!(ids(&mut idx), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn fewest_failures_reorders_as_failures_accrue() {
+        let powers = [1.0; 3];
+        let mut idx = FreeMachineIndex::new(&powers, MachineOrder::FewestFailuresFirst);
+        for i in 0..3 {
+            idx.insert(MachineId(i));
+        }
+        assert_eq!(ids(&mut idx), vec![0, 1, 2]);
+        // Machine 0 fails (leaves the index) twice, machine 1 once.
+        idx.remove(MachineId(0));
+        idx.note_failure(MachineId(0));
+        idx.note_failure(MachineId(0));
+        idx.insert(MachineId(0));
+        idx.remove(MachineId(1));
+        idx.note_failure(MachineId(1));
+        idx.insert(MachineId(1));
+        assert_eq!(ids(&mut idx), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn bitset_first_spans_words() {
+        let mut b = BitSet::with_capacity(200);
+        assert_eq!(b.first(), None);
+        b.insert(130);
+        b.insert(67);
+        assert_eq!(b.first(), Some(67));
+        b.remove(67);
+        assert_eq!(b.first(), Some(130));
+        b.remove(130);
+        assert_eq!(b.first(), None);
+    }
+
+    #[test]
+    fn task_replicas_keep_attach_order() {
+        let rid = |idx| ReplicaId { idx, gen: 0 };
+        let mut t = TaskReplicaIndex::default();
+        t.ensure(2);
+        t.attach(0, rid(5));
+        t.attach(0, rid(3));
+        t.attach(0, rid(9));
+        t.detach(0, rid(3));
+        let order: Vec<u32> = t.take(0).map(|r| r.idx).collect();
+        assert_eq!(order, vec![5, 9]);
+        // Detaching from an already-drained list is a no-op.
+        t.detach(0, rid(5));
+        assert_eq!(t.take(0).count(), 0);
+    }
+}

@@ -142,7 +142,9 @@ impl RunResult {
     pub fn turnaround_by_granularity(&self) -> BTreeMap<u64, Welford> {
         let mut map: BTreeMap<u64, Welford> = BTreeMap::new();
         for b in &self.bags {
-            map.entry(b.granularity as u64).or_default().push(b.turnaround);
+            map.entry(b.granularity as u64)
+                .or_default()
+                .push(b.turnaround);
         }
         map
     }

@@ -240,19 +240,31 @@ impl SimObserver for TraceRecorder {
     }
 
     fn on_machine_fail(&mut self, now: SimTime, machine: MachineId) {
-        self.events.push(TraceEvent::MachineFail { at: now.as_secs(), machine: machine.0 });
+        self.events.push(TraceEvent::MachineFail {
+            at: now.as_secs(),
+            machine: machine.0,
+        });
     }
 
     fn on_machine_repair(&mut self, now: SimTime, machine: MachineId) {
-        self.events.push(TraceEvent::MachineRepair { at: now.as_secs(), machine: machine.0 });
+        self.events.push(TraceEvent::MachineRepair {
+            at: now.as_secs(),
+            machine: machine.0,
+        });
     }
 
     fn on_bag_arrival(&mut self, now: SimTime, bag: BotId) {
-        self.events.push(TraceEvent::BagArrival { at: now.as_secs(), bag: bag.0 });
+        self.events.push(TraceEvent::BagArrival {
+            at: now.as_secs(),
+            bag: bag.0,
+        });
     }
 
     fn on_bag_complete(&mut self, now: SimTime, bag: BotId) {
-        self.events.push(TraceEvent::BagComplete { at: now.as_secs(), bag: bag.0 });
+        self.events.push(TraceEvent::BagComplete {
+            at: now.as_secs(),
+            bag: bag.0,
+        });
     }
 
     fn on_checkpoint_saved(&mut self, now: SimTime, bag: BotId, task: TaskId, work: f64) {

@@ -37,12 +37,19 @@ fn manual_workload(bags: &[(f64, &[f64])]) -> Workload {
             tasks: works
                 .iter()
                 .enumerate()
-                .map(|(j, w)| TaskSpec { id: TaskId(j as u32), work: *w })
+                .map(|(j, w)| TaskSpec {
+                    id: TaskId(j as u32),
+                    work: *w,
+                })
                 .collect(),
             granularity: 100.0,
         })
         .collect();
-    Workload { bags, lambda: 1.0, label: "manual".into() }
+    Workload {
+        bags,
+        lambda: 1.0,
+        label: "manual".into(),
+    }
 }
 
 #[test]
@@ -56,20 +63,27 @@ fn single_bag_single_task() {
     assert_eq!(r.bags.len(), 1);
     let b = &r.bags[0];
     assert_eq!(b.waiting, 0.0, "idle grid: dispatched immediately");
-    assert!((b.turnaround - 100.0).abs() < 1e-9, "turnaround {}", b.turnaround);
+    assert!(
+        (b.turnaround - 100.0).abs() < 1e-9,
+        "turnaround {}",
+        b.turnaround
+    );
     assert!((r.end_time - 100.0).abs() < 1e-9);
 }
 
 #[test]
 fn replication_kicks_in_on_spare_machines() {
     let grid = tiny_grid(); // 4 machines
-    // One bag, two tasks: 2 machines for primaries, and with threshold 2
-    // the two spare machines each take a replica.
+                            // One bag, two tasks: 2 machines for primaries, and with threshold 2
+                            // the two spare machines each take a replica.
     let w = manual_workload(&[(0.0, &[1000.0, 2000.0])]);
     let r = simulate(&grid, &w, PolicyKind::FcfsShare, &SimConfig::with_seed(1));
     assert_eq!(r.completed, 1);
     assert_eq!(r.counters.replicas_launched, 4, "2 primaries + 2 replicas");
-    assert_eq!(r.counters.replicas_killed_sibling, 2, "each task's loser is killed");
+    assert_eq!(
+        r.counters.replicas_killed_sibling, 2,
+        "each task's loser is killed"
+    );
     // Identical powers: replicas finish in a dead heat with primaries; the
     // tie is broken by event order, but the work is only counted once.
     assert_eq!(r.counters.useful_work, 3000.0);
@@ -89,9 +103,15 @@ fn fcfs_excl_replicates_without_limit() {
 fn wqr_threshold_caps_replicas() {
     let grid = tiny_grid();
     let w = manual_workload(&[(0.0, &[1000.0])]);
-    let cfg = SimConfig { replication_threshold: 3, ..SimConfig::with_seed(1) };
+    let cfg = SimConfig {
+        replication_threshold: 3,
+        ..SimConfig::with_seed(1)
+    };
     let r = simulate(&grid, &w, PolicyKind::FcfsShare, &cfg);
-    assert_eq!(r.counters.replicas_launched, 3, "threshold 3 ⇒ 3 replicas max");
+    assert_eq!(
+        r.counters.replicas_launched, 3,
+        "threshold 3 ⇒ 3 replicas max"
+    );
 }
 
 #[test]
@@ -103,7 +123,11 @@ fn fcfs_excl_starves_later_bags() {
     let r = simulate(&grid, &w, PolicyKind::FcfsExcl, &SimConfig::with_seed(1));
     assert_eq!(r.completed, 2);
     let bag1 = r.bags.iter().find(|b| b.bag == 1).unwrap();
-    assert!(bag1.waiting >= 499.0, "bag 1 must wait for bag 0: waited {}", bag1.waiting);
+    assert!(
+        bag1.waiting >= 499.0,
+        "bag 1 must wait for bag 0: waited {}",
+        bag1.waiting
+    );
 }
 
 #[test]
@@ -112,7 +136,10 @@ fn fcfs_share_lets_later_bags_use_spares() {
     // Threshold 1 keeps the two spare machines idle (no replication), so
     // bag 1's short task starts the moment it arrives under FCFS-Share.
     let w = manual_workload(&[(0.0, &[5000.0, 5000.0]), (1.0, &[10.0])]);
-    let cfg = SimConfig { replication_threshold: 1, ..SimConfig::with_seed(1) };
+    let cfg = SimConfig {
+        replication_threshold: 1,
+        ..SimConfig::with_seed(1)
+    };
     let r = simulate(&grid, &w, PolicyKind::FcfsShare, &cfg);
     let bag1 = r.bags.iter().find(|b| b.bag == 1).unwrap();
     assert_eq!(bag1.waiting, 0.0, "a spare machine was free");
@@ -162,7 +189,11 @@ fn deterministic_under_same_seed() {
     let cfg = GridConfig::paper(Heterogeneity::HET, Availability::LOW);
     let grid = cfg.build(&mut rand::rngs::StdRng::seed_from_u64(5));
     let spec = WorkloadSpec {
-        bot_type: BotType { granularity: 2_000.0, app_size: 40_000.0, jitter: 0.5 },
+        bot_type: BotType {
+            granularity: 2_000.0,
+            app_size: 40_000.0,
+            jitter: 0.5,
+        },
         intensity: Intensity::Low,
         count: 8,
     };
@@ -193,10 +224,19 @@ fn failures_trigger_restarts_and_still_complete() {
     // 4 tasks × 50 000 work = wall 5000 s each ≫ MTBF.
     let w = manual_workload(&[(0.0, &[50_000.0, 50_000.0, 50_000.0, 50_000.0])]);
     let r = simulate(&grid, &w, PolicyKind::FcfsShare, &SimConfig::with_seed(11));
-    assert_eq!(r.completed, 1, "bag must eventually finish despite failures");
+    assert_eq!(
+        r.completed, 1,
+        "bag must eventually finish despite failures"
+    );
     assert!(r.counters.machine_failures > 0);
-    assert!(r.counters.replicas_killed_failure > 0, "failures must have hit replicas");
-    assert!(r.counters.checkpoints_written > 0, "long tasks must checkpoint");
+    assert!(
+        r.counters.replicas_killed_failure > 0,
+        "failures must have hit replicas"
+    );
+    assert!(
+        r.counters.checkpoints_written > 0,
+        "long tasks must checkpoint"
+    );
     assert_eq!(r.counters.useful_work, 200_000.0);
 }
 
@@ -215,7 +255,12 @@ fn checkpointing_beats_no_checkpointing_under_failures() {
         };
         let grid = cfg.build(&mut rand::rngs::StdRng::seed_from_u64(7));
         let w = manual_workload(&[(0.0, &[80_000.0, 80_000.0])]);
-        simulate(&grid, &w, PolicyKind::FcfsShare, &SimConfig::with_seed(seed))
+        simulate(
+            &grid,
+            &w,
+            PolicyKind::FcfsShare,
+            &SimConfig::with_seed(seed),
+        )
     };
     let mut with_sum = 0.0;
     let mut without_sum = 0.0;
@@ -238,16 +283,19 @@ fn checkpointing_beats_no_checkpointing_under_failures() {
 #[test]
 fn saturation_is_detected() {
     let grid = tiny_grid(); // capacity 40 work/s
-    // Offered load ≈ 100 work/s — hopeless. The run must stop at its
-    // horizon and be flagged.
-    let bags: Vec<(f64, Vec<f64>)> =
-        (0..50).map(|i| (i as f64 * 100.0, vec![5_000.0, 5_000.0])).collect();
-    let borrowed: Vec<(f64, &[f64])> =
-        bags.iter().map(|(t, v)| (*t, v.as_slice())).collect();
+                            // Offered load ≈ 100 work/s — hopeless. The run must stop at its
+                            // horizon and be flagged.
+    let bags: Vec<(f64, Vec<f64>)> = (0..50)
+        .map(|i| (i as f64 * 100.0, vec![5_000.0, 5_000.0]))
+        .collect();
+    let borrowed: Vec<(f64, &[f64])> = bags.iter().map(|(t, v)| (*t, v.as_slice())).collect();
     let w = manual_workload(&borrowed);
     // Draining 500k work at 40 work/s needs 12 500 s; a horizon of 8 000 s
     // cannot be met even though arrivals end at 4 900 s.
-    let cfg = SimConfig { horizon: Some(8_000.0), ..SimConfig::with_seed(1) };
+    let cfg = SimConfig {
+        horizon: Some(8_000.0),
+        ..SimConfig::with_seed(1)
+    };
     let r = simulate(&grid, &w, PolicyKind::Rr, &cfg);
     assert!(r.saturated, "overload must be flagged");
     assert!(r.completed < 50);
@@ -257,7 +305,10 @@ fn saturation_is_detected() {
 fn warmup_bags_excluded_from_metrics() {
     let grid = tiny_grid();
     let w = manual_workload(&[(0.0, &[100.0]), (50.0, &[100.0]), (90.0, &[100.0])]);
-    let cfg = SimConfig { warmup_bags: 2, ..SimConfig::with_seed(1) };
+    let cfg = SimConfig {
+        warmup_bags: 2,
+        ..SimConfig::with_seed(1)
+    };
     let r = simulate(&grid, &w, PolicyKind::FcfsShare, &cfg);
     assert_eq!(r.completed, 3);
     assert_eq!(r.bags.len(), 1, "only the post-warmup bag is measured");
@@ -269,7 +320,11 @@ fn het_grid_runs_all_policies() {
     let cfg = GridConfig::paper(Heterogeneity::HET, Availability::MED);
     let grid = cfg.build(&mut rand::rngs::StdRng::seed_from_u64(9));
     let spec = WorkloadSpec {
-        bot_type: BotType { granularity: 5_000.0, app_size: 100_000.0, jitter: 0.5 },
+        bot_type: BotType {
+            granularity: 5_000.0,
+            app_size: 100_000.0,
+            jitter: 0.5,
+        },
         intensity: Intensity::Medium,
         count: 6,
     };
@@ -287,12 +342,19 @@ fn het_grid_runs_all_policies() {
 fn longest_first_task_order_runs() {
     let grid = tiny_grid();
     let w = manual_workload(&[(0.0, &[100.0, 900.0, 500.0, 300.0, 700.0])]);
-    let cfg = SimConfig { task_order: TaskOrder::LongestFirst, ..SimConfig::with_seed(1) };
+    let cfg = SimConfig {
+        task_order: TaskOrder::LongestFirst,
+        ..SimConfig::with_seed(1)
+    };
     let r = simulate(&grid, &w, PolicyKind::FcfsShare, &cfg);
     assert_eq!(r.completed, 1);
     // LPT on 4 identical machines with these tasks: makespan is bounded by
     // the longest task (90 s) since total work / machines = 62.5 < 90.
-    assert!((r.bags[0].makespan - 90.0).abs() < 1e-6, "makespan {}", r.bags[0].makespan);
+    assert!(
+        (r.bags[0].makespan - 90.0).abs() < 1e-6,
+        "makespan {}",
+        r.bags[0].makespan
+    );
 }
 
 #[test]
@@ -320,14 +382,20 @@ fn fastest_first_machine_order_prefers_fast_machines() {
         ..SimConfig::with_seed(1)
     };
     let r = simulate(&grid, &w, PolicyKind::FcfsShare, &fast_cfg);
-    assert!((r.bags[0].turnaround - 100.0).abs() < 1e-9, "ran on the power-10 machine");
+    assert!(
+        (r.bags[0].turnaround - 100.0).abs() < 1e-9,
+        "ran on the power-10 machine"
+    );
     let slow_cfg = SimConfig {
         machine_order: MachineOrder::Arbitrary,
         replication_threshold: 1,
         ..SimConfig::with_seed(1)
     };
     let r = simulate(&grid, &w, PolicyKind::FcfsShare, &slow_cfg);
-    assert!((r.bags[0].turnaround - 1000.0).abs() < 1e-9, "id order hits the slow machine");
+    assert!(
+        (r.bags[0].turnaround - 1000.0).abs() < 1e-9,
+        "id order hits the slow machine"
+    );
 }
 
 #[test]
@@ -342,8 +410,9 @@ fn fewest_failures_first_avoids_flaky_machines() {
         outages: None,
     };
     let grid = cfg_grid.build(&mut rand::rngs::StdRng::seed_from_u64(1));
-    let bags: Vec<(f64, Vec<f64>)> =
-        (0..20).map(|i| (i as f64 * 3_000.0, vec![10_000.0])).collect();
+    let bags: Vec<(f64, Vec<f64>)> = (0..20)
+        .map(|i| (i as f64 * 3_000.0, vec![10_000.0]))
+        .collect();
     let borrowed: Vec<(f64, &[f64])> = bags.iter().map(|(t, v)| (*t, v.as_slice())).collect();
     let w = manual_workload(&borrowed);
     let cfg = SimConfig {
@@ -394,11 +463,15 @@ fn dynamic_replication_switches_threshold() {
 #[test]
 fn slowdown_is_at_least_one_and_exact_for_solo_bag() {
     let grid = tiny_grid(); // 4 × power 10
-    // One bag, one 1000-work task on the idle grid: ideal = 1000/10 = 100,
-    // actual = 100 ⇒ slowdown exactly 1.
+                            // One bag, one 1000-work task on the idle grid: ideal = 1000/10 = 100,
+                            // actual = 100 ⇒ slowdown exactly 1.
     let w = manual_workload(&[(0.0, &[1000.0])]);
     let r = simulate(&grid, &w, PolicyKind::FcfsShare, &SimConfig::with_seed(1));
-    assert!((r.bags[0].slowdown - 1.0).abs() < 1e-9, "slowdown {}", r.bags[0].slowdown);
+    assert!(
+        (r.bags[0].slowdown - 1.0).abs() < 1e-9,
+        "slowdown {}",
+        r.bags[0].slowdown
+    );
     assert_eq!(r.bags[0].work, 1000.0);
 
     // Queued bags have slowdown > 1.
@@ -408,10 +481,19 @@ fn slowdown_is_at_least_one_and_exact_for_solo_bag() {
     ]);
     let r = simulate(&grid, &w, PolicyKind::FcfsExcl, &SimConfig::with_seed(1));
     for b in &r.bags {
-        assert!(b.slowdown >= 1.0 - 1e-9, "bag {} slowdown {}", b.bag, b.slowdown);
+        assert!(
+            b.slowdown >= 1.0 - 1e-9,
+            "bag {} slowdown {}",
+            b.bag,
+            b.slowdown
+        );
     }
     let second = r.bags.iter().find(|b| b.bag == 1).unwrap();
-    assert!(second.slowdown > 1.5, "queued bag must show slowdown: {}", second.slowdown);
+    assert!(
+        second.slowdown > 1.5,
+        "queued bag must show slowdown: {}",
+        second.slowdown
+    );
     assert!(r.max_slowdown() >= r.mean_slowdown());
 }
 
@@ -422,8 +504,14 @@ fn machine_stats_match_counters() {
     let r = simulate(&grid, &w, PolicyKind::FcfsShare, &SimConfig::with_seed(1));
     assert_eq!(r.machines.len(), 4);
     let sum: f64 = r.machines.iter().map(|m| m.busy_time).sum();
-    assert!((sum - r.counters.busy_time).abs() < 1e-9, "per-machine busy must sum to total");
-    assert!(r.machines.iter().all(|m| m.failures == 0), "reliable grid never fails");
+    assert!(
+        (sum - r.counters.busy_time).abs() < 1e-9,
+        "per-machine busy must sum to total"
+    );
+    assert!(
+        r.machines.iter().all(|m| m.failures == 0),
+        "reliable grid never fails"
+    );
     assert!(r.mean_occupancy() > 0.0 && r.mean_occupancy() <= 1.0);
     for m in &r.machines {
         let f = m.busy_fraction(r.end_time);
@@ -489,7 +577,10 @@ fn outages_and_per_machine_failures_compose() {
         checkpoint: CheckpointConfig::default(),
         outages: Some(OutageConfig {
             mtbo: 8_000.0,
-            duration: DistConfig::NormalTrunc { mean: 1_800.0, sd: 300.0 },
+            duration: DistConfig::NormalTrunc {
+                mean: 1_800.0,
+                sd: 300.0,
+            },
             fraction: 0.4,
         }),
     };
@@ -536,8 +627,13 @@ fn correlated_outages_defeat_replication_without_checkpoints() {
     let run = |cfg: GridConfig, seed: u64| {
         let grid = cfg.build(&mut rand::rngs::StdRng::seed_from_u64(1));
         let w = manual_workload(&[(0.0, &[60_000.0, 60_000.0, 60_000.0, 60_000.0])]);
-        simulate(&grid, &w, PolicyKind::FcfsShare, &SimConfig::with_seed(seed))
-            .mean_turnaround()
+        simulate(
+            &grid,
+            &w,
+            PolicyKind::FcfsShare,
+            &SimConfig::with_seed(seed),
+        )
+        .mean_turnaround()
     };
     let mut corr_sum = 0.0;
     let mut ind_sum = 0.0;
@@ -556,7 +652,11 @@ fn waiting_plus_makespan_equals_turnaround() {
     let cfg = GridConfig::paper(Heterogeneity::HOM, Availability::MED);
     let grid = cfg.build(&mut rand::rngs::StdRng::seed_from_u64(15));
     let spec = WorkloadSpec {
-        bot_type: BotType { granularity: 10_000.0, app_size: 200_000.0, jitter: 0.5 },
+        bot_type: BotType {
+            granularity: 10_000.0,
+            app_size: 200_000.0,
+            jitter: 0.5,
+        },
         intensity: Intensity::High,
         count: 10,
     };

@@ -3,7 +3,7 @@
 use super::task::{TaskPhase, TaskRt};
 use dgsched_des::time::SimTime;
 use dgsched_workload::{BagOfTasks, BotId, TaskId};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Runtime state of one bag: its tasks, its pending queues and its
 /// completion bookkeeping.
@@ -12,6 +12,20 @@ use std::collections::VecDeque;
 /// failed — they resume from a checkpoint and are served first, matching
 /// WQR-FT's restart priority) and *fresh* tasks never dispatched, served in
 /// arrival order (WorkQueue's arbitrary order).
+///
+/// Alongside the queues the bag maintains three incremental indices so the
+/// per-probe policy queries are O(1)/O(log) instead of task scans:
+///
+/// * `running_by_count` — running tasks bucketed by replica count, backing
+///   [`Self::replication_candidate`] and [`Self::can_replicate`];
+/// * `restart_wait` — a monotone max-deque over the FIFO restart queue,
+///   backing the restart arm of [`Self::max_pending_wait`];
+/// * `remaining_work` — the sum of incomplete tasks' work, backing
+///   [`Self::remaining_work`] (SBF's criterion).
+///
+/// Each index has a `_scan` twin that recomputes the answer from the task
+/// vector; the reference simulator mode and the equivalence tests use the
+/// twins to cross-check the incremental forms.
 #[derive(Debug, Clone)]
 pub struct BagRt {
     /// This bag's id.
@@ -23,11 +37,9 @@ pub struct BagRt {
     /// Task runtime states, indexed by [`TaskId`].
     pub tasks: Vec<TaskRt>,
     /// Failed tasks awaiting a restart replica (served first).
-    pub pending_restarts: VecDeque<TaskId>,
+    pub(crate) pending_restarts: VecDeque<TaskId>,
     /// Never-dispatched tasks in arrival order.
-    pub pending_fresh: VecDeque<TaskId>,
-    /// Tasks with at least one running replica.
-    pub running: Vec<TaskId>,
+    pub(crate) pending_fresh: VecDeque<TaskId>,
     /// Number of completed tasks.
     pub done: usize,
     /// Total running replicas across the bag's tasks.
@@ -36,6 +48,16 @@ pub struct BagRt {
     pub first_dispatch: Option<SimTime>,
     /// When the bag's last task completed.
     pub completed_at: Option<SimTime>,
+    /// Tasks with at least one running replica, bucketed by replica count.
+    /// Buckets hold task indices; no bucket is ever empty.
+    running_by_count: BTreeMap<u32, BTreeSet<u32>>,
+    /// Monotone max-deque over `pending_restarts` (a subsequence of it, in
+    /// queue order, strictly decreasing in waiting time): the front is the
+    /// longest-waiting restart. Valid because the restart queue is strictly
+    /// FIFO and all pending waits grow at the same rate.
+    restart_wait: VecDeque<TaskId>,
+    /// Work of the tasks not yet `Done`, kept up to date on completion.
+    remaining_work: f64,
 }
 
 impl BagRt {
@@ -54,11 +76,13 @@ impl BagRt {
             granularity: bag.granularity,
             pending_fresh: (0..tasks.len() as u32).map(TaskId).collect(),
             pending_restarts: VecDeque::new(),
-            running: Vec::new(),
             done: 0,
             running_replicas: 0,
             first_dispatch: None,
             completed_at: None,
+            running_by_count: BTreeMap::new(),
+            restart_wait: VecDeque::new(),
+            remaining_work: tasks.iter().map(|t| t.work).sum(),
             tasks,
         }
     }
@@ -83,39 +107,107 @@ impl BagRt {
         self.running_replicas > 0
     }
 
-    /// Pops the next pending task: restarts first, then fresh arrivals.
-    pub fn pop_pending(&mut self) -> Option<TaskId> {
-        self.pending_restarts.pop_front().or_else(|| self.pending_fresh.pop_front())
+    /// Number of tasks waiting to be dispatched.
+    pub fn pending_tasks(&self) -> usize {
+        self.pending_restarts.len() + self.pending_fresh.len()
     }
 
-    /// Re-queues a task whose last replica failed (front of the restart
-    /// queue: most recently failed last — FIFO among restarts).
-    pub fn push_restart(&mut self, task: TaskId) {
+    /// Pops the next pending task: restarts first, then fresh arrivals.
+    pub fn pop_pending(&mut self) -> Option<TaskId> {
+        if let Some(t) = self.pending_restarts.pop_front() {
+            if self.restart_wait.front() == Some(&t) {
+                self.restart_wait.pop_front();
+            }
+            Some(t)
+        } else {
+            self.pending_fresh.pop_front()
+        }
+    }
+
+    /// Re-queues a task whose last replica failed (back of the restart
+    /// queue — FIFO among restarts) and folds it into the max-deque.
+    pub(crate) fn push_restart(&mut self, task: TaskId, now: SimTime) {
         debug_assert!(self.tasks[task.index()].phase == TaskPhase::Pending);
+        let w = self.tasks[task.index()].waiting_time(now);
+        while let Some(&back) = self.restart_wait.back() {
+            if self.tasks[back.index()].waiting_time(now) <= w {
+                self.restart_wait.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.restart_wait.push_back(task);
         self.pending_restarts.push_back(task);
     }
 
     /// The running task with the fewest replicas strictly below `threshold`
     /// (WQR's replication candidate), ties broken by lowest task id.
     pub fn replication_candidate(&self, threshold: u32) -> Option<TaskId> {
-        self.running
-            .iter()
-            .copied()
-            .filter(|t| self.tasks[t.index()].running_replicas < threshold)
-            .min_by_key(|t| (self.tasks[t.index()].running_replicas, t.index()))
+        let (&count, bucket) = self.running_by_count.iter().next()?;
+        if count >= threshold {
+            return None;
+        }
+        Some(TaskId(
+            *bucket.iter().next().expect("buckets are never empty"),
+        ))
     }
 
     /// True when [`Self::replication_candidate`] would return a task.
     pub fn can_replicate(&self, threshold: u32) -> bool {
-        self.running.iter().any(|t| self.tasks[t.index()].running_replicas < threshold)
+        self.running_by_count
+            .keys()
+            .next()
+            .is_some_and(|&count| count < threshold)
     }
 
     /// Largest waiting time among pending tasks at `now` (LongIdle's
     /// criterion); `None` when nothing is pending.
     ///
-    /// Fresh tasks all share the waiting time `now − arrival`; restarts are
-    /// examined individually.
+    /// Fresh tasks all share the waiting time `now − arrival`; the restart
+    /// arm reads the max-deque front instead of scanning the queue.
     pub fn max_pending_wait(&self, now: SimTime) -> Option<f64> {
+        let fresh = if self.pending_fresh.is_empty() {
+            None
+        } else {
+            Some(now.since(self.arrival))
+        };
+        let restart = self
+            .restart_wait
+            .front()
+            .map(|t| self.tasks[t.index()].waiting_time(now));
+        match (fresh, restart) {
+            (None, r) => r,
+            (f, None) => f,
+            (Some(f), Some(r)) => Some(f.max(r)),
+        }
+    }
+
+    /// Total work of the tasks not yet complete (SBF's criterion).
+    pub fn remaining_work(&self) -> f64 {
+        self.remaining_work
+    }
+
+    /// Naive twin of [`Self::replication_candidate`]: full task scan.
+    pub fn replication_candidate_scan(&self, threshold: u32) -> Option<TaskId> {
+        (0..self.tasks.len() as u32)
+            .map(TaskId)
+            .filter(|t| {
+                let r = self.tasks[t.index()].running_replicas;
+                r > 0 && r < threshold
+            })
+            .min_by_key(|t| (self.tasks[t.index()].running_replicas, t.index()))
+    }
+
+    /// Naive twin of [`Self::can_replicate`]: full task scan.
+    pub fn can_replicate_scan(&self, threshold: u32) -> bool {
+        self.tasks
+            .iter()
+            .any(|t| t.running_replicas > 0 && t.running_replicas < threshold)
+    }
+
+    /// Naive twin of [`Self::max_pending_wait`]: folds over the restart
+    /// queue instead of reading the max-deque.
+    pub fn max_pending_wait_scan(&self, now: SimTime) -> Option<f64> {
         let fresh = if self.pending_fresh.is_empty() {
             None
         } else {
@@ -125,7 +217,9 @@ impl BagRt {
             .pending_restarts
             .iter()
             .map(|t| self.tasks[t.index()].waiting_time(now))
-            .fold(None, |acc: Option<f64>, w| Some(acc.map_or(w, |a| a.max(w))));
+            .fold(None, |acc: Option<f64>, w| {
+                Some(acc.map_or(w, |a| a.max(w)))
+            });
         match (fresh, restart) {
             (None, r) => r,
             (f, None) => f,
@@ -133,16 +227,40 @@ impl BagRt {
         }
     }
 
-    /// Marks a task as having gained a running replica, maintaining the
-    /// `running` index.
-    pub fn note_replica_started(&mut self, task: TaskId, now: SimTime) {
-        let t = &mut self.tasks[task.index()];
-        let was_idle = t.running_replicas == 0;
-        t.replica_started(now);
-        if was_idle {
-            debug_assert!(!self.running.contains(&task));
-            self.running.push(task);
+    /// Naive twin of [`Self::remaining_work`]: sums incomplete tasks.
+    pub fn remaining_work_scan(&self) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.phase != TaskPhase::Done)
+            .map(|t| t.work)
+            .sum()
+    }
+
+    /// Moves `task` between replica-count buckets after its count changed
+    /// from `from` to `to` (0 meaning absent).
+    fn bump_count(&mut self, task: TaskId, from: u32, to: u32) {
+        let idx = task.index() as u32;
+        if from > 0 {
+            let bucket = self
+                .running_by_count
+                .get_mut(&from)
+                .expect("task was bucketed");
+            bucket.remove(&idx);
+            if bucket.is_empty() {
+                self.running_by_count.remove(&from);
+            }
         }
+        if to > 0 {
+            self.running_by_count.entry(to).or_default().insert(idx);
+        }
+    }
+
+    /// Marks a task as having gained a running replica, maintaining the
+    /// replica-count buckets.
+    pub fn note_replica_started(&mut self, task: TaskId, now: SimTime) {
+        let old = self.tasks[task.index()].running_replicas;
+        self.tasks[task.index()].replica_started(now);
+        self.bump_count(task, old, old + 1);
         self.running_replicas += 1;
         if self.first_dispatch.is_none() {
             self.first_dispatch = Some(now);
@@ -152,13 +270,12 @@ impl BagRt {
     /// Marks a replica of `task` as stopped without completing it; returns
     /// `true` when the task went back to pending (and was re-queued here).
     pub fn note_replica_stopped(&mut self, task: TaskId, now: SimTime) -> bool {
+        let old = self.tasks[task.index()].running_replicas;
         let requeue = self.tasks[task.index()].replica_stopped(now);
+        self.bump_count(task, old, old - 1);
         self.running_replicas -= 1;
-        if self.tasks[task.index()].running_replicas == 0 {
-            self.running.retain(|&t| t != task);
-        }
         if requeue {
-            self.push_restart(task);
+            self.push_restart(task, now);
         }
         requeue
     }
@@ -167,12 +284,16 @@ impl BagRt {
     /// responsible for killing sibling replicas (each kill then flows
     /// through [`Self::note_replica_stopped`], which will see `Done` and
     /// not requeue).
+    ///
+    /// A completed task with surviving siblings stays bucketed until the
+    /// kills drain its count — never observable by policies, because the
+    /// kills happen within the same event, before any dispatch runs.
     pub fn note_task_completed(&mut self, task: TaskId, now: SimTime) {
+        let old = self.tasks[task.index()].running_replicas;
         self.tasks[task.index()].completed();
+        self.bump_count(task, old, old - 1);
         self.running_replicas -= 1;
-        if self.tasks[task.index()].running_replicas == 0 {
-            self.running.retain(|&t| t != task);
-        }
+        self.remaining_work -= self.tasks[task.index()].work;
         self.done += 1;
         if self.is_complete() {
             self.completed_at = Some(now);
@@ -207,7 +328,12 @@ mod tests {
         let bag = BagOfTasks {
             id: BotId(0),
             arrival: SimTime::new(10.0),
-            tasks: (0..3).map(|i| TaskSpec { id: TaskId(i), work: 100.0 }).collect(),
+            tasks: (0..3)
+                .map(|i| TaskSpec {
+                    id: TaskId(i),
+                    work: 100.0,
+                })
+                .collect(),
             granularity: 100.0,
         };
         BagRt::new(&bag, 0)
@@ -218,10 +344,12 @@ mod tests {
         let b = bag3();
         assert_eq!(b.total_tasks(), 3);
         assert!(b.has_pending());
+        assert_eq!(b.pending_tasks(), 3);
         assert!(!b.has_running());
         assert!(!b.is_complete());
         assert_eq!(b.tasks[2].ckpt_key, 2);
         assert_eq!(b.max_pending_wait(SimTime::new(15.0)), Some(5.0));
+        assert_eq!(b.remaining_work(), 300.0);
     }
 
     #[test]
@@ -232,7 +360,11 @@ mod tests {
         b.note_replica_started(first, SimTime::new(12.0));
         // Task 0 fails: back to pending with restart priority.
         b.note_replica_stopped(first, SimTime::new(20.0));
-        assert_eq!(b.pop_pending(), Some(TaskId(0)), "restart outranks fresh tasks");
+        assert_eq!(
+            b.pop_pending(),
+            Some(TaskId(0)),
+            "restart outranks fresh tasks"
+        );
         assert_eq!(b.pop_pending(), Some(TaskId(1)));
     }
 
@@ -246,10 +378,14 @@ mod tests {
         // Replicate task 0 → it now has 2 replicas.
         b.note_replica_started(TaskId(0), SimTime::new(12.0));
         assert_eq!(b.replication_candidate(2), Some(TaskId(1)));
+        assert_eq!(b.replication_candidate_scan(2), Some(TaskId(1)));
         assert!(b.can_replicate(2));
+        assert!(b.can_replicate_scan(2));
         // With threshold 1 nothing qualifies.
         assert!(!b.can_replicate(1));
+        assert!(!b.can_replicate_scan(1));
         assert_eq!(b.replication_candidate(1), None);
+        assert_eq!(b.replication_candidate_scan(1), None);
     }
 
     #[test]
@@ -261,6 +397,8 @@ mod tests {
             b.note_replica_started(t, now);
         }
         b.note_task_completed(TaskId(0), SimTime::new(50.0));
+        assert_eq!(b.remaining_work(), 200.0);
+        assert_eq!(b.remaining_work_scan(), 200.0);
         b.note_task_completed(TaskId(1), SimTime::new(60.0));
         assert!(!b.is_complete());
         b.note_task_completed(TaskId(2), SimTime::new(70.0));
@@ -269,6 +407,7 @@ mod tests {
         assert_eq!(b.waiting(), Some(1.0));
         assert_eq!(b.makespan(), Some(59.0));
         assert!(!b.has_running());
+        assert_eq!(b.remaining_work(), 0.0);
     }
 
     #[test]
@@ -282,7 +421,8 @@ mod tests {
         assert!(!b.note_replica_stopped(t, SimTime::new(20.0)));
         assert_eq!(b.done, 1);
         assert_eq!(b.running_replicas, 0);
-        assert!(b.running.is_empty());
+        assert!(!b.has_running());
+        assert!(!b.can_replicate(2));
     }
 
     #[test]
@@ -291,12 +431,41 @@ mod tests {
         let t = b.pop_pending().unwrap();
         b.note_replica_started(t, SimTime::new(10.0)); // waited 0
         b.note_replica_stopped(t, SimTime::new(100.0)); // restart, waiting again
-        // Fresh tasks have waited now−10; restart has waited now−100.
+                                                        // Fresh tasks have waited now−10; restart has waited now−100.
         let w = b.max_pending_wait(SimTime::new(150.0)).unwrap();
         assert_eq!(w, 140.0, "fresh tasks dominate here");
+        assert_eq!(b.max_pending_wait_scan(SimTime::new(150.0)), Some(w));
         // Pop both fresh tasks; only the restart remains.
         while b.pending_fresh.pop_front().is_some() {}
         let w = b.max_pending_wait(SimTime::new(150.0)).unwrap();
         assert_eq!(w, 50.0);
+        assert_eq!(b.max_pending_wait_scan(SimTime::new(150.0)), Some(w));
+    }
+
+    #[test]
+    fn restart_max_deque_tracks_queue_churn() {
+        let mut b = bag3();
+        // Run all three tasks, then fail them at different times so their
+        // accumulated waits differ: task 0 waited 0, task 1 waited 0, but
+        // they restart at different instants.
+        for _ in 0..3 {
+            let t = b.pop_pending().unwrap();
+            b.note_replica_started(t, SimTime::new(10.0));
+        }
+        b.note_replica_stopped(TaskId(1), SimTime::new(20.0)); // waiting since 20
+        b.note_replica_stopped(TaskId(0), SimTime::new(40.0)); // waiting since 40
+        b.note_replica_stopped(TaskId(2), SimTime::new(50.0)); // waiting since 50
+        let now = SimTime::new(60.0);
+        assert_eq!(b.max_pending_wait(now), b.max_pending_wait_scan(now));
+        assert_eq!(b.max_pending_wait(now), Some(40.0));
+        // Pop the longest-waiting restart (task 1, at the queue front).
+        assert_eq!(b.pop_pending(), Some(TaskId(1)));
+        assert_eq!(b.max_pending_wait(now), b.max_pending_wait_scan(now));
+        assert_eq!(b.max_pending_wait(now), Some(20.0));
+        // Requeue it with a fresh run/fail cycle: it re-enters at the back.
+        b.note_replica_started(TaskId(1), now);
+        b.note_replica_stopped(TaskId(1), SimTime::new(65.0));
+        let later = SimTime::new(80.0);
+        assert_eq!(b.max_pending_wait(later), b.max_pending_wait_scan(later));
     }
 }

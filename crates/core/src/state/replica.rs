@@ -67,9 +67,9 @@ impl Replica {
     pub fn work_in_progress(&self, now: SimTime, power: f64) -> f64 {
         match self.phase {
             ReplicaPhase::Retrieving { .. } => 0.0,
-            ReplicaPhase::Computing { since, base_work, .. } => {
-                base_work + now.since(since) * power
-            }
+            ReplicaPhase::Computing {
+                since, base_work, ..
+            } => base_work + now.since(since) * power,
             ReplicaPhase::Checkpointing { work_at_write } => work_at_write,
         }
     }
@@ -115,7 +115,10 @@ impl ReplicaSlab {
             ReplicaId { idx, gen: slot.gen }
         } else {
             let idx = self.slots.len() as u32;
-            self.slots.push(Slot { gen: 0, replica: Some(replica) });
+            self.slots.push(Slot {
+                gen: 0,
+                replica: Some(replica),
+            });
             ReplicaId { idx, gen: 0 }
         }
     }
@@ -214,7 +217,9 @@ mod tests {
             next_is_checkpoint: false,
         };
         assert_eq!(r.work_in_progress(now, 10.0), 200.0 + 600.0);
-        r.phase = ReplicaPhase::Checkpointing { work_at_write: 450.0 };
+        r.phase = ReplicaPhase::Checkpointing {
+            work_at_write: 450.0,
+        };
         assert_eq!(r.work_in_progress(now, 10.0), 450.0);
     }
 }

@@ -91,7 +91,10 @@ impl TaskRt {
 
     /// Records that a replica completed the task.
     pub fn completed(&mut self) {
-        debug_assert!(self.running_replicas > 0, "completion without a running replica");
+        debug_assert!(
+            self.running_replicas > 0,
+            "completion without a running replica"
+        );
         self.running_replicas -= 1;
         self.phase = TaskPhase::Done;
     }
@@ -106,7 +109,11 @@ mod tests {
         let mut t = TaskRt::new(100.0, SimTime::new(0.0), 0);
         assert_eq!(t.waiting_time(SimTime::new(10.0)), 10.0);
         t.replica_started(SimTime::new(10.0));
-        assert_eq!(t.waiting_time(SimTime::new(50.0)), 10.0, "no wait while running");
+        assert_eq!(
+            t.waiting_time(SimTime::new(50.0)),
+            10.0,
+            "no wait while running"
+        );
         let requeue = t.replica_stopped(SimTime::new(50.0));
         assert!(requeue);
         assert!(t.is_restart);
@@ -142,7 +149,10 @@ mod tests {
         t.replica_started(SimTime::new(1.0));
         t.replica_started(SimTime::new(2.0));
         t.completed(); // one replica wins
-        assert!(!t.replica_stopped(SimTime::new(2.5)), "sibling kill must not requeue");
+        assert!(
+            !t.replica_stopped(SimTime::new(2.5)),
+            "sibling kill must not requeue"
+        );
         assert_eq!(t.phase, TaskPhase::Done);
     }
 }

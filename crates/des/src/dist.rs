@@ -91,7 +91,10 @@ pub enum DistConfig {
 impl DistConfig {
     /// A Weibull with the given shape, scaled so its mean is `mean`.
     pub fn weibull_with_mean(shape: f64, mean: f64) -> Self {
-        DistConfig::Weibull { shape, scale: weibull_scale_for_mean(shape, mean) }
+        DistConfig::Weibull {
+            shape,
+            scale: weibull_scale_for_mean(shape, mean),
+        }
     }
 
     /// The analytic mean of the distribution.
@@ -115,9 +118,7 @@ impl DistConfig {
             DistConfig::Constant { value } if value < 0.0 => {
                 Err(format!("constant must be non-negative, got {value}"))
             }
-            DistConfig::Uniform { lo, hi }
-                if lo.is_nan() || hi.is_nan() || lo > hi || lo < 0.0 =>
-            {
+            DistConfig::Uniform { lo, hi } if lo.is_nan() || hi.is_nan() || lo > hi || lo < 0.0 => {
                 Err(format!("uniform bounds invalid: [{lo}, {hi})"))
             }
             DistConfig::Exponential { mean } if mean <= 0.0 => {
@@ -126,12 +127,12 @@ impl DistConfig {
             DistConfig::NormalTrunc { sd, .. } if sd < 0.0 => {
                 Err(format!("normal sd must be non-negative, got {sd}"))
             }
-            DistConfig::NormalTrunc { mean, .. } if mean <= 0.0 => {
-                Err(format!("truncated normal mean must be positive, got {mean}"))
-            }
-            DistConfig::Weibull { shape, scale } if shape <= 0.0 || scale <= 0.0 => {
-                Err(format!("weibull parameters must be positive: shape={shape}, scale={scale}"))
-            }
+            DistConfig::NormalTrunc { mean, .. } if mean <= 0.0 => Err(format!(
+                "truncated normal mean must be positive, got {mean}"
+            )),
+            DistConfig::Weibull { shape, scale } if shape <= 0.0 || scale <= 0.0 => Err(format!(
+                "weibull parameters must be positive: shape={shape}, scale={scale}"
+            )),
             _ => Ok(()),
         }
     }
@@ -256,15 +257,25 @@ mod tests {
     fn empirical_means_track_analytic() {
         let cases = [
             DistConfig::Constant { value: 42.0 },
-            DistConfig::Uniform { lo: 240.0, hi: 720.0 },
+            DistConfig::Uniform {
+                lo: 240.0,
+                hi: 720.0,
+            },
             DistConfig::Exponential { mean: 300.0 },
-            DistConfig::NormalTrunc { mean: 1800.0, sd: 300.0 },
+            DistConfig::NormalTrunc {
+                mean: 1800.0,
+                sd: 300.0,
+            },
             DistConfig::weibull_with_mean(0.7, 5400.0),
         ];
         for cfg in cases {
             let m = empirical_mean(cfg, 200_000);
             let rel = (m - cfg.mean()).abs() / cfg.mean();
-            assert!(rel < 0.02, "{cfg:?}: empirical {m} vs analytic {}", cfg.mean());
+            assert!(
+                rel < 0.02,
+                "{cfg:?}: empirical {m} vs analytic {}",
+                cfg.mean()
+            );
         }
     }
 
@@ -281,15 +292,28 @@ mod tests {
     fn validation_rejects_bad_params() {
         assert!(DistConfig::Uniform { lo: 5.0, hi: 1.0 }.validate().is_err());
         assert!(DistConfig::Exponential { mean: 0.0 }.validate().is_err());
-        assert!(DistConfig::Weibull { shape: -1.0, scale: 1.0 }.validate().is_err());
-        assert!(DistConfig::NormalTrunc { mean: -5.0, sd: 1.0 }.validate().is_err());
+        assert!(DistConfig::Weibull {
+            shape: -1.0,
+            scale: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(DistConfig::NormalTrunc {
+            mean: -5.0,
+            sd: 1.0
+        }
+        .validate()
+        .is_err());
         assert!(DistConfig::Constant { value: -1.0 }.validate().is_err());
         assert!(DistConfig::Uniform { lo: 1.0, hi: 2.0 }.validate().is_ok());
     }
 
     #[test]
     fn serde_round_trip() {
-        let cfg = DistConfig::Weibull { shape: 0.7, scale: 123.4 };
+        let cfg = DistConfig::Weibull {
+            shape: 0.7,
+            scale: 123.4,
+        };
         let json = serde_json::to_string(&cfg).unwrap();
         let back: DistConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);

@@ -30,14 +30,21 @@ impl<'a, E, Q: PendingEvents<E>> Scheduler<'a, E, Q> {
     /// Panics if `delay` is negative (the past is immutable).
     #[inline]
     pub fn schedule_in(&mut self, delay: f64, payload: E) -> EventId {
-        assert!(delay >= 0.0, "cannot schedule an event in the past (delay={delay})");
+        assert!(
+            delay >= 0.0,
+            "cannot schedule an event in the past (delay={delay})"
+        );
         self.queue.schedule(self.now + delay, payload)
     }
 
     /// Schedules `payload` at an absolute time `at >= now`.
     #[inline]
     pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
-        assert!(at >= self.now, "cannot schedule an event in the past (at={at}, now={})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past (at={at}, now={})",
+            self.now
+        );
         self.queue.schedule(at, payload)
     }
 
@@ -67,11 +74,8 @@ pub enum Control {
 pub trait Handler<E> {
     /// Handles one event at its firing time. Schedule follow-up events via
     /// `sched`.
-    fn handle<Q: PendingEvents<E>>(
-        &mut self,
-        event: E,
-        sched: &mut Scheduler<'_, E, Q>,
-    ) -> Control;
+    fn handle<Q: PendingEvents<E>>(&mut self, event: E, sched: &mut Scheduler<'_, E, Q>)
+        -> Control;
 }
 
 /// Why the run ended.
@@ -161,7 +165,10 @@ impl<E, Q: PendingEvents<E>> Engine<E, Q> {
             let Some((time, _id, payload)) = self.queue.pop() else {
                 return RunOutcome::Drained;
             };
-            debug_assert!(time >= self.now, "event queue returned an event from the past");
+            debug_assert!(
+                time >= self.now,
+                "event queue returned an event from the past"
+            );
             if time > self.horizon {
                 // Leave the clock at the horizon; the event is dropped.
                 self.now = self.horizon;
@@ -212,7 +219,11 @@ mod tests {
     fn drains_in_time_order() {
         let mut engine = Engine::new();
         engine.prime(SimTime::new(0.0), 0);
-        let mut h = Birth { spawned: 0, cap: 4, log: Vec::new() };
+        let mut h = Birth {
+            spawned: 0,
+            cap: 4,
+            log: Vec::new(),
+        };
         assert_eq!(engine.run(&mut h), RunOutcome::Drained);
         assert_eq!(h.log, vec![0.0, 1.5, 3.0, 4.5, 6.0]);
         assert_eq!(engine.processed(), 5);
@@ -224,7 +235,11 @@ mod tests {
         let mut engine = Engine::new();
         engine.set_event_limit(3);
         engine.prime(SimTime::new(0.0), 0);
-        let mut h = Birth { spawned: 0, cap: u32::MAX, log: Vec::new() };
+        let mut h = Birth {
+            spawned: 0,
+            cap: u32::MAX,
+            log: Vec::new(),
+        };
         assert_eq!(engine.run(&mut h), RunOutcome::EventLimit);
         assert_eq!(h.log.len(), 3);
     }
@@ -234,7 +249,11 @@ mod tests {
         let mut engine = Engine::new();
         engine.set_horizon(SimTime::new(4.0));
         engine.prime(SimTime::new(0.0), 0);
-        let mut h = Birth { spawned: 0, cap: u32::MAX, log: Vec::new() };
+        let mut h = Birth {
+            spawned: 0,
+            cap: u32::MAX,
+            log: Vec::new(),
+        };
         assert_eq!(engine.run(&mut h), RunOutcome::Horizon);
         assert_eq!(engine.now().as_secs(), 4.0);
         assert_eq!(h.log, vec![0.0, 1.5, 3.0]);

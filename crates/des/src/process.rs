@@ -104,14 +104,21 @@ impl Sim {
     /// A future that completes `secs` of simulated time from now.
     pub fn delay(&self, secs: f64) -> Delay {
         assert!(secs >= 0.0, "cannot delay into the past");
-        Delay { sim: self.inner.clone(), secs, scheduled: false }
+        Delay {
+            sim: self.inner.clone(),
+            secs,
+            scheduled: false,
+        }
     }
 
     /// Creates a broadcast trigger (see [`Trigger`]).
     pub fn trigger(&self) -> Trigger {
         Trigger {
             sim: self.inner.clone(),
-            state: Rc::new(RefCell::new(TriggerState { fired: false, waiters: Vec::new() })),
+            state: Rc::new(RefCell::new(TriggerState {
+                fired: false,
+                waiters: Vec::new(),
+            })),
         }
     }
 
@@ -237,7 +244,10 @@ pub struct Trigger {
 impl Trigger {
     /// A future that completes when the trigger fires.
     pub fn wait(&self) -> Wait {
-        Wait { trigger: self.clone(), registered: false }
+        Wait {
+            trigger: self.clone(),
+            registered: false,
+        }
     }
 
     /// Fires the trigger, releasing all waiters at the current time.
@@ -329,7 +339,14 @@ mod tests {
         // "a" scheduled its own at t=4 (FIFO among simultaneous events).
         assert_eq!(
             *log.borrow(),
-            vec![("a", 2.0), ("b", 3.0), ("a", 4.0), ("b", 6.0), ("a", 6.0), ("b", 9.0)]
+            vec![
+                ("a", 2.0),
+                ("b", 3.0),
+                ("a", 4.0),
+                ("b", 6.0),
+                ("a", 6.0),
+                ("b", 9.0)
+            ]
         );
     }
 

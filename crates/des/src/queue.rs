@@ -218,7 +218,7 @@ impl<E> CalendarQueue<E> {
             .filter(|e| !self.cancelled.contains(&e.id.0))
             .map(|e| e.time.as_secs())
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("event times are not NaN"));
+        times.sort_by(|a, b| a.total_cmp(b));
         times.truncate(32);
         let width = if times.len() >= 2 {
             let span = times[times.len() - 1] - times[0];
@@ -238,7 +238,11 @@ impl<E> CalendarQueue<E> {
             .filter(|e| !self.cancelled.contains(&e.id.0))
             .map(|e| e.time.as_secs())
             .fold(f64::INFINITY, f64::min);
-        let anchor = if anchor.is_finite() { anchor } else { self.cursor_time };
+        let anchor = if anchor.is_finite() {
+            anchor
+        } else {
+            self.cursor_time
+        };
         self.cursor = ((anchor / self.bucket_width) as usize) % self.buckets.len();
         self.cursor_time = (anchor / self.bucket_width).floor() * self.bucket_width;
         for e in old {
@@ -505,7 +509,9 @@ mod tests {
     #[test]
     fn btree_cancel_is_eager() {
         let mut q = BTreeQueue::new();
-        let ids: Vec<_> = (0..100).map(|i| q.schedule(SimTime::new(i as f64), i)).collect();
+        let ids: Vec<_> = (0..100)
+            .map(|i| q.schedule(SimTime::new(i as f64), i))
+            .collect();
         for id in &ids[..50] {
             assert!(q.cancel(*id));
         }
@@ -547,7 +553,7 @@ mod tests {
             popped.push(t.as_secs());
         }
         let mut sorted = times.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(popped, sorted);
     }
 

@@ -67,7 +67,9 @@ impl StreamSeeder {
     /// A seeder for a sub-domain (e.g. one replication of an experiment),
     /// itself able to hand out streams.
     pub fn subdomain(&self, label: &str, index: u64) -> StreamSeeder {
-        StreamSeeder { master: self.stream_seed(label, index) }
+        StreamSeeder {
+            master: self.stream_seed(label, index),
+        }
     }
 }
 
@@ -79,8 +81,16 @@ mod tests {
     #[test]
     fn same_inputs_same_stream() {
         let s = StreamSeeder::new(42);
-        let a: Vec<u32> = s.stream("arrivals", 0).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = s.stream("arrivals", 0).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = s
+            .stream("arrivals", 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = s
+            .stream("arrivals", 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -115,6 +125,9 @@ mod tests {
         let a = splitmix64(0);
         let b = splitmix64(1);
         let flipped = (a ^ b).count_ones();
-        assert!((16..=48).contains(&flipped), "poor avalanche: {flipped} bits");
+        assert!(
+            (16..=48).contains(&flipped),
+            "poor avalanche: {flipped} bits"
+        );
     }
 }

@@ -18,7 +18,10 @@ pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
     resamples: usize,
     rng: &mut R,
 ) -> ConfidenceInterval {
-    assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&level) && level > 0.0,
+        "level must be in (0,1)"
+    );
     assert!(resamples >= 100, "need at least 100 resamples");
     let n = samples.len();
     let mean = samples.iter().sum::<f64>() / n.max(1) as f64;
@@ -38,7 +41,7 @@ pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
         }
         means.push(s / n as f64);
     }
-    means.sort_by(|a, b| a.partial_cmp(b).expect("means are not NaN"));
+    means.sort_by(|a, b| a.total_cmp(b));
     let alpha = 1.0 - level;
     let lo_idx = ((alpha / 2.0) * resamples as f64) as usize;
     let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64) as usize).min(resamples - 1);
@@ -46,7 +49,12 @@ pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
     // Report as a symmetric-looking interval around the point estimate by
     // taking the larger distance (conservative for skewed data).
     let half_width = (mean - lo).max(hi - mean);
-    ConfidenceInterval { mean, half_width, level, n: n as u64 }
+    ConfidenceInterval {
+        mean,
+        half_width,
+        level,
+        n: n as u64,
+    }
 }
 
 #[cfg(test)]
@@ -77,7 +85,10 @@ mod tests {
         let w: super::super::Welford = data.iter().copied().collect();
         let t = ConfidenceInterval::from_welford(&w, 0.95);
         let ratio = boot.half_width / t.half_width;
-        assert!((0.7..1.4).contains(&ratio), "bootstrap/t width ratio {ratio}");
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "bootstrap/t width ratio {ratio}"
+        );
     }
 
     #[test]

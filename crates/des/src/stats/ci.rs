@@ -110,11 +110,10 @@ fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
     if x >= 1.0 {
         return 1.0;
     }
-    let ln_front = crate::dist::ln_gamma(a + b)
-        - crate::dist::ln_gamma(a)
-        - crate::dist::ln_gamma(b)
-        + a * x.ln()
-        + b * (1.0 - x).ln();
+    let ln_front =
+        crate::dist::ln_gamma(a + b) - crate::dist::ln_gamma(a) - crate::dist::ln_gamma(b)
+            + a * x.ln()
+            + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a
@@ -193,7 +192,12 @@ impl ConfidenceInterval {
         } else {
             t_critical(n - 1, 1.0 - level) * w.std_err()
         };
-        ConfidenceInterval { mean: w.mean(), half_width, level, n }
+        ConfidenceInterval {
+            mean: w.mean(),
+            half_width,
+            level,
+            n,
+        }
     }
 
     /// Half-width relative to the mean (infinite when the mean is 0).
@@ -259,10 +263,20 @@ mod tests {
     #[test]
     fn t_critical_matches_tables() {
         // Classic table values for alpha = 0.05 (two-sided).
-        let cases = [(1, 12.706), (2, 4.303), (5, 2.571), (10, 2.228), (29, 2.045), (100, 1.984)];
+        let cases = [
+            (1, 12.706),
+            (2, 4.303),
+            (5, 2.571),
+            (10, 2.228),
+            (29, 2.045),
+            (100, 1.984),
+        ];
         for (df, expected) in cases {
             let got = t_critical(df, 0.05);
-            assert!((got - expected).abs() < 2e-3, "df={df}: got {got}, want {expected}");
+            assert!(
+                (got - expected).abs() < 2e-3,
+                "df={df}: got {got}, want {expected}"
+            );
         }
     }
 
@@ -291,7 +305,11 @@ mod tests {
         assert_eq!(ci.n, 10);
         assert!((ci.mean - 10.4).abs() < 1e-9);
         // hand-computed: var = 8.18/9, se ≈ 0.30148, t(9) ≈ 2.2622 ⇒ hw ≈ 0.68200
-        assert!((ci.half_width - 0.68200).abs() < 2e-3, "hw={}", ci.half_width);
+        assert!(
+            (ci.half_width - 0.68200).abs() < 2e-3,
+            "hw={}",
+            ci.half_width
+        );
         let (lo, hi) = ci.bounds();
         assert!(lo < 10.4 && hi > 10.4);
     }

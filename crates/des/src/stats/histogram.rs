@@ -23,7 +23,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo < hi, "histogram range must be non-empty");
         assert!(bins > 0, "histogram needs at least one bin");
-        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Width of one bucket.
@@ -91,7 +98,11 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.lo, other.lo, "histogram geometry mismatch");
         assert_eq!(self.hi, other.hi, "histogram geometry mismatch");
-        assert_eq!(self.counts.len(), other.counts.len(), "histogram geometry mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram geometry mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }

@@ -48,7 +48,11 @@ pub fn mser(xs: &[f64], k: usize) -> Option<MserResult> {
     let truncate = d * k;
     let tail = &xs[truncate..];
     let truncated_mean = tail.iter().sum::<f64>() / tail.len() as f64;
-    Some(MserResult { truncate, statistic, truncated_mean })
+    Some(MserResult {
+        truncate,
+        statistic,
+        truncated_mean,
+    })
 }
 
 /// MSER-5, the conventional parameterisation.
@@ -85,7 +89,11 @@ mod tests {
             "should truncate near the 100-obs transient, got {}",
             r.truncate
         );
-        assert!((r.truncated_mean - 10.0).abs() < 1.0, "mean {}", r.truncated_mean);
+        assert!(
+            (r.truncated_mean - 10.0).abs() < 1.0,
+            "mean {}",
+            r.truncated_mean
+        );
     }
 
     #[test]

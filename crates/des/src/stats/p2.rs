@@ -47,7 +47,7 @@ impl P2Quantile {
         if self.warmup.len() < 5 {
             self.warmup.push(x);
             if self.warmup.len() == 5 {
-                self.warmup.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                self.warmup.sort_by(|a, b| a.total_cmp(b));
                 for (h, w) in self.heights.iter_mut().zip(&self.warmup) {
                     *h = *w;
                 }
@@ -85,13 +85,12 @@ impl P2Quantile {
             if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
                 let d = d.signum();
                 let parabolic = self.parabolic(i, d);
-                let new_height = if self.heights[i - 1] < parabolic
-                    && parabolic < self.heights[i + 1]
-                {
-                    parabolic
-                } else {
-                    self.linear(i, d)
-                };
+                let new_height =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += d;
             }
@@ -120,7 +119,7 @@ impl P2Quantile {
         if self.warmup.len() < 5 {
             // Exact small-sample quantile from the buffer.
             let mut s = self.warmup.clone();
-            s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            s.sort_by(|a, b| a.total_cmp(b));
             let idx = ((self.q * s.len() as f64).ceil() as usize).clamp(1, s.len()) - 1;
             return Some(s[idx]);
         }
@@ -134,7 +133,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn exact_quantile(xs: &mut [f64], q: f64) -> f64 {
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        xs.sort_by(|a, b| a.total_cmp(b));
         xs[((q * xs.len() as f64) as usize).min(xs.len() - 1)]
     }
 
@@ -168,7 +167,11 @@ mod tests {
         let est = p2.estimate().unwrap();
         let exact = exact_quantile(&mut all, 0.95);
         let rel = (est - exact).abs() / exact;
-        assert!(rel < 0.05, "P² {est} vs exact {exact} ({:.1}% off)", rel * 100.0);
+        assert!(
+            rel < 0.05,
+            "P² {est} vs exact {exact} ({:.1}% off)",
+            rel * 100.0
+        );
     }
 
     #[test]

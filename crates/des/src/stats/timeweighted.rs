@@ -18,7 +18,13 @@ pub struct TimeWeighted {
 impl TimeWeighted {
     /// Starts tracking at `start` with initial `value`.
     pub fn new(start: SimTime, value: f64) -> Self {
-        TimeWeighted { start, last_change: start, value, integral: 0.0, max: value }
+        TimeWeighted {
+            start,
+            last_change: start,
+            value,
+            integral: 0.0,
+            max: value,
+        }
     }
 
     /// Records that the signal changed to `value` at time `now`.
@@ -26,7 +32,10 @@ impl TimeWeighted {
     /// # Panics
     /// Panics (debug) if `now` precedes the previous update.
     pub fn set(&mut self, now: SimTime, value: f64) {
-        debug_assert!(now >= self.last_change, "time-weighted updates must be monotone");
+        debug_assert!(
+            now >= self.last_change,
+            "time-weighted updates must be monotone"
+        );
         self.integral += self.value * now.since(self.last_change);
         self.last_change = now;
         self.value = value;
@@ -93,7 +102,7 @@ mod tests {
         tw.add(SimTime::new(1.0), 1.0); // length 1 from t=1
         tw.add(SimTime::new(3.0), 1.0); // length 2 from t=3
         tw.add(SimTime::new(4.0), -2.0); // empty from t=4
-        // integral = 0*1 + 1*2 + 2*1 + 0*6 = 4 over [0,10]
+                                         // integral = 0*1 + 1*2 + 2*1 + 0*6 = 4 over [0,10]
         assert_eq!(tw.integral_to(SimTime::new(10.0)), 4.0);
         assert!((tw.time_average(SimTime::new(10.0)) - 0.4).abs() < 1e-12);
         assert_eq!(tw.max(), 2.0);

@@ -52,7 +52,11 @@ impl Mm1 {
 }
 
 impl Handler<Ev> for Mm1 {
-    fn handle<Q: PendingEvents<Ev>>(&mut self, ev: Ev, sched: &mut Scheduler<'_, Ev, Q>) -> Control {
+    fn handle<Q: PendingEvents<Ev>>(
+        &mut self,
+        ev: Ev,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) -> Control {
         let now = sched.now();
         match ev {
             Ev::Arrival => {
@@ -87,7 +91,13 @@ impl Handler<Ev> for Mm1 {
     }
 }
 
-fn run_mm1<Q: PendingEvents<Ev>>(queue: Q, lambda: f64, mu: f64, customers: u64, seed: u64) -> (f64, f64, f64) {
+fn run_mm1<Q: PendingEvents<Ev>>(
+    queue: Q,
+    lambda: f64,
+    mu: f64,
+    customers: u64,
+    seed: u64,
+) -> (f64, f64, f64) {
     let mut engine = Engine::with_queue(queue);
     let mut model = Mm1::new(lambda, mu, customers, seed);
     engine.prime(SimTime::ZERO, Ev::Arrival);
@@ -110,7 +120,11 @@ fn mm1_mean_response_time_matches_theory() {
         err_sum += (w - expected_w) / expected_w;
     }
     let bias = err_sum / reps as f64;
-    assert!(bias.abs() < 0.05, "W biased by {:.1}% (expected {expected_w})", bias * 100.0);
+    assert!(
+        bias.abs() < 0.05,
+        "W biased by {:.1}% (expected {expected_w})",
+        bias * 100.0
+    );
 }
 
 #[test]
@@ -119,7 +133,10 @@ fn mm1_mean_queue_length_matches_theory() {
     let rho = lambda / mu;
     let expected_l = rho / (1.0 - rho); // 1.0
     let (_, l, _) = run_mm1(BinaryHeapQueue::new(), lambda, mu, 300_000, 42);
-    assert!((l - expected_l).abs() / expected_l < 0.05, "L = {l}, expected {expected_l}");
+    assert!(
+        (l - expected_l).abs() / expected_l < 0.05,
+        "L = {l}, expected {expected_l}"
+    );
 }
 
 #[test]
@@ -139,5 +156,8 @@ fn utilization_approaches_rho() {
     let (lambda, mu) = (0.6, 1.0);
     let (w, l, _) = run_mm1(BinaryHeapQueue::new(), lambda, mu, 300_000, 3);
     let little = lambda * w;
-    assert!((little - l).abs() / l < 0.06, "Little's law: λW={little} vs L={l}");
+    assert!(
+        (little - l).abs() / l < 0.06,
+        "Little's law: λW={little} vs L={l}"
+    );
 }

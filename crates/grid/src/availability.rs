@@ -18,7 +18,10 @@ pub const DEFAULT_WEIBULL_SHAPE: f64 = 0.7;
 
 /// Default repair-time distribution: Normal(1800, 300) truncated positive;
 /// 99 % of the mass falls in [900, 2700] as the paper notes.
-pub const DEFAULT_REPAIR: DistConfig = DistConfig::NormalTrunc { mean: 1800.0, sd: 300.0 };
+pub const DEFAULT_REPAIR: DistConfig = DistConfig::NormalTrunc {
+    mean: 1800.0,
+    sd: 300.0,
+};
 
 /// An availability preset or a custom up/down process.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -63,7 +66,10 @@ impl Availability {
                 );
                 let mttr = DEFAULT_REPAIR.mean();
                 let mtbf = availability * mttr / (1.0 - availability);
-                Some((DistConfig::weibull_with_mean(DEFAULT_WEIBULL_SHAPE, mtbf), DEFAULT_REPAIR))
+                Some((
+                    DistConfig::weibull_with_mean(DEFAULT_WEIBULL_SHAPE, mtbf),
+                    DEFAULT_REPAIR,
+                ))
             }
             Availability::Custom { up, down } => Some((up, down)),
         }
@@ -168,10 +174,7 @@ mod tests {
             let mut rng = rand::rngs::StdRng::seed_from_u64(11);
             // Long horizon: renewal-reward converges slowly for shape 0.7.
             let a = s.empirical_availability(3e8, &mut rng);
-            assert!(
-                (a - target).abs() < 0.02,
-                "target {target}: empirical {a}"
-            );
+            assert!((a - target).abs() < 0.02, "target {target}: empirical {a}");
         }
     }
 

@@ -16,7 +16,10 @@ use serde::{Deserialize, Serialize};
 /// Returns `+inf` when the MTBF is infinite (never checkpoint on a grid
 /// that never fails).
 pub fn young_interval(mean_checkpoint_cost: f64, mtbf: f64) -> f64 {
-    assert!(mean_checkpoint_cost > 0.0, "checkpoint cost must be positive");
+    assert!(
+        mean_checkpoint_cost > 0.0,
+        "checkpoint cost must be positive"
+    );
     assert!(mtbf > 0.0, "MTBF must be positive");
     if mtbf.is_infinite() {
         f64::INFINITY
@@ -51,8 +54,14 @@ impl Default for CheckpointConfig {
     fn default() -> Self {
         CheckpointConfig {
             enabled: true,
-            save_cost: DistConfig::Uniform { lo: 240.0, hi: 720.0 },
-            retrieve_cost: DistConfig::Uniform { lo: 240.0, hi: 720.0 },
+            save_cost: DistConfig::Uniform {
+                lo: 240.0,
+                hi: 720.0,
+            },
+            retrieve_cost: DistConfig::Uniform {
+                lo: 240.0,
+                hi: 720.0,
+            },
             interval_factor: 1.0,
         }
     }
@@ -61,14 +70,20 @@ impl Default for CheckpointConfig {
 impl CheckpointConfig {
     /// A configuration with checkpointing disabled.
     pub fn disabled() -> Self {
-        CheckpointConfig { enabled: false, ..CheckpointConfig::default() }
+        CheckpointConfig {
+            enabled: false,
+            ..CheckpointConfig::default()
+        }
     }
 
     /// Checkpoint interval for applications on a grid with the given MTBF
     /// (Young's formula with this config's mean save cost, scaled by
     /// `interval_factor`); `+inf` when checkpointing is disabled.
     pub fn interval_for_mtbf(&self, mtbf: f64) -> f64 {
-        assert!(self.interval_factor > 0.0, "interval factor must be positive");
+        assert!(
+            self.interval_factor > 0.0,
+            "interval factor must be positive"
+        );
         if !self.enabled {
             f64::INFINITY
         } else {
@@ -192,14 +207,23 @@ mod tests {
         assert!(low < high);
         assert!((low - 1314.53 / (1314.53 + 480.0)).abs() < 1e-3);
         assert!(high < 1.0);
-        assert_eq!(CheckpointConfig::disabled().efficiency_for_mtbf(1_800.0), 1.0);
+        assert_eq!(
+            CheckpointConfig::disabled().efficiency_for_mtbf(1_800.0),
+            1.0
+        );
     }
 
     #[test]
     fn interval_factor_scales_tau() {
         let base = CheckpointConfig::default();
-        let double = CheckpointConfig { interval_factor: 2.0, ..base };
-        let half = CheckpointConfig { interval_factor: 0.5, ..base };
+        let double = CheckpointConfig {
+            interval_factor: 2.0,
+            ..base
+        };
+        let half = CheckpointConfig {
+            interval_factor: 0.5,
+            ..base
+        };
         let mtbf = 5_400.0;
         assert!((double.interval_for_mtbf(mtbf) - 2.0 * base.interval_for_mtbf(mtbf)).abs() < 1e-9);
         assert!((half.interval_for_mtbf(mtbf) - 0.5 * base.interval_for_mtbf(mtbf)).abs() < 1e-9);
@@ -225,7 +249,11 @@ mod tests {
         let mut store = CheckpointStore::new();
         assert_eq!(store.saved_work(3), 0.0);
         assert_eq!(store.save(3, 100.0), 100.0);
-        assert_eq!(store.save(3, 50.0), 100.0, "older checkpoint must not regress");
+        assert_eq!(
+            store.save(3, 50.0),
+            100.0,
+            "older checkpoint must not regress"
+        );
         assert_eq!(store.save(3, 150.0), 150.0);
         assert_eq!(store.saved_work(3), 150.0);
         store.discard(3);

@@ -56,15 +56,58 @@ impl GridConfig {
         out
     }
 
+    /// Checks the configuration for values that would poison a run with
+    /// NaN/∞ or hang the builder (e.g. non-finite powers from JSON, a
+    /// power of 0 that never reaches the total). Call after
+    /// deserialisation; `serde` alone accepts any number the format can
+    /// carry.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.total_power.is_finite() && self.total_power > 0.0) {
+            return Err(format!(
+                "grid total_power must be finite and > 0, got {}",
+                self.total_power
+            ));
+        }
+        match self.heterogeneity {
+            Heterogeneity::Homogeneous { power } => {
+                if !(power.is_finite() && power > 0.0) {
+                    return Err(format!("machine power must be finite and > 0, got {power}"));
+                }
+            }
+            Heterogeneity::UniformRange { lo, hi } => {
+                if !(lo.is_finite() && hi.is_finite() && lo > 0.0 && lo <= hi) {
+                    return Err(format!(
+                        "machine power range must satisfy 0 < lo <= hi and be finite, got [{lo}, {hi}]"
+                    ));
+                }
+            }
+            Heterogeneity::Custom { dist } => {
+                let mean = dist.mean();
+                if !(mean.is_finite() && mean > 0.0) {
+                    return Err(format!(
+                        "custom machine-power distribution must have a finite positive mean, got {mean}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Materialises the machine set (powers drawn from `rng`).
     pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Grid {
         let powers = self.heterogeneity.generate_powers(self.total_power, rng);
         let machines = powers
             .into_iter()
             .enumerate()
-            .map(|(i, power)| Machine { id: MachineId(i as u32), power })
+            .map(|(i, power)| Machine {
+                id: MachineId(i as u32),
+                power,
+            })
             .collect();
-        Grid { machines, config: *self }
+        Grid {
+            machines,
+            config: *self,
+        }
     }
 
     /// Mean time between failures as one machine experiences it, combining
@@ -189,6 +232,32 @@ mod tests {
             outages: None,
         };
         assert_eq!(cfg.effective_power(), 500.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_powers() {
+        let mut cfg = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
+        assert!(cfg.validate().is_ok());
+        cfg.total_power = f64::NAN;
+        assert!(cfg.validate().unwrap_err().contains("total_power"));
+        cfg.total_power = 0.0;
+        assert!(cfg.validate().is_err());
+        cfg.total_power = 1000.0;
+        cfg.heterogeneity = Heterogeneity::Homogeneous {
+            power: f64::INFINITY,
+        };
+        assert!(cfg.validate().unwrap_err().contains("machine power"));
+        cfg.heterogeneity = Heterogeneity::UniformRange { lo: 5.0, hi: 2.0 };
+        assert!(cfg.validate().is_err());
+        cfg.heterogeneity = Heterogeneity::UniformRange {
+            lo: 2.0,
+            hi: f64::NAN,
+        };
+        assert!(cfg.validate().is_err());
+        // A NaN smuggled in through JSON (`null`) is exactly what validate
+        // is for — serde itself happily accepts any representable number.
+        cfg.heterogeneity = Heterogeneity::HET;
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

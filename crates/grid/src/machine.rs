@@ -58,14 +58,20 @@ mod tests {
 
     #[test]
     fn power_scales_wall_time() {
-        let m = Machine { id: MachineId(0), power: 10.0 };
+        let m = Machine {
+            id: MachineId(0),
+            power: 10.0,
+        };
         assert_eq!(m.wall_time_for(1000.0), 100.0);
         assert_eq!(m.work_done_in(100.0), 1000.0);
     }
 
     #[test]
     fn work_wall_round_trip() {
-        let m = Machine { id: MachineId(3), power: 2.3 };
+        let m = Machine {
+            id: MachineId(3),
+            power: 2.3,
+        };
         let work = 5417.0;
         let back = m.work_done_in(m.wall_time_for(work));
         assert!((back - work).abs() < 1e-9);

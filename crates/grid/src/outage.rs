@@ -33,7 +33,10 @@ impl OutageConfig {
         const DAY: f64 = 24.0 * 3600.0;
         OutageConfig {
             mtbo: DAY - EIGHT_HOURS,
-            duration: DistConfig::NormalTrunc { mean: EIGHT_HOURS, sd: 1_800.0 },
+            duration: DistConfig::NormalTrunc {
+                mean: EIGHT_HOURS,
+                sd: 1_800.0,
+            },
             fraction,
         }
     }
@@ -41,10 +44,16 @@ impl OutageConfig {
     /// Validates parameters.
     pub fn validate(&self) -> Result<(), String> {
         if self.mtbo <= 0.0 {
-            return Err(format!("mean time between outages must be positive, got {}", self.mtbo));
+            return Err(format!(
+                "mean time between outages must be positive, got {}",
+                self.mtbo
+            ));
         }
         if !(0.0..=1.0).contains(&self.fraction) || self.fraction == 0.0 {
-            return Err(format!("outage fraction must be in (0, 1], got {}", self.fraction));
+            return Err(format!(
+                "outage fraction must be in (0, 1], got {}",
+                self.fraction
+            ));
         }
         self.duration.validate()
     }
@@ -101,7 +110,10 @@ mod tests {
     fn cfg() -> OutageConfig {
         OutageConfig {
             mtbo: 10_000.0,
-            duration: DistConfig::NormalTrunc { mean: 1_800.0, sd: 300.0 },
+            duration: DistConfig::NormalTrunc {
+                mean: 1_800.0,
+                sd: 300.0,
+            },
             fraction: 0.5,
         }
     }
@@ -116,9 +128,24 @@ mod tests {
     fn validation() {
         assert!(cfg().validate().is_ok());
         assert!(OutageConfig { mtbo: 0.0, ..cfg() }.validate().is_err());
-        assert!(OutageConfig { fraction: 0.0, ..cfg() }.validate().is_err());
-        assert!(OutageConfig { fraction: 1.5, ..cfg() }.validate().is_err());
-        assert!(OutageConfig { fraction: 1.0, ..cfg() }.validate().is_ok());
+        assert!(OutageConfig {
+            fraction: 0.0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(OutageConfig {
+            fraction: 1.5,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(OutageConfig {
+            fraction: 1.0,
+            ..cfg()
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
@@ -137,7 +164,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let n = 50_000;
         let mean_gap: f64 = (0..n).map(|_| s.next_gap(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mean_gap - 10_000.0).abs() / 10_000.0 < 0.02, "gap {mean_gap}");
+        assert!(
+            (mean_gap - 10_000.0).abs() / 10_000.0 < 0.02,
+            "gap {mean_gap}"
+        );
         let hits = (0..n).filter(|_| s.hits(&mut rng)).count();
         assert!((hits as f64 / n as f64 - 0.5).abs() < 0.02);
         let d = s.duration(&mut rng);

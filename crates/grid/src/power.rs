@@ -133,7 +133,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let powers = Heterogeneity::HET.generate_powers(1000.0, &mut rng);
         // Mean power 10 ⇒ expect ~100; allow generous slack for one seed.
-        assert!((80..=125).contains(&powers.len()), "{} machines", powers.len());
+        assert!(
+            (80..=125).contains(&powers.len()),
+            "{} machines",
+            powers.len()
+        );
         assert!(powers.iter().all(|&p| (2.3..=17.7).contains(&p)));
         let sum: f64 = powers.iter().sum();
         assert!((1000.0..1000.0 + 17.7).contains(&sum));
@@ -147,7 +151,9 @@ mod tests {
 
     #[test]
     fn custom_dist_is_respected() {
-        let het = Heterogeneity::Custom { dist: DistConfig::Constant { value: 25.0 } };
+        let het = Heterogeneity::Custom {
+            dist: DistConfig::Constant { value: 25.0 },
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let powers = het.generate_powers(100.0, &mut rng);
         assert_eq!(powers.len(), 4);

@@ -181,7 +181,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let trace = AvailabilityTrace::record(&Availability::LOW, 50, 2e6, &mut rng);
         assert_eq!(trace.machines.len(), 50);
-        assert!(trace.failures() > 1000, "LowAvail must fail a lot: {}", trace.failures());
+        assert!(
+            trace.failures() > 1000,
+            "LowAvail must fail a lot: {}",
+            trace.failures()
+        );
         let a = trace.empirical_availability();
         assert!((a - 0.5).abs() < 0.05, "empirical availability {a}");
     }
@@ -211,8 +215,14 @@ mod tests {
     fn weibull_mle_rejects_degenerate() {
         assert!(fit_weibull_mle(&[]).is_none());
         assert!(fit_weibull_mle(&[1.0]).is_none());
-        assert!(fit_weibull_mle(&[5.0, 5.0, 5.0]).is_none(), "constant samples");
-        assert!(fit_weibull_mle(&[1.0, -2.0, 3.0]).is_none(), "negative samples");
+        assert!(
+            fit_weibull_mle(&[5.0, 5.0, 5.0]).is_none(),
+            "constant samples"
+        );
+        assert!(
+            fit_weibull_mle(&[1.0, -2.0, 3.0]).is_none(),
+            "negative samples"
+        );
     }
 
     #[test]
@@ -235,7 +245,11 @@ mod tests {
         assert!((a - 0.75).abs() < 0.03, "fitted availability {a}");
         // The fitted up-time distribution should be Weibull-shaped with the
         // configured default shape.
-        if let Availability::Custom { up: DistConfig::Weibull { shape, .. }, .. } = fitted {
+        if let Availability::Custom {
+            up: DistConfig::Weibull { shape, .. },
+            ..
+        } = fitted
+        {
             assert!((shape - 0.7).abs() < 0.07, "fitted shape {shape}");
         } else {
             panic!("expected a fitted Weibull");

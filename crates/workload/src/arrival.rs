@@ -107,12 +107,7 @@ impl ArrivalModel {
     }
 
     /// Generates the first `n` arrival instants at rate `lambda`.
-    pub fn arrival_times<R: Rng + ?Sized>(
-        &self,
-        lambda: f64,
-        n: usize,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    pub fn arrival_times<R: Rng + ?Sized>(&self, lambda: f64, n: usize, rng: &mut R) -> Vec<f64> {
         assert!(lambda > 0.0, "arrival rate must be positive");
         let mut t = 0.0;
         (0..n)
@@ -207,7 +202,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
         let times = p.arrival_times(20_000, &mut rng);
         assert_eq!(times.len(), 20_000);
-        assert!(times.windows(2).all(|w| w[1] > w[0]), "arrivals must be monotone");
+        assert!(
+            times.windows(2).all(|w| w[1] > w[0]),
+            "arrivals must be monotone"
+        );
         let rate = times.len() as f64 / times.last().unwrap();
         assert!((rate - 0.01).abs() / 0.01 < 0.03, "rate={rate}");
     }
@@ -224,13 +222,21 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(31);
         for &cv in &[1.5, 3.0, 5.0] {
             let model = ArrivalModel::Hyperexponential { cv };
-            let gaps: Vec<f64> = (0..100_000).map(|_| model.next_gap(0.01, &mut rng)).collect();
+            let gaps: Vec<f64> = (0..100_000)
+                .map(|_| model.next_gap(0.01, &mut rng))
+                .collect();
             let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-            assert!((mean - 100.0).abs() / 100.0 < 0.05, "cv={cv}: mean gap {mean}");
-            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>()
-                / (gaps.len() - 1) as f64;
+            assert!(
+                (mean - 100.0).abs() / 100.0 < 0.05,
+                "cv={cv}: mean gap {mean}"
+            );
+            let var =
+                gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / (gaps.len() - 1) as f64;
             let emp_cv = var.sqrt() / mean;
-            assert!((emp_cv - cv).abs() / cv < 0.1, "cv={cv}: empirical {emp_cv}");
+            assert!(
+                (emp_cv - cv).abs() / cv < 0.1,
+                "cv={cv}: empirical {emp_cv}"
+            );
         }
     }
 
@@ -246,7 +252,10 @@ mod tests {
     #[test]
     fn arrival_times_monotone_for_both_models() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        for model in [ArrivalModel::Poisson, ArrivalModel::Hyperexponential { cv: 4.0 }] {
+        for model in [
+            ArrivalModel::Poisson,
+            ArrivalModel::Hyperexponential { cv: 4.0 },
+        ] {
             let times = model.arrival_times(0.1, 500, &mut rng);
             assert!(times.windows(2).all(|w| w[1] > w[0]), "{model:?}");
         }

@@ -79,8 +79,14 @@ mod tests {
             id: BotId(0),
             arrival: SimTime::new(5.0),
             tasks: vec![
-                TaskSpec { id: TaskId(0), work: 10.0 },
-                TaskSpec { id: TaskId(1), work: 20.0 },
+                TaskSpec {
+                    id: TaskId(0),
+                    work: 10.0,
+                },
+                TaskSpec {
+                    id: TaskId(1),
+                    work: 20.0,
+                },
             ],
             granularity: 15.0,
         }

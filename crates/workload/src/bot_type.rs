@@ -37,17 +37,46 @@ impl BotType {
     /// A paper-style type with the given granularity (app size 2.5e6,
     /// ±50 % jitter).
     pub fn paper(granularity: f64) -> Self {
-        BotType { granularity, app_size: PAPER_APP_SIZE, jitter: 0.5 }
+        BotType {
+            granularity,
+            app_size: PAPER_APP_SIZE,
+            jitter: 0.5,
+        }
     }
 
     /// All four paper types, smallest granularity first.
     pub fn paper_suite() -> Vec<BotType> {
-        PAPER_GRANULARITIES.iter().map(|&g| BotType::paper(g)).collect()
+        PAPER_GRANULARITIES
+            .iter()
+            .map(|&g| BotType::paper(g))
+            .collect()
     }
 
     /// Expected number of tasks per bag.
     pub fn expected_tasks(&self) -> f64 {
         self.app_size / self.granularity
+    }
+
+    /// Checks for values that would make generation hang or produce
+    /// NaN/∞ task works. Call after deserialisation; the generation
+    /// methods only `assert!` in debug terms of the same conditions.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.granularity.is_finite() && self.granularity > 0.0) {
+            return Err(format!(
+                "granularity must be finite and > 0, got {}",
+                self.granularity
+            ));
+        }
+        if !(self.app_size.is_finite() && self.app_size > 0.0) {
+            return Err(format!(
+                "app_size must be finite and > 0, got {}",
+                self.app_size
+            ));
+        }
+        if !(self.jitter.is_finite() && (0.0..1.0).contains(&self.jitter)) {
+            return Err(format!("jitter must be in [0, 1), got {}", self.jitter));
+        }
+        Ok(())
     }
 
     /// Draws one task's work.
@@ -72,7 +101,10 @@ impl BotType {
         let mut sum = 0.0;
         while sum < self.app_size {
             let work = self.sample_work(rng);
-            tasks.push(TaskSpec { id: TaskId(tasks.len() as u32), work });
+            tasks.push(TaskSpec {
+                id: TaskId(tasks.len() as u32),
+                work,
+            });
             sum += work;
         }
         tasks
@@ -125,7 +157,11 @@ mod tests {
 
     #[test]
     fn zero_jitter_is_deterministic() {
-        let ty = BotType { granularity: 100.0, app_size: 1_000.0, jitter: 0.0 };
+        let ty = BotType {
+            granularity: 100.0,
+            app_size: 1_000.0,
+            jitter: 0.0,
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let tasks = ty.generate_tasks(&mut rng);
         assert_eq!(tasks.len(), 10);

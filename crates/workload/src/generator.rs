@@ -63,7 +63,11 @@ impl WorkloadSpec {
         let mut out = Vec::with_capacity(12);
         for bot_type in BotType::paper_suite() {
             for intensity in Intensity::all() {
-                out.push(WorkloadSpec { bot_type, intensity, count });
+                out.push(WorkloadSpec {
+                    bot_type,
+                    intensity,
+                    count,
+                });
             }
         }
         out
@@ -107,7 +111,10 @@ mod tests {
             intensity: Intensity::Low,
             count: 5,
         };
-        let spec_high = WorkloadSpec { intensity: Intensity::High, ..spec_low };
+        let spec_high = WorkloadSpec {
+            intensity: Intensity::High,
+            ..spec_low
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(32);
         let w_low = spec_low.generate(&grid(), &mut rng);
         let w_high = spec_high.generate(&grid(), &mut rng);

@@ -37,7 +37,10 @@ impl std::fmt::Display for ImportError {
 impl std::error::Error for ImportError {}
 
 fn err(line: usize, message: impl Into<String>) -> ImportError {
-    ImportError { line, message: message.into() }
+    ImportError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn data_lines(csv: &str) -> impl Iterator<Item = (usize, &str)> {
@@ -47,12 +50,18 @@ fn data_lines(csv: &str) -> impl Iterator<Item = (usize, &str)> {
         .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
         .filter(|(_, l)| {
             // Drop a header row: any field that is not a number.
-            l.split(',').next().map(|f| f.trim().parse::<f64>().is_err()) != Some(true)
+            l.split(',')
+                .next()
+                .map(|f| f.trim().parse::<f64>().is_err())
+                != Some(true)
         })
 }
 
 fn parse_f64(line: usize, field: &str, what: &str) -> Result<f64, ImportError> {
-    field.trim().parse().map_err(|_| err(line, format!("invalid {what}: '{field}'")))
+    field
+        .trim()
+        .parse()
+        .map_err(|_| err(line, format!("invalid {what}: '{field}'")))
 }
 
 /// Parses a task-level CSV (`bag,arrival,work`).
@@ -61,7 +70,10 @@ pub fn import_tasks(csv: &str) -> Result<Workload, ImportError> {
     for (line, l) in data_lines(csv) {
         let fields: Vec<&str> = l.split(',').collect();
         if fields.len() != 3 {
-            return Err(err(line, format!("expected 3 fields (bag,arrival,work), got {}", fields.len())));
+            return Err(err(
+                line,
+                format!("expected 3 fields (bag,arrival,work), got {}", fields.len()),
+            ));
         }
         let bag_id = fields[0]
             .trim()
@@ -77,14 +89,20 @@ pub fn import_tasks(csv: &str) -> Result<Workload, ImportError> {
                 bags.push(BagOfTasks {
                     id: BotId(bag_id),
                     arrival: SimTime::new(arrival),
-                    tasks: vec![TaskSpec { id: TaskId(0), work }],
+                    tasks: vec![TaskSpec {
+                        id: TaskId(0),
+                        work,
+                    }],
                     granularity: work,
                 });
             }
             i if i == bags.len() - 1 => {
                 let bag = bags.last_mut().expect("non-empty");
                 if bag.arrival.as_secs() != arrival {
-                    return Err(err(line, format!("bag {bag_id} has inconsistent arrival times")));
+                    return Err(err(
+                        line,
+                        format!("bag {bag_id} has inconsistent arrival times"),
+                    ));
                 }
                 let tid = TaskId(bag.tasks.len() as u32);
                 bag.tasks.push(TaskSpec { id: tid, work });
@@ -92,7 +110,10 @@ pub fn import_tasks(csv: &str) -> Result<Workload, ImportError> {
             _ => {
                 return Err(err(
                     line,
-                    format!("bag ids must be dense and grouped; got {bag_id} after {}", bags.len() - 1),
+                    format!(
+                        "bag ids must be dense and grouped; got {bag_id} after {}",
+                        bags.len() - 1
+                    ),
                 ))
             }
         }
@@ -104,7 +125,11 @@ pub fn import_tasks(csv: &str) -> Result<Workload, ImportError> {
     for bag in &mut bags {
         bag.granularity = bag.total_work() / bag.len() as f64;
     }
-    let workload = Workload { bags, lambda: 0.0, label: "imported(tasks)".into() };
+    let workload = Workload {
+        bags,
+        lambda: 0.0,
+        label: "imported(tasks)".into(),
+    };
     workload.validate().map_err(|m| err(0, m))?;
     Ok(workload)
 }
@@ -118,7 +143,10 @@ pub fn import_bags<R: Rng + ?Sized>(csv: &str, rng: &mut R) -> Result<Workload, 
         if fields.len() != 3 {
             return Err(err(
                 line,
-                format!("expected 3 fields (arrival,granularity,app_size), got {}", fields.len()),
+                format!(
+                    "expected 3 fields (arrival,granularity,app_size), got {}",
+                    fields.len()
+                ),
             ));
         }
         let arrival = parse_f64(line, fields[0], "arrival")?;
@@ -127,7 +155,11 @@ pub fn import_bags<R: Rng + ?Sized>(csv: &str, rng: &mut R) -> Result<Workload, 
         if granularity <= 0.0 || app_size <= 0.0 {
             return Err(err(line, "granularity and app_size must be positive"));
         }
-        let ty = BotType { granularity, app_size, jitter: 0.5 };
+        let ty = BotType {
+            granularity,
+            app_size,
+            jitter: 0.5,
+        };
         bags.push(BagOfTasks {
             id: BotId(bags.len() as u32),
             arrival: SimTime::new(arrival),
@@ -138,7 +170,11 @@ pub fn import_bags<R: Rng + ?Sized>(csv: &str, rng: &mut R) -> Result<Workload, 
     if bags.is_empty() {
         return Err(err(0, "no data rows"));
     }
-    let workload = Workload { bags, lambda: 0.0, label: "imported(bags)".into() };
+    let workload = Workload {
+        bags,
+        lambda: 0.0,
+        label: "imported(bags)".into(),
+    };
     workload.validate().map_err(|m| err(0, m))?;
     Ok(workload)
 }
@@ -150,7 +186,12 @@ pub fn export_tasks(workload: &Workload) -> String {
     let mut out = String::from("bag,arrival,work\n");
     for bag in &workload.bags {
         for task in &bag.tasks {
-            out.push_str(&format!("{},{},{}\n", bag.id.0, bag.arrival.as_secs(), task.work));
+            out.push_str(&format!(
+                "{},{},{}\n",
+                bag.id.0,
+                bag.arrival.as_secs(),
+                task.work
+            ));
         }
     }
     out
@@ -252,7 +293,11 @@ arrival,granularity,app_size
         use dgsched_grid::{Availability, GridConfig, Heterogeneity};
         let grid = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
         let spec = WorkloadSpec {
-            bot_type: BotType { granularity: 700.0, app_size: 5_000.0, jitter: 0.5 },
+            bot_type: BotType {
+                granularity: 700.0,
+                app_size: 5_000.0,
+                jitter: 0.5,
+            },
             intensity: Intensity::Low,
             count: 4,
         };

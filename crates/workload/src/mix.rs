@@ -42,7 +42,10 @@ impl MixSpec {
         MixSpec {
             components: BotType::paper_suite()
                 .into_iter()
-                .map(|bot_type| MixComponent { bot_type, weight: 1.0 })
+                .map(|bot_type| MixComponent {
+                    bot_type,
+                    weight: 1.0,
+                })
                 .collect(),
             intensity,
             count,
@@ -52,7 +55,11 @@ impl MixSpec {
     /// Mixture-average application size (expected work per arriving bag).
     pub fn mean_app_size(&self) -> f64 {
         let total_w: f64 = self.components.iter().map(|c| c.weight).sum();
-        self.components.iter().map(|c| c.weight * c.bot_type.app_size).sum::<f64>() / total_w
+        self.components
+            .iter()
+            .map(|c| c.weight * c.bot_type.app_size)
+            .sum::<f64>()
+            / total_w
     }
 
     /// Draws one component index proportionally to weight.
@@ -65,12 +72,19 @@ impl MixSpec {
             }
             x -= c.weight;
         }
-        &self.components.last().expect("mixture has at least one component").bot_type
+        &self
+            .components
+            .last()
+            .expect("mixture has at least one component")
+            .bot_type
     }
 
     /// Generates the mixed workload for a grid.
     pub fn generate<R: Rng + ?Sized>(&self, grid: &GridConfig, rng: &mut R) -> Workload {
-        assert!(!self.components.is_empty(), "mixture needs at least one component");
+        assert!(
+            !self.components.is_empty(),
+            "mixture needs at least one component"
+        );
         assert!(
             self.components.iter().all(|c| c.weight > 0.0),
             "mixture weights must be positive"
@@ -92,7 +106,11 @@ impl MixSpec {
                 }
             })
             .collect();
-        Workload { bags, lambda, label: format!("mix U={}", self.intensity) }
+        Workload {
+            bags,
+            lambda,
+            label: format!("mix U={}", self.intensity),
+        }
     }
 }
 
@@ -123,8 +141,14 @@ mod tests {
     fn weights_bias_the_draw() {
         let spec = MixSpec {
             components: vec![
-                MixComponent { bot_type: BotType::paper(1_000.0), weight: 9.0 },
-                MixComponent { bot_type: BotType::paper(125_000.0), weight: 1.0 },
+                MixComponent {
+                    bot_type: BotType::paper(1_000.0),
+                    weight: 9.0,
+                },
+                MixComponent {
+                    bot_type: BotType::paper(125_000.0),
+                    weight: 1.0,
+                },
             ],
             intensity: Intensity::Low,
             count: 500,
@@ -140,11 +164,19 @@ mod tests {
         let spec = MixSpec {
             components: vec![
                 MixComponent {
-                    bot_type: BotType { granularity: 10.0, app_size: 100.0, jitter: 0.0 },
+                    bot_type: BotType {
+                        granularity: 10.0,
+                        app_size: 100.0,
+                        jitter: 0.0,
+                    },
                     weight: 1.0,
                 },
                 MixComponent {
-                    bot_type: BotType { granularity: 10.0, app_size: 300.0, jitter: 0.0 },
+                    bot_type: BotType {
+                        granularity: 10.0,
+                        app_size: 300.0,
+                        jitter: 0.0,
+                    },
                     weight: 3.0,
                 },
             ],
@@ -163,7 +195,10 @@ mod tests {
             count: 5,
         };
         let mix = MixSpec {
-            components: vec![MixComponent { bot_type: BotType::paper(5_000.0), weight: 2.0 }],
+            components: vec![MixComponent {
+                bot_type: BotType::paper(5_000.0),
+                weight: 2.0,
+            }],
             intensity: Intensity::High,
             count: 5,
         };

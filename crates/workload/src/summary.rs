@@ -38,14 +38,20 @@ impl WorkloadSummary {
             for t in &bag.tasks {
                 task_work.push(t.work);
             }
-            *per_granularity.entry(format!("{}", bag.granularity)).or_insert(0) += 1;
+            *per_granularity
+                .entry(format!("{}", bag.granularity))
+                .or_insert(0) += 1;
         }
         let gaps: Welford = workload
             .bags
             .windows(2)
             .map(|w| w[1].arrival.since(w[0].arrival))
             .collect();
-        let cv = if gaps.mean() > 0.0 { gaps.std_dev() / gaps.mean() } else { 0.0 };
+        let cv = if gaps.mean() > 0.0 {
+            gaps.std_dev() / gaps.mean()
+        } else {
+            0.0
+        };
         WorkloadSummary {
             bags: workload.len(),
             tasks: workload.total_tasks(),
@@ -55,7 +61,11 @@ impl WorkloadSummary {
             mean_interarrival: gaps.mean(),
             interarrival_cv: cv,
             per_granularity,
-            span: workload.bags.last().map(|b| b.arrival.as_secs()).unwrap_or(0.0),
+            span: workload
+                .bags
+                .last()
+                .map(|b| b.arrival.as_secs())
+                .unwrap_or(0.0),
         }
     }
 }
@@ -85,10 +95,18 @@ mod tests {
         let w = spec.generate(&grid(), &mut rng);
         let s = WorkloadSummary::of(&w);
         assert_eq!(s.bags, 50);
-        assert!((s.mean_tasks_per_bag - 100.0).abs() < 5.0, "{}", s.mean_tasks_per_bag);
+        assert!(
+            (s.mean_tasks_per_bag - 100.0).abs() < 5.0,
+            "{}",
+            s.mean_tasks_per_bag
+        );
         assert!((s.mean_task_work - 25_000.0).abs() < 1_000.0);
         // Poisson arrivals: CV of exponential gaps ≈ 1.
-        assert!((s.interarrival_cv - 1.0).abs() < 0.35, "cv={}", s.interarrival_cv);
+        assert!(
+            (s.interarrival_cv - 1.0).abs() < 0.35,
+            "cv={}",
+            s.interarrival_cv
+        );
         // λ = U/D ⇒ mean gap = D/U.
         let expected_gap = 1.0 / w.lambda;
         assert!((s.mean_interarrival - expected_gap).abs() / expected_gap < 0.35);

@@ -44,7 +44,10 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let t = TaskSpec { id: TaskId(1), work: 1234.5 };
+        let t = TaskSpec {
+            id: TaskId(1),
+            work: 1234.5,
+        };
         let json = serde_json::to_string(&t).unwrap();
         let back: TaskSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);

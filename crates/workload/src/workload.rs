@@ -57,11 +57,8 @@ impl Workload {
     /// user communities submitting concurrently). Bags are interleaved by
     /// arrival time and renumbered; λ adds.
     pub fn merge(a: &Workload, b: &Workload) -> Workload {
-        let mut bags: Vec<BagOfTasks> =
-            a.bags.iter().chain(&b.bags).cloned().collect();
-        bags.sort_by(|x, y| {
-            x.arrival.partial_cmp(&y.arrival).expect("arrivals are not NaN")
-        });
+        let mut bags: Vec<BagOfTasks> = a.bags.iter().chain(&b.bags).cloned().collect();
+        bags.sort_by_key(|x| x.arrival);
         for (i, bag) in bags.iter_mut().enumerate() {
             bag.id = crate::bot::BotId(i as u32);
         }
@@ -98,10 +95,17 @@ mod tests {
         let mk = |i: u32, at: f64| BagOfTasks {
             id: BotId(i),
             arrival: SimTime::new(at),
-            tasks: vec![TaskSpec { id: TaskId(0), work: 100.0 }],
+            tasks: vec![TaskSpec {
+                id: TaskId(0),
+                work: 100.0,
+            }],
             granularity: 100.0,
         };
-        Workload { bags: vec![mk(0, 1.0), mk(1, 2.0)], lambda: 0.5, label: "tiny".into() }
+        Workload {
+            bags: vec![mk(0, 1.0), mk(1, 2.0)],
+            lambda: 0.5,
+            label: "tiny".into(),
+        }
     }
 
     #[test]
@@ -152,7 +156,10 @@ mod tests {
         let mk = |at: f64, work: f64| BagOfTasks {
             id: BotId(0),
             arrival: SimTime::new(at),
-            tasks: vec![TaskSpec { id: TaskId(0), work }],
+            tasks: vec![TaskSpec {
+                id: TaskId(0),
+                work,
+            }],
             granularity: work,
         };
         let a = Workload {

@@ -27,7 +27,7 @@ impl BagSelection for FewestRemainingTasks {
     }
 
     fn select(&mut self, view: &View<'_>) -> Option<BotId> {
-        view.active
+        view.active()
             .iter()
             .copied()
             .filter(|&id| view.dispatchable(id))
@@ -69,7 +69,7 @@ fn main() {
         results.push(("FRT (custom)".to_string(), r.mean_turnaround()));
     }
 
-    results.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("turnaround is not NaN"));
+    results.sort_by(|a, b| a.1.total_cmp(&b.1));
     println!("Hom-MedAvail, g=25000 s, U=75 %, {} bags\n", spec.count);
     println!("policy          avg turnaround (s)");
     for (name, t) in &results {

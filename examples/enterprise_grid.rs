@@ -13,10 +13,10 @@
 
 use dgsched_core::policy::PolicyKind;
 use dgsched_core::sim::{simulate, SimConfig};
+use dgsched_des::time::SimTime;
 use dgsched_grid::{Availability, GridConfig, Heterogeneity};
 use dgsched_workload::{bag_demand, BotType, PoissonArrivals, Workload};
 use dgsched_workload::{BagOfTasks, BotId};
-use dgsched_des::time::SimTime;
 use rand::SeedableRng;
 
 /// Builds a workload at an arbitrary utilization (the paper's three levels
@@ -35,7 +35,11 @@ fn workload_at(u: f64, bot_type: BotType, count: usize, grid: &GridConfig, seed:
             granularity: bot_type.granularity,
         })
         .collect();
-    Workload { bags, lambda, label: format!("U={u}") }
+    Workload {
+        bags,
+        lambda,
+        label: format!("U={u}"),
+    }
 }
 
 fn main() {

@@ -73,8 +73,10 @@ fn main() {
     println!("τ (s)      mean completion (s)");
     for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let tau = young * factor;
-        let mean: f64 =
-            (0..200).map(|s| run_once(work, tau, delta, mtbf, s)).sum::<f64>() / 200.0;
+        let mean: f64 = (0..200)
+            .map(|s| run_once(work, tau, delta, mtbf, s))
+            .sum::<f64>()
+            / 200.0;
         let marker = if factor == 1.0 { "  ← Young" } else { "" };
         println!("{tau:>8.0}   {mean:>12.0}{marker}");
     }

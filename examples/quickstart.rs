@@ -40,7 +40,12 @@ fn main() {
     );
 
     // 3. Schedule it with the LongIdle bag-selection policy on WQR-FT.
-    let result = simulate(&grid, &workload, PolicyKind::LongIdle, &SimConfig::with_seed(42));
+    let result = simulate(
+        &grid,
+        &workload,
+        PolicyKind::LongIdle,
+        &SimConfig::with_seed(42),
+    );
 
     println!("bag  arrival(s)  waiting(s)  makespan(s)  turnaround(s)");
     for b in &result.bags {

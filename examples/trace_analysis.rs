@@ -58,7 +58,12 @@ fn main() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let grid = cfg.build(&mut rng);
         let workload = workload_spec.generate(&cfg, &mut rng);
-        let r = simulate(&grid, &workload, PolicyKind::FcfsShare, &SimConfig::with_seed(3));
+        let r = simulate(
+            &grid,
+            &workload,
+            PolicyKind::FcfsShare,
+            &SimConfig::with_seed(3),
+        );
         println!("{label:<12} avg turnaround {:>7.0} s", r.mean_turnaround());
         r.mean_turnaround()
     };

@@ -28,7 +28,10 @@ fn main() {
         count: 30,
     };
 
-    println!("volunteer platform: Het-LowAvail, g=25000 s, U=75 %, {} bags", spec.count);
+    println!(
+        "volunteer platform: Het-LowAvail, g=25000 s, U=75 %, {} bags",
+        spec.count
+    );
     println!("\npolicy       avg turnaround  avg waiting  wasted  failures hit");
 
     let mut rows: Vec<(String, f64, f64, f64, u64)> = PolicyKind::all()
@@ -53,9 +56,7 @@ fn main() {
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("turnaround is not NaN"));
 
     for (name, turnaround, waiting, wasted, failures) in &rows {
-        println!(
-            "{name:<12} {turnaround:>14.0}  {waiting:>11.0}  {wasted:>5.1}%  {failures:>12}"
-        );
+        println!("{name:<12} {turnaround:>14.0}  {waiting:>11.0}  {wasted:>5.1}%  {failures:>12}");
     }
     println!(
         "\n→ '{}' wins this configuration; on volatile grids replication-friendly\n  policies absorb host departures (the paper's Fig. 2 regime).",

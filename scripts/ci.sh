@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate: tier-1 verify (ROADMAP.md) plus lints and formatting.
+# Run from anywhere inside the repository; no network access required.
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI gate passed."

@@ -17,8 +17,7 @@ fn tmp(name: &str) -> PathBuf {
 fn demo_emits_parseable_scenario() {
     let out = Command::new(bin()).arg("demo").output().expect("run demo");
     assert!(out.status.success());
-    let json: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("demo output is JSON");
+    let json: serde_json::Value = serde_json::from_slice(&out.stdout).expect("demo output is JSON");
     assert_eq!(json["policy"], "long-idle");
     assert!(json["grid"]["total_power"].as_f64().unwrap() > 0.0);
 }
@@ -29,12 +28,24 @@ fn run_executes_demo_scenario() {
     let path = tmp("scenario.json");
     std::fs::write(&path, &demo.stdout).expect("write scenario");
     let out = Command::new(bin())
-        .args(["run", path.to_str().unwrap(), "--min-reps", "2", "--max-reps", "2", "--seed", "5"])
+        .args([
+            "run",
+            path.to_str().unwrap(),
+            "--min-reps",
+            "2",
+            "--max-reps",
+            "2",
+            "--seed",
+            "5",
+        ])
         .output()
         .expect("run scenario");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
-    let json: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("run output is JSON");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json: serde_json::Value = serde_json::from_slice(&out.stdout).expect("run output is JSON");
     assert_eq!(json["replications"], 2);
     assert!(json["turnaround"]["mean"].as_f64().unwrap() > 0.0);
     assert_eq!(json["saturated"], false);
@@ -59,15 +70,18 @@ fn gen_and_summarize_workload() {
         ])
         .output()
         .expect("gen-workload");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = Command::new(bin())
         .args(["summarize", path.to_str().unwrap()])
         .output()
         .expect("summarize");
     assert!(out.status.success());
-    let json: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("summary is JSON");
+    let json: serde_json::Value = serde_json::from_slice(&out.stdout).expect("summary is JSON");
     assert_eq!(json["bags"], 8);
     assert!(json["mean_task_work"].as_f64().unwrap() > 2000.0);
 }
@@ -88,7 +102,11 @@ fn trace_emits_parseable_trace_and_gantt() {
         ])
         .output()
         .expect("trace");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let gantt = String::from_utf8_lossy(&out.stdout);
     assert!(gantt.contains("machines"), "gantt header missing: {gantt}");
     let trace: serde_json::Value =
@@ -119,11 +137,22 @@ fn run_is_deterministic_across_invocations() {
     std::fs::write(&path, &demo.stdout).expect("write scenario");
     let run = || {
         let out = Command::new(bin())
-            .args(["run", path.to_str().unwrap(), "--min-reps", "2", "--max-reps", "2"])
+            .args([
+                "run",
+                path.to_str().unwrap(),
+                "--min-reps",
+                "2",
+                "--max-reps",
+                "2",
+            ])
             .output()
             .expect("run");
         assert!(out.status.success());
         String::from_utf8(out.stdout).expect("utf8")
     };
-    assert_eq!(run(), run(), "same scenario + default seed must reproduce exactly");
+    assert_eq!(
+        run(),
+        run(),
+        "same scenario + default seed must reproduce exactly"
+    );
 }

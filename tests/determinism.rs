@@ -15,7 +15,11 @@ fn scenario(policy: PolicyKind) -> Scenario {
         name: format!("det {policy}"),
         grid: GridConfig::paper(Heterogeneity::HET, Availability::MED),
         workload: WorkloadKind::Single(WorkloadSpec {
-            bot_type: BotType { granularity: 2_000.0, app_size: 50_000.0, jitter: 0.5 },
+            bot_type: BotType {
+                granularity: 2_000.0,
+                app_size: 50_000.0,
+                jitter: 0.5,
+            },
             intensity: Intensity::Medium,
             count: 6,
         }),
@@ -30,13 +34,27 @@ fn simulate_bitwise_reproducible() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let grid = cfg.build(&mut rng);
     let workload = WorkloadSpec {
-        bot_type: BotType { granularity: 10_000.0, app_size: 100_000.0, jitter: 0.5 },
+        bot_type: BotType {
+            granularity: 10_000.0,
+            app_size: 100_000.0,
+            jitter: 0.5,
+        },
         intensity: Intensity::Low,
         count: 5,
     }
     .generate(&cfg, &mut rng);
-    let a = simulate(&grid, &workload, PolicyKind::LongIdle, &SimConfig::with_seed(9));
-    let b = simulate(&grid, &workload, PolicyKind::LongIdle, &SimConfig::with_seed(9));
+    let a = simulate(
+        &grid,
+        &workload,
+        PolicyKind::LongIdle,
+        &SimConfig::with_seed(9),
+    );
+    let b = simulate(
+        &grid,
+        &workload,
+        PolicyKind::LongIdle,
+        &SimConfig::with_seed(9),
+    );
     let ja = serde_json::to_string(&a).unwrap();
     let jb = serde_json::to_string(&b).unwrap();
     assert_eq!(ja, jb, "simulation must be bitwise reproducible");
@@ -54,8 +72,16 @@ fn replication_streams_keyed_by_rep_not_policy() {
         // across policies bag-by-bag (completion order differs, so look the
         // bags up by id).
         for bag_id in 0..3u32 {
-            let aa = a.bags.iter().find(|x| x.bag == bag_id).expect("bag completed");
-            let bb = b.bags.iter().find(|x| x.bag == bag_id).expect("bag completed");
+            let aa = a
+                .bags
+                .iter()
+                .find(|x| x.bag == bag_id)
+                .expect("bag completed");
+            let bb = b
+                .bags
+                .iter()
+                .find(|x| x.bag == bag_id)
+                .expect("bag completed");
             assert_eq!(aa.arrival, bb.arrival, "rep {rep} bag {bag_id}");
         }
         assert_eq!(a.total, b.total);
@@ -64,7 +90,11 @@ fn replication_streams_keyed_by_rep_not_policy() {
 
 #[test]
 fn run_scenario_deterministic_despite_rayon() {
-    let rule = StoppingRule { min_replications: 4, max_replications: 6, ..Default::default() };
+    let rule = StoppingRule {
+        min_replications: 4,
+        max_replications: 6,
+        ..Default::default()
+    };
     let a = run_scenario(&scenario(PolicyKind::FcfsShare), 17, &rule);
     let b = run_scenario(&scenario(PolicyKind::FcfsShare), 17, &rule);
     assert_eq!(a.replications, b.replications);
@@ -75,7 +105,11 @@ fn run_scenario_deterministic_despite_rayon() {
 
 #[test]
 fn different_base_seeds_differ() {
-    let rule = StoppingRule { min_replications: 3, max_replications: 3, ..Default::default() };
+    let rule = StoppingRule {
+        min_replications: 3,
+        max_replications: 3,
+        ..Default::default()
+    };
     let a = run_scenario(&scenario(PolicyKind::FcfsShare), 1, &rule);
     let b = run_scenario(&scenario(PolicyKind::FcfsShare), 2, &rule);
     assert_ne!(a.turnaround.mean, b.turnaround.mean);

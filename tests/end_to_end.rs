@@ -10,7 +10,11 @@ use rand::SeedableRng;
 /// A scaled-down paper bag type: same granularity structure, smaller app
 /// size so tests stay fast.
 fn small_type(granularity: f64) -> BotType {
-    BotType { granularity, app_size: 20.0 * granularity, jitter: 0.5 }
+    BotType {
+        granularity,
+        app_size: 20.0 * granularity,
+        jitter: 0.5,
+    }
 }
 
 #[test]
@@ -51,7 +55,12 @@ fn availability_degrades_turnaround() {
                 count: 6,
             }
             .generate(&grid_cfg, &mut rng);
-            let r = simulate(&grid, &workload, PolicyKind::FcfsShare, &SimConfig::with_seed(seed));
+            let r = simulate(
+                &grid,
+                &workload,
+                PolicyKind::FcfsShare,
+                &SimConfig::with_seed(seed),
+            );
             assert!(!r.saturated);
             sum += r.mean_turnaround();
         }
@@ -79,7 +88,12 @@ fn higher_intensity_raises_turnaround() {
                 count: 12,
             }
             .generate(&grid_cfg, &mut rng);
-            let r = simulate(&grid, &workload, PolicyKind::Rr, &SimConfig::with_seed(seed));
+            let r = simulate(
+                &grid,
+                &workload,
+                PolicyKind::Rr,
+                &SimConfig::with_seed(seed),
+            );
             assert!(!r.saturated);
             sum += r.mean_turnaround();
         }
@@ -107,7 +121,11 @@ fn het_platform_uses_replication_better_than_threshold_one() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let grid = grid_cfg.build(&mut rng);
         let workload = WorkloadSpec {
-            bot_type: BotType { granularity: 10_000.0, app_size: 4.0e5, jitter: 0.5 },
+            bot_type: BotType {
+                granularity: 10_000.0,
+                app_size: 4.0e5,
+                jitter: 0.5,
+            },
             intensity: Intensity::Low,
             count: 1,
         }
@@ -117,13 +135,19 @@ fn het_platform_uses_replication_better_than_threshold_one() {
             &grid,
             &workload,
             PolicyKind::FcfsShare,
-            &SimConfig { replication_threshold: 1, ..base },
+            &SimConfig {
+                replication_threshold: 1,
+                ..base
+            },
         );
         let r2 = simulate(
             &grid,
             &workload,
             PolicyKind::FcfsShare,
-            &SimConfig { replication_threshold: 2, ..base },
+            &SimConfig {
+                replication_threshold: 2,
+                ..base
+            },
         );
         if r2.mean_turnaround() < r1.mean_turnaround() {
             gained += 1;
@@ -146,7 +170,12 @@ fn counters_are_internally_consistent() {
         count: 8,
     }
     .generate(&grid_cfg, &mut rng);
-    let r = simulate(&grid, &workload, PolicyKind::LongIdle, &SimConfig::with_seed(4));
+    let r = simulate(
+        &grid,
+        &workload,
+        PolicyKind::LongIdle,
+        &SimConfig::with_seed(4),
+    );
     assert!(!r.saturated);
     let c = &r.counters;
     // Every launched replica either completed a task, was killed by a
@@ -181,5 +210,8 @@ fn checkpoint_efficiency_enters_lambda() {
     let wl_low = spec.generate(&low, &mut rng2);
     let ratio = wl_high.lambda / wl_low.lambda;
     let expected = high.effective_power() / low.effective_power();
-    assert!((ratio - expected).abs() < 1e-9, "ratio {ratio} vs {expected}");
+    assert!(
+        (ratio - expected).abs() < 1e-9,
+        "ratio {ratio} vs {expected}"
+    );
 }

@@ -1,0 +1,127 @@
+//! Cross-validation of the scheduler's incremental indices: for every
+//! policy, replaying a scenario with the indexed scheduler and with the
+//! naive full-scan reference (`simulate_observed_reference`) must produce
+//! byte-identical event traces. The reference mode recomputes every
+//! free-machine list, dispatchability check, replication candidate,
+//! pending wait and remaining-work sum from first principles, so any drift
+//! in the index bookkeeping shows up as a trace mismatch here.
+
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::{
+    simulate_observed, simulate_observed_reference, MachineOrder, SimConfig, TraceRecorder,
+};
+use dgsched_des::time::SimTime;
+use dgsched_grid::{Availability, CheckpointConfig, Grid, GridConfig, Heterogeneity};
+use dgsched_workload::{BagOfTasks, BotId, TaskId, TaskSpec, Workload};
+use rand::SeedableRng;
+
+fn grid(het: Heterogeneity, avail: Availability) -> Grid {
+    let cfg = GridConfig {
+        total_power: 60.0,
+        heterogeneity: het,
+        availability: avail,
+        checkpoint: CheckpointConfig::default(),
+        outages: None,
+    };
+    cfg.build(&mut rand::rngs::StdRng::seed_from_u64(42))
+}
+
+/// A small mixed workload with equal-work ties, a restart-prone long task
+/// and staggered arrivals, so every policy exercises replication, restarts
+/// and sibling kills.
+fn workload() -> Workload {
+    let mk = |id: u32, at: f64, works: &[f64]| BagOfTasks {
+        id: BotId(id),
+        arrival: SimTime::new(at),
+        tasks: works
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| TaskSpec {
+                id: TaskId(i as u32),
+                work: w,
+            })
+            .collect(),
+        granularity: 10_000.0,
+    };
+    Workload {
+        bags: vec![
+            mk(0, 0.0, &[12_000.0, 8_000.0, 8_000.0, 15_000.0]),
+            mk(1, 500.0, &[20_000.0, 5_000.0, 9_000.0]),
+            mk(2, 1_500.0, &[30_000.0]),
+            mk(3, 2_000.0, &[7_000.0, 7_000.0, 7_000.0, 7_000.0, 7_000.0]),
+            mk(4, 4_000.0, &[18_000.0, 2_500.0]),
+        ],
+        lambda: 1e-3,
+        label: "equiv".into(),
+    }
+}
+
+/// Runs the scenario in one mode and returns the serialised trace.
+fn run(indexed: bool, grid: &Grid, kind: PolicyKind, cfg: &SimConfig) -> String {
+    let wl = workload();
+    let mut trace = TraceRecorder::new();
+    let policy = kind.create_seeded(cfg.seed);
+    let r = if indexed {
+        simulate_observed(grid, &wl, policy, cfg, &mut trace)
+    } else {
+        simulate_observed_reference(grid, &wl, policy, cfg, &mut trace)
+    };
+    assert!(trace.is_time_ordered());
+    assert!(r.events > 0);
+    serde_json::to_string(&trace).expect("trace serialises")
+}
+
+#[test]
+fn all_policies_match_reference_across_grids() {
+    let cfg = SimConfig::with_seed(2008);
+    for het in [Heterogeneity::HOM, Heterogeneity::HET] {
+        for avail in [Availability::HIGH, Availability::LOW] {
+            let g = grid(het, avail);
+            for kind in PolicyKind::all_with_baselines() {
+                let indexed = run(true, &g, kind, &cfg);
+                let reference = run(false, &g, kind, &cfg);
+                assert_eq!(
+                    indexed, reference,
+                    "trace diverged: {kind:?} on {het:?}/{avail:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn machine_orders_match_reference() {
+    let g = grid(Heterogeneity::HET, Availability::LOW);
+    for order in [
+        MachineOrder::Arbitrary,
+        MachineOrder::FastestFirst,
+        MachineOrder::FewestFailuresFirst,
+    ] {
+        let mut cfg = SimConfig::with_seed(2008);
+        cfg.machine_order = order;
+        for kind in [PolicyKind::LongIdle, PolicyKind::FcfsShare] {
+            let indexed = run(true, &g, kind, &cfg);
+            let reference = run(false, &g, kind, &cfg);
+            assert_eq!(
+                indexed, reference,
+                "trace diverged: {kind:?} with {order:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dynamic_replication_matches_reference() {
+    // The failure-adaptive threshold changes mid-run; both modes must
+    // agree on when.
+    let g = grid(Heterogeneity::HOM, Availability::LOW);
+    let mut cfg = SimConfig::with_seed(2008);
+    cfg.dynamic_replication = Some(dgsched_core::sim::DynamicReplication {
+        calm: 1,
+        stormy: 3,
+        rate_cutoff: 1.0e-4,
+    });
+    let indexed = run(true, &g, PolicyKind::Rr, &cfg);
+    let reference = run(false, &g, PolicyKind::Rr, &cfg);
+    assert_eq!(indexed, reference);
+}

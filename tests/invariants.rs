@@ -70,15 +70,25 @@ impl SimObserver for InvariantObserver {
         let count = self.replica_counts.entry((bag.0, task.0)).or_insert(0);
         *count += 1;
         if let Some(thr) = self.threshold {
-            assert!(*count <= thr, "task {bag}/{task} exceeded threshold: {count}");
+            assert!(
+                *count <= thr,
+                "task {bag}/{task} exceeded threshold: {count}"
+            );
         }
         self.machine_busy.insert(machine.0, (bag.0, task.0));
     }
 
     fn on_task_complete(&mut self, _now: SimTime, bag: BotId, task: TaskId, machine: MachineId) {
         let occupant = self.machine_busy.remove(&machine.0);
-        assert_eq!(occupant, Some((bag.0, task.0)), "completion from wrong machine");
-        let count = self.replica_counts.get_mut(&(bag.0, task.0)).expect("counted");
+        assert_eq!(
+            occupant,
+            Some((bag.0, task.0)),
+            "completion from wrong machine"
+        );
+        let count = self
+            .replica_counts
+            .get_mut(&(bag.0, task.0))
+            .expect("counted");
         *count -= 1;
         assert!(
             self.completed_tasks.insert((bag.0, task.0)),
@@ -96,16 +106,25 @@ impl SimObserver for InvariantObserver {
     ) {
         let occupant = self.machine_busy.remove(&machine.0);
         assert_eq!(occupant, Some((bag.0, task.0)), "kill of wrong occupant");
-        let count = self.replica_counts.get_mut(&(bag.0, task.0)).expect("counted");
+        let count = self
+            .replica_counts
+            .get_mut(&(bag.0, task.0))
+            .expect("counted");
         *count -= 1;
     }
 
     fn on_machine_fail(&mut self, _now: SimTime, machine: MachineId) {
-        assert!(self.machine_down.insert(machine.0), "double failure of {machine}");
+        assert!(
+            self.machine_down.insert(machine.0),
+            "double failure of {machine}"
+        );
     }
 
     fn on_machine_repair(&mut self, _now: SimTime, machine: MachineId) {
-        assert!(self.machine_down.remove(&machine.0), "repair of healthy {machine}");
+        assert!(
+            self.machine_down.remove(&machine.0),
+            "repair of healthy {machine}"
+        );
         assert!(
             !self.machine_busy.contains_key(&machine.0),
             "machine {machine} repaired while still booked"
@@ -113,7 +132,10 @@ impl SimObserver for InvariantObserver {
     }
 
     fn on_checkpoint_saved(&mut self, _now: SimTime, bag: BotId, task: TaskId, work: f64) {
-        let prev = self.checkpoint_progress.entry((bag.0, task.0)).or_insert(0.0);
+        let prev = self
+            .checkpoint_progress
+            .entry((bag.0, task.0))
+            .or_insert(0.0);
         // Per-replica progress is monotone; across replicas the server keeps
         // the max, so the observed stream may dip but must stay positive.
         assert!(work > 0.0, "empty checkpoint for {bag}/{task}");
@@ -126,7 +148,11 @@ fn run_with_invariants(policy: PolicyKind, threshold: u32, seed: u64) -> Invaria
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let grid = grid_cfg.build(&mut rng);
     let workload = WorkloadSpec {
-        bot_type: BotType { granularity: 20_000.0, app_size: 200_000.0, jitter: 0.5 },
+        bot_type: BotType {
+            granularity: 20_000.0,
+            app_size: 200_000.0,
+            jitter: 0.5,
+        },
         intensity: Intensity::Medium,
         count: 8,
     }
@@ -136,10 +162,19 @@ fn run_with_invariants(policy: PolicyKind, threshold: u32, seed: u64) -> Invaria
         exclusive: policy == PolicyKind::FcfsExcl,
         ..Default::default()
     };
-    let cfg = SimConfig { replication_threshold: threshold, ..SimConfig::with_seed(seed) };
+    let cfg = SimConfig {
+        replication_threshold: threshold,
+        ..SimConfig::with_seed(seed)
+    };
     let r = simulate_observed(&grid, &workload, policy.create_seeded(seed), &cfg, &mut obs);
-    assert_eq!(r.completed, 8, "{policy} must complete under invariant checking");
-    assert_eq!(r.counters.replicas_launched, obs.dispatches, "observer saw every dispatch");
+    assert_eq!(
+        r.completed, 8,
+        "{policy} must complete under invariant checking"
+    );
+    assert_eq!(
+        r.counters.replicas_launched, obs.dispatches,
+        "observer saw every dispatch"
+    );
     obs
 }
 
@@ -148,8 +183,14 @@ fn invariants_hold_for_all_policies() {
     for policy in PolicyKind::all_with_baselines() {
         for seed in [1, 2] {
             let obs = run_with_invariants(policy, 2, seed);
-            assert!(obs.machine_busy.is_empty(), "{policy}: machines left booked at drain");
-            assert!(obs.active_bags.is_empty(), "{policy}: bags left active at drain");
+            assert!(
+                obs.machine_busy.is_empty(),
+                "{policy}: machines left booked at drain"
+            );
+            assert!(
+                obs.active_bags.is_empty(),
+                "{policy}: bags left active at drain"
+            );
         }
     }
 }
@@ -171,7 +212,11 @@ fn library_checker_agrees() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let grid = grid_cfg.build(&mut rng);
     let workload = WorkloadSpec {
-        bot_type: BotType { granularity: 15_000.0, app_size: 150_000.0, jitter: 0.5 },
+        bot_type: BotType {
+            granularity: 15_000.0,
+            app_size: 150_000.0,
+            jitter: 0.5,
+        },
         intensity: Intensity::High,
         count: 6,
     }
@@ -211,19 +256,30 @@ fn invariants_hold_under_correlated_outages() {
         checkpoint: CheckpointConfig::default(),
         outages: Some(OutageConfig {
             mtbo: 6_000.0,
-            duration: DistConfig::NormalTrunc { mean: 1_200.0, sd: 200.0 },
+            duration: DistConfig::NormalTrunc {
+                mean: 1_200.0,
+                sd: 200.0,
+            },
             fraction: 0.6,
         }),
     };
     let mut rng = rand::rngs::StdRng::seed_from_u64(8);
     let grid = grid_cfg.build(&mut rng);
     let workload = WorkloadSpec {
-        bot_type: BotType { granularity: 20_000.0, app_size: 120_000.0, jitter: 0.5 },
+        bot_type: BotType {
+            granularity: 20_000.0,
+            app_size: 120_000.0,
+            jitter: 0.5,
+        },
         intensity: Intensity::Medium,
         count: 6,
     }
     .generate(&grid_cfg, &mut rng);
-    for policy in [PolicyKind::FcfsShare, PolicyKind::LongIdle, PolicyKind::FcfsExcl] {
+    for policy in [
+        PolicyKind::FcfsShare,
+        PolicyKind::LongIdle,
+        PolicyKind::FcfsExcl,
+    ] {
         let mut checker = if policy == PolicyKind::FcfsExcl {
             CheckingObserver::exclusive()
         } else {
@@ -250,7 +306,11 @@ fn traces_are_deterministic_and_time_ordered() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let grid = grid_cfg.build(&mut rng);
     let workload = WorkloadSpec {
-        bot_type: BotType { granularity: 10_000.0, app_size: 100_000.0, jitter: 0.5 },
+        bot_type: BotType {
+            granularity: 10_000.0,
+            app_size: 100_000.0,
+            jitter: 0.5,
+        },
         intensity: Intensity::Low,
         count: 5,
     }
@@ -288,7 +348,14 @@ fn traces_are_deterministic_and_time_ordered() {
             dgsched_core::sim::TraceEvent::CheckpointSaved { .. } => "checkpoint",
         })
         .collect();
-    for expected in ["dispatch", "complete", "arrival", "bag-complete", "fail", "repair"] {
+    for expected in [
+        "dispatch",
+        "complete",
+        "arrival",
+        "bag-complete",
+        "fail",
+        "repair",
+    ] {
         assert!(kinds.contains(&expected), "trace lacks {expected} events");
     }
 }
@@ -299,7 +366,11 @@ fn trace_serde_round_trip() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(10);
     let grid = grid_cfg.build(&mut rng);
     let workload = WorkloadSpec {
-        bot_type: BotType { granularity: 5_000.0, app_size: 25_000.0, jitter: 0.5 },
+        bot_type: BotType {
+            granularity: 5_000.0,
+            app_size: 25_000.0,
+            jitter: 0.5,
+        },
         intensity: Intensity::Low,
         count: 2,
     }

@@ -10,7 +10,11 @@ use dgsched_grid::{Availability, GridConfig, Heterogeneity};
 use dgsched_workload::{BotType, Intensity, WorkloadSpec};
 
 fn rule() -> StoppingRule {
-    StoppingRule { min_replications: 4, max_replications: 6, ..Default::default() }
+    StoppingRule {
+        min_replications: 4,
+        max_replications: 6,
+        ..Default::default()
+    }
 }
 
 fn scenario(
@@ -29,7 +33,10 @@ fn scenario(
             count: bags,
         }),
         policy,
-        sim: SimConfig { warmup_bags: 3, ..SimConfig::default() },
+        sim: SimConfig {
+            warmup_bags: 3,
+            ..SimConfig::default()
+        },
     }
 }
 
@@ -236,7 +243,10 @@ fn longidle_beats_rr_on_mixed_workloads() {
         grid: GridConfig::paper(Heterogeneity::HOM, Availability::HIGH),
         workload: WorkloadKind::Mixed(MixSpec::paper_uniform(Intensity::High, 40)),
         policy,
-        sim: SimConfig { warmup_bags: 4, ..SimConfig::default() },
+        sim: SimConfig {
+            warmup_bags: 4,
+            ..SimConfig::default()
+        },
     };
     let li = mean(&mk(PolicyKind::LongIdle));
     let rr = mean(&mk(PolicyKind::Rr));
@@ -257,7 +267,10 @@ fn rr_starves_small_bags_in_the_mix() {
         grid: GridConfig::paper(Heterogeneity::HOM, Availability::HIGH),
         workload: WorkloadKind::Mixed(MixSpec::paper_uniform(Intensity::High, 40)),
         policy,
-        sim: SimConfig { warmup_bags: 4, ..SimConfig::default() },
+        sim: SimConfig {
+            warmup_bags: 4,
+            ..SimConfig::default()
+        },
     };
     let mut rr_max = 0.0f64;
     let mut li_max = 0.0f64;
@@ -290,5 +303,9 @@ fn rr_and_rr_nrf_are_close() {
         bags,
     ));
     let rel = (rr - nrf).abs() / rr;
-    assert!(rel < 0.25, "RR {rr:.0} vs RR-NRF {nrf:.0}: {:.0}% apart", rel * 100.0);
+    assert!(
+        rel < 0.25,
+        "RR {rr:.0} vs RR-NRF {nrf:.0}: {:.0}% apart",
+        rel * 100.0
+    );
 }

@@ -53,9 +53,7 @@ fn check_queues(ops: Vec<Op>) {
                 let expected = reference
                     .iter()
                     .enumerate()
-                    .min_by(|(_, a), (_, b)| {
-                        (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("no NaN")
-                    })
+                    .min_by(|(_, a), (_, b)| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("no NaN"))
                     .map(|(i, e)| (i, e.0, e.2));
                 let h = heap.pop();
                 let c = cal.pop();

@@ -18,7 +18,11 @@ fn grid_cfg() -> GridConfig {
 }
 
 fn spec(count: usize) -> WorkloadSpec {
-    WorkloadSpec { bot_type: BotType::paper(25_000.0), intensity: Intensity::Low, count }
+    WorkloadSpec {
+        bot_type: BotType::paper(25_000.0),
+        intensity: Intensity::Low,
+        count,
+    }
 }
 
 #[test]
@@ -27,7 +31,12 @@ fn single_long_run_agrees_with_replications() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(50);
     let grid = grid_cfg().build(&mut rng);
     let workload = spec(600).generate(&grid_cfg(), &mut rng);
-    let long = simulate(&grid, &workload, PolicyKind::FcfsShare, &SimConfig::with_seed(50));
+    let long = simulate(
+        &grid,
+        &workload,
+        PolicyKind::FcfsShare,
+        &SimConfig::with_seed(50),
+    );
     assert!(!long.saturated);
     let series: Vec<f64> = long.bags.iter().map(|b| b.turnaround).collect();
     assert!(series.len() >= 500);
@@ -39,7 +48,10 @@ fn single_long_run_agrees_with_replications() {
     for &x in tail {
         bm.push(x);
     }
-    assert!(bm.batch_count() >= 5, "need enough batches (batch size {batch})");
+    assert!(
+        bm.batch_count() >= 5,
+        "need enough batches (batch size {batch})"
+    );
     let single_ci = bm.confidence_interval(0.95);
 
     // Route 2: independent replications through the experiment runner.
@@ -48,9 +60,16 @@ fn single_long_run_agrees_with_replications() {
         grid: grid_cfg(),
         workload: WorkloadKind::Single(spec(120)),
         policy: PolicyKind::FcfsShare,
-        sim: SimConfig { warmup_bags: 10, ..SimConfig::default() },
+        sim: SimConfig {
+            warmup_bags: 10,
+            ..SimConfig::default()
+        },
     };
-    let rule = StoppingRule { min_replications: 6, max_replications: 10, ..Default::default() };
+    let rule = StoppingRule {
+        min_replications: 6,
+        max_replications: 10,
+        ..Default::default()
+    };
     let reps = run_scenario(&scenario, 51, &rule);
     assert!(!reps.saturated);
 

@@ -1,0 +1,250 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of criterion's API this workspace's benches use
+//! (`benchmark_group`, `bench_with_input`, `iter`, `iter_batched`,
+//! throughput annotations, the `criterion_group!`/`criterion_main!`
+//! macros) over a simple wall-clock measurement loop: each benchmark is
+//! warmed up once, then timed in doubling batches until it has run for at
+//! least [`MIN_MEASURE`]. Results print one line per benchmark —
+//! `<group>/<id>  time: <ns>/iter [thrpt: <elems>/s]` — which is all the
+//! repo's tooling parses.
+
+// Vendored stand-in: keep the upstream-compatible surface, not our lint style.
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum cumulative measured time per benchmark.
+const MIN_MEASURE: Duration = Duration::from_millis(60);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation attached to subsequent benchmarks in a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; ignored by this harness.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per routine call.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function>/<parameter>` style id.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the target sample count. Accepted for API compatibility; the
+    /// measurement loop is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time budget. Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark that takes an input by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { ns_per_iter: None };
+        f(&mut bencher, input);
+        self.report(&id.into(), &bencher);
+        self
+    }
+
+    /// Runs a plain benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { ns_per_iter: None };
+        f(&mut bencher);
+        self.report(&id.into(), &bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let Some(ns) = bencher.ns_per_iter else {
+            println!("{}/{}  (no measurement)", self.name, id.id);
+            return;
+        };
+        let mut line = format!("{}/{}  time: {ns:.1} ns/iter", self.name, id.id);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                line += &format!("  thrpt: {:.0} elem/s", n as f64 * 1e9 / ns);
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                line += &format!("  thrpt: {:.0} B/s", n as f64 * 1e9 / ns);
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// Measures a closure's wall-clock time.
+pub struct Bencher {
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_MEASURE || iters >= 1 << 22 {
+                self.ns_per_iter = Some(elapsed.as_nanos() as f64 / iters as f64);
+                return;
+            }
+            iters *= 4;
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < MIN_MEASURE && iters < 1 << 22 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.ns_per_iter = Some(total.as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter_batched(
+                || (0..n).collect::<Vec<u64>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}

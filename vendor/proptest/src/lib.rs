@@ -1,0 +1,363 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A deterministic random-case runner with the subset of the API this
+//! workspace's tests use: range/tuple/`Just`/`prop_map`/`prop_oneof`
+//! strategies, `proptest::collection::vec`, the `proptest!` macro with an
+//! optional `#![proptest_config(...)]` header, and the `prop_assert*`
+//! macros. No shrinking: a failing case reports its inputs via the
+//! assertion message and the fixed seed makes every run reproducible.
+
+// Vendored stand-in: keep the upstream-compatible surface, not our lint style.
+#![allow(clippy::all)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a test case fails (returned by the `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Executes `cases` deterministic random cases, panicking on the first
+/// failure. Used by the expansion of [`proptest!`].
+pub fn run_cases<F>(config: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    // Fixed master seed: failures reproduce across runs.
+    let mut rng = StdRng::seed_from_u64(0x9e37_79b9_7f4a_7c15);
+    for i in 0..config.cases {
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest case {i} failed: {e}");
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::*;
+
+    /// Generates random values of an output type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (needed by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut StdRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// A union over non-empty `alternatives`.
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !alternatives.is_empty(),
+                "prop_oneof! needs at least one arm"
+            );
+            Union(alternatives)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let idx = rng.gen_range(0..self.0.len());
+            self.0[idx].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for vectors with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A vector whose length is uniform in `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob import: strategies, config and macros.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, TestCaseError,
+    };
+}
+
+pub use strategy::Strategy;
+
+/// Asserts a condition inside a `proptest!` body; failures abort only the
+/// current case with a descriptive error.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                __l,
+                __r,
+                stringify!($lhs),
+                stringify!($rhs)
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategy arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the configured number of random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases($config, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                __outcome
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1u64..10, y in -2.0f64..2.0) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(xs in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert_eq!(xs.iter().filter(|&&v| v >= 5).count(), 0);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u64..3).prop_map(|x| x as i64),
+            Just(-1i64),
+        ]) {
+            prop_assert!((-1..3).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Distributions: the `Distribution` trait, the `Standard` distribution
+//! and uniform range sampling (`gen_range` support).
+
+use crate::Rng;
+use std::marker::PhantomData;
+
+/// Types that can produce values of type `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// Turns `rng` into an iterator of samples from `self`.
+    fn sample_iter<R>(self, rng: R) -> DistIter<Self, R, T>
+    where
+        R: Rng,
+        Self: Sized,
+    {
+        DistIter {
+            distr: self,
+            rng,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'a, T, D: Distribution<T> + ?Sized> Distribution<T> for &'a D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Iterator of samples (see [`Distribution::sample_iter`]).
+#[derive(Debug)]
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: PhantomData<T>,
+}
+
+impl<D: Distribution<T>, R: Rng, T> Iterator for DistIter<D, R, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+/// The "natural" distribution of a type: uniform bits for integers,
+/// uniform `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits → [0, 1) with 2^-53 spacing.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<u64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform sampling over ranges — the machinery behind `Rng::gen_range`.
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that `Rng::gen_range` can sample from.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Maps 64 uniform bits onto `[0, span)` by widening multiply. The
+    /// modulo bias is below 2^-64 · span — irrelevant at the spans this
+    /// workspace uses, and the mapping is deterministic, which is what the
+    /// simulator actually requires.
+    #[inline]
+    pub(crate) fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + bounded_u64(rng, span) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    if lo == <$t>::MIN && hi == <$t>::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = (hi as u64).wrapping_sub(lo as u64) + 1;
+                    lo + bounded_u64(rng, span) as $t
+                }
+            }
+        )*};
+    }
+    int_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_int_range {
+        ($($t:ty : $u:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                    self.start.wrapping_add(bounded_u64(rng, span) as $t)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as $u).wrapping_sub(lo as $u) as u64 + 1;
+                    lo.wrapping_add(bounded_u64(rng, span) as $t)
+                }
+            }
+        )*};
+    }
+    signed_int_range!(i32: u32, i64: u64);
+
+    macro_rules! float_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty float range");
+                    let u = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                    self.start + u * (self.end - self.start)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty float range");
+                    // Scale 53 bits over [0, 1]; the closed upper bound is
+                    // reachable with probability 2^-53.
+                    let u = (rng.next_u64() >> 11) as $t
+                        * (1.0 / ((1u64 << 53) - 1) as $t);
+                    lo + u * (hi - lo)
+                }
+            }
+        )*};
+    }
+    float_range!(f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_ranges_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inclusive_float_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(2.3..=17.7);
+            assert!((2.3..=17.7).contains(&x));
+        }
+    }
+
+    #[test]
+    fn sample_iter_matches_fresh_draws() {
+        let a: Vec<u32> = StdRng::seed_from_u64(5)
+            .sample_iter(Standard)
+            .take(4)
+            .collect();
+        let mut r = StdRng::seed_from_u64(5);
+        let b: Vec<u32> = (0..4).map(|_| r.gen::<u32>()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,216 @@
+//! Offline stand-in for `rand_distr` (0.4-compatible surface).
+//!
+//! Sampling algorithms are the textbook ones — inverse transform for
+//! `Exp`/`Weibull`, Box–Muller for `Normal` — rather than upstream's
+//! ziggurat tables, so streams are *not* bit-compatible with upstream.
+//! They are deterministic, stateless (`Copy`, as the simulator's `Sampler`
+//! enum requires) and statistically correct, which is what the workspace
+//! needs. All samplers are f64-only; the generic parameter mirrors the
+//! upstream spelling (`Exp<f64>` etc.).
+
+// Vendored stand-in: keep the upstream-compatible surface, not our lint style.
+#![allow(clippy::all)]
+
+pub use rand::distributions::{Distribution, Standard};
+use rand::Rng;
+
+/// Draws a uniform in the open interval (0, 1]; its log is always finite.
+#[inline]
+fn unit_pos<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // (0, 1]: take the [0, 1) sample and flip it around.
+    1.0 - rng.gen::<f64>()
+}
+
+/// Error returned by the samplers' constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Upstream-compatible error aliases.
+pub type ExpError = ParamError;
+/// See [`ExpError`].
+pub type NormalError = ParamError;
+/// See [`ExpError`].
+pub type WeibullError = ParamError;
+
+/// Uniform over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<F = f64> {
+    lo: F,
+    hi: F,
+}
+
+impl Uniform<f64> {
+    /// Uniform over the half-open interval `[lo, hi)`. Panics when the
+    /// interval is empty or inverted (upstream behaviour).
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "Uniform::new called with empty range [{lo}, {hi})");
+        Uniform { lo, hi }
+    }
+
+    /// Uniform over the closed interval `[lo, hi]`.
+    pub fn new_inclusive(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo <= hi,
+            "Uniform::new_inclusive called with inverted range"
+        );
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution<f64> for Uniform<f64> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + rng.gen::<f64>() * (self.hi - self.lo)
+    }
+}
+
+/// Exponential with rate λ (mean 1/λ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp<F = f64> {
+    rate: F,
+}
+
+impl Exp<f64> {
+    /// An exponential with the given rate; rejects non-positive or
+    /// non-finite rates.
+    pub fn new(rate: f64) -> Result<Self, ExpError> {
+        if rate > 0.0 && rate.is_finite() {
+            Ok(Exp { rate })
+        } else {
+            Err(ParamError("Exp rate must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_pos(rng).ln() / self.rate
+    }
+}
+
+/// Normal (Gaussian) with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F = f64> {
+    mean: F,
+    sd: F,
+}
+
+impl Normal<f64> {
+    /// A normal with the given mean and standard deviation; rejects
+    /// negative or non-finite deviations.
+    pub fn new(mean: f64, sd: f64) -> Result<Self, NormalError> {
+        if sd >= 0.0 && sd.is_finite() && mean.is_finite() {
+            Ok(Normal { mean, sd })
+        } else {
+            Err(ParamError("Normal sd must be non-negative and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller, cosine branch only: two draws per sample keeps the
+        // sampler stateless (`Copy`), which `dgsched_des::dist::Sampler`
+        // relies on.
+        let u = unit_pos(rng);
+        let v = rng.gen::<f64>();
+        let z = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+        self.mean + self.sd * z
+    }
+}
+
+/// Weibull with scale λ and shape k.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull<F = f64> {
+    scale: F,
+    inv_shape: F,
+}
+
+impl Weibull<f64> {
+    /// A Weibull with the given scale and shape; rejects non-positive or
+    /// non-finite parameters. Argument order matches upstream:
+    /// `Weibull::new(scale, shape)`.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, WeibullError> {
+        if scale > 0.0 && shape > 0.0 && scale.is_finite() && shape.is_finite() {
+            Ok(Weibull {
+                scale,
+                inv_shape: 1.0 / shape,
+            })
+        } else {
+            Err(ParamError(
+                "Weibull scale and shape must be positive and finite",
+            ))
+        }
+    }
+}
+
+impl Distribution<f64> for Weibull<f64> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * (-unit_pos(rng).ln()).powf(self.inv_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(d: impl Distribution<f64>, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(11);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exp_mean() {
+        let m = mean_of(Exp::new(0.1).unwrap(), 200_000);
+        assert!((m - 10.0).abs() < 0.15, "mean={m}");
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Normal::new(50.0, 4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 0.1, "mean={mean}");
+        assert!((var.sqrt() - 4.0).abs() < 0.1, "sd={}", var.sqrt());
+    }
+
+    #[test]
+    fn weibull_mean_matches_gamma_formula() {
+        // k = 2, λ = 10 ⇒ mean = 10·Γ(1.5) = 10·(√π/2) ≈ 8.8623.
+        let m = mean_of(Weibull::new(10.0, 2.0).unwrap(), 200_000);
+        assert!((m - 8.8623).abs() < 0.1, "mean={m}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let d = Uniform::new(2.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Normal::new(1.0, -1.0).is_err());
+        assert!(Weibull::new(0.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `par_iter`/`into_par_iter` simply return the corresponding sequential
+//! iterators; callers keep the full `std::iter::Iterator` combinator
+//! surface (`map`, `collect`, …) and identical results, just without the
+//! thread pool. Determinism-sensitive code in this workspace never relied
+//! on parallel ordering anyway.
+
+// Vendored stand-in: keep the upstream-compatible surface, not our lint style.
+#![allow(clippy::all)]
+
+/// The parallel-iterator traits, sequentially implemented.
+pub mod prelude {
+    /// Conversion into a "parallel" (here: sequential) iterator.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Consumes `self` into an iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Borrowing version: `x.par_iter()` where `&x` is iterable.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type.
+        type Item;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterates over `&self`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Item = <&'a C as IntoIterator>::Item;
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn shims_behave_like_iterators() {
+        let doubled: Vec<i32> = (0..4).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6]);
+        let v = vec![1, 2, 3];
+        let sum: i32 = v.par_iter().sum();
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,22 @@
+//! Deserialization error type.
+
+/// Error produced while rebuilding a value from a [`crate::Value`] tree.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error carrying the given message.
+    pub fn msg<M: std::fmt::Display>(m: M) -> Self {
+        Error { msg: m.to_string() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

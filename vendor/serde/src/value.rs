@@ -1,0 +1,167 @@
+//! The dynamic value tree everything serializes through.
+
+/// A self-describing JSON-shaped value. Object fields keep insertion order
+/// (a `Vec`, not a map) so serialized output is deterministic and matches
+/// the declaration order of derived structs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integers.
+    I64(i64),
+    /// Non-negative integers (kept separate to preserve full `u64` range).
+    U64(u64),
+    /// Floating point numbers; non-finite values serialize as `null`.
+    F64(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object's fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The array's elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A numeric view as `f64` (accepts any number variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::I64(i) => Some(*i as f64),
+            Value::U64(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// A numeric view as `u64` (rejects negatives and fractional floats).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(u) => Some(*u),
+            Value::I64(i) if *i >= 0 => Some(*i as u64),
+            Value::F64(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// A numeric view as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(i) => Some(*i),
+            Value::U64(u) => i64::try_from(*u).ok(),
+            Value::F64(x) if x.fract() == 0.0 && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 => {
+                Some(*x as i64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Shared `null` for out-of-range index lookups.
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object field lookup; yields `Null` for missing keys or non-objects
+    /// (mirrors upstream `serde_json`).
+    fn index(&self, key: &str) -> &Value {
+        self.as_object().and_then(|o| get(o, key)).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Array element lookup; yields `Null` out of bounds or for non-arrays.
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! int_eq {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i64() == i64::try_from(*other).ok()
+            }
+        }
+    )*};
+}
+int_eq!(i32, i64, u32, u64, usize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+/// First value stored under `key`, if any. Linear scan: derived structs have
+/// a handful of fields, and insertion order must win on duplicates anyway.
+pub fn get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Prepends an internal tag field to an object value — used by derived
+/// `Serialize` impls for `#[serde(tag = "...")]` newtype variants.
+pub fn tag_object(v: Value, tag: &str, variant: &str) -> Value {
+    match v {
+        Value::Object(mut fields) => {
+            fields.insert(0, (tag.to_string(), Value::Str(variant.to_string())));
+            Value::Object(fields)
+        }
+        other => panic!("cannot internally tag non-object value {other:?} with `{tag}: {variant}`"),
+    }
+}

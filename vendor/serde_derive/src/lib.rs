@@ -1,0 +1,635 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros that
+//! parse the item's raw token tree (no `syn`/`quote` available offline) and
+//! emit impls against the vendored `serde` crate's `Value` model.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs: named fields, tuple/newtype, unit
+//! - enums: unit variants, newtype variants, struct variants
+//! - container attrs: `#[serde(tag = "...")]`,
+//!   `#[serde(rename_all = "snake_case" | "kebab-case" | "lowercase")]`
+//! - field attrs: `#[serde(default)]`, `#[serde(default = "path")]`
+//!
+//! Generics are rejected with a clear panic; unknown `#[serde(...)]` keys are
+//! ignored so innocuous attributes don't break the build.
+
+// Vendored stand-in: keep the upstream-compatible surface, not our lint style.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+struct Field {
+    name: String,
+    /// `None` = required; `Some(None)` = `#[serde(default)]`;
+    /// `Some(Some(path))` = `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    attrs: ContainerAttrs,
+    data: Data,
+}
+
+/// Entry point for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_serialize(&c)
+        .parse()
+        .expect("serde stub: generated Serialize impl failed to parse")
+}
+
+/// Entry point for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_deserialize(&c)
+        .parse()
+        .expect("serde stub: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Returns the `key [= "value"]` pairs inside a `#[serde(...)]` attribute
+/// group, or an empty list for any other attribute (doc comments etc.).
+fn serde_metas(attr: &Group) -> Vec<(String, Option<String>)> {
+    let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+    let (head, args) = match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if g.delimiter() == Delimiter::Parenthesis =>
+        {
+            (id.to_string(), g.stream())
+        }
+        _ => return Vec::new(),
+    };
+    if head != "serde" {
+        return Vec::new();
+    }
+    let toks: Vec<TokenTree> = args.into_iter().collect();
+    let mut metas = Vec::new();
+    let mut j = 0;
+    while j < toks.len() {
+        let key = match &toks[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                j += 1;
+                continue;
+            }
+        };
+        j += 1;
+        let mut val = None;
+        if let Some(TokenTree::Punct(p)) = toks.get(j) {
+            if p.as_char() == '=' {
+                j += 1;
+                if let Some(TokenTree::Literal(l)) = toks.get(j) {
+                    val = Some(strip_quotes(&l.to_string()));
+                    j += 1;
+                }
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = toks.get(j) {
+            if p.as_char() == ',' {
+                j += 1;
+            }
+        }
+        metas.push((key, val));
+    }
+    metas
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Consumes leading `#[...]` attributes starting at `*i`, feeding any
+/// `#[serde(...)]` metas to `on_meta`.
+fn eat_attrs(toks: &[TokenTree], i: &mut usize, mut on_meta: impl FnMut(&str, Option<&str>)) {
+    while *i < toks.len() {
+        let is_pound = matches!(&toks[*i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_pound {
+            return;
+        }
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            for (k, v) in serde_metas(g) {
+                on_meta(&k, v.as_deref());
+            }
+        }
+        *i += 2;
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(super)` etc. starting at `*i`.
+fn eat_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(&toks[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = ContainerAttrs::default();
+    eat_attrs(&toks, &mut i, |k, v| match k {
+        "tag" => attrs.tag = v.map(str::to_string),
+        "rename_all" => attrs.rename_all = v.map(str::to_string),
+        _ => {}
+    });
+    eat_visibility(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub: generics are not supported (on `{name}`)");
+    }
+    let data = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(count_tuple_fields(g)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => panic!("serde stub: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g))
+            }
+            other => panic!("serde stub: expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("serde stub: cannot derive for `{other} {name}`"),
+    };
+    Container { name, attrs, data }
+}
+
+/// Skips one type expression starting at `*i`, stopping after the top-level
+/// `,` that ends it (or at the end of `toks`). Delimited groups are atomic
+/// token trees, so only `<`/`>` nesting needs explicit tracking.
+fn eat_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut default = None;
+        eat_attrs(&toks, &mut i, |k, v| {
+            if k == "default" {
+                default = Some(v.map(str::to_string));
+            }
+        });
+        if i >= toks.len() {
+            break;
+        }
+        eat_visibility(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub: expected field name, found {other}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub: expected `:` after field `{name}`, found {other}"),
+        }
+        eat_type(&toks, &mut i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: &Group) -> usize {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        eat_type(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        eat_attrs(&toks, &mut i, |_, _| {});
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Rename rules
+// ---------------------------------------------------------------------------
+
+fn rename(rule: &Option<String>, name: &str) -> String {
+    match rule.as_deref() {
+        Some("snake_case") => delimited_lowercase(name, '_'),
+        Some("kebab-case") => delimited_lowercase(name, '-'),
+        Some("lowercase") => name.to_lowercase(),
+        _ => name.to_string(),
+    }
+}
+
+fn delimited_lowercase(name: &str, sep: char) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push(sep);
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::value::Value";
+
+fn push_field(target: &str, key: &str, value_expr: &str) -> String {
+    format!("{target}.push((::std::string::String::from(\"{key}\"), {value_expr}));\n")
+}
+
+fn str_value(s: &str) -> String {
+    format!("{VALUE}::Str(::std::string::String::from(\"{s}\"))")
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::Struct(Fields::Named(fs)) => {
+            let mut s = new_object_vec("__f");
+            for f in fs {
+                s += &push_field(
+                    "__f",
+                    &f.name,
+                    &format!("::serde::Serialize::serialize_value(&self.{})", f.name),
+                );
+            }
+            s + &format!("{VALUE}::Object(__f)")
+        }
+        Data::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::serialize_value(&self.0)".to_string()
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!(
+                "{VALUE}::Array(::std::vec::Vec::from([{}]))",
+                items.join(", ")
+            )
+        }
+        Data::Struct(Fields::Unit) => format!("{VALUE}::Null"),
+        Data::Enum(vars) => {
+            let mut s = String::from("match self {\n");
+            for v in vars {
+                s += &serialize_variant_arm(name, &c.attrs, v);
+            }
+            s + "}"
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> {VALUE} {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn new_object_vec(var: &str) -> String {
+    format!(
+        "let mut {var}: ::std::vec::Vec<(::std::string::String, {VALUE})> = \
+         ::std::vec::Vec::new();\n"
+    )
+}
+
+fn serialize_variant_arm(name: &str, attrs: &ContainerAttrs, v: &Variant) -> String {
+    let vname = rename(&attrs.rename_all, &v.name);
+    let var = &v.name;
+    match (&v.fields, &attrs.tag) {
+        (Fields::Unit, None) => {
+            format!("{name}::{var} => {},\n", str_value(&vname))
+        }
+        (Fields::Unit, Some(tag)) => format!(
+            "{name}::{var} => {VALUE}::Object(::std::vec::Vec::from([\
+             (::std::string::String::from(\"{tag}\"), {})])),\n",
+            str_value(&vname)
+        ),
+        (Fields::Tuple(1), Some(tag)) => format!(
+            "{name}::{var}(__inner) => ::serde::value::tag_object(\
+             ::serde::Serialize::serialize_value(__inner), \"{tag}\", \"{vname}\"),\n"
+        ),
+        (Fields::Tuple(1), None) => format!(
+            "{name}::{var}(__inner) => {VALUE}::Object(::std::vec::Vec::from([\
+             (::std::string::String::from(\"{vname}\"), \
+             ::serde::Serialize::serialize_value(__inner))])),\n"
+        ),
+        (Fields::Named(fs), tag) => {
+            let pat: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+            let mut arm = format!("{name}::{var} {{ {} }} => {{\n", pat.join(", "));
+            arm += &new_object_vec("__f");
+            if let Some(tag) = tag {
+                arm += &push_field("__f", tag, &str_value(&vname));
+            }
+            for f in fs {
+                arm += &push_field(
+                    "__f",
+                    &f.name,
+                    &format!("::serde::Serialize::serialize_value({})", f.name),
+                );
+            }
+            if tag.is_some() {
+                arm += &format!("{VALUE}::Object(__f)\n}},\n");
+            } else {
+                arm += &format!(
+                    "{VALUE}::Object(::std::vec::Vec::from([\
+                     (::std::string::String::from(\"{vname}\"), {VALUE}::Object(__f))]))\n}},\n"
+                );
+            }
+            arm
+        }
+        (Fields::Tuple(n), _) => {
+            panic!("serde stub: {n}-element tuple variant `{name}::{var}` unsupported")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Expression that deserializes one named field out of the object slice
+/// bound to `src`, honouring `#[serde(default)]` forms.
+fn field_expr(f: &Field, src: &str, ty_name: &str) -> String {
+    let fallback = match &f.default {
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+        // No default: let the field's own impl look at Null (so Option
+        // fields tolerate a missing key, like upstream), else report it.
+        None => format!(
+            "::serde::Deserialize::deserialize_value(&{VALUE}::Null)\
+             .map_err(|_| ::serde::de::Error::msg(\
+             \"missing field `{}` in {}\"))?",
+            f.name, ty_name
+        ),
+    };
+    format!(
+        "match ::serde::value::get({src}, \"{key}\") {{\n\
+         ::std::option::Option::Some(__x) => \
+         ::serde::Deserialize::deserialize_value(__x)?,\n\
+         ::std::option::Option::None => {fallback},\n}}",
+        key = f.name
+    )
+}
+
+fn named_fields_ctor(ty_path: &str, fs: &[Field], src: &str, ty_name: &str) -> String {
+    let mut s = format!("{ty_path} {{\n");
+    for f in fs {
+        s += &format!("{}: {},\n", f.name, field_expr(f, src, ty_name));
+    }
+    s + "}"
+}
+
+fn expect_object(ty_name: &str) -> String {
+    format!(
+        "let __o = __v.as_object().ok_or_else(|| \
+         ::serde::de::Error::msg(\"expected object for {ty_name}\"))?;\n"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::Struct(Fields::Named(fs)) => {
+            if fs.is_empty() {
+                format!("::std::result::Result::Ok({name} {{}})")
+            } else {
+                let mut s = expect_object(name);
+                s += &format!(
+                    "::std::result::Result::Ok({})",
+                    named_fields_ctor(name, fs, "__o", name)
+                );
+                s
+            }
+        }
+        Data::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(\
+             ::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Data::Struct(Fields::Tuple(n)) => {
+            let mut s = format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::de::Error::msg(\"expected array for {name}\"))?;\n\
+                 if __a.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::de::Error::msg(\
+                 \"wrong tuple length for {name}\"));\n}}\n"
+            );
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__a[{i}])?"))
+                .collect();
+            s += &format!("::std::result::Result::Ok({name}({}))", items.join(", "));
+            s
+        }
+        Data::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(vars) => gen_deserialize_enum(name, &c.attrs, vars),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &{VALUE}) -> \
+         ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, attrs: &ContainerAttrs, vars: &[Variant]) -> String {
+    let all_unit = vars.iter().all(|v| matches!(v.fields, Fields::Unit));
+    if let Some(tag) = &attrs.tag {
+        // Internally tagged: {"<tag>": "<variant>", ...fields}.
+        let mut s = expect_object(name);
+        s += &format!(
+            "let __tag = ::serde::value::get(__o, \"{tag}\")\
+             .and_then(|__t| __t.as_str()).ok_or_else(|| \
+             ::serde::de::Error::msg(\"missing tag `{tag}` for {name}\"))?;\n\
+             match __tag {{\n"
+        );
+        for v in vars {
+            let vname = rename(&attrs.rename_all, &v.name);
+            let arm = match &v.fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name}::{})", v.name),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}::{}(\
+                     ::serde::Deserialize::deserialize_value(__v)?))",
+                    v.name
+                ),
+                Fields::Named(fs) => format!(
+                    "::std::result::Result::Ok({})",
+                    named_fields_ctor(&format!("{name}::{}", v.name), fs, "__o", name)
+                ),
+                Fields::Tuple(n) => {
+                    panic!("serde stub: {n}-element tuple variant in tagged enum `{name}`")
+                }
+            };
+            s += &format!("\"{vname}\" => {arm},\n");
+        }
+        s += &format!(
+            "__other => ::std::result::Result::Err(::serde::de::Error::msg(\
+             format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}"
+        );
+        s
+    } else if all_unit {
+        // Plain string enum.
+        let mut s = format!(
+            "let __s = __v.as_str().ok_or_else(|| \
+             ::serde::de::Error::msg(\"expected string for {name}\"))?;\n\
+             match __s {{\n"
+        );
+        for v in vars {
+            let vname = rename(&attrs.rename_all, &v.name);
+            s += &format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{}),\n",
+                v.name
+            );
+        }
+        s += &format!(
+            "__other => ::std::result::Result::Err(::serde::de::Error::msg(\
+             format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}"
+        );
+        s
+    } else {
+        // Externally tagged: "<variant>" or {"<variant>": ...}.
+        let mut s = String::from(
+            "if let ::std::option::Option::Some(__s) = __v.as_str() {\nreturn match __s {\n",
+        );
+        for v in vars {
+            if matches!(v.fields, Fields::Unit) {
+                let vname = rename(&attrs.rename_all, &v.name);
+                s += &format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{}),\n",
+                    v.name
+                );
+            }
+        }
+        s += &format!(
+            "__other => ::std::result::Result::Err(::serde::de::Error::msg(\
+             format!(\"unknown variant `{{__other}}` of {name}\"))),\n}};\n}}\n"
+        );
+        s += &expect_object(name);
+        s += &format!(
+            "if __o.len() != 1 {{\n\
+             return ::std::result::Result::Err(::serde::de::Error::msg(\
+             \"expected single-key object for {name}\"));\n}}\n\
+             let (__k, __inner) = (&__o[0].0, &__o[0].1);\n\
+             match __k.as_str() {{\n"
+        );
+        for v in vars {
+            let vname = rename(&attrs.rename_all, &v.name);
+            let arm = match &v.fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name}::{})", v.name),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}::{}(\
+                     ::serde::Deserialize::deserialize_value(__inner)?))",
+                    v.name
+                ),
+                Fields::Named(fs) => format!(
+                    "{{\nlet __o2 = __inner.as_object().ok_or_else(|| \
+                     ::serde::de::Error::msg(\
+                     \"expected object for variant `{vname}` of {name}\"))?;\n\
+                     ::std::result::Result::Ok({})\n}}",
+                    named_fields_ctor(&format!("{name}::{}", v.name), fs, "__o2", name)
+                ),
+                Fields::Tuple(n) => {
+                    panic!("serde stub: {n}-element tuple variant in enum `{name}`")
+                }
+            };
+            s += &format!("\"{vname}\" => {arm},\n");
+        }
+        s += &format!(
+            "__other => ::std::result::Result::Err(::serde::de::Error::msg(\
+             format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}"
+        );
+        s
+    }
+}

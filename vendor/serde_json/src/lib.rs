@@ -1,0 +1,471 @@
+//! Offline stand-in for `serde_json` over the vendored `serde` value model.
+//!
+//! Behaviour intentionally mirrors upstream where the workspace can observe
+//! it: compact output has no whitespace, pretty output indents by two
+//! spaces, non-finite floats serialize as `null`, `u64` values round-trip
+//! exactly, and floats print via Rust's shortest-roundtrip formatting
+//! (`1.0` stays `1.0`, not `1`).
+
+// Vendored stand-in: keep the upstream-compatible surface, not our lint style.
+#![allow(clippy::all)]
+
+pub use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Convenience alias used by the public functions.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.serialize_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.serialize_value(), &mut out, Some("  "), 0);
+    Ok(out)
+}
+
+/// Serializes `value` as a compact JSON byte vector.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse(s)?;
+    T::deserialize_value(&value).map_err(Error::from)
+}
+
+/// Deserializes a `T` from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<&str>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(x) => write_float(*x, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(item, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, level: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_float(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // `{:?}` is Rust's shortest round-trip formatting: integral values
+        // keep a ".0" suffix and huge magnitudes use exponent notation,
+        // both of which are valid JSON and match upstream's ryu output
+        // closely enough for this workspace.
+        out.push_str(&format!("{x:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn parse(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                let combined = 0x10000
+                                    + ((hi - 0xD800) << 10)
+                                    + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| Error::new("invalid \\u escape"))?);
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through untouched; back
+                    // up and copy the whole char.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos += 4;
+        u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(i) = stripped.parse::<u64>() {
+                    if i <= i64::MAX as u64 {
+                        return Ok(Value::I64(-(i as i64)));
+                    }
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+        let x: f64 = from_str("2.5e3").unwrap();
+        assert_eq!(x, 2500.0);
+        let u: u64 = from_str("18446744073709551615").unwrap();
+        assert_eq!(u, u64::MAX);
+    }
+
+    #[test]
+    fn round_trips_collections() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        let back: Vec<u32> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        let empty: Vec<f64> = from_str("[]").unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v: Vec<u32> = vec![1, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn parses_nested_objects() {
+        let v: Value = super::parse(r#"{"a": {"b": [1, 2.5, "x"]}, "c": null}"#).unwrap();
+        let Value::Object(fields) = &v else { panic!() };
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].0, "a");
+        assert_eq!(fields[1], ("c".to_string(), Value::Null));
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let s: String = from_str(r#""é😀""#).unwrap();
+        assert_eq!(s, "é😀");
+    }
+
+    #[test]
+    fn from_slice_works() {
+        let x: Vec<u64> = from_slice(b"[9]").unwrap();
+        assert_eq!(x, vec![9]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<bool>("tru").is_err());
+        assert!(from_str::<u64>("[1").is_err());
+        assert!(from_str::<u64>("1 2").is_err());
+    }
+}
