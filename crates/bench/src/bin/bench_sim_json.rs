@@ -1,5 +1,6 @@
 //! Machine-readable simulator throughput: events per second for every
-//! policy at two scales, written as JSON for regression tracking.
+//! policy at two scales, plus replication-sweep wall-clock at 1 vs N
+//! pool threads, written as JSON for regression tracking.
 //!
 //! ```text
 //! cargo run --release -p dgsched-bench --bin bench_sim_json [--out BENCH_sim.json]
@@ -7,10 +8,15 @@
 //!
 //! `paper` is the study's own scale (100 machines); `large` is the
 //! many-machine / many-bag regime where the scheduler's incremental
-//! indices matter (a fleet that is mostly idle at any instant).
+//! indices matter (a fleet that is mostly idle at any instant). The
+//! `sweep` section times `run_matrix` over an F1a-derived scenario grid
+//! sequentially and on the work-stealing pool, and cross-checks that
+//! both runs serialise byte-identically.
 
+use dgsched_core::experiment::{fig1_panels, run_matrix, Scenario, WorkloadKind};
 use dgsched_core::policy::PolicyKind;
 use dgsched_core::sim::{simulate, SimConfig};
+use dgsched_des::stats::StoppingRule;
 use dgsched_grid::{Availability, CheckpointConfig, GridConfig, Heterogeneity};
 use dgsched_workload::{BotType, Intensity, WorkloadSpec};
 use rand::SeedableRng;
@@ -34,10 +40,89 @@ struct BenchRow {
     events_per_s: f64,
 }
 
+/// One timed `run_matrix` execution at a fixed pool width.
+#[derive(Serialize)]
+struct SweepRun {
+    threads: usize,
+    wall_s: f64,
+}
+
+/// Replication-sweep throughput: the same F1a-derived scenario grid at
+/// 1 thread and at the pool's default width.
+#[derive(Serialize)]
+struct SweepBench {
+    scenarios: usize,
+    replications_min: u64,
+    replications_max: u64,
+    cores: usize,
+    runs: Vec<SweepRun>,
+    /// wall(1 thread) / wall(widest run); ≈ 1.0 on a single-core host.
+    speedup: f64,
+    /// True when every timed run serialised byte-identical JSON — the
+    /// determinism contract, re-checked on the bench workload itself.
+    identical_json: bool,
+}
+
 #[derive(Serialize)]
 struct BenchDoc {
     unit: &'static str,
     benchmarks: Vec<BenchRow>,
+    sweep: SweepBench,
+}
+
+/// The sweep workload: Fig. 1(a)'s panel (Hom-HighAvail, low intensity)
+/// over two granularities and all five policies, scaled so one full
+/// matrix takes seconds, not minutes.
+fn sweep_matrix() -> Vec<Scenario> {
+    let panel = fig1_panels().remove(0);
+    let mut scenarios = panel.scenarios_for(&[1_000.0, 5_000.0], &PolicyKind::all(), 10, 2);
+    for s in &mut scenarios {
+        if let WorkloadKind::Single(spec) = &mut s.workload {
+            spec.bot_type.app_size = 200.0 * spec.bot_type.granularity;
+        }
+    }
+    scenarios
+}
+
+fn bench_sweep() -> SweepBench {
+    let scenarios = sweep_matrix();
+    let rule = StoppingRule {
+        min_replications: 5,
+        max_replications: 10,
+        ..Default::default()
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // On a many-core host the second run is the pool's natural width; on
+    // small hosts it is forced to 4 so the pool (and its determinism) is
+    // exercised for real even when no speedup is physically possible.
+    let widths = [1usize, rayon::current_num_threads().max(4)];
+    let mut runs = Vec::new();
+    let mut jsons = Vec::new();
+    for &threads in &widths {
+        let t0 = Instant::now();
+        let results = rayon::with_num_threads(threads, || run_matrix(&scenarios, 42, &rule));
+        let wall_s = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "sweep  {:>2} threads  {:>6.2} s  ({} scenarios)",
+            threads,
+            wall_s,
+            results.len()
+        );
+        jsons.push(serde_json::to_string(&results).expect("sweep serialises"));
+        runs.push(SweepRun { threads, wall_s });
+    }
+    let identical_json = jsons.windows(2).all(|w| w[0] == w[1]);
+    assert!(identical_json, "sweep results diverged across pool widths");
+    let speedup = runs[0].wall_s / runs[runs.len() - 1].wall_s;
+    SweepBench {
+        scenarios: scenarios.len(),
+        replications_min: rule.min_replications,
+        replications_max: rule.max_replications,
+        cores,
+        runs,
+        speedup,
+        identical_json,
+    }
 }
 
 fn scales() -> Vec<Scale> {
@@ -141,6 +226,7 @@ fn main() {
     let doc = BenchDoc {
         unit: "events/s",
         benchmarks: rows,
+        sweep: bench_sweep(),
     };
     std::fs::write(
         &out_path,

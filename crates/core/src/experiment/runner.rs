@@ -4,6 +4,24 @@
 //! Replication `r` of every scenario draws its grid, workload and failure
 //! traces from seed streams keyed by `(base_seed, r)` only — *not* by
 //! policy — so policies are compared under common random numbers.
+//!
+//! ## Thread-count invariance
+//!
+//! The sweep runs on a real thread pool, so every statistical decision is
+//! kept independent of how work lands on threads:
+//!
+//! * replication `r` is always seeded from `(base_seed, r)`, wherever it
+//!   executes;
+//! * workers return per-replication [`Welford`] partials which are merged
+//!   (fork/join, [`Welford::merge`]) into the scenario accumulators in
+//!   replication-index order;
+//! * the stopping rule is evaluated after each *absorbed* replication, in
+//!   index order, so the stopping index is a pure function of the
+//!   replication results — the batch width is only a speculation knob:
+//!   replications past the stopping index are discarded, never absorbed.
+//!
+//! Consequently `run_matrix` produces byte-identical JSON at any pool
+//! width (`tests/parallel_determinism.rs` pins this).
 
 use super::scenario::Scenario;
 use crate::sim::{simulate, RunResult, SimConfig};
@@ -12,16 +30,17 @@ use dgsched_des::stats::{ConfidenceInterval, StoppingRule, Welford};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
 
 /// Aggregated result of one scenario across replications.
 ///
-/// Every field is finite, whatever happened during the run: when all
-/// replications saturate there are no usable observations, and the CIs
-/// are reported as `mean 0.0 ± 0.0` over `n` draws actually used (0).
-/// Consumers must gate on [`saturated`](Self::saturated) — the paper's
-/// "bar beyond the frame" — before reading the statistics, exactly as
-/// the report table does.
+/// Every field is finite, whatever happened during the run. A saturated
+/// scenario carries **no** partial statistics: observations gathered
+/// before (or speculatively after) the saturating replication are
+/// dropped wholesale, the CIs are reported as `mean 0.0 ± 0.0` over 0
+/// draws, and `replication_means` is empty. Consumers must gate on
+/// [`saturated`](Self::saturated) — the paper's "bar beyond the frame" —
+/// before reading the statistics, exactly as the report table does.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioResult {
     /// Scenario name.
@@ -36,14 +55,16 @@ pub struct ScenarioResult {
     pub makespan: ConfidenceInterval,
     /// Mean wasted-occupancy fraction across replications.
     pub wasted_fraction: f64,
-    /// Replications executed.
+    /// Replications absorbed into the result (speculative replications
+    /// past the stopping index are not counted).
     pub replications: u64,
     /// Replications that saturated (hit horizon / event budget).
     pub saturated_replications: u64,
     /// True when the scenario is reported as saturated (the paper's "bar
     /// beyond the frame"): any replication failed to drain the workload.
     pub saturated: bool,
-    /// Per-replication turnaround means (for post-hoc analysis).
+    /// Per-replication turnaround means (for post-hoc analysis); empty
+    /// when `saturated`.
     pub replication_means: Vec<f64>,
 }
 
@@ -87,12 +108,12 @@ pub fn run_replication_traced(
 }
 
 /// A confidence interval that always serialises cleanly. With fewer than
-/// two usable replications — one batch that saturated everywhere leaves
-/// zero — [`ConfidenceInterval::from_welford`] reports an infinite
-/// half-width, which the JSON writer emits as `null` and a reader then
-/// rejects when parsing back into an `f64`. Reports clamp it to `0.0`;
-/// the `saturated` flag, not the interval, is what marks the result as
-/// off the chart.
+/// two usable replications — a saturated scenario has zero —
+/// [`ConfidenceInterval::from_welford`] reports an infinite half-width,
+/// which the JSON writer emits as `null` and a reader then rejects when
+/// parsing back into an `f64`. Reports clamp it to `0.0`; the
+/// `saturated` flag, not the interval, is what marks the result as off
+/// the chart.
 fn reportable_ci(w: &Welford, level: f64) -> ConfidenceInterval {
     let mut ci = ConfidenceInterval::from_welford(w, level);
     if !ci.half_width.is_finite() {
@@ -101,71 +122,151 @@ fn reportable_ci(w: &Welford, level: f64) -> ConfidenceInterval {
     ci
 }
 
-/// Runs a scenario with the sequential stopping rule, replications in
-/// parallel batches.
-pub fn run_scenario(scenario: &Scenario, base_seed: u64, rule: &StoppingRule) -> ScenarioResult {
-    let mut turnaround = Welford::new();
-    let mut waiting = Welford::new();
-    let mut makespan = Welford::new();
-    let mut wasted = Welford::new();
-    let mut means = Vec::new();
-    let mut saturated_reps = 0u64;
-    let mut next_rep = 0u64;
+/// Per-replication statistics, computed on the worker that ran the
+/// replication: the fork half of the fork/join reduction. Each metric is
+/// a single-observation [`Welford`] (empty when the replication
+/// saturated) so the join half is a plain [`Welford::merge`] fold.
+#[derive(Debug, Clone, Default)]
+struct RepSummary {
+    saturated: bool,
+    turnaround: Welford,
+    waiting: Welford,
+    makespan: Welford,
+    wasted: Welford,
+    mean_turnaround: f64,
+}
 
-    loop {
-        // Batch size: reach the minimum first, then grow in small steps.
+impl RepSummary {
+    fn of(r: &RunResult) -> Self {
+        let mut s = RepSummary {
+            saturated: r.saturated,
+            ..Default::default()
+        };
+        if !r.saturated {
+            s.mean_turnaround = r.mean_turnaround();
+            s.turnaround.push(s.mean_turnaround);
+            s.waiting.push(r.mean_waiting());
+            s.makespan.push(r.mean_makespan());
+            s.wasted.push(r.wasted_fraction());
+        }
+        s
+    }
+}
+
+/// The join half of the reduction: scenario-level accumulators fed by
+/// merging [`RepSummary`] partials in replication-index order.
+#[derive(Debug, Default)]
+struct ScenarioAccum {
+    turnaround: Welford,
+    waiting: Welford,
+    makespan: Welford,
+    wasted: Welford,
+    means: Vec<f64>,
+    saturated_reps: u64,
+}
+
+impl ScenarioAccum {
+    fn absorb(&mut self, s: &RepSummary) {
+        if s.saturated {
+            self.saturated_reps += 1;
+        } else {
+            self.turnaround.merge(&s.turnaround);
+            self.waiting.merge(&s.waiting);
+            self.makespan.merge(&s.makespan);
+            self.wasted.merge(&s.wasted);
+            self.means.push(s.mean_turnaround);
+        }
+    }
+
+    /// Packages the accumulated state. A saturated scenario reports no
+    /// partial statistics: whatever clean observations the saturating
+    /// sweep gathered are dropped, so consumers can never mistake a
+    /// fragment of a diverging scenario for a measured mean.
+    fn into_result(
+        mut self,
+        scenario: &Scenario,
+        rule: &StoppingRule,
+        replications: u64,
+    ) -> ScenarioResult {
+        let saturated = self.saturated_reps > 0;
+        if saturated {
+            self.turnaround = Welford::new();
+            self.waiting = Welford::new();
+            self.makespan = Welford::new();
+            self.wasted = Welford::new();
+            self.means = Vec::new();
+        }
+        ScenarioResult {
+            name: scenario.name.clone(),
+            policy: scenario.policy.paper_name().to_string(),
+            turnaround: reportable_ci(&self.turnaround, rule.level),
+            waiting: reportable_ci(&self.waiting, rule.level),
+            makespan: reportable_ci(&self.makespan, rule.level),
+            wasted_fraction: self.wasted.mean(),
+            replications,
+            saturated_replications: self.saturated_reps,
+            saturated,
+            replication_means: self.means,
+        }
+    }
+}
+
+/// Runs a scenario with the sequential stopping rule, replications in
+/// parallel batches sized to the pool width.
+pub fn run_scenario(scenario: &Scenario, base_seed: u64, rule: &StoppingRule) -> ScenarioResult {
+    let mut acc = ScenarioAccum::default();
+    let width = rayon::current_num_threads().max(1) as u64;
+    let mut next_rep = 0u64;
+    let mut stop: Option<u64> = None;
+
+    while stop.is_none() {
+        // Batch size: reach the minimum first, then run pool-width batches
+        // (speculatively — absorption below may stop mid-batch).
         let batch = if next_rep < rule.min_replications {
             rule.min_replications - next_rep
         } else {
-            (rule.max_replications - next_rep).min(4)
+            (rule.max_replications - next_rep).min(width)
         };
         if batch == 0 {
             break;
         }
-        let results: Vec<RunResult> = (next_rep..next_rep + batch)
+        let summaries: Vec<RepSummary> = (next_rep..next_rep + batch)
             .into_par_iter()
-            .map(|rep| run_replication(scenario, base_seed, rep))
+            .map(|rep| RepSummary::of(&run_replication(scenario, base_seed, rep)))
             .collect();
-        next_rep += batch;
-        for r in &results {
-            if r.saturated {
-                saturated_reps += 1;
-            } else {
-                let m = r.mean_turnaround();
-                turnaround.push(m);
-                waiting.push(r.mean_waiting());
-                makespan.push(r.mean_makespan());
-                wasted.push(r.wasted_fraction());
-                means.push(m);
+        // Absorb in replication order, re-evaluating the stopping rule
+        // after every replication: the stopping index — and therefore the
+        // result — cannot depend on the batch width. A saturated
+        // replication means the scenario is operationally unstable; more
+        // replications cannot tighten anything meaningful.
+        for (i, s) in summaries.iter().enumerate() {
+            acc.absorb(s);
+            let done = next_rep + i as u64 + 1;
+            if done >= rule.min_replications
+                && (acc.saturated_reps > 0
+                    || done >= rule.max_replications
+                    || rule.satisfied(&acc.turnaround))
+            {
+                stop = Some(done);
+                break;
             }
         }
-        // A saturated replication means the scenario is operationally
-        // unstable; more replications cannot tighten anything meaningful.
-        if saturated_reps > 0 {
-            break;
-        }
-        if rule.satisfied(&turnaround) {
-            break;
-        }
+        next_rep += batch;
     }
 
-    ScenarioResult {
-        name: scenario.name.clone(),
-        policy: scenario.policy.paper_name().to_string(),
-        turnaround: reportable_ci(&turnaround, rule.level),
-        waiting: reportable_ci(&waiting, rule.level),
-        makespan: reportable_ci(&makespan, rule.level),
-        wasted_fraction: wasted.mean(),
-        replications: next_rep,
-        saturated_replications: saturated_reps,
-        saturated: saturated_reps > 0,
-        replication_means: means,
-    }
+    let replications = stop.unwrap_or(next_rep);
+    acc.into_result(scenario, rule, replications)
 }
 
 /// Runs a list of scenarios, scenarios in parallel, reporting completion
 /// through `progress` (called with `(done, total, name)` after each
 /// scenario finishes).
+///
+/// `done` is strictly increasing across calls and `name` is the
+/// scenario completed by the `done`-th finish. Reporting never blocks
+/// the sweep: a worker that finishes while another worker is inside the
+/// (possibly slow) callback hands its completion to that worker's drain
+/// loop instead of waiting.
 pub fn run_matrix_with_progress<F>(
     scenarios: &[Scenario],
     base_seed: u64,
@@ -175,14 +276,37 @@ pub fn run_matrix_with_progress<F>(
 where
     F: Fn(usize, usize, &str) + Send + Sync,
 {
-    let done = AtomicUsize::new(0);
-    let progress = Mutex::new(progress);
+    let total = scenarios.len();
+    // Completed-scenario names, in completion order, waiting to be
+    // reported. Whoever holds `reporter` (the running `done` count)
+    // drains the queue; `try_lock` keeps everyone else moving.
+    let pending: Mutex<VecDeque<String>> = Mutex::new(VecDeque::new());
+    let reporter: Mutex<usize> = Mutex::new(0);
     scenarios
         .par_iter()
         .map(|s| {
             let r = run_scenario(s, base_seed, rule);
-            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-            (progress.lock())(d, scenarios.len(), &s.name);
+            pending.lock().push_back(s.name.clone());
+            loop {
+                // If another worker holds the reporter lock, it will pick
+                // up the name we just queued (its post-drop re-check below
+                // closes the race), so this worker returns to sweep work.
+                let Some(mut done) = reporter.try_lock() else {
+                    break;
+                };
+                loop {
+                    let name = pending.lock().pop_front();
+                    let Some(name) = name else { break };
+                    *done += 1;
+                    progress(*done, total, &name);
+                }
+                drop(done);
+                // A completion queued between our final pop and the drop
+                // would otherwise go unreported until the next finish.
+                if pending.lock().is_empty() {
+                    break;
+                }
+            }
             r
         })
         .collect()
@@ -204,6 +328,7 @@ mod tests {
     use crate::policy::PolicyKind;
     use dgsched_grid::{Availability, GridConfig, Heterogeneity};
     use dgsched_workload::{BotType, Intensity, WorkloadSpec};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn small_scenario(policy: PolicyKind) -> Scenario {
         Scenario {
@@ -235,6 +360,21 @@ mod tests {
             max_replications: 5,
             ..Default::default()
         }
+    }
+
+    fn summary(saturated: bool, mean: f64) -> RepSummary {
+        let mut s = RepSummary {
+            saturated,
+            ..Default::default()
+        };
+        if !saturated {
+            s.mean_turnaround = mean;
+            s.turnaround.push(mean);
+            s.waiting.push(mean / 2.0);
+            s.makespan.push(mean * 2.0);
+            s.wasted.push(0.1);
+        }
+        s
     }
 
     #[test]
@@ -322,6 +462,70 @@ mod tests {
     }
 
     #[test]
+    fn saturated_batch_drops_partial_statistics() {
+        // A sweep that mixes clean and saturated replications must not
+        // leak the clean observations into a `saturated: true` result.
+        let s = small_scenario(PolicyKind::Rr);
+        let rule = quick_rule();
+        let mut acc = ScenarioAccum::default();
+        for rep in [
+            summary(false, 100.0),
+            summary(false, 120.0),
+            summary(true, 0.0),
+        ] {
+            acc.absorb(&rep);
+        }
+        assert_eq!(acc.saturated_reps, 1);
+        assert_eq!(acc.means.len(), 2, "clean reps absorbed before the stop");
+        let r = acc.into_result(&s, &rule, 3);
+        assert!(r.saturated);
+        assert_eq!(r.saturated_replications, 1);
+        assert_eq!(r.replications, 3);
+        assert!(
+            r.replication_means.is_empty(),
+            "partial statistics must be dropped on saturation"
+        );
+        for ci in [&r.turnaround, &r.waiting, &r.makespan] {
+            assert_eq!(ci.n, 0);
+            assert_eq!(ci.mean, 0.0);
+            assert_eq!(ci.half_width, 0.0);
+        }
+        assert_eq!(r.wasted_fraction, 0.0);
+    }
+
+    #[test]
+    fn merge_fold_matches_streaming_pushes() {
+        // The fork/join reduction (singleton Welford + ordered merge) must
+        // agree with plain streaming pushes to fp tolerance.
+        let means = [100.0, 120.0, 95.0, 110.0, 130.0, 105.0];
+        let mut acc = ScenarioAccum::default();
+        let mut streamed = Welford::new();
+        for &m in &means {
+            acc.absorb(&summary(false, m));
+            streamed.push(m);
+        }
+        assert_eq!(acc.turnaround.count(), streamed.count());
+        assert!((acc.turnaround.mean() - streamed.mean()).abs() < 1e-12);
+        assert!((acc.turnaround.variance() - streamed.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scenario_result_is_invariant_to_pool_width() {
+        let s = small_scenario(PolicyKind::FcfsShare);
+        let rule = quick_rule();
+        let runs: Vec<String> = [1usize, 2, 4]
+            .iter()
+            .map(|&w| {
+                rayon::with_num_threads(w, || {
+                    serde_json::to_string(&run_scenario(&s, 7, &rule)).unwrap()
+                })
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "1 vs 2 threads");
+        assert_eq!(runs[0], runs[2], "1 vs 4 threads");
+    }
+
+    #[test]
     fn matrix_runs_all_and_reports_progress() {
         let scenarios: Vec<Scenario> = [PolicyKind::Rr, PolicyKind::FcfsShare]
             .map(small_scenario)
@@ -335,5 +539,34 @@ mod tests {
         assert_eq!(count.load(Ordering::Relaxed), 2);
         let names: Vec<&str> = results.iter().map(|r| r.policy.as_str()).collect();
         assert!(names.contains(&"RR") && names.contains(&"FCFS-Share"));
+    }
+
+    #[test]
+    fn progress_done_is_monotone_under_threads() {
+        let scenarios: Vec<Scenario> = [
+            PolicyKind::Rr,
+            PolicyKind::FcfsShare,
+            PolicyKind::LongIdle,
+            PolicyKind::FcfsExcl,
+        ]
+        .map(small_scenario)
+        .to_vec();
+        let seen = Mutex::new(Vec::new());
+        let results = rayon::with_num_threads(4, || {
+            run_matrix_with_progress(&scenarios, 3, &quick_rule(), |d, t, name| {
+                assert_eq!(t, 4);
+                seen.lock().push((d, name.to_string()));
+            })
+        });
+        assert_eq!(results.len(), 4);
+        let seen = seen.into_inner();
+        assert_eq!(seen.len(), 4, "every completion reported exactly once");
+        let dones: Vec<usize> = seen.iter().map(|(d, _)| *d).collect();
+        assert_eq!(dones, vec![1, 2, 3, 4], "done is strictly increasing");
+        let mut names: Vec<String> = seen.into_iter().map(|(_, n)| n).collect();
+        names.sort();
+        let mut expect: Vec<String> = scenarios.iter().map(|s| s.name.clone()).collect();
+        expect.sort();
+        assert_eq!(names, expect, "each scenario reported once");
     }
 }

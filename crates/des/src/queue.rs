@@ -186,6 +186,33 @@ impl<E> Default for CalendarQueue<E> {
 impl<E> CalendarQueue<E> {
     const MIN_BUCKETS: usize = 4;
 
+    /// Largest quotient `t / width` the index/anchor math treats as an
+    /// exact integer; beyond this, `floor`/casts lose whole years.
+    const MAX_EXACT_QUOTIENT: f64 = (1u64 << 53) as f64;
+
+    /// Start of the calendar year containing `t`: the largest multiple of
+    /// `width` at or below `t`. Two far-future hazards are handled here.
+    /// `t / width` can exceed integer fp precision (or overflow to ∞), in
+    /// which case the year is anchored at `t` itself — a legal anchor,
+    /// since the scan only needs `year_start ≤ t`. And `⌊t/width⌋·width`
+    /// can land *past* `t` when `t / width` rounds up to a whole integer,
+    /// which would let the forward scan skip an event at exactly `t`; the
+    /// result is clamped back below `t`.
+    fn year_start(t: f64, width: f64) -> f64 {
+        let q = t / width;
+        if !q.is_finite() || q.abs() >= Self::MAX_EXACT_QUOTIENT {
+            return t;
+        }
+        let mut start = q.floor() * width;
+        if start > t {
+            start -= width;
+        }
+        if start > t || !start.is_finite() {
+            start = t;
+        }
+        start
+    }
+
     /// Creates an empty calendar queue with default geometry.
     pub fn new() -> Self {
         CalendarQueue {
@@ -203,7 +230,23 @@ impl<E> CalendarQueue<E> {
 
     #[inline]
     fn bucket_index(&self, t: f64) -> usize {
-        ((t / self.bucket_width) as usize) % self.buckets.len()
+        let n = self.buckets.len();
+        let q = t / self.bucket_width;
+        if q.is_finite() && q < Self::MAX_EXACT_QUOTIENT {
+            (q as usize) % n
+        } else {
+            // Far-future events: `q as usize` saturates at usize::MAX,
+            // aliasing every such event into one bucket. fp remainder is
+            // exact, so spread them by their true year index instead; the
+            // `t < year_end` guard in the scan keeps ordering correct
+            // whatever bucket an event lands in.
+            let r = q.rem_euclid(n as f64);
+            if r.is_finite() {
+                (r as usize).min(n - 1)
+            } else {
+                0
+            }
+        }
     }
 
     /// Estimates a good bucket width by sampling inter-event gaps near the
@@ -243,8 +286,8 @@ impl<E> CalendarQueue<E> {
         } else {
             self.cursor_time
         };
-        self.cursor = ((anchor / self.bucket_width) as usize) % self.buckets.len();
-        self.cursor_time = (anchor / self.bucket_width).floor() * self.bucket_width;
+        self.cursor = self.bucket_index(anchor);
+        self.cursor_time = Self::year_start(anchor, self.bucket_width);
         for e in old {
             let idx = self.bucket_index(e.time.as_secs());
             self.buckets[idx].push(e);
@@ -319,7 +362,7 @@ impl<E> CalendarQueue<E> {
         let (bi, pi) = self.find_min()?;
         let t = self.buckets[bi][pi].time.as_secs();
         self.cursor = bi;
-        self.cursor_time = (t / self.bucket_width).floor() * self.bucket_width;
+        self.cursor_time = Self::year_start(t, self.bucket_width);
         Some((bi, pi))
     }
 
@@ -343,7 +386,7 @@ impl<E> PendingEvents<E> for CalendarQueue<E> {
         // later event first.
         if t < self.cursor_time {
             self.cursor = idx;
-            self.cursor_time = (t / self.bucket_width).floor() * self.bucket_width;
+            self.cursor_time = Self::year_start(t, self.bucket_width);
         }
         self.maybe_grow();
         id
@@ -555,6 +598,78 @@ mod tests {
         let mut sorted = times.to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn calendar_far_future_does_not_collapse() {
+        let mut q = CalendarQueue::new();
+        // A dense cluster first, so the adaptive resize settles on a small
+        // bucket width…
+        for i in 0..64 {
+            q.schedule(SimTime::new(i as f64 * 1e-3), i);
+        }
+        // …then events so far out that t / bucket_width leaves the exact
+        // integer range entirely (the old index math saturated here and the
+        // anchor could become non-finite).
+        let far = [1e12, 2.5e18, 5e15, 1e300, 3e299];
+        for (j, &t) in far.iter().enumerate() {
+            q.schedule(SimTime::new(t), 1000 + j as u32);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, _, _)) = q.pop() {
+            popped.push(t.as_secs());
+        }
+        assert_eq!(popped.len(), 64 + far.len());
+        assert!(
+            popped.windows(2).all(|w| w[0] <= w[1]),
+            "pop order regressed: {popped:?}"
+        );
+        assert_eq!(popped[popped.len() - 1], 1e300);
+    }
+
+    #[test]
+    fn calendar_interleaves_near_and_far_after_resize() {
+        let mut q = CalendarQueue::<u32>::new();
+        let far = q.schedule(SimTime::new(1e307), 0);
+        for i in 0..32 {
+            q.schedule(SimTime::new(1.0 + i as f64), 1 + i);
+        }
+        // Popping the near cluster triggers shrink-resizes whose anchor is
+        // re-derived while the far event is still live.
+        for want in 1..=32 {
+            assert_eq!(q.pop().unwrap().2, want);
+        }
+        assert!(!q.cancel(EventId::NONE));
+        assert_eq!(
+            q.pop().map(|(t, id, _)| (t.as_secs(), id)),
+            Some((1e307, far))
+        );
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn calendar_year_start_never_exceeds_anchor() {
+        type Q = CalendarQueue<u32>;
+        // The fp-rounding trap: t / width rounds UP to a whole integer, so
+        // ⌊t/w⌋·w lands past t unless clamped.
+        let cases = [
+            (1e16 + 2.0, 3.0),
+            (0.3, 0.1),
+            (1e305, 1e-9),   // quotient overflows to ∞
+            (7.0e18, 0.125), // quotient beyond 2^53
+            (0.0, 1.0),
+            (5.0, 1.0),
+        ];
+        for (t, w) in cases {
+            let start = Q::year_start(t, w);
+            assert!(start.is_finite(), "year_start({t}, {w}) not finite");
+            assert!(start <= t, "year_start({t}, {w}) = {start} > anchor");
+            // The anchor must stay within one year of t whenever the
+            // quotient is exactly representable.
+            if (t / w).is_finite() && t / w < Q::MAX_EXACT_QUOTIENT {
+                assert!(t - start <= 2.0 * w, "anchor drifted: {t} {w} {start}");
+            }
+        }
     }
 
     #[test]

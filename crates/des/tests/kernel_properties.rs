@@ -153,3 +153,48 @@ proptest! {
         prop_assert_eq!(engine.processed(), check.handled as u64);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The calendar queue must pop in non-decreasing time order even when
+    /// event times span the whole fp horizon — clusters that shrink the
+    /// adaptive bucket width followed by events so far in the future that
+    /// `t / bucket_width` leaves the exact-integer range (the regime where
+    /// the old `as usize` index saturated and the `⌊t/w⌋·w` anchor math
+    /// overflowed or rounded past the anchor).
+    #[test]
+    fn calendar_queue_survives_extreme_horizons(
+        times in proptest::collection::vec(prop_oneof![
+            Just(0.0f64),
+            0.0f64..1e3,
+            1e3f64..1e9,
+            1e12f64..1e18,
+            1e295f64..1e305,
+        ], 1..48),
+        cancel_mask in 0u64..u64::MAX,
+    ) {
+        let mut q = dgsched_des::queue::CalendarQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::new(t), i as u32))
+            .collect();
+        let mut live: Vec<f64> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if (cancel_mask >> (i % 64)) & 1 == 1 {
+                prop_assert!(q.cancel(*id));
+            } else {
+                live.push(times[i]);
+            }
+        }
+        prop_assert_eq!(q.len(), live.len());
+        let mut popped = Vec::new();
+        while let Some((t, _, _)) = q.pop() {
+            popped.push(t.as_secs());
+        }
+        live.sort_by(|a, b| a.total_cmp(b));
+        prop_assert_eq!(&popped, &live, "pop order must equal sorted live times");
+        prop_assert!(q.pop().is_none());
+    }
+}

@@ -10,6 +10,15 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> parallel-determinism gate: threads forced to 1, forced to 4, and default"
+# The test compares run_matrix JSON across pool widths in-process; running
+# it under three different environment baselines re-proves the equality
+# whatever DGSCHED_THREADS/RAYON_NUM_THREADS resolve to, and fails on any
+# diff.
+DGSCHED_THREADS=1 cargo test -q -p dgsched-core --test parallel_determinism
+DGSCHED_THREADS=4 cargo test -q -p dgsched-core --test parallel_determinism
+cargo test -q -p dgsched-core --test parallel_determinism
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

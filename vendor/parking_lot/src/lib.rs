@@ -1,10 +1,16 @@
 //! Offline stand-in for `parking_lot`, backed by `std::sync`. The visible
-//! difference from std that callers rely on — `lock()` returning the guard
-//! directly instead of a `Result` — is preserved by recovering from
-//! poisoning.
+//! differences from std that callers rely on are preserved: `lock()`/
+//! `read()`/`write()` return the guard directly instead of a `Result`
+//! (recovering from poisoning, which upstream parking_lot does not have),
+//! and `try_lock`-style probes return `Option` rather than
+//! `Result<_, TryLockError>`. The sweep runner leans on `try_lock` for
+//! its non-blocking progress reporter, so these locks see genuine
+//! cross-thread contention — the tests below exercise exactly that.
 
 // Vendored stand-in: keep the upstream-compatible surface, not our lint style.
 #![allow(clippy::all)]
+
+use std::sync::TryLockError;
 
 /// A mutex whose `lock` never returns a poison error.
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
@@ -29,6 +35,30 @@ impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
+
+    /// Acquires the lock only if it is free right now. `None` means some
+    /// other thread holds it — never that the lock is poisoned.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (the `&mut` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// True when some thread currently holds the lock. Inherently racy:
+    /// only useful for diagnostics, never for synchronisation.
+    pub fn is_locked(&self) -> bool {
+        match self.0.try_lock() {
+            Ok(_) | Err(TryLockError::Poisoned(_)) => false,
+            Err(TryLockError::WouldBlock) => true,
+        }
+    }
 }
 
 impl<T: Default> Default for Mutex<T> {
@@ -36,6 +66,12 @@ impl<T: Default> Default for Mutex<T> {
         Mutex::new(T::default())
     }
 }
+
+/// Guard type returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// Guard type returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
 
 /// A read–write lock whose accessors never return poison errors.
 pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
@@ -45,17 +81,51 @@ impl<T> RwLock<T> {
     pub fn new(value: T) -> Self {
         RwLock(std::sync::RwLock::new(value))
     }
+
+    /// Consumes the lock and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read guard.
-    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
         self.0.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Acquires an exclusive write guard.
-    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires a read guard only if no writer holds or is taking the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Acquires a write guard only if the lock is entirely free.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (the `&mut` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
     }
 }
 
@@ -69,5 +139,82 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_reports_contention() {
+        let m = Mutex::new(0);
+        {
+            let _held = m.lock();
+            assert!(m.try_lock().is_none(), "held elsewhere");
+            assert!(m.is_locked());
+        }
+        assert!(!m.is_locked());
+        *m.try_lock().expect("free now") += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn get_mut_bypasses_locking() {
+        let mut m = Mutex::new(vec![1, 2]);
+        m.get_mut().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mutex_counts_correctly_under_contention() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 1000;
+        let m = Mutex::new(0usize);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn mutex_recovers_from_poisoning() {
+        let m = std::sync::Arc::new(Mutex::new(7));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        // lock(), try_lock() and is_locked() all see through the poison.
+        assert_eq!(*m.lock(), 7);
+        assert_eq!(m.try_lock().map(|g| *g), Some(7));
+        assert!(!m.is_locked());
+    }
+
+    #[test]
+    fn rwlock_round_trip_and_probes() {
+        let l = RwLock::new(5);
+        {
+            let r1 = l.read();
+            let r2 = l.try_read().expect("readers share");
+            assert_eq!((*r1, *r2), (5, 5));
+            assert!(l.try_write().is_none(), "readers block writers");
+        }
+        *l.try_write().expect("free now") = 6;
+        {
+            let _w = l.write();
+            assert!(l.try_read().is_none(), "writer blocks readers");
+        }
+        assert_eq!(*l.read(), 6);
+        assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn rwlock_get_mut() {
+        let mut l = RwLock::new(String::from("a"));
+        l.get_mut().push('b');
+        assert_eq!(*l.read(), "ab");
     }
 }

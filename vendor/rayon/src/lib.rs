@@ -1,54 +1,341 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by a real work-stealing pool.
 //!
-//! `par_iter`/`into_par_iter` simply return the corresponding sequential
-//! iterators; callers keep the full `std::iter::Iterator` combinator
-//! surface (`map`, `collect`, …) and identical results, just without the
-//! thread pool. Determinism-sensitive code in this workspace never relied
-//! on parallel ordering anyway.
+//! `par_iter`/`into_par_iter` expose the upstream entry points, but the
+//! execution model is a self-contained chunked work-stealing pool over
+//! `std::thread::scope`: the input is materialised, split into small
+//! index-tagged chunks, dealt to per-worker deques, and workers steal
+//! from each other once their own deque drains. `map(..).collect()` is
+//! **order-preserving** — results are reassembled by chunk index, so the
+//! output is identical to the sequential run whatever the interleaving.
+//!
+//! Pool width resolution, in decreasing precedence:
+//!
+//! 1. [`with_num_threads`] — a scoped override that workers inherit, so
+//!    nested `par_iter` calls under the closure see the same width;
+//! 2. `DGSCHED_THREADS`, then `RAYON_NUM_THREADS` (a value of `0` or
+//!    anything unparsable falls through to the next source);
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! A width of 1 short-circuits to exactly the old sequential path: no
+//! threads are spawned and the closure runs on the caller in input order.
+//! A panic inside a worker aborts the remaining chunks and is re-raised
+//! on the calling thread with its original payload, like upstream rayon.
 
 // Vendored stand-in: keep the upstream-compatible surface, not our lint style.
 #![allow(clippy::all)]
 
-/// The parallel-iterator traits, sequentially implemented.
-pub mod prelude {
-    /// Conversion into a "parallel" (here: sequential) iterator.
-    pub trait IntoParallelIterator {
-        /// Item type.
-        type Item;
-        /// Iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Consumes `self` into an iterator.
-        fn into_par_iter(self) -> Self::Iter;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Scoped width override; inherited by pool workers so nested
+    /// `par_iter` calls resolve to the same width as their parent.
+    static WIDTH_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_width() -> Option<usize> {
+    for key in ["DGSCHED_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(key) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return Some(n);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The pool width `par_iter` executions will use right now.
+pub fn current_num_threads() -> usize {
+    WIDTH_OVERRIDE
+        .with(|w| w.get())
+        .or_else(env_width)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `f` with the pool width pinned to `n` (clamped to ≥ 1),
+/// restoring the previous setting afterwards. The override takes
+/// precedence over the environment and propagates into pool workers, so
+/// nested parallel calls under `f` use the same width. Vendored
+/// extension (upstream expresses this through `ThreadPool::install`).
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            WIDTH_OVERRIDE.with(|w| w.set(prev));
+        }
+    }
+    let _restore = Restore(WIDTH_OVERRIDE.with(|w| w.replace(Some(n.max(1)))));
+    f()
+}
+
+/// One unit of stealable work: a run of consecutive input items.
+struct Chunk<T> {
+    start: usize,
+    items: Vec<T>,
+}
+
+/// Order-preserving parallel map: the engine under every adapter.
+///
+/// Panics from `f` are re-raised on the caller with the original payload
+/// once in-flight chunks finish; unstarted chunks are abandoned.
+fn parallel_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let width = current_num_threads().min(n.max(1));
+    if width <= 1 {
+        // Exactly the historical sequential path: caller thread, input order.
+        return items.into_iter().map(f).collect();
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
+    // Small chunks (~4 per worker) so stealing can rebalance uneven work.
+    let chunk_len = n.div_ceil(width * 4).max(1);
+    let mut chunks: Vec<Chunk<T>> = Vec::new();
+    let mut start = 0usize;
+    let mut iter = items.into_iter();
+    while start < n {
+        let len = chunk_len.min(n - start);
+        let items: Vec<T> = iter.by_ref().take(len).collect();
+        chunks.push(Chunk { start, items });
+        start += len;
+    }
 
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+    // Deal contiguous runs of chunks to per-worker deques for locality.
+    let mut queues: Vec<Mutex<VecDeque<Chunk<T>>>> =
+        (0..width).map(|_| Mutex::new(VecDeque::new())).collect();
+    let per_worker = chunks.len().div_ceil(width);
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        let w = (i / per_worker).min(width - 1);
+        queues[w].get_mut().unwrap().push_back(chunk);
+    }
+
+    let done: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
+    let aborted = AtomicBool::new(false);
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let inherited_width = WIDTH_OVERRIDE.with(|w| w.get());
+
+    std::thread::scope(|scope| {
+        for me in 0..width {
+            let queues = &queues;
+            let done = &done;
+            let aborted = &aborted;
+            let panic_payload = &panic_payload;
+            scope.spawn(move || {
+                // Nested par_iter calls inside `f` see the caller's width.
+                WIDTH_OVERRIDE.with(|w| w.set(inherited_width));
+                loop {
+                    if aborted.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // Own deque first (LIFO side), then steal from the
+                    // front of the others' deques.
+                    let chunk = queues[me].lock().unwrap().pop_back().or_else(|| {
+                        (1..width)
+                            .find_map(|d| queues[(me + d) % width].lock().unwrap().pop_front())
+                    });
+                    let Some(chunk) = chunk else { return };
+                    let start = chunk.start;
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        chunk.items.into_iter().map(f).collect::<Vec<U>>()
+                    }));
+                    match out {
+                        Ok(out) => done.lock().unwrap().push((start, out)),
+                        Err(payload) => {
+                            let mut slot = panic_payload.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                            aborted.store(true, Ordering::Release);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(payload) = panic_payload.into_inner().unwrap() {
+        resume_unwind(payload);
+    }
+    let mut parts = done.into_inner().unwrap();
+    parts.sort_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(n);
+    for (_, part) in parts {
+        out.extend(part);
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let inherited = WIDTH_OVERRIDE.with(|w| w.get());
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(move || {
+            WIDTH_OVERRIDE.with(|w| w.set(inherited));
+            b()
+        });
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => resume_unwind(payload),
+        }
+    })
+}
+
+/// A materialised parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f` (executed on the pool at the sink).
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Calls `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map(self.items, &|x| f(x));
+    }
+
+    /// Collects the items in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items in input order.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// A pending order-preserving parallel map.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Fuses a second map stage onto this one.
+    pub fn map<V, G>(self, g: G) -> ParMap<T, impl Fn(T) -> V + Sync>
+    where
+        V: Send,
+        G: Fn(U) -> V + Sync,
+    {
+        let f = self.f;
+        ParMap {
+            items: self.items,
+            f: move |x| g(f(x)),
+        }
+    }
+
+    /// Runs the map on the pool, collecting results in input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Runs the map on the pool for its side effects.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync,
+    {
+        let f = self.f;
+        parallel_map(self.items, &|x| g(f(x)));
+    }
+
+    /// Runs the map on the pool and sums the results in input order.
+    pub fn sum<S: std::iter::Sum<U>>(self) -> S {
+        parallel_map(self.items, &self.f).into_iter().sum()
+    }
+}
+
+/// The parallel-iterator conversion traits.
+pub mod prelude {
+    use super::ParIter;
+
+    /// Conversion into an owned parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+        /// Consumes `self` into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I
+    where
+        I::Item: Send,
+    {
+        type Item = I::Item;
+
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 
     /// Borrowing version: `x.par_iter()` where `&x` is iterable.
     pub trait IntoParallelRefIterator<'a> {
         /// Item type.
-        type Item;
-        /// Iterator type.
-        type Iter: Iterator<Item = Self::Item>;
+        type Item: Send + 'a;
         /// Iterates over `&self`.
-        fn par_iter(&'a self) -> Self::Iter;
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
     }
 
     impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
     where
         &'a C: IntoIterator,
+        <&'a C as IntoIterator>::Item: Send,
     {
         type Item = <&'a C as IntoIterator>::Item;
-        type Iter = <&'a C as IntoIterator>::IntoIter;
 
-        fn par_iter(&'a self) -> Self::Iter {
-            self.into_iter()
+        fn par_iter(&'a self) -> ParIter<Self::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 }
@@ -56,6 +343,8 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn shims_behave_like_iterators() {
@@ -64,5 +353,116 @@ mod tests {
         let v = vec![1, 2, 3];
         let sum: i32 = v.par_iter().sum();
         assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn map_collect_preserves_order_under_threads() {
+        for width in [1, 2, 3, 4, 8] {
+            let out: Vec<u64> = with_num_threads(width, || {
+                (0u64..1000).into_par_iter().map(|x| x * x).collect()
+            });
+            let expect: Vec<u64> = (0u64..1000).map(|x| x * x).collect();
+            assert_eq!(out, expect, "width {width}");
+        }
+    }
+
+    #[test]
+    fn uneven_work_is_stolen_and_still_ordered() {
+        // Front-loaded heavy items exercise the stealing path.
+        let out: Vec<u64> = with_num_threads(4, || {
+            (0u64..64)
+                .into_par_iter()
+                .map(|x| {
+                    let spins = if x < 8 { 20_000 } else { 10 };
+                    let mut acc = x;
+                    for i in 0..spins {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    }
+                    std::hint::black_box(acc);
+                    x
+                })
+                .collect()
+        });
+        assert_eq!(out, (0u64..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn chained_maps_fuse() {
+        let out: Vec<String> = with_num_threads(3, || {
+            (0..10)
+                .into_par_iter()
+                .map(|x| x + 1)
+                .map(|x| x * 2)
+                .map(|x| format!("v{x}"))
+                .collect()
+        });
+        assert_eq!(out[9], "v20");
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn width_one_runs_on_the_caller_in_order() {
+        let caller = std::thread::current().id();
+        let order = Mutex::new(Vec::new());
+        with_num_threads(1, || {
+            (0..16).into_par_iter().for_each(|i| {
+                assert_eq!(std::thread::current().id(), caller);
+                order.lock().unwrap().push(i);
+            });
+        });
+        assert_eq!(order.into_inner().unwrap(), (0..16).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn panics_propagate_with_payload() {
+        let result = std::panic::catch_unwind(|| {
+            with_num_threads(4, || {
+                let _: Vec<i32> = (0..100)
+                    .into_par_iter()
+                    .map(|x| if x == 37 { panic!("boom at {x}") } else { x })
+                    .collect();
+            })
+        });
+        let payload = result.expect_err("worker panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 37"), "payload lost: {msg:?}");
+    }
+
+    #[test]
+    fn nested_par_iter_inherits_width() {
+        let seen = AtomicUsize::new(0);
+        with_num_threads(3, || {
+            (0..4).into_par_iter().for_each(|_| {
+                seen.fetch_max(current_num_threads(), Ordering::Relaxed);
+                let inner: Vec<i32> = (0..8).into_par_iter().map(|x| x).collect();
+                assert_eq!(inner, (0..8).collect::<Vec<i32>>());
+            });
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 3, "workers inherit override");
+        assert!(
+            WIDTH_OVERRIDE.with(|w| w.get()).is_none(),
+            "override restored"
+        );
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_panics() {
+        let (a, b) = with_num_threads(2, || join(|| 1 + 1, || "two"));
+        assert_eq!((a, b), (2, "two"));
+        let err =
+            std::panic::catch_unwind(|| with_num_threads(2, || join(|| 0, || panic!("right"))));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> =
+            with_num_threads(4, || Vec::<i32>::new().into_par_iter().map(|x| x).collect());
+        assert!(empty.is_empty());
+        let one: Vec<i32> = with_num_threads(4, || vec![7].into_par_iter().map(|x| x).collect());
+        assert_eq!(one, vec![7]);
     }
 }
