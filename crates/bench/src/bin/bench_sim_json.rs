@@ -15,7 +15,7 @@
 
 use dgsched_core::experiment::{fig1_panels, run_matrix, Scenario, WorkloadKind};
 use dgsched_core::policy::PolicyKind;
-use dgsched_core::sim::{simulate, SimConfig};
+use dgsched_core::sim::{simulate, simulate_instrumented, NullObserver, SimConfig, TraceRing};
 use dgsched_des::stats::StoppingRule;
 use dgsched_grid::{Availability, CheckpointConfig, GridConfig, Heterogeneity};
 use dgsched_workload::{BotType, Intensity, WorkloadSpec};
@@ -63,11 +63,105 @@ struct SweepBench {
     identical_json: bool,
 }
 
+/// Tracer overhead smoke: the same run plain, with the metrics registry,
+/// and with the registry plus a ring tracer. The instrumented runs must
+/// produce a byte-identical `RunResult` — the overhead contract is
+/// "passive, and cheap enough to leave on while debugging".
+#[derive(Serialize)]
+struct OverheadBench {
+    policy: &'static str,
+    events: u64,
+    plain_s: f64,
+    metrics_s: f64,
+    ring_s: f64,
+    /// wall(metrics + ring tracer) / wall(plain).
+    overhead_ratio: f64,
+    /// True when all three runs serialised byte-identical results.
+    identical_result: bool,
+}
+
 #[derive(Serialize)]
 struct BenchDoc {
     unit: &'static str,
     benchmarks: Vec<BenchRow>,
     sweep: SweepBench,
+    overhead: OverheadBench,
+}
+
+fn bench_overhead() -> OverheadBench {
+    let scale = scales().remove(0); // the paper-scale configuration
+    let grid = scale.grid.build(&mut rand::rngs::StdRng::seed_from_u64(1));
+    let workload = scale
+        .spec
+        .generate(&scale.grid, &mut rand::rngs::StdRng::seed_from_u64(2));
+    let kind = PolicyKind::LongIdle;
+    let cfg = SimConfig::with_seed(7);
+
+    let best_of = |f: &mut dyn FnMut() -> String| {
+        let mut best = f64::INFINITY;
+        let mut json = String::new();
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let j = f();
+            let dt = t0.elapsed().as_secs_f64();
+            if dt < best {
+                best = dt;
+                json = j;
+            }
+        }
+        (best, json)
+    };
+
+    let warm = simulate(&grid, &workload, kind, &cfg);
+    assert!(!warm.saturated, "overhead scenario saturated");
+    let events = warm.events;
+
+    let (plain_s, plain_json) = best_of(&mut || {
+        serde_json::to_string(&simulate(&grid, &workload, kind, &cfg)).expect("serialises")
+    });
+    let (metrics_s, metrics_json) = best_of(&mut || {
+        let mut null = NullObserver;
+        let (r, _) = simulate_instrumented(
+            &grid,
+            &workload,
+            kind.create_seeded(cfg.seed),
+            &cfg,
+            &mut null,
+        );
+        serde_json::to_string(&r).expect("serialises")
+    });
+    let (ring_s, ring_json) = best_of(&mut || {
+        let mut ring = TraceRing::new(65_536);
+        let (r, _) = simulate_instrumented(
+            &grid,
+            &workload,
+            kind.create_seeded(cfg.seed),
+            &cfg,
+            &mut ring,
+        );
+        serde_json::to_string(&r).expect("serialises")
+    });
+
+    let identical_result = plain_json == metrics_json && plain_json == ring_json;
+    assert!(identical_result, "instrumented runs diverged from plain");
+    let overhead_ratio = ring_s / plain_s;
+    eprintln!(
+        "overhead {:<12} plain {:>7.1} ms  metrics {:>7.1} ms  +ring {:>7.1} ms  ratio {:.3}",
+        kind.paper_name(),
+        plain_s * 1e3,
+        metrics_s * 1e3,
+        ring_s * 1e3,
+        overhead_ratio
+    );
+    OverheadBench {
+        policy: kind.paper_name(),
+        events,
+        plain_s,
+        metrics_s,
+        ring_s,
+        overhead_ratio,
+        identical_result,
+    }
 }
 
 /// The sweep workload: Fig. 1(a)'s panel (Hom-HighAvail, low intensity)
@@ -227,6 +321,7 @@ fn main() {
         unit: "events/s",
         benchmarks: rows,
         sweep: bench_sweep(),
+        overhead: bench_overhead(),
     };
     std::fs::write(
         &out_path,

@@ -9,10 +9,13 @@
 //!
 //! Scenario files are the serde form of [`dgsched_core::experiment::Scenario`].
 
-use dgsched_core::experiment::{run_replication_traced, run_scenario, Scenario, WorkloadKind};
+use dgsched_core::experiment::{
+    run_replication_instrumented, run_scenario, Scenario, WorkloadKind,
+};
 use dgsched_core::policy::PolicyKind;
 use dgsched_core::sim::Gantt;
 use dgsched_core::sim::SimConfig;
+use dgsched_core::sim::{TraceRecorder, TraceRing};
 use dgsched_des::stats::StoppingRule;
 use dgsched_grid::{Availability, GridConfig, Heterogeneity};
 use dgsched_workload::{BotType, Intensity, Workload, WorkloadSpec, WorkloadSummary};
@@ -21,7 +24,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dgsched demo\n  dgsched run <scenario.json> [--seed N] [--min-reps N] [--max-reps N]\n  dgsched trace <scenario.json> [--seed N] [--rep N] [--out trace.json] [--gantt]\n  dgsched gen-workload -g <granularity> -u <low|medium|high> -n <bags> -o <file> [--seed N]\n  dgsched summarize <workload.json>"
+        "usage:\n  dgsched demo\n  dgsched run <scenario.json> [--seed N] [--min-reps N] [--max-reps N]\n  dgsched trace <scenario.json> [--seed N] [--rep N] [--out trace.json]\n                [--jsonl trace.jsonl] [--bin trace.dgtr] [--ring N] [--metrics] [--gantt]\n  dgsched gen-workload -g <granularity> -u <low|medium|high> -n <bags> -o <file> [--seed N]\n  dgsched summarize <workload.json>\n\nenvironment:\n  DGSCHED_TRACE=1   attach the metrics registry to `dgsched run` (adds a\n                    'metrics' snapshot of replication 0 to the result JSON)"
     );
     exit(2)
 }
@@ -101,12 +104,27 @@ fn cmd_trace(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
     let mut seed = 2008u64;
     let mut rep = 0u64;
     let mut out: Option<String> = None;
+    let mut jsonl: Option<String> = None;
+    let mut bin: Option<String> = None;
+    let mut ring: Option<usize> = None;
+    let mut metrics = false;
     let mut gantt = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--seed" => seed = parse_u64(&mut args, "--seed"),
             "--rep" => rep = parse_u64(&mut args, "--rep"),
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--jsonl" => jsonl = Some(args.next().unwrap_or_else(|| usage())),
+            "--bin" => bin = Some(args.next().unwrap_or_else(|| usage())),
+            "--ring" => {
+                let n = parse_u64(&mut args, "--ring");
+                if n == 0 {
+                    eprintln!("--ring takes a non-zero capacity");
+                    exit(2)
+                }
+                ring = Some(n as usize);
+            }
+            "--metrics" => metrics = true,
             "--gantt" => gantt = true,
             _ => usage(),
         }
@@ -123,13 +141,53 @@ fn cmd_trace(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
         eprintln!("invalid scenario file: {e}");
         exit(1)
     }
-    let (result, trace) = run_replication_traced(&scenario, seed, rep);
+    // One replication with the chosen tracer riding the metrics registry;
+    // the RunResult is byte-identical to an untraced run of the same
+    // (seed, rep) pair.
+    let (result, report, events, dropped) = match ring {
+        Some(capacity) => {
+            let mut ring = TraceRing::new(capacity);
+            let (result, report) = run_replication_instrumented(&scenario, seed, rep, &mut ring);
+            (result, report, ring.events(), ring.dropped())
+        }
+        None => {
+            let mut rec = TraceRecorder::new();
+            let (result, report) = run_replication_instrumented(&scenario, seed, rep, &mut rec);
+            (result, report, rec.events, 0u64)
+        }
+    };
     eprintln!(
         "replication {rep}: {} events, {} bags completed, mean turnaround {:.0} s",
-        trace.len(),
+        events.len(),
         result.completed,
         result.mean_turnaround()
     );
+    if dropped > 0 {
+        eprintln!("ring full: dropped the oldest {dropped} events (window keeps the tail)");
+    }
+    let trace = TraceRecorder { events };
+    if let Some(p) = &jsonl {
+        let text = dgsched_obs::write_jsonl(&trace.events, dropped);
+        std::fs::write(p, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {p}: {e}");
+            exit(1)
+        });
+        eprintln!("wrote JSONL trace to {p}");
+    }
+    if let Some(p) = &bin {
+        let bytes = dgsched_obs::encode_binary(&trace.events, dropped);
+        std::fs::write(p, bytes).unwrap_or_else(|e| {
+            eprintln!("cannot write {p}: {e}");
+            exit(1)
+        });
+        eprintln!("wrote binary trace to {p}");
+    }
+    if metrics {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serialises")
+        );
+    }
     match out {
         Some(out) => {
             let json = serde_json::to_string(&trace).expect("trace serialises");
@@ -139,7 +197,7 @@ fn cmd_trace(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
             });
             eprintln!("wrote trace to {out}");
         }
-        None if !gantt => {
+        None if !gantt && !metrics && jsonl.is_none() && bin.is_none() => {
             println!(
                 "{}",
                 serde_json::to_string(&trace).expect("trace serialises")

@@ -13,8 +13,8 @@ pub use figures::{extended_panels, fig1_panels, fig2_panels, PanelSpec};
 pub use plot::{panel_chart, BarChart};
 pub use report::Report;
 pub use runner::{
-    run_matrix, run_matrix_with_progress, run_replication, run_replication_traced, run_scenario,
-    ScenarioResult,
+    obs_enabled, run_matrix, run_matrix_with_progress, run_replication,
+    run_replication_instrumented, run_replication_traced, run_scenario, ScenarioResult,
 };
 pub use scenario::{Scenario, WorkloadKind};
 pub use table::{format_cell, panel_table, Table};

@@ -184,6 +184,7 @@ mod tests {
             saturated_replications: 0,
             saturated: false,
             replication_means: vec![],
+            metrics: None,
         }];
         let chart = panel_chart("Fig 1a", &[1000.0], &["RR"], &results);
         let s = chart.render();

@@ -100,6 +100,7 @@ mod tests {
             saturated_replications: 0,
             saturated: false,
             replication_means: vec![100.0; 5],
+            metrics: None,
         }
     }
 

@@ -24,9 +24,10 @@
 //! width (`tests/parallel_determinism.rs` pins this).
 
 use super::scenario::Scenario;
-use crate::sim::{simulate, RunResult, SimConfig};
+use crate::sim::{simulate, RunResult, SimConfig, SimReport};
 use dgsched_des::rng::StreamSeeder;
 use dgsched_des::stats::{ConfidenceInterval, StoppingRule, Welford};
+use dgsched_obs::MetricsSnapshot;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -66,6 +67,21 @@ pub struct ScenarioResult {
     /// Per-replication turnaround means (for post-hoc analysis); empty
     /// when `saturated`.
     pub replication_means: Vec<f64>,
+    /// Named-metric snapshot of replication 0, present only when
+    /// instrumentation was requested (the `DGSCHED_TRACE` environment
+    /// toggle). `None` serialises to nothing, keeping uninstrumented
+    /// output byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+/// True when the `DGSCHED_TRACE` environment toggle requests instrumented
+/// runs (set to anything except `0`, `false` or the empty string).
+pub fn obs_enabled() -> bool {
+    match std::env::var("DGSCHED_TRACE") {
+        Ok(v) => !matches!(v.as_str(), "" | "0" | "false"),
+        Err(_) => false,
+    }
 }
 
 /// Runs one replication of a scenario.
@@ -105,6 +121,31 @@ pub fn run_replication_traced(
     let policy = scenario.policy.create_seeded(cfg.seed);
     let result = crate::sim::simulate_observed(&grid, &workload, policy, &cfg, &mut trace);
     (result, trace)
+}
+
+/// [`run_replication`] with the metrics registry (and, under the `timing`
+/// feature, profiling spans) attached — identical seeding, identical
+/// [`RunResult`], plus the [`SimReport`]. Attach any extra `observer`
+/// (e.g. a ring tracer) to ride the same run; pass a
+/// [`NullObserver`](crate::sim::NullObserver) when only the report is
+/// wanted.
+pub fn run_replication_instrumented(
+    scenario: &Scenario,
+    base_seed: u64,
+    rep: u64,
+    observer: &mut dyn crate::sim::SimObserver,
+) -> (RunResult, SimReport) {
+    let seeder = StreamSeeder::new(base_seed).subdomain("rep", rep);
+    let mut grid_rng = seeder.stream("grid", 0);
+    let grid = scenario.grid.build(&mut grid_rng);
+    let mut wl_rng = seeder.stream("workload", 0);
+    let workload = scenario.workload.generate(&scenario.grid, &mut wl_rng);
+    let cfg = SimConfig {
+        seed: seeder.stream_seed("sim", 0),
+        ..scenario.sim
+    };
+    let policy = scenario.policy.create_seeded(cfg.seed);
+    crate::sim::simulate_instrumented(&grid, &workload, policy, &cfg, observer)
 }
 
 /// A confidence interval that always serialises cleanly. With fewer than
@@ -207,6 +248,7 @@ impl ScenarioAccum {
             saturated_replications: self.saturated_reps,
             saturated,
             replication_means: self.means,
+            metrics: None,
         }
     }
 }
@@ -255,7 +297,15 @@ pub fn run_scenario(scenario: &Scenario, base_seed: u64, rule: &StoppingRule) ->
     }
 
     let replications = stop.unwrap_or(next_rep);
-    acc.into_result(scenario, rule, replications)
+    let mut result = acc.into_result(scenario, rule, replications);
+    if obs_enabled() && !result.saturated {
+        // Instrumented replay of replication 0 (same seeds, identical
+        // run): the snapshot is pure addition, never a perturbation.
+        let mut null = crate::sim::NullObserver;
+        let (_, report) = run_replication_instrumented(scenario, base_seed, 0, &mut null);
+        result.metrics = Some(report.metrics);
+    }
+    result
 }
 
 /// Runs a list of scenarios, scenarios in parallel, reporting completion
@@ -507,6 +557,41 @@ mod tests {
         assert_eq!(acc.turnaround.count(), streamed.count());
         assert!((acc.turnaround.mean() - streamed.mean()).abs() < 1e-12);
         assert!((acc.turnaround.variance() - streamed.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instrumented_replication_is_a_perfect_twin() {
+        let s = small_scenario(PolicyKind::FcfsShare);
+        let plain = run_replication(&s, 42, 0);
+        let mut null = crate::sim::NullObserver;
+        let (instrumented, report) = run_replication_instrumented(&s, 42, 0, &mut null);
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&instrumented).unwrap(),
+            "metrics attachment must not change the run"
+        );
+        let m = &report.metrics;
+        assert_eq!(m.counters["dispatches"], plain.counters.replicas_launched);
+        assert_eq!(m.counters["bag_completions"], plain.completed as u64);
+        assert_eq!(m.per_bag.len(), plain.completed);
+        let util = m.gauges["machine_utilization"];
+        assert!(util > 0.0 && util <= 1.0, "utilization in (0,1]: {util}");
+        assert!(report.queue.scheduled >= plain.events);
+        assert!(report.queue.popped <= report.queue.scheduled);
+        assert!(report.queue.max_pending > 0);
+        // Per-bag turnarounds agree with the measured bag metrics.
+        for bm in &plain.bags {
+            let obs = m
+                .per_bag
+                .iter()
+                .find(|o| o.bag == bm.bag)
+                .expect("observed bag");
+            assert!((obs.turnaround - bm.turnaround).abs() < 1e-9);
+            assert!((obs.arrival - bm.arrival).abs() < 1e-9);
+        }
+        if !cfg!(feature = "timing") {
+            assert!(report.spans.is_empty(), "spans must stay off by default");
+        }
     }
 
     #[test]

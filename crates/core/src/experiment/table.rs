@@ -149,6 +149,7 @@ mod tests {
             saturated_replications: u64::from(saturated),
             saturated,
             replication_means: vec![mean; 5],
+            metrics: None,
         }
     }
 

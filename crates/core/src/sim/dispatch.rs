@@ -81,6 +81,8 @@ impl Driver<'_> {
         &mut self,
         sched: &mut Scheduler<'_, Event, Q>,
     ) {
+        #[allow(clippy::let_unit_value)] // unit Stamp without `timing`
+        let round_started = dgsched_obs::stamp();
         let now = sched.now();
         let threshold = self.effective_threshold(now);
         if self.reference {
@@ -96,6 +98,7 @@ impl Driver<'_> {
                 }
             }
         }
+        self.prof.record(self.span_round, round_started);
     }
 
     /// One selection step for one free machine; `false` ends the round.
@@ -143,6 +146,8 @@ impl Driver<'_> {
         is_replication: bool,
         sched: &mut Scheduler<'_, Event, Q>,
     ) {
+        #[allow(clippy::let_unit_value)] // unit Stamp without `timing`
+        let launch_started = dgsched_obs::stamp();
         let now = sched.now();
         self.observer
             .on_dispatch(now, bag, task, machine, is_replication);
@@ -174,6 +179,7 @@ impl Driver<'_> {
         } else {
             self.start_computing(rid, 0.0, sched);
         }
+        self.prof.record(self.span_dispatch, launch_started);
     }
 
     pub(super) fn bag_arrival<Q: PendingEvents<Event>>(

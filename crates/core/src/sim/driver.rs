@@ -8,10 +8,11 @@
 use super::config::SimConfig;
 use super::events::Event;
 use super::indices::{FreeMachineIndex, TaskReplicaIndex};
-use super::metrics::{BagMetrics, Counters, MachineStats, RunResult};
-use super::observer::{NullObserver, SimObserver};
+use super::metrics::{BagMetrics, Counters, MachineStats, MetricsObserver, RunResult};
+use super::observer::{Fanout, NullObserver, SimObserver};
 use crate::policy::{BagSelection, PolicyKind};
 use crate::state::{BagRt, MachineRt, ReplicaId, ReplicaSlab};
+use dgsched_des::engine::QueueOps;
 use dgsched_des::engine::{Control, Engine, Handler, RunOutcome, Scheduler};
 use dgsched_des::event::EventId;
 use dgsched_des::queue::PendingEvents;
@@ -21,7 +22,9 @@ use dgsched_grid::availability::UpDownSampler;
 use dgsched_grid::checkpoint::{CheckpointSampler, CheckpointStore};
 use dgsched_grid::outage::OutageSampler;
 use dgsched_grid::{Grid, MachineId};
+use dgsched_obs::{MetricsSnapshot, Profiler, SpanId, SpanStats};
 use dgsched_workload::{BotId, Workload};
+use serde::{Deserialize, Serialize};
 
 /// Everything a run needs besides the policy (split so the policy can
 /// borrow a read-only view while the driver stays mutable).
@@ -74,6 +77,11 @@ pub(super) struct Driver<'a> {
     /// indices are still maintained, just not consulted). Used to validate
     /// index equivalence.
     pub(super) reference: bool,
+    /// Wall-clock profiling spans. All recording compiles to nothing
+    /// unless the `timing` feature is on.
+    pub(super) prof: Profiler,
+    pub(super) span_round: SpanId,
+    pub(super) span_dispatch: SpanId,
 }
 
 impl Handler<Event> for Driver<'_> {
@@ -143,6 +151,40 @@ pub fn simulate_with(
     simulate_observed(grid, workload, policy, cfg, &mut observer)
 }
 
+/// Instrumentation collected alongside a [`RunResult`] by
+/// [`simulate_instrumented`]: the named-metric snapshot, the kernel's
+/// event-queue operation counts and (with the `timing` feature) wall-clock
+/// profiling spans.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Counters, gauges, time-weighted series and per-bag turnarounds.
+    pub metrics: MetricsSnapshot,
+    /// Pending-event-set operation counts for the run.
+    pub queue: QueueOps,
+    /// Wall-clock spans (scheduler round, dispatch, event-queue pop).
+    /// Empty unless the build enables the `timing` feature.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub spans: Vec<SpanStats>,
+}
+
+/// [`simulate_observed`] plus a [`MetricsObserver`] riding the same seam:
+/// returns the ordinary [`RunResult`] (identical to the uninstrumented
+/// run) together with a [`SimReport`]. `observer` still receives every
+/// callback, so a tracer can be attached at the same time.
+pub fn simulate_instrumented(
+    grid: &Grid,
+    workload: &Workload,
+    policy: Box<dyn BagSelection>,
+    cfg: &SimConfig,
+    observer: &mut dyn SimObserver,
+) -> (RunResult, SimReport) {
+    let mut metrics = MetricsObserver::new();
+    let mut fan = Fanout(observer, &mut metrics);
+    let (result, mut report) = run_reported(grid, workload, policy, cfg, &mut fan, false);
+    report.metrics = metrics.finish(SimTime::new(result.end_time), result.machines.len());
+    (result, report)
+}
+
 /// [`simulate_with`] plus an observer that receives every dispatch,
 /// completion, kill, failure, repair, arrival and checkpoint (see
 /// [`SimObserver`]); used for tracing and invariant checking.
@@ -179,6 +221,17 @@ fn run(
     observer: &mut dyn SimObserver,
     reference: bool,
 ) -> RunResult {
+    run_reported(grid, workload, policy, cfg, observer, reference).0
+}
+
+fn run_reported(
+    grid: &Grid,
+    workload: &Workload,
+    policy: Box<dyn BagSelection>,
+    cfg: &SimConfig,
+    observer: &mut dyn SimObserver,
+    reference: bool,
+) -> (RunResult, SimReport) {
     assert!(!grid.is_empty(), "cannot schedule on an empty grid");
     assert!(!workload.is_empty(), "cannot simulate an empty workload");
     workload.validate().expect("invalid workload");
@@ -232,6 +285,10 @@ fn run(
     let horizon = cfg.horizon.unwrap_or_else(|| auto_horizon(grid, workload));
     engine.set_horizon(SimTime::new(horizon));
 
+    let mut prof = Profiler::new();
+    let span_round = prof.span("scheduler_round");
+    let span_dispatch = prof.span("dispatch");
+
     let mut driver = Driver {
         state: SimState {
             machines,
@@ -259,6 +316,9 @@ fn run(
         saturated: false,
         observer,
         reference,
+        prof,
+        span_round,
+        span_dispatch,
     };
 
     // Prime arrivals and, on failing grids, every machine's first failure.
@@ -294,7 +354,13 @@ fn run(
             failures: m.failures,
         })
         .collect();
-    RunResult {
+    driver.prof.absorb("event_queue_pop", engine.pop_span());
+    let spans = if driver.prof.is_empty() {
+        Vec::new()
+    } else {
+        driver.prof.stats()
+    };
+    let result = RunResult {
         policy: policy_name,
         bags: driver.state.measured,
         machines,
@@ -304,5 +370,11 @@ fn run(
         end_time: engine.now().as_secs(),
         events: engine.processed(),
         counters: driver.state.counters,
-    }
+    };
+    let report = SimReport {
+        metrics: MetricsSnapshot::default(),
+        queue: engine.queue_ops(),
+        spans,
+    };
+    (result, report)
 }

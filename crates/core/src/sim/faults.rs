@@ -22,6 +22,9 @@ impl Driver<'_> {
         let outage = self.state.outage.expect("outage event without a config");
         self.state.counters.outages += 1;
         let duration = outage.duration(&mut self.state.outage_rng);
+        // Announced before the per-machine failures so the trace stays
+        // time-ordered with the outage ahead of its same-timestamp kills.
+        self.observer.on_outage(now, duration);
         let mut any_killed = false;
         for i in 0..self.state.machines.len() {
             let mid = MachineId(i as u32);
@@ -116,5 +119,251 @@ impl Driver<'_> {
             self.state.machines[mid.index()].next_transition = EventId::NONE;
         }
         self.dispatch_all(sched);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! The correlated-outage path, checked through the observer seam: a
+    //! trace replay proves every hit machine kills its replica exactly
+    //! once, counters advance in lockstep with the trace, and repaired
+    //! machines re-enter the free index and resume their own availability
+    //! cycle.
+
+    use crate::policy::PolicyKind;
+    use crate::sim::{simulate_observed, RunResult, SimConfig, TraceEvent, TraceRecorder};
+    use dgsched_des::dist::DistConfig;
+    use dgsched_des::time::SimTime;
+    use dgsched_grid::availability::Availability;
+    use dgsched_grid::checkpoint::CheckpointConfig;
+    use dgsched_grid::config::GridConfig;
+    use dgsched_grid::power::Heterogeneity;
+    use dgsched_grid::{Grid, OutageConfig};
+    use dgsched_workload::{BagOfTasks, BotId, TaskId, TaskSpec, Workload};
+    use rand::SeedableRng;
+
+    fn outage_grid(availability: Availability, fraction: f64) -> Grid {
+        let cfg = GridConfig {
+            total_power: 80.0,
+            heterogeneity: Heterogeneity::Homogeneous { power: 10.0 },
+            availability,
+            checkpoint: CheckpointConfig::disabled(),
+            outages: Some(OutageConfig {
+                mtbo: 4_000.0,
+                duration: DistConfig::Constant { value: 800.0 },
+                fraction,
+            }),
+        };
+        cfg.build(&mut rand::rngs::StdRng::seed_from_u64(11))
+    }
+
+    fn long_workload() -> Workload {
+        let tasks = (0..16)
+            .map(|j| TaskSpec {
+                id: TaskId(j),
+                work: 20_000.0,
+            })
+            .collect();
+        Workload {
+            bags: vec![BagOfTasks {
+                id: BotId(0),
+                arrival: SimTime::new(0.0),
+                tasks,
+                granularity: 2000.0,
+            }],
+            lambda: 1.0,
+            label: "outage-test".into(),
+        }
+    }
+
+    fn traced_run(grid: &Grid, seed: u64) -> (RunResult, TraceRecorder) {
+        let mut trace = TraceRecorder::new();
+        let policy = PolicyKind::FcfsShare.create_seeded(seed);
+        let r = simulate_observed(
+            grid,
+            &long_workload(),
+            policy,
+            &SimConfig::with_seed(seed),
+            &mut trace,
+        );
+        (r, trace)
+    }
+
+    /// Replays a trace against per-machine up/busy state. Every assertion
+    /// here is an "exactly once" guarantee: a double kill, a dispatch on a
+    /// down machine or a repair of an up machine all fail the replay.
+    fn replay(trace: &TraceRecorder, machines: usize) {
+        let mut up = vec![true; machines];
+        let mut busy = vec![false; machines];
+        assert!(trace.is_time_ordered());
+        for ev in &trace.events {
+            match *ev {
+                TraceEvent::Dispatch { machine, .. } => {
+                    let m = machine as usize;
+                    assert!(up[m], "dispatch on a down machine");
+                    assert!(!busy[m], "dispatch on an occupied machine");
+                    busy[m] = true;
+                }
+                TraceEvent::TaskComplete { machine, .. } => {
+                    let m = machine as usize;
+                    assert!(up[m] && busy[m], "completion without a running replica");
+                    busy[m] = false;
+                }
+                TraceEvent::ReplicaKilled {
+                    machine,
+                    by_failure,
+                    ..
+                } => {
+                    let m = machine as usize;
+                    assert!(busy[m], "kill without a running replica (double kill?)");
+                    if by_failure {
+                        assert!(!up[m], "failure kill on a machine still up");
+                    } else {
+                        assert!(up[m], "sibling kill on a down machine");
+                    }
+                    busy[m] = false;
+                }
+                TraceEvent::MachineFail { machine, .. } => {
+                    let m = machine as usize;
+                    assert!(up[m], "failure of a machine already down");
+                    up[m] = false;
+                }
+                TraceEvent::MachineRepair { machine, .. } => {
+                    let m = machine as usize;
+                    assert!(!up[m], "repair of a machine already up");
+                    assert!(!busy[m], "repaired machine still holds a replica");
+                    up[m] = true;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn count<F: Fn(&TraceEvent) -> bool>(trace: &TraceRecorder, f: F) -> u64 {
+        trace.events.iter().filter(|e| f(e)).count() as u64
+    }
+
+    #[test]
+    fn outage_kills_each_hit_replica_exactly_once() {
+        let grid = outage_grid(Availability::Always, 1.0);
+        let (r, trace) = traced_run(&grid, 21);
+        assert!(r.counters.outages > 0, "outages must strike");
+        assert!(r.counters.replicas_killed_failure > 0);
+        replay(&trace, grid.len());
+    }
+
+    #[test]
+    fn counters_advance_with_the_trace() {
+        let grid = outage_grid(Availability::Always, 0.6);
+        let (r, trace) = traced_run(&grid, 22);
+        replay(&trace, grid.len());
+        assert_eq!(
+            r.counters.outages,
+            count(&trace, |e| matches!(e, TraceEvent::Outage { .. }))
+        );
+        assert_eq!(
+            r.counters.machine_failures,
+            count(&trace, |e| matches!(e, TraceEvent::MachineFail { .. }))
+        );
+        assert_eq!(
+            r.counters.replicas_killed_failure,
+            count(&trace, |e| matches!(
+                e,
+                TraceEvent::ReplicaKilled {
+                    by_failure: true,
+                    ..
+                }
+            ))
+        );
+        assert_eq!(
+            r.counters.replicas_launched,
+            count(&trace, |e| matches!(e, TraceEvent::Dispatch { .. }))
+        );
+    }
+
+    #[test]
+    fn outage_only_failures_happen_at_outage_instants() {
+        // Availability::Always: the outage process is the only source of
+        // failures, and the outage record precedes its same-time kills.
+        let grid = outage_grid(Availability::Always, 1.0);
+        let (_, trace) = traced_run(&grid, 23);
+        let mut last_outage = f64::NEG_INFINITY;
+        for ev in &trace.events {
+            match *ev {
+                TraceEvent::Outage { at, .. } => last_outage = at,
+                TraceEvent::MachineFail { at, .. } => {
+                    assert_eq!(
+                        at, last_outage,
+                        "every failure must coincide with the announced outage"
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn repaired_machines_reenter_free_index() {
+        let grid = outage_grid(Availability::Always, 1.0);
+        let (r, trace) = traced_run(&grid, 24);
+        assert_eq!(r.completed, 1, "bag must finish despite outages");
+        // Some machine must be dispatched to again after a repair — i.e.
+        // the repair put it back into the free index.
+        let redispatched = (0..grid.len() as u32).any(|m| {
+            let repair = trace.events.iter().position(
+                |e| matches!(e, TraceEvent::MachineRepair { machine, .. } if *machine == m),
+            );
+            match repair {
+                None => false,
+                Some(i) => trace.events[i..]
+                    .iter()
+                    .any(|e| matches!(e, TraceEvent::Dispatch { machine, .. } if *machine == m)),
+            }
+        });
+        assert!(redispatched, "no repaired machine ever ran work again");
+    }
+
+    #[test]
+    fn outage_repair_resumes_personal_availability_cycle() {
+        // Both fault processes on: after an outage-induced repair, the
+        // machine's own up/down cycle must continue (a later failure at a
+        // non-outage instant).
+        let grid = outage_grid(Availability::LOW, 0.8);
+        let (_, trace) = traced_run(&grid, 25);
+        let outage_times: Vec<f64> = trace
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::Outage { at, .. } => Some(at),
+                _ => None,
+            })
+            .collect();
+        assert!(!outage_times.is_empty());
+        let resumed = (0..grid.len() as u32).any(|m| {
+            let mut seen_outage_fail = false;
+            let mut seen_repair_after = false;
+            for ev in &trace.events {
+                match *ev {
+                    TraceEvent::MachineFail { at, machine } if machine == m => {
+                        if outage_times.contains(&at) {
+                            seen_outage_fail = true;
+                        } else if seen_repair_after {
+                            return true; // personal cycle fired post-repair
+                        }
+                    }
+                    TraceEvent::MachineRepair { machine, .. }
+                        if machine == m && seen_outage_fail =>
+                    {
+                        seen_repair_after = true;
+                    }
+                    _ => {}
+                }
+            }
+            false
+        });
+        assert!(
+            resumed,
+            "no machine resumed its own failure cycle after an outage repair"
+        );
     }
 }

@@ -1,6 +1,12 @@
-//! Run-level metrics and counters.
+//! Run-level metrics and counters, plus the [`MetricsObserver`] that
+//! builds a named-metric snapshot from the observer callbacks alone.
 
+use super::observer::SimObserver;
 use dgsched_des::stats::Welford;
+use dgsched_des::time::SimTime;
+use dgsched_grid::MachineId;
+use dgsched_obs::{BagObservation, CounterId, MetricsRegistry, MetricsSnapshot, SeriesId};
+use dgsched_workload::{BotId, TaskId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -172,6 +178,162 @@ impl RunResult {
     }
 }
 
+/// A [`SimObserver`] that folds the callback stream into a
+/// [`MetricsRegistry`]: named monotonic counters, time-weighted
+/// busy-machine / active-bag series, and per-bag turnaround records.
+///
+/// It derives everything from the observer seam alone — it never reads
+/// simulator state — which is what makes it attachable to any run
+/// (including reference-mode replays) without changing the run.
+#[derive(Debug, Clone)]
+pub struct MetricsObserver {
+    registry: MetricsRegistry,
+    c_dispatches: CounterId,
+    c_replications: CounterId,
+    c_task_completions: CounterId,
+    c_killed_failure: CounterId,
+    c_killed_sibling: CounterId,
+    c_machine_failures: CounterId,
+    c_machine_repairs: CounterId,
+    c_outages: CounterId,
+    c_bag_arrivals: CounterId,
+    c_bag_completions: CounterId,
+    c_checkpoints: CounterId,
+    s_busy: SeriesId,
+    s_active_bags: SeriesId,
+    /// Arrival time per bag id (bags arrive in id order).
+    arrivals: Vec<f64>,
+    per_bag: Vec<BagObservation>,
+}
+
+impl Default for MetricsObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsObserver {
+    /// A fresh observer with every metric registered at zero.
+    pub fn new() -> Self {
+        let mut registry = MetricsRegistry::new();
+        MetricsObserver {
+            c_dispatches: registry.counter("dispatches"),
+            c_replications: registry.counter("replications"),
+            c_task_completions: registry.counter("task_completions"),
+            c_killed_failure: registry.counter("replicas_killed_failure"),
+            c_killed_sibling: registry.counter("replicas_killed_sibling"),
+            c_machine_failures: registry.counter("machine_failures"),
+            c_machine_repairs: registry.counter("machine_repairs"),
+            c_outages: registry.counter("outages"),
+            c_bag_arrivals: registry.counter("bag_arrivals"),
+            c_bag_completions: registry.counter("bag_completions"),
+            c_checkpoints: registry.counter("checkpoints_written"),
+            s_busy: registry.series("busy_machines", SimTime::ZERO, 0.0),
+            s_active_bags: registry.series("active_bags", SimTime::ZERO, 0.0),
+            registry,
+            arrivals: Vec::new(),
+            per_bag: Vec::new(),
+        }
+    }
+
+    /// Freezes the run into a [`MetricsSnapshot`] at `end` for a grid of
+    /// `machines` machines. Adds the derived `machine_utilization` gauge
+    /// (busy machine-seconds over offered machine-seconds).
+    pub fn finish(&self, end: SimTime, machines: usize) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot(end);
+        let offered = machines as f64 * end.as_secs();
+        let busy_integral = snap
+            .series
+            .get("busy_machines")
+            .map(|s| s.integral)
+            .unwrap_or(0.0);
+        let utilization = if offered > 0.0 {
+            busy_integral / offered
+        } else {
+            0.0
+        };
+        snap.gauges
+            .insert("machine_utilization".to_string(), utilization);
+        snap.per_bag = self.per_bag.clone();
+        snap
+    }
+}
+
+impl SimObserver for MetricsObserver {
+    fn on_dispatch(
+        &mut self,
+        now: SimTime,
+        _bag: BotId,
+        _task: TaskId,
+        _machine: MachineId,
+        is_replication: bool,
+    ) {
+        self.registry.inc(self.c_dispatches);
+        if is_replication {
+            self.registry.inc(self.c_replications);
+        }
+        self.registry.series_add(self.s_busy, now, 1.0);
+    }
+
+    fn on_task_complete(&mut self, now: SimTime, _bag: BotId, _task: TaskId, _machine: MachineId) {
+        self.registry.inc(self.c_task_completions);
+        self.registry.series_add(self.s_busy, now, -1.0);
+    }
+
+    fn on_replica_killed(
+        &mut self,
+        now: SimTime,
+        _bag: BotId,
+        _task: TaskId,
+        _machine: MachineId,
+        by_failure: bool,
+    ) {
+        self.registry.inc(if by_failure {
+            self.c_killed_failure
+        } else {
+            self.c_killed_sibling
+        });
+        self.registry.series_add(self.s_busy, now, -1.0);
+    }
+
+    fn on_machine_fail(&mut self, _now: SimTime, _machine: MachineId) {
+        self.registry.inc(self.c_machine_failures);
+    }
+
+    fn on_machine_repair(&mut self, _now: SimTime, _machine: MachineId) {
+        self.registry.inc(self.c_machine_repairs);
+    }
+
+    fn on_outage(&mut self, _now: SimTime, _duration: f64) {
+        self.registry.inc(self.c_outages);
+    }
+
+    fn on_bag_arrival(&mut self, now: SimTime, bag: BotId) {
+        self.registry.inc(self.c_bag_arrivals);
+        self.registry.series_add(self.s_active_bags, now, 1.0);
+        let idx = bag.index();
+        if self.arrivals.len() <= idx {
+            self.arrivals.resize(idx + 1, f64::NAN);
+        }
+        self.arrivals[idx] = now.as_secs();
+    }
+
+    fn on_bag_complete(&mut self, now: SimTime, bag: BotId) {
+        self.registry.inc(self.c_bag_completions);
+        self.registry.series_add(self.s_active_bags, now, -1.0);
+        let arrival = self.arrivals.get(bag.index()).copied().unwrap_or(f64::NAN);
+        self.per_bag.push(BagObservation {
+            bag: bag.0,
+            arrival,
+            turnaround: now.as_secs() - arrival,
+        });
+    }
+
+    fn on_checkpoint_saved(&mut self, _now: SimTime, _bag: BotId, _task: TaskId, _work: f64) {
+        self.registry.inc(self.c_checkpoints);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +400,46 @@ mod tests {
         assert_eq!(by_g[&1000].count(), 2);
         assert_eq!(by_g[&1000].mean(), 150.0);
         assert_eq!(by_g[&5000].mean(), 300.0);
+    }
+
+    #[test]
+    fn metrics_observer_folds_callbacks() {
+        let mut obs = MetricsObserver::new();
+        let b = BotId(0);
+        let t = TaskId(0);
+        let m = MachineId(0);
+        obs.on_bag_arrival(SimTime::new(0.0), b);
+        obs.on_dispatch(SimTime::new(0.0), b, t, m, false);
+        obs.on_dispatch(SimTime::new(2.0), b, TaskId(1), MachineId(1), true);
+        obs.on_replica_killed(SimTime::new(4.0), b, TaskId(1), MachineId(1), false);
+        obs.on_task_complete(SimTime::new(8.0), b, t, m);
+        obs.on_checkpoint_saved(SimTime::new(5.0), b, t, 100.0);
+        obs.on_outage(SimTime::new(6.0), 50.0);
+        obs.on_machine_fail(SimTime::new(6.0), MachineId(1));
+        obs.on_machine_repair(SimTime::new(7.0), MachineId(1));
+        obs.on_bag_complete(SimTime::new(8.0), b);
+
+        let snap = obs.finish(SimTime::new(10.0), 2);
+        assert_eq!(snap.counters["dispatches"], 2);
+        assert_eq!(snap.counters["replications"], 1);
+        assert_eq!(snap.counters["task_completions"], 1);
+        assert_eq!(snap.counters["replicas_killed_sibling"], 1);
+        assert_eq!(snap.counters["replicas_killed_failure"], 0);
+        assert_eq!(snap.counters["machine_failures"], 1);
+        assert_eq!(snap.counters["machine_repairs"], 1);
+        assert_eq!(snap.counters["outages"], 1);
+        assert_eq!(snap.counters["checkpoints_written"], 1);
+        assert_eq!(snap.counters["bag_arrivals"], 1);
+        assert_eq!(snap.counters["bag_completions"], 1);
+        // busy: 1 over [0,2], 2 over [2,4], 1 over [4,8], 0 over [8,10]
+        let busy = &snap.series["busy_machines"];
+        assert_eq!(busy.integral, 2.0 + 4.0 + 4.0);
+        assert_eq!(busy.max, 2.0);
+        // utilization = 10 busy machine-seconds / (2 machines * 10 s)
+        assert_eq!(snap.gauges["machine_utilization"], 0.5);
+        assert_eq!(snap.per_bag.len(), 1);
+        assert_eq!(snap.per_bag[0].turnaround, 8.0);
+        assert_eq!(snap.series["active_bags"].last, 0.0);
     }
 
     #[test]

@@ -54,8 +54,11 @@ mod tests;
 
 pub use check::CheckingObserver;
 pub use config::{DynamicReplication, MachineOrder, SimConfig, TaskOrder};
-pub use driver::{simulate, simulate_observed, simulate_observed_reference, simulate_with};
+pub use driver::{
+    simulate, simulate_instrumented, simulate_observed, simulate_observed_reference, simulate_with,
+    SimReport,
+};
 pub use events::Event;
 pub use gantt::Gantt;
-pub use metrics::{BagMetrics, Counters, MachineStats, RunResult};
-pub use observer::{NullObserver, SimObserver, TraceEvent, TraceRecorder};
+pub use metrics::{BagMetrics, Counters, MachineStats, MetricsObserver, RunResult};
+pub use observer::{Fanout, NullObserver, SimObserver, TraceEvent, TraceRecorder, TraceRing};

@@ -2,14 +2,19 @@
 //!
 //! A [`SimObserver`] receives a callback at every semantically meaningful
 //! transition. The production path uses the no-op [`NullObserver`] (fully
-//! inlined away); tests attach invariant checkers, and [`TraceRecorder`]
-//! captures a structured, serde-able trace for debugging and for the
-//! determinism test-suite.
+//! inlined away); tests attach invariant checkers, and the tracers from
+//! `dgsched-obs` ([`TraceRecorder`], [`TraceRing`]) capture a structured,
+//! serde-able trace for debugging and for the determinism test-suite.
+//!
+//! The event schema and the tracer buffers live in `dgsched-obs` (which
+//! knows nothing about this trait); this module implements the trait for
+//! them so the dependency arrow keeps pointing downward.
 
 use dgsched_des::time::SimTime;
 use dgsched_grid::MachineId;
 use dgsched_workload::{BotId, TaskId};
-use serde::{Deserialize, Serialize};
+
+pub use dgsched_obs::{TraceEvent, TraceRecorder, TraceRing};
 
 /// Receiver of simulation transitions.
 ///
@@ -51,6 +56,11 @@ pub trait SimObserver {
     /// `machine` was repaired.
     fn on_machine_repair(&mut self, now: SimTime, machine: MachineId) {}
 
+    /// A correlated outage struck the grid; per-machine
+    /// [`on_machine_fail`](SimObserver::on_machine_fail) callbacks for the
+    /// hit machines follow at the same timestamp.
+    fn on_outage(&mut self, now: SimTime, duration: f64) {}
+
     /// A bag arrived.
     fn on_bag_arrival(&mut self, now: SimTime, bag: BotId) {}
 
@@ -68,134 +78,9 @@ pub struct NullObserver;
 
 impl SimObserver for NullObserver {}
 
-/// One recorded transition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
-pub enum TraceEvent {
-    /// Replica dispatched.
-    Dispatch {
-        /// Event time (seconds).
-        at: f64,
-        /// Owning bag.
-        bag: u32,
-        /// Task within the bag.
-        task: u32,
-        /// Executing machine.
-        machine: u32,
-        /// WQR extra copy rather than first dispatch/restart.
-        is_replication: bool,
-    },
-    /// Task completed.
-    TaskComplete {
-        /// Event time (seconds).
-        at: f64,
-        /// Owning bag.
-        bag: u32,
-        /// Task within the bag.
-        task: u32,
-        /// Machine the winning replica ran on.
-        machine: u32,
-    },
-    /// Replica killed.
-    ReplicaKilled {
-        /// Event time (seconds).
-        at: f64,
-        /// Owning bag.
-        bag: u32,
-        /// Task within the bag.
-        task: u32,
-        /// Machine the replica ran on.
-        machine: u32,
-        /// Killed by a machine failure (vs sibling kill).
-        by_failure: bool,
-    },
-    /// Machine failed.
-    MachineFail {
-        /// Event time (seconds).
-        at: f64,
-        /// The machine.
-        machine: u32,
-    },
-    /// Machine repaired.
-    MachineRepair {
-        /// Event time (seconds).
-        at: f64,
-        /// The machine.
-        machine: u32,
-    },
-    /// Bag arrived.
-    BagArrival {
-        /// Event time (seconds).
-        at: f64,
-        /// The bag.
-        bag: u32,
-    },
-    /// Bag completed.
-    BagComplete {
-        /// Event time (seconds).
-        at: f64,
-        /// The bag.
-        bag: u32,
-    },
-    /// Checkpoint stored.
-    CheckpointSaved {
-        /// Event time (seconds).
-        at: f64,
-        /// Owning bag.
-        bag: u32,
-        /// Task within the bag.
-        task: u32,
-        /// Work saved (reference-seconds).
-        work: f64,
-    },
-}
-
-impl TraceEvent {
-    /// The event's timestamp.
-    pub fn at(&self) -> f64 {
-        match *self {
-            TraceEvent::Dispatch { at, .. }
-            | TraceEvent::TaskComplete { at, .. }
-            | TraceEvent::ReplicaKilled { at, .. }
-            | TraceEvent::MachineFail { at, .. }
-            | TraceEvent::MachineRepair { at, .. }
-            | TraceEvent::BagArrival { at, .. }
-            | TraceEvent::BagComplete { at, .. }
-            | TraceEvent::CheckpointSaved { at, .. } => at,
-        }
-    }
-}
-
-/// Records every transition into a vector.
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
-pub struct TraceRecorder {
-    /// The recorded transitions in event order.
-    pub events: Vec<TraceEvent>,
-}
-
-impl TraceRecorder {
-    /// An empty recorder.
-    pub fn new() -> Self {
-        TraceRecorder::default()
-    }
-
-    /// Number of recorded transitions.
-    pub fn len(&self) -> usize {
-        self.events.len()
-    }
-
-    /// True when nothing was recorded.
-    pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
-    }
-
-    /// Timestamps are non-decreasing (sanity check used by tests).
-    pub fn is_time_ordered(&self) -> bool {
-        self.events.windows(2).all(|w| w[0].at() <= w[1].at())
-    }
-}
-
-impl SimObserver for TraceRecorder {
+/// Mutable references observe by forwarding, so combinators like
+/// [`Fanout`] can wrap borrowed observers.
+impl<T: SimObserver + ?Sized> SimObserver for &mut T {
     fn on_dispatch(
         &mut self,
         now: SimTime,
@@ -204,22 +89,11 @@ impl SimObserver for TraceRecorder {
         machine: MachineId,
         is_replication: bool,
     ) {
-        self.events.push(TraceEvent::Dispatch {
-            at: now.as_secs(),
-            bag: bag.0,
-            task: task.0,
-            machine: machine.0,
-            is_replication,
-        });
+        (**self).on_dispatch(now, bag, task, machine, is_replication);
     }
 
     fn on_task_complete(&mut self, now: SimTime, bag: BotId, task: TaskId, machine: MachineId) {
-        self.events.push(TraceEvent::TaskComplete {
-            at: now.as_secs(),
-            bag: bag.0,
-            task: task.0,
-            machine: machine.0,
-        });
+        (**self).on_task_complete(now, bag, task, machine);
     }
 
     fn on_replica_killed(
@@ -230,49 +104,220 @@ impl SimObserver for TraceRecorder {
         machine: MachineId,
         by_failure: bool,
     ) {
-        self.events.push(TraceEvent::ReplicaKilled {
-            at: now.as_secs(),
-            bag: bag.0,
-            task: task.0,
-            machine: machine.0,
-            by_failure,
-        });
+        (**self).on_replica_killed(now, bag, task, machine, by_failure);
     }
 
     fn on_machine_fail(&mut self, now: SimTime, machine: MachineId) {
-        self.events.push(TraceEvent::MachineFail {
-            at: now.as_secs(),
-            machine: machine.0,
-        });
+        (**self).on_machine_fail(now, machine);
     }
 
     fn on_machine_repair(&mut self, now: SimTime, machine: MachineId) {
-        self.events.push(TraceEvent::MachineRepair {
-            at: now.as_secs(),
-            machine: machine.0,
-        });
+        (**self).on_machine_repair(now, machine);
+    }
+
+    fn on_outage(&mut self, now: SimTime, duration: f64) {
+        (**self).on_outage(now, duration);
     }
 
     fn on_bag_arrival(&mut self, now: SimTime, bag: BotId) {
-        self.events.push(TraceEvent::BagArrival {
-            at: now.as_secs(),
-            bag: bag.0,
-        });
+        (**self).on_bag_arrival(now, bag);
     }
 
     fn on_bag_complete(&mut self, now: SimTime, bag: BotId) {
-        self.events.push(TraceEvent::BagComplete {
-            at: now.as_secs(),
-            bag: bag.0,
-        });
+        (**self).on_bag_complete(now, bag);
     }
 
     fn on_checkpoint_saved(&mut self, now: SimTime, bag: BotId, task: TaskId, work: f64) {
-        self.events.push(TraceEvent::CheckpointSaved {
-            at: now.as_secs(),
-            bag: bag.0,
-            task: task.0,
-            work,
-        });
+        (**self).on_checkpoint_saved(now, bag, task, work);
     }
 }
+
+/// Forwards every callback to two observers in order (e.g. a tracer plus
+/// the metrics collector). Nest for wider fan-outs.
+#[derive(Debug, Default, Clone)]
+pub struct Fanout<A: SimObserver, B: SimObserver>(pub A, pub B);
+
+impl<A: SimObserver, B: SimObserver> SimObserver for Fanout<A, B> {
+    fn on_dispatch(
+        &mut self,
+        now: SimTime,
+        bag: BotId,
+        task: TaskId,
+        machine: MachineId,
+        is_replication: bool,
+    ) {
+        self.0.on_dispatch(now, bag, task, machine, is_replication);
+        self.1.on_dispatch(now, bag, task, machine, is_replication);
+    }
+
+    fn on_task_complete(&mut self, now: SimTime, bag: BotId, task: TaskId, machine: MachineId) {
+        self.0.on_task_complete(now, bag, task, machine);
+        self.1.on_task_complete(now, bag, task, machine);
+    }
+
+    fn on_replica_killed(
+        &mut self,
+        now: SimTime,
+        bag: BotId,
+        task: TaskId,
+        machine: MachineId,
+        by_failure: bool,
+    ) {
+        self.0
+            .on_replica_killed(now, bag, task, machine, by_failure);
+        self.1
+            .on_replica_killed(now, bag, task, machine, by_failure);
+    }
+
+    fn on_machine_fail(&mut self, now: SimTime, machine: MachineId) {
+        self.0.on_machine_fail(now, machine);
+        self.1.on_machine_fail(now, machine);
+    }
+
+    fn on_machine_repair(&mut self, now: SimTime, machine: MachineId) {
+        self.0.on_machine_repair(now, machine);
+        self.1.on_machine_repair(now, machine);
+    }
+
+    fn on_outage(&mut self, now: SimTime, duration: f64) {
+        self.0.on_outage(now, duration);
+        self.1.on_outage(now, duration);
+    }
+
+    fn on_bag_arrival(&mut self, now: SimTime, bag: BotId) {
+        self.0.on_bag_arrival(now, bag);
+        self.1.on_bag_arrival(now, bag);
+    }
+
+    fn on_bag_complete(&mut self, now: SimTime, bag: BotId) {
+        self.0.on_bag_complete(now, bag);
+        self.1.on_bag_complete(now, bag);
+    }
+
+    fn on_checkpoint_saved(&mut self, now: SimTime, bag: BotId, task: TaskId, work: f64) {
+        self.0.on_checkpoint_saved(now, bag, task, work);
+        self.1.on_checkpoint_saved(now, bag, task, work);
+    }
+}
+
+/// Implements [`SimObserver`] for a tracer type by building the
+/// [`TraceEvent`] for each callback and handing it to `$push`.
+macro_rules! impl_trace_observer {
+    ($ty:ty, $me:ident, $ev:ident, $push:expr) => {
+        impl SimObserver for $ty {
+            fn on_dispatch(
+                &mut self,
+                now: SimTime,
+                bag: BotId,
+                task: TaskId,
+                machine: MachineId,
+                is_replication: bool,
+            ) {
+                let $me = self;
+                let $ev = TraceEvent::Dispatch {
+                    at: now.as_secs(),
+                    bag: bag.0,
+                    task: task.0,
+                    machine: machine.0,
+                    is_replication,
+                };
+                $push;
+            }
+
+            fn on_task_complete(
+                &mut self,
+                now: SimTime,
+                bag: BotId,
+                task: TaskId,
+                machine: MachineId,
+            ) {
+                let $me = self;
+                let $ev = TraceEvent::TaskComplete {
+                    at: now.as_secs(),
+                    bag: bag.0,
+                    task: task.0,
+                    machine: machine.0,
+                };
+                $push;
+            }
+
+            fn on_replica_killed(
+                &mut self,
+                now: SimTime,
+                bag: BotId,
+                task: TaskId,
+                machine: MachineId,
+                by_failure: bool,
+            ) {
+                let $me = self;
+                let $ev = TraceEvent::ReplicaKilled {
+                    at: now.as_secs(),
+                    bag: bag.0,
+                    task: task.0,
+                    machine: machine.0,
+                    by_failure,
+                };
+                $push;
+            }
+
+            fn on_machine_fail(&mut self, now: SimTime, machine: MachineId) {
+                let $me = self;
+                let $ev = TraceEvent::MachineFail {
+                    at: now.as_secs(),
+                    machine: machine.0,
+                };
+                $push;
+            }
+
+            fn on_machine_repair(&mut self, now: SimTime, machine: MachineId) {
+                let $me = self;
+                let $ev = TraceEvent::MachineRepair {
+                    at: now.as_secs(),
+                    machine: machine.0,
+                };
+                $push;
+            }
+
+            fn on_outage(&mut self, now: SimTime, duration: f64) {
+                let $me = self;
+                let $ev = TraceEvent::Outage {
+                    at: now.as_secs(),
+                    duration,
+                };
+                $push;
+            }
+
+            fn on_bag_arrival(&mut self, now: SimTime, bag: BotId) {
+                let $me = self;
+                let $ev = TraceEvent::BagArrival {
+                    at: now.as_secs(),
+                    bag: bag.0,
+                };
+                $push;
+            }
+
+            fn on_bag_complete(&mut self, now: SimTime, bag: BotId) {
+                let $me = self;
+                let $ev = TraceEvent::BagComplete {
+                    at: now.as_secs(),
+                    bag: bag.0,
+                };
+                $push;
+            }
+
+            fn on_checkpoint_saved(&mut self, now: SimTime, bag: BotId, task: TaskId, work: f64) {
+                let $me = self;
+                let $ev = TraceEvent::CheckpointSaved {
+                    at: now.as_secs(),
+                    bag: bag.0,
+                    task: task.0,
+                    work,
+                };
+                $push;
+            }
+        }
+    };
+}
+
+impl_trace_observer!(TraceRecorder, me, ev, me.events.push(ev));
+impl_trace_observer!(TraceRing, me, ev, me.push(ev));

@@ -7,13 +7,35 @@
 //! stay oblivious to queue internals.
 
 use crate::event::EventId;
+use crate::profile::{stamp, SpanTimes};
 use crate::queue::{BinaryHeapQueue, PendingEvents};
 use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Operation counts against the pending-event set, maintained by the
+/// engine regardless of which queue backend is plugged in.
+///
+/// These are plain counters (not wall-clock spans), so they are always on:
+/// incrementing an integer per queue call is free next to the queue call
+/// itself, and the counts are useful for sizing calendar-queue buckets and
+/// spotting cancellation-heavy policies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueOps {
+    /// Events inserted (priming and in-run scheduling).
+    pub scheduled: u64,
+    /// Cancellations that hit a still-pending event.
+    pub cancelled: u64,
+    /// Events popped and handed to the handler (or dropped at the horizon).
+    pub popped: u64,
+    /// High-water mark of live pending events.
+    pub max_pending: u64,
+}
 
 /// Scheduling facade handed to the [`Handler`] during event processing.
 pub struct Scheduler<'a, E, Q: PendingEvents<E>> {
     now: SimTime,
     queue: &'a mut Q,
+    ops: &'a mut QueueOps,
     _marker: std::marker::PhantomData<E>,
 }
 
@@ -34,7 +56,10 @@ impl<'a, E, Q: PendingEvents<E>> Scheduler<'a, E, Q> {
             delay >= 0.0,
             "cannot schedule an event in the past (delay={delay})"
         );
-        self.queue.schedule(self.now + delay, payload)
+        let id = self.queue.schedule(self.now + delay, payload);
+        self.ops.scheduled += 1;
+        self.ops.max_pending = self.ops.max_pending.max(self.queue.len() as u64);
+        id
     }
 
     /// Schedules `payload` at an absolute time `at >= now`.
@@ -45,13 +70,18 @@ impl<'a, E, Q: PendingEvents<E>> Scheduler<'a, E, Q> {
             "cannot schedule an event in the past (at={at}, now={})",
             self.now
         );
-        self.queue.schedule(at, payload)
+        let id = self.queue.schedule(at, payload);
+        self.ops.scheduled += 1;
+        self.ops.max_pending = self.ops.max_pending.max(self.queue.len() as u64);
+        id
     }
 
     /// Cancels a pending event; returns `true` if it was still pending.
     #[inline]
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.queue.cancel(id)
+        let hit = self.queue.cancel(id);
+        self.ops.cancelled += u64::from(hit);
+        hit
     }
 
     /// Number of live pending events.
@@ -99,6 +129,8 @@ pub struct Engine<E, Q: PendingEvents<E> = BinaryHeapQueue<E>> {
     processed: u64,
     event_limit: u64,
     horizon: SimTime,
+    ops: QueueOps,
+    pop_span: SpanTimes,
     _marker: std::marker::PhantomData<E>,
 }
 
@@ -124,6 +156,8 @@ impl<E, Q: PendingEvents<E>> Engine<E, Q> {
             processed: 0,
             event_limit: u64::MAX,
             horizon: SimTime::FAR_FUTURE,
+            ops: QueueOps::default(),
+            pop_span: SpanTimes::default(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -149,10 +183,24 @@ impl<E, Q: PendingEvents<E>> Engine<E, Q> {
         self.processed
     }
 
+    /// Queue operation counts accumulated so far (see [`QueueOps`]).
+    pub fn queue_ops(&self) -> QueueOps {
+        self.ops
+    }
+
+    /// Wall-clock time spent inside `queue.pop()` during [`Engine::run`].
+    /// All zero unless the `timing` feature is enabled.
+    pub fn pop_span(&self) -> SpanTimes {
+        self.pop_span
+    }
+
     /// Schedules an event before the run starts (or between runs).
     pub fn prime(&mut self, at: SimTime, payload: E) -> EventId {
         assert!(at >= self.now, "cannot prime an event in the past");
-        self.queue.schedule(at, payload)
+        let id = self.queue.schedule(at, payload);
+        self.ops.scheduled += 1;
+        self.ops.max_pending = self.ops.max_pending.max(self.queue.len() as u64);
+        id
     }
 
     /// Runs the handler until the queue drains, the handler stops the run,
@@ -162,9 +210,14 @@ impl<E, Q: PendingEvents<E>> Engine<E, Q> {
             if self.processed >= self.event_limit {
                 return RunOutcome::EventLimit;
             }
-            let Some((time, _id, payload)) = self.queue.pop() else {
+            #[allow(clippy::let_unit_value)] // unit Stamp without `timing`
+            let t = stamp();
+            let popped = self.queue.pop();
+            self.pop_span.record(t);
+            let Some((time, _id, payload)) = popped else {
                 return RunOutcome::Drained;
             };
+            self.ops.popped += 1;
             debug_assert!(
                 time >= self.now,
                 "event queue returned an event from the past"
@@ -179,6 +232,7 @@ impl<E, Q: PendingEvents<E>> Engine<E, Q> {
             let mut sched = Scheduler {
                 now: self.now,
                 queue: &mut self.queue,
+                ops: &mut self.ops,
                 _marker: std::marker::PhantomData,
             };
             if handler.handle(payload, &mut sched) == Control::Stop {
@@ -282,6 +336,58 @@ mod tests {
         engine.prime(SimTime::new(2.0), 2);
         assert_eq!(engine.run(&mut Stopper), RunOutcome::Stopped);
         assert_eq!(engine.now().as_secs(), 1.0);
+    }
+
+    #[test]
+    fn queue_ops_are_counted() {
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(0.0), 0);
+        let mut h = Birth {
+            spawned: 0,
+            cap: 4,
+            log: Vec::new(),
+        };
+        engine.run(&mut h);
+        let ops = engine.queue_ops();
+        // 1 primed + 4 spawned, all popped; nothing cancelled; at most one
+        // event is ever pending in the birth process.
+        assert_eq!(ops.scheduled, 5);
+        assert_eq!(ops.popped, 5);
+        assert_eq!(ops.cancelled, 0);
+        assert_eq!(ops.max_pending, 1);
+        if !cfg!(feature = "timing") {
+            assert!(engine.pop_span().is_empty());
+        }
+    }
+
+    #[test]
+    fn cancellations_count_only_hits() {
+        struct Canceller(Option<EventId>);
+        impl Handler<u32> for Canceller {
+            fn handle<Q: PendingEvents<u32>>(
+                &mut self,
+                _event: u32,
+                sched: &mut Scheduler<'_, u32, Q>,
+            ) -> Control {
+                if let Some(id) = self.0.take() {
+                    assert!(sched.cancel(id));
+                    assert!(!sched.cancel(id)); // second try misses
+                }
+                Control::Continue
+            }
+        }
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(0.0), 0);
+        let doomed = engine.prime(SimTime::new(5.0), 1);
+        assert_eq!(
+            engine.run(&mut Canceller(Some(doomed))),
+            RunOutcome::Drained
+        );
+        let ops = engine.queue_ops();
+        assert_eq!(ops.scheduled, 2);
+        assert_eq!(ops.cancelled, 1);
+        assert_eq!(ops.popped, 1);
+        assert_eq!(ops.max_pending, 2);
     }
 
     #[test]

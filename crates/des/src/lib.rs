@@ -46,11 +46,12 @@ pub mod dist;
 pub mod engine;
 pub mod event;
 pub mod process;
+pub mod profile;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Control, Engine, Handler, RunOutcome, Scheduler};
+pub use engine::{Control, Engine, Handler, QueueOps, RunOutcome, Scheduler};
 pub use event::EventId;
 pub use time::SimTime;

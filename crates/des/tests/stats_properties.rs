@@ -1,0 +1,202 @@
+//! Property tests of the streaming statistics against brute-force oracles:
+//! the P² quantile estimator tracks the sorted-sample quantile inside a
+//! rank band, the histogram quantile lands within one bin width of the
+//! exact order statistic, and `Welford::merge` is order-insensitive —
+//! commutative, associative and invariant under repartitioning the stream.
+
+use dgsched_des::stats::{Histogram, P2Quantile, Welford};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// The `q`-quantile of a sample by the ceil-rank definition the estimators
+/// approximate: the smallest element with at least `ceil(q·n)` elements at
+/// or below it.
+fn exact_quantile(xs: &[f64], q: f64) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((q * s.len() as f64).ceil() as usize).clamp(1, s.len()) - 1;
+    s[idx]
+}
+
+fn close(a: f64, b: f64, abs: f64, rel: f64) -> bool {
+    (a - b).abs() <= abs + rel * a.abs().max(b.abs())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the stream, the P² markers never leave the sample's hull:
+    /// the estimate is bracketed by the observed min and max.
+    #[test]
+    fn p2_estimate_stays_inside_the_sample_hull(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..300),
+        q in 0.01f64..0.99,
+    ) {
+        let mut p2 = P2Quantile::new(q);
+        for &x in &xs {
+            p2.push(x);
+        }
+        prop_assert_eq!(p2.count(), xs.len());
+        let est = p2.estimate().unwrap();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(
+            (lo - 1e-9..=hi + 1e-9).contains(&est),
+            "estimate {est} outside sample hull [{lo}, {hi}]"
+        );
+    }
+
+    /// Before the five-marker warmup completes the estimator must be
+    /// *exact*: it still holds every observation.
+    #[test]
+    fn p2_is_exact_below_five_observations(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..5),
+        q in 0.01f64..0.99,
+    ) {
+        let mut p2 = P2Quantile::new(q);
+        for &x in &xs {
+            p2.push(x);
+        }
+        prop_assert_eq!(p2.estimate().unwrap(), exact_quantile(&xs, q));
+    }
+
+    /// On iid uniform streams long enough for the markers to settle, the
+    /// P² estimate's *rank* in the sorted sample sits within a narrow band
+    /// around the requested quantile.
+    #[test]
+    fn p2_tracks_the_sorted_sample_oracle(
+        seed in 0u64..10_000,
+        n in 1_000usize..3_000,
+        qi in 0usize..4,
+    ) {
+        let q = [0.25, 0.5, 0.9, 0.95][qi];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut p2 = P2Quantile::new(q);
+        let mut xs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(0.0..1000.0);
+            p2.push(x);
+            xs.push(x);
+        }
+        let est = p2.estimate().unwrap();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        // Empirical rank of the estimate, as a fraction of the sample.
+        let below = xs.partition_point(|&x| x <= est);
+        let rank = below as f64 / n as f64;
+        prop_assert!(
+            (rank - q).abs() < 0.05,
+            "P² estimate {est} sits at rank {rank:.3}, wanted {q} ± 0.05 (n={n})"
+        );
+    }
+
+    /// The histogram quantile lands within one bin width of the exact
+    /// order statistic when every observation is in range: the target rank
+    /// and the interpolated point share a bucket.
+    #[test]
+    fn histogram_quantile_is_within_one_bin_of_the_oracle(
+        xs in proptest::collection::vec(0.0f64..100.0, 1..400),
+        bins in 1usize..64,
+        q in 0.01f64..0.99,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, bins);
+        for &x in &xs {
+            h.record(x);
+        }
+        let est = h.quantile(q).unwrap();
+        let exact = exact_quantile(&xs, q);
+        prop_assert!(
+            (est - exact).abs() <= h.bin_width() + 1e-9,
+            "histogram {est} vs exact {exact}, bin width {}",
+            h.bin_width()
+        );
+    }
+
+    /// Merging per-chunk accumulators reproduces the single-pass stream:
+    /// count, sum, extremes exactly; mean and variance within float slack.
+    #[test]
+    fn welford_merge_equals_single_pass(
+        xs in proptest::collection::vec(-1e5f64..1e5, 1..200),
+        cut in 0usize..200,
+    ) {
+        let cut = cut.min(xs.len());
+        let whole: Welford = xs.iter().copied().collect();
+        let mut merged: Welford = xs[..cut].iter().copied().collect();
+        let right: Welford = xs[cut..].iter().copied().collect();
+        merged.merge(&right);
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert!(close(merged.mean(), whole.mean(), 1e-9, 1e-9));
+        prop_assert!(close(merged.variance(), whole.variance(), 1e-6, 1e-6));
+    }
+
+    /// `merge` is commutative and associative (up to float error), and the
+    /// empty accumulator is its identity — so replication statistics can
+    /// be folded in any order, including the parallel runner's.
+    #[test]
+    fn welford_merge_is_order_insensitive(
+        a in proptest::collection::vec(-1e5f64..1e5, 0..60),
+        b in proptest::collection::vec(-1e5f64..1e5, 0..60),
+        c in proptest::collection::vec(-1e5f64..1e5, 0..60),
+    ) {
+        let wa: Welford = a.iter().copied().collect();
+        let wb: Welford = b.iter().copied().collect();
+        let wc: Welford = c.iter().copied().collect();
+
+        // Commutativity: a∪b == b∪a.
+        let mut ab = wa.clone();
+        ab.merge(&wb);
+        let mut ba = wb.clone();
+        ba.merge(&wa);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!(close(ab.mean(), ba.mean(), 1e-9, 1e-9));
+        prop_assert!(close(ab.variance(), ba.variance(), 1e-6, 1e-6));
+
+        // Associativity: (a∪b)∪c == a∪(b∪c).
+        let mut abc = ab.clone();
+        abc.merge(&wc);
+        let mut bc = wb.clone();
+        bc.merge(&wc);
+        let mut a_bc = wa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(abc.count(), a_bc.count());
+        prop_assert!(close(abc.mean(), a_bc.mean(), 1e-9, 1e-9));
+        prop_assert!(close(abc.variance(), a_bc.variance(), 1e-6, 1e-6));
+
+        // Identity: merging an empty accumulator changes nothing.
+        let mut with_empty = wa.clone();
+        with_empty.merge(&Welford::new());
+        prop_assert_eq!(with_empty.count(), wa.count());
+        if wa.count() > 0 {
+            prop_assert_eq!(with_empty.mean(), wa.mean());
+            prop_assert_eq!(with_empty.variance(), wa.variance());
+        }
+    }
+
+    /// Permutation invariance of the *merged* statistics: shuffling which
+    /// chunk an observation lands in never changes the folded result.
+    #[test]
+    fn welford_chunking_is_permutation_invariant(
+        xs in proptest::collection::vec(-1e4f64..1e4, 2..120),
+        seed in 0u64..1_000,
+    ) {
+        let mut shuffled = xs.clone();
+        // Fisher–Yates with a seeded rng (vendored rand has no shuffle).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..=i as u64) as usize;
+            shuffled.swap(i, j);
+        }
+        let forward: Welford = xs.iter().copied().collect();
+        let mut folded = Welford::new();
+        for chunk in shuffled.chunks(7) {
+            let w: Welford = chunk.iter().copied().collect();
+            folded.merge(&w);
+        }
+        prop_assert_eq!(folded.count(), forward.count());
+        prop_assert_eq!(folded.min(), forward.min());
+        prop_assert_eq!(folded.max(), forward.max());
+        prop_assert!(close(folded.mean(), forward.mean(), 1e-9, 1e-9));
+        prop_assert!(close(folded.variance(), forward.variance(), 1e-5, 1e-5));
+    }
+}

@@ -1,0 +1,515 @@
+//! Trace serialisation: line-delimited JSON and a compact binary format.
+//!
+//! Both formats carry a header with the event count **and the number of
+//! events the tracer dropped** (ring-buffer eviction), so a truncated
+//! trace is always identifiable as such — decoding never silently
+//! pretends a partial trace is complete.
+//!
+//! ## JSONL
+//!
+//! Line 1 is a header object, every following line is one event:
+//!
+//! ```text
+//! {"format":"dgsched-trace","version":1,"events":3,"dropped":0}
+//! {"kind":"bag_arrival","at":0.0,"bag":0}
+//! ...
+//! ```
+//!
+//! ## Binary
+//!
+//! Little-endian, no padding: magic `DGTR`, `u16` version, `u64` dropped,
+//! `u64` count, then one tag byte plus fixed-width fields per event. The
+//! binary form is ~4× smaller than JSONL and round-trips bit-exactly
+//! (f64 fields are stored as raw bits).
+
+use crate::event::TraceEvent;
+use serde::{Deserialize, Serialize};
+
+/// Current version of both trace formats.
+pub const TRACE_FORMAT_VERSION: u16 = 1;
+
+const MAGIC: &[u8; 4] = b"DGTR";
+
+/// A decoded trace: the surviving events plus the tracer's drop count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceFile {
+    /// Events in record order (the most recent window when `dropped > 0`).
+    pub events: Vec<TraceEvent>,
+    /// Events the tracer evicted before export; `> 0` means truncated.
+    pub dropped: u64,
+}
+
+impl TraceFile {
+    /// True when the tracer evicted events before export.
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
+    }
+}
+
+/// Why a trace failed to decode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceCodecError {
+    /// The JSONL header line is missing or malformed.
+    BadHeader(String),
+    /// A JSONL event line failed to parse (1-based line number).
+    BadLine(usize, String),
+    /// Header promised a different number of events than were present.
+    CountMismatch {
+        /// Events promised by the header.
+        expected: u64,
+        /// Events actually decoded.
+        found: u64,
+    },
+    /// The binary magic bytes are wrong.
+    BadMagic,
+    /// The format version is unknown.
+    BadVersion(u16),
+    /// An unknown event tag byte.
+    BadTag(u8),
+    /// The byte stream ended mid-event.
+    UnexpectedEnd,
+}
+
+impl std::fmt::Display for TraceCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceCodecError::BadHeader(m) => write!(f, "bad trace header: {m}"),
+            TraceCodecError::BadLine(n, m) => write!(f, "bad trace line {n}: {m}"),
+            TraceCodecError::CountMismatch { expected, found } => {
+                write!(
+                    f,
+                    "trace count mismatch: header says {expected}, found {found}"
+                )
+            }
+            TraceCodecError::BadMagic => write!(f, "not a dgsched binary trace (bad magic)"),
+            TraceCodecError::BadVersion(v) => write!(f, "unsupported trace format version {v}"),
+            TraceCodecError::BadTag(t) => write!(f, "unknown event tag {t}"),
+            TraceCodecError::UnexpectedEnd => write!(f, "trace ended mid-event"),
+        }
+    }
+}
+
+impl std::error::Error for TraceCodecError {}
+
+#[derive(Serialize, Deserialize)]
+struct JsonlHeader {
+    format: String,
+    version: u16,
+    events: u64,
+    dropped: u64,
+}
+
+/// Renders `events` as JSONL with a truncation-aware header line.
+pub fn write_jsonl(events: &[TraceEvent], dropped: u64) -> String {
+    let header = JsonlHeader {
+        format: "dgsched-trace".into(),
+        version: TRACE_FORMAT_VERSION,
+        events: events.len() as u64,
+        dropped,
+    };
+    let mut out = serde_json::to_string(&header).expect("header serialises");
+    out.push('\n');
+    for ev in events {
+        out.push_str(&serde_json::to_string(ev).expect("event serialises"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL trace produced by [`write_jsonl`].
+pub fn read_jsonl(text: &str) -> Result<TraceFile, TraceCodecError> {
+    let mut lines = text.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| TraceCodecError::BadHeader("empty input".into()))?;
+    let header: JsonlHeader =
+        serde_json::from_str(header_line).map_err(|e| TraceCodecError::BadHeader(e.to_string()))?;
+    if header.format != "dgsched-trace" {
+        return Err(TraceCodecError::BadHeader(format!(
+            "unknown format '{}'",
+            header.format
+        )));
+    }
+    if header.version != TRACE_FORMAT_VERSION {
+        return Err(TraceCodecError::BadVersion(header.version));
+    }
+    let mut events = Vec::with_capacity(header.events as usize);
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev: TraceEvent = serde_json::from_str(line)
+            .map_err(|e| TraceCodecError::BadLine(i + 2, e.to_string()))?;
+        events.push(ev);
+    }
+    if events.len() as u64 != header.events {
+        return Err(TraceCodecError::CountMismatch {
+            expected: header.events,
+            found: events.len() as u64,
+        });
+    }
+    Ok(TraceFile {
+        events,
+        dropped: header.dropped,
+    })
+}
+
+// Binary event tags. Stable: appending new variants gets a new tag, old
+// tags are never reused.
+const TAG_DISPATCH: u8 = 0;
+const TAG_TASK_COMPLETE: u8 = 1;
+const TAG_REPLICA_KILLED: u8 = 2;
+const TAG_MACHINE_FAIL: u8 = 3;
+const TAG_MACHINE_REPAIR: u8 = 4;
+const TAG_BAG_ARRIVAL: u8 = 5;
+const TAG_BAG_COMPLETE: u8 = 6;
+const TAG_CHECKPOINT_SAVED: u8 = 7;
+const TAG_OUTAGE: u8 = 8;
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes `events` into the compact binary format.
+pub fn encode_binary(events: &[TraceEvent], dropped: u64) -> Vec<u8> {
+    // Header 22 bytes + a generous 34 bytes per event.
+    let mut out = Vec::with_capacity(22 + events.len() * 34);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&dropped.to_le_bytes());
+    out.extend_from_slice(&(events.len() as u64).to_le_bytes());
+    for ev in events {
+        match *ev {
+            TraceEvent::Dispatch {
+                at,
+                bag,
+                task,
+                machine,
+                is_replication,
+            } => {
+                out.push(TAG_DISPATCH);
+                put_f64(&mut out, at);
+                put_u32(&mut out, bag);
+                put_u32(&mut out, task);
+                put_u32(&mut out, machine);
+                out.push(u8::from(is_replication));
+            }
+            TraceEvent::TaskComplete {
+                at,
+                bag,
+                task,
+                machine,
+            } => {
+                out.push(TAG_TASK_COMPLETE);
+                put_f64(&mut out, at);
+                put_u32(&mut out, bag);
+                put_u32(&mut out, task);
+                put_u32(&mut out, machine);
+            }
+            TraceEvent::ReplicaKilled {
+                at,
+                bag,
+                task,
+                machine,
+                by_failure,
+            } => {
+                out.push(TAG_REPLICA_KILLED);
+                put_f64(&mut out, at);
+                put_u32(&mut out, bag);
+                put_u32(&mut out, task);
+                put_u32(&mut out, machine);
+                out.push(u8::from(by_failure));
+            }
+            TraceEvent::MachineFail { at, machine } => {
+                out.push(TAG_MACHINE_FAIL);
+                put_f64(&mut out, at);
+                put_u32(&mut out, machine);
+            }
+            TraceEvent::MachineRepair { at, machine } => {
+                out.push(TAG_MACHINE_REPAIR);
+                put_f64(&mut out, at);
+                put_u32(&mut out, machine);
+            }
+            TraceEvent::BagArrival { at, bag } => {
+                out.push(TAG_BAG_ARRIVAL);
+                put_f64(&mut out, at);
+                put_u32(&mut out, bag);
+            }
+            TraceEvent::BagComplete { at, bag } => {
+                out.push(TAG_BAG_COMPLETE);
+                put_f64(&mut out, at);
+                put_u32(&mut out, bag);
+            }
+            TraceEvent::CheckpointSaved {
+                at,
+                bag,
+                task,
+                work,
+            } => {
+                out.push(TAG_CHECKPOINT_SAVED);
+                put_f64(&mut out, at);
+                put_u32(&mut out, bag);
+                put_u32(&mut out, task);
+                put_f64(&mut out, work);
+            }
+            TraceEvent::Outage { at, duration } => {
+                out.push(TAG_OUTAGE);
+                put_f64(&mut out, at);
+                put_f64(&mut out, duration);
+            }
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceCodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(TraceCodecError::UnexpectedEnd)?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, TraceCodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, TraceCodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceCodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceCodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, TraceCodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Decodes a binary trace produced by [`encode_binary`].
+pub fn decode_binary(bytes: &[u8]) -> Result<TraceFile, TraceCodecError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    if c.take(4)? != MAGIC {
+        return Err(TraceCodecError::BadMagic);
+    }
+    let version = c.u16()?;
+    if version != TRACE_FORMAT_VERSION {
+        return Err(TraceCodecError::BadVersion(version));
+    }
+    let dropped = c.u64()?;
+    let count = c.u64()?;
+    let mut events = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let tag = c.u8()?;
+        let ev = match tag {
+            TAG_DISPATCH => TraceEvent::Dispatch {
+                at: c.f64()?,
+                bag: c.u32()?,
+                task: c.u32()?,
+                machine: c.u32()?,
+                is_replication: c.u8()? != 0,
+            },
+            TAG_TASK_COMPLETE => TraceEvent::TaskComplete {
+                at: c.f64()?,
+                bag: c.u32()?,
+                task: c.u32()?,
+                machine: c.u32()?,
+            },
+            TAG_REPLICA_KILLED => TraceEvent::ReplicaKilled {
+                at: c.f64()?,
+                bag: c.u32()?,
+                task: c.u32()?,
+                machine: c.u32()?,
+                by_failure: c.u8()? != 0,
+            },
+            TAG_MACHINE_FAIL => TraceEvent::MachineFail {
+                at: c.f64()?,
+                machine: c.u32()?,
+            },
+            TAG_MACHINE_REPAIR => TraceEvent::MachineRepair {
+                at: c.f64()?,
+                machine: c.u32()?,
+            },
+            TAG_BAG_ARRIVAL => TraceEvent::BagArrival {
+                at: c.f64()?,
+                bag: c.u32()?,
+            },
+            TAG_BAG_COMPLETE => TraceEvent::BagComplete {
+                at: c.f64()?,
+                bag: c.u32()?,
+            },
+            TAG_CHECKPOINT_SAVED => TraceEvent::CheckpointSaved {
+                at: c.f64()?,
+                bag: c.u32()?,
+                task: c.u32()?,
+                work: c.f64()?,
+            },
+            TAG_OUTAGE => TraceEvent::Outage {
+                at: c.f64()?,
+                duration: c.f64()?,
+            },
+            t => return Err(TraceCodecError::BadTag(t)),
+        };
+        events.push(ev);
+    }
+    if c.pos != bytes.len() {
+        // Trailing garbage means the stream is not what the header claims.
+        return Err(TraceCodecError::CountMismatch {
+            expected: count,
+            found: count + 1,
+        });
+    }
+    Ok(TraceFile { events, dropped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::BagArrival { at: 0.0, bag: 0 },
+            TraceEvent::Dispatch {
+                at: 0.0,
+                bag: 0,
+                task: 1,
+                machine: 2,
+                is_replication: false,
+            },
+            TraceEvent::Outage {
+                at: 5.25,
+                duration: 3600.0,
+            },
+            TraceEvent::MachineFail {
+                at: 5.25,
+                machine: 2,
+            },
+            TraceEvent::ReplicaKilled {
+                at: 5.25,
+                bag: 0,
+                task: 1,
+                machine: 2,
+                by_failure: true,
+            },
+            TraceEvent::MachineRepair {
+                at: 3605.25,
+                machine: 2,
+            },
+            TraceEvent::Dispatch {
+                at: 3605.25,
+                bag: 0,
+                task: 1,
+                machine: 2,
+                is_replication: false,
+            },
+            TraceEvent::CheckpointSaved {
+                at: 3700.0,
+                bag: 0,
+                task: 1,
+                work: 123.456789,
+            },
+            TraceEvent::TaskComplete {
+                at: 4000.5,
+                bag: 0,
+                task: 1,
+                machine: 2,
+            },
+            TraceEvent::BagComplete { at: 4000.5, bag: 0 },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_with_drop_count() {
+        let events = sample_events();
+        let text = write_jsonl(&events, 7);
+        let back = read_jsonl(&text).unwrap();
+        assert_eq!(back.events, events);
+        assert_eq!(back.dropped, 7);
+        assert!(back.truncated());
+    }
+
+    #[test]
+    fn binary_round_trips_bit_exactly() {
+        let events = sample_events();
+        let bytes = encode_binary(&events, 0);
+        let back = decode_binary(&bytes).unwrap();
+        assert_eq!(back.events, events);
+        assert_eq!(back.dropped, 0);
+        assert!(!back.truncated());
+    }
+
+    #[test]
+    fn jsonl_header_must_be_sane() {
+        assert!(matches!(read_jsonl(""), Err(TraceCodecError::BadHeader(_))));
+        assert!(matches!(
+            read_jsonl("{\"format\":\"other\",\"version\":1,\"events\":0,\"dropped\":0}\n"),
+            Err(TraceCodecError::BadHeader(_))
+        ));
+        assert!(matches!(
+            read_jsonl("{\"format\":\"dgsched-trace\",\"version\":9,\"events\":0,\"dropped\":0}\n"),
+            Err(TraceCodecError::BadVersion(9))
+        ));
+        // Header claims more events than the body holds.
+        let text = "{\"format\":\"dgsched-trace\",\"version\":1,\"events\":2,\"dropped\":0}\n\
+                    {\"kind\":\"bag_arrival\",\"at\":0.0,\"bag\":0}\n";
+        assert_eq!(
+            read_jsonl(text),
+            Err(TraceCodecError::CountMismatch {
+                expected: 2,
+                found: 1
+            })
+        );
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let events = sample_events();
+        let bytes = encode_binary(&events, 0);
+        assert_eq!(decode_binary(b"nope"), Err(TraceCodecError::BadMagic));
+        assert_eq!(
+            decode_binary(&bytes[..bytes.len() - 3]),
+            Err(TraceCodecError::UnexpectedEnd)
+        );
+        let mut bad_tag = bytes.clone();
+        // First event tag sits right after the 22-byte header.
+        bad_tag[22] = 0xEE;
+        assert_eq!(decode_binary(&bad_tag), Err(TraceCodecError::BadTag(0xEE)));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_binary(&trailing),
+            Err(TraceCodecError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_is_denser_than_jsonl() {
+        let events = sample_events();
+        let jsonl = write_jsonl(&events, 0);
+        let bin = encode_binary(&events, 0);
+        assert!(
+            bin.len() * 2 < jsonl.len(),
+            "binary {} vs jsonl {}",
+            bin.len(),
+            jsonl.len()
+        );
+    }
+}

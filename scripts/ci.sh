@@ -19,8 +19,31 @@ DGSCHED_THREADS=1 cargo test -q -p dgsched-core --test parallel_determinism
 DGSCHED_THREADS=4 cargo test -q -p dgsched-core --test parallel_determinism
 cargo test -q -p dgsched-core --test parallel_determinism
 
+echo "==> telemetry gate: obs crate with and without the timing feature"
+# The observer seam must stay passive: the obs crate and its profiling
+# spans are built and tested in both configurations, and the passivity
+# battery re-runs with DGSCHED_TRACE exercised inside the test itself.
+cargo test -q -p dgsched-obs
+cargo test -q -p dgsched-obs --features timing
+cargo test -q -p dgsched-core --features timing --test observer_passivity
+
+echo "==> tracing-overhead smoke: bench_sim_json (tracer-on vs tracer-off)"
+# Writes plain / metrics / metrics+ring wall-clock into BENCH_sim.json and
+# asserts all three produce byte-identical RunResult JSON.
+cargo run --release -q -p dgsched-bench --bin bench_sim_json -- --out /tmp/BENCH_sim.ci.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("/tmp/BENCH_sim.ci.json"))
+o = doc["overhead"]
+assert o["identical_result"], "instrumented runs diverged from plain"
+print(f"tracer overhead ratio: {o['overhead_ratio']:.3f} (events={o['events']})")
+EOF
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+echo "==> cargo clippy -p dgsched-obs --features timing -- -D warnings"
+cargo clippy -p dgsched-obs --features timing -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check

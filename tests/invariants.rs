@@ -346,6 +346,7 @@ fn traces_are_deterministic_and_time_ordered() {
             dgsched_core::sim::TraceEvent::BagArrival { .. } => "arrival",
             dgsched_core::sim::TraceEvent::BagComplete { .. } => "bag-complete",
             dgsched_core::sim::TraceEvent::CheckpointSaved { .. } => "checkpoint",
+            dgsched_core::sim::TraceEvent::Outage { .. } => "outage",
         })
         .collect();
     for expected in [

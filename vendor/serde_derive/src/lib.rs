@@ -9,7 +9,8 @@
 //! - enums: unit variants, newtype variants, struct variants
 //! - container attrs: `#[serde(tag = "...")]`,
 //!   `#[serde(rename_all = "snake_case" | "kebab-case" | "lowercase")]`
-//! - field attrs: `#[serde(default)]`, `#[serde(default = "path")]`
+//! - field attrs: `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   `#[serde(skip_serializing_if = "path")]`
 //!
 //! Generics are rejected with a clear panic; unknown `#[serde(...)]` keys are
 //! ignored so innocuous attributes don't break the build.
@@ -30,6 +31,9 @@ struct Field {
     /// `None` = required; `Some(None)` = `#[serde(default)]`;
     /// `Some(Some(path))` = `#[serde(default = "path")]`.
     default: Option<Option<String>>,
+    /// `#[serde(skip_serializing_if = "path")]`: the key is omitted from
+    /// the serialized object when `path(&field)` is true.
+    skip_serializing_if: Option<String>,
 }
 
 enum Fields {
@@ -229,10 +233,11 @@ fn parse_named_fields(body: &Group) -> Vec<Field> {
     let mut i = 0;
     while i < toks.len() {
         let mut default = None;
-        eat_attrs(&toks, &mut i, |k, v| {
-            if k == "default" {
-                default = Some(v.map(str::to_string));
-            }
+        let mut skip_serializing_if = None;
+        eat_attrs(&toks, &mut i, |k, v| match k {
+            "default" => default = Some(v.map(str::to_string)),
+            "skip_serializing_if" => skip_serializing_if = v.map(str::to_string),
+            _ => {}
         });
         if i >= toks.len() {
             break;
@@ -248,7 +253,11 @@ fn parse_named_fields(body: &Group) -> Vec<Field> {
             other => panic!("serde stub: expected `:` after field `{name}`, found {other}"),
         }
         eat_type(&toks, &mut i);
-        fields.push(Field { name, default });
+        fields.push(Field {
+            name,
+            default,
+            skip_serializing_if,
+        });
     }
     fields
 }
@@ -335,6 +344,20 @@ fn push_field(target: &str, key: &str, value_expr: &str) -> String {
     format!("{target}.push((::std::string::String::from(\"{key}\"), {value_expr}));\n")
 }
 
+/// [`push_field`] guarded by the field's `skip_serializing_if` predicate
+/// (called upstream-style, as `path(&field)`).
+fn push_named_field(target: &str, f: &Field, field_ref: &str) -> String {
+    let push = push_field(
+        target,
+        &f.name,
+        &format!("::serde::Serialize::serialize_value({field_ref})"),
+    );
+    match &f.skip_serializing_if {
+        None => push,
+        Some(path) => format!("if !{path}({field_ref}) {{\n{push}}}\n"),
+    }
+}
+
 fn str_value(s: &str) -> String {
     format!("{VALUE}::Str(::std::string::String::from(\"{s}\"))")
 }
@@ -345,11 +368,7 @@ fn gen_serialize(c: &Container) -> String {
         Data::Struct(Fields::Named(fs)) => {
             let mut s = new_object_vec("__f");
             for f in fs {
-                s += &push_field(
-                    "__f",
-                    &f.name,
-                    &format!("::serde::Serialize::serialize_value(&self.{})", f.name),
-                );
+                s += &push_named_field("__f", f, &format!("&self.{}", f.name));
             }
             s + &format!("{VALUE}::Object(__f)")
         }
@@ -416,11 +435,7 @@ fn serialize_variant_arm(name: &str, attrs: &ContainerAttrs, v: &Variant) -> Str
                 arm += &push_field("__f", tag, &str_value(&vname));
             }
             for f in fs {
-                arm += &push_field(
-                    "__f",
-                    &f.name,
-                    &format!("::serde::Serialize::serialize_value({})", f.name),
-                );
+                arm += &push_named_field("__f", f, &f.name);
             }
             if tag.is_some() {
                 arm += &format!("{VALUE}::Object(__f)\n}},\n");
