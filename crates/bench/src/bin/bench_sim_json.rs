@@ -13,7 +13,9 @@
 //! sequentially and on the work-stealing pool, and cross-checks that
 //! both runs serialise byte-identically.
 
-use dgsched_core::experiment::{fig1_panels, run_matrix, Scenario, WorkloadKind};
+use dgsched_core::experiment::{
+    fig1_panels, run_matrix, run_matrix_journaled, RepGuard, Scenario, WorkloadKind,
+};
 use dgsched_core::policy::PolicyKind;
 use dgsched_core::sim::{simulate, simulate_instrumented, NullObserver, SimConfig, TraceRing};
 use dgsched_des::stats::StoppingRule;
@@ -80,12 +82,78 @@ struct OverheadBench {
     identical_result: bool,
 }
 
+/// Journal overhead: the same matrix sweep with the crash-safe journal
+/// off and on (one fsynced JSONL append per replication), plus a resumed
+/// pass that replays every record instead of recomputing. Both journaled
+/// runs must serialise byte-identical results to the plain sweep — the
+/// journal's whole contract.
+#[derive(Serialize)]
+struct JournalBench {
+    scenarios: usize,
+    records: u64,
+    plain_s: f64,
+    journaled_s: f64,
+    resume_s: f64,
+    /// wall(journal on) / wall(journal off): the fsync tax, reported
+    /// honestly — it is real I/O on every completed replication.
+    overhead_ratio: f64,
+    /// True when plain, journaled and resumed sweeps all serialised
+    /// byte-identical scenario results.
+    identical_result: bool,
+}
+
 #[derive(Serialize)]
 struct BenchDoc {
     unit: &'static str,
     benchmarks: Vec<BenchRow>,
     sweep: SweepBench,
     overhead: OverheadBench,
+    journal: JournalBench,
+}
+
+fn bench_journal() -> JournalBench {
+    let scenarios = sweep_matrix();
+    let rule = StoppingRule {
+        min_replications: 5,
+        max_replications: 10,
+        ..Default::default()
+    };
+    let path = std::env::temp_dir().join(format!("dgsched-bench-{}.jsonl", std::process::id()));
+
+    let t0 = Instant::now();
+    let plain = run_matrix(&scenarios, 42, &rule);
+    let plain_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let journaled = run_matrix_journaled(&scenarios, 42, &rule, &path, false, RepGuard::default())
+        .expect("journaled sweep");
+    let journaled_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let resumed = run_matrix_journaled(&scenarios, 42, &rule, &path, true, RepGuard::default())
+        .expect("resumed sweep");
+    let resume_s = t0.elapsed().as_secs_f64();
+    std::fs::remove_file(&path).ok();
+
+    let plain_json = serde_json::to_string(&plain).expect("serialises");
+    let identical_result = plain_json == serde_json::to_string(&journaled.results).unwrap()
+        && plain_json == serde_json::to_string(&resumed.results).unwrap();
+    assert!(identical_result, "journaled sweep diverged from plain");
+    assert_eq!(resumed.stats.records_written, 0, "resume recomputed work");
+    let overhead_ratio = journaled_s / plain_s;
+    eprintln!(
+        "journal {} records  plain {:>6.2} s  journaled {:>6.2} s  resumed {:>6.2} s  ratio {:.3}",
+        journaled.stats.records_written, plain_s, journaled_s, resume_s, overhead_ratio
+    );
+    JournalBench {
+        scenarios: scenarios.len(),
+        records: journaled.stats.records_written,
+        plain_s,
+        journaled_s,
+        resume_s,
+        overhead_ratio,
+        identical_result,
+    }
 }
 
 fn bench_overhead() -> OverheadBench {
@@ -322,6 +390,7 @@ fn main() {
         benchmarks: rows,
         sweep: bench_sweep(),
         overhead: bench_overhead(),
+        journal: bench_journal(),
     };
     std::fs::write(
         &out_path,

@@ -10,7 +10,8 @@
 //! Scenario files are the serde form of [`dgsched_core::experiment::Scenario`].
 
 use dgsched_core::experiment::{
-    run_replication_instrumented, run_scenario, Scenario, WorkloadKind,
+    run_replication_instrumented, run_scenario, run_scenario_journaled, RepGuard, Scenario,
+    WorkloadKind,
 };
 use dgsched_core::policy::PolicyKind;
 use dgsched_core::sim::Gantt;
@@ -24,7 +25,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dgsched demo\n  dgsched run <scenario.json> [--seed N] [--min-reps N] [--max-reps N]\n  dgsched trace <scenario.json> [--seed N] [--rep N] [--out trace.json]\n                [--jsonl trace.jsonl] [--bin trace.dgtr] [--ring N] [--metrics] [--gantt]\n  dgsched gen-workload -g <granularity> -u <low|medium|high> -n <bags> -o <file> [--seed N]\n  dgsched summarize <workload.json>\n\nenvironment:\n  DGSCHED_TRACE=1   attach the metrics registry to `dgsched run` (adds a\n                    'metrics' snapshot of replication 0 to the result JSON)"
+        "usage:\n  dgsched demo\n  dgsched run <scenario.json> [--seed N] [--min-reps N] [--max-reps N]\n               [--journal <file.jsonl> [--resume]]\n  dgsched trace <scenario.json> [--seed N] [--rep N] [--out trace.json]\n                [--jsonl trace.jsonl] [--bin trace.dgtr] [--ring N] [--metrics] [--gantt]\n  dgsched gen-workload -g <granularity> -u <low|medium|high> -n <bags> -o <file> [--seed N]\n  dgsched summarize <workload.json>\n\njournal:\n  --journal FILE    append each completed replication to FILE (fsynced\n                    JSONL) so a killed run loses at most the replication\n                    in flight; replications are panic-isolated\n  --resume          replay the journal's intact records instead of\n                    recomputing them; the final JSON is byte-identical to\n                    an uninterrupted run\n\nenvironment:\n  DGSCHED_TRACE=1   attach the metrics registry to `dgsched run` (adds a\n                    'metrics' snapshot of replication 0 to the result JSON)"
     );
     exit(2)
 }
@@ -60,13 +61,21 @@ fn cmd_run(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
     let path = args.next().unwrap_or_else(|| usage());
     let mut seed = 2008u64;
     let mut rule = StoppingRule::default();
+    let mut journal: Option<String> = None;
+    let mut resume = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--seed" => seed = parse_u64(&mut args, "--seed"),
             "--min-reps" => rule.min_replications = parse_u64(&mut args, "--min-reps"),
             "--max-reps" => rule.max_replications = parse_u64(&mut args, "--max-reps"),
+            "--journal" => journal = Some(args.next().unwrap_or_else(|| usage())),
+            "--resume" => resume = true,
             _ => usage(),
         }
+    }
+    if resume && journal.is_none() {
+        eprintln!("--resume requires --journal");
+        exit(2)
     }
     let data = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
@@ -81,12 +90,52 @@ fn cmd_run(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
         exit(1)
     }
     eprintln!("running '{}' (seed {seed})...", scenario.name);
-    let result = run_scenario(&scenario, seed, &rule);
+    let result = match &journal {
+        Some(jpath) => {
+            let (result, stats) = run_scenario_journaled(
+                &scenario,
+                seed,
+                &rule,
+                Path::new(jpath),
+                resume,
+                RepGuard::default(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("journal {jpath}: {e}");
+                exit(1)
+            });
+            eprintln!(
+                "journal {jpath}: {} written, {} replayed{}{}{}",
+                stats.records_written,
+                stats.records_replayed,
+                if stats.resumes > 0 { " (resumed)" } else { "" },
+                if stats.torn_tails > 0 {
+                    ", torn tail truncated"
+                } else {
+                    ""
+                },
+                if stats.replication_panics > 0 {
+                    ", replication panics isolated"
+                } else {
+                    ""
+                },
+            );
+            result
+        }
+        None => run_scenario(&scenario, seed, &rule),
+    };
     println!(
         "{}",
         serde_json::to_string_pretty(&result).expect("result serialises")
     );
-    if result.saturated {
+    if result.failed_replications > 0 {
+        eprintln!(
+            "note: {} of {} replications failed: {}",
+            result.failed_replications,
+            result.replications,
+            result.failure_reasons.join("; ")
+        );
+    } else if result.saturated {
         eprintln!(
             "note: {} of {} replications saturated — the configuration is overloaded",
             result.saturated_replications, result.replications

@@ -1,0 +1,759 @@
+//! Crash-safe replication journal: resumable sweeps over an append-only
+//! JSONL store.
+//!
+//! A long matrix sweep is hours of compute whose only durable artifact,
+//! until now, was the final JSON — a crash at replication 4 999 of 5 000
+//! lost everything. The journal makes each completed replication durable
+//! the moment it finishes:
+//!
+//! * line 1 is a **header** that fingerprints the sweep — FNV-1a 64 over
+//!   the canonical JSON of `(scenarios, base_seed, rule)` plus the code
+//!   and journal-schema versions — so a journal can never be replayed
+//!   against a different experiment;
+//! * every following line is one completed [`RepSummary`]
+//!   (`{"kind":"rep","scenario":…,"rep":…,"summary":…}`), appended and
+//!   `fsync`ed before the result can influence anything downstream.
+//!
+//! ## Resume = replay through the same fold
+//!
+//! On `--resume`, the journaled records form, per scenario, a contiguous
+//! prefix of replication summaries. [`run_matrix_journaled`] feeds that
+//! prefix — and then freshly-computed replications — through the *same*
+//! [`sweep`] loop the plain runner uses: batch sizes and the stopping
+//! index are decided from the summaries alone, never from whether a
+//! summary was replayed or recomputed. Because [`Welford`] state
+//! round-trips bit-for-bit through the journal
+//! (`crates/des/src/stats/welford.rs`), the final matrix JSON is
+//! **byte-identical** whether the sweep ran straight through or was
+//! killed and resumed any number of times, at any pool width
+//! (`tests/journal_resume.rs` pins this).
+//!
+//! ## Failure state machine
+//!
+//! Each journaled replication moves through:
+//!
+//! ```text
+//! run ──ok──────────────────────────▶ clean / saturated summary ─▶ journal
+//!  │                                       ▲
+//!  ├─panic─▶ retry (once) ──ok─────────────┘
+//!  │             │
+//!  │             └─panic─▶ failed-with-reason summary ──────────▶ journal
+//!  └─over wall budget─▶ saturated summary ──────────────────────▶ journal
+//! ```
+//!
+//! A failed replication is recorded, marks its scenario unusable (same
+//! reporting path as saturation, plus `failed_replications` /
+//! `failure_reasons` on the result), and the sweep **continues** with the
+//! remaining scenarios — one poisoned cell no longer aborts the matrix.
+//! The torn tail left by a crash mid-append (a final line without its
+//! newline, or one that no longer parses) is truncated away on open and
+//! its replication simply re-run.
+//!
+//! [`Welford`]: dgsched_des::stats::Welford
+
+use super::runner::{
+    finish_scenario, obs_enabled, run_replication_capped, sweep, RepSummary, ScenarioResult,
+};
+use super::scenario::Scenario;
+use crate::sim::RunResult;
+use dgsched_des::stats::StoppingRule;
+use dgsched_des::time::SimTime;
+use dgsched_obs::{MetricsRegistry, MetricsSnapshot};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Journal schema version; folded into the fingerprint, so a journal
+/// written by an incompatible schema refuses to resume.
+const JOURNAL_VERSION: u32 = 1;
+
+/// Per-replication resource guard for journaled sweeps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepGuard {
+    /// Clamp on the per-replication event budget (never raises the
+    /// scenario's own `event_limit`). Deterministic: the clamp is part of
+    /// the effective configuration, and a tripped budget takes the
+    /// ordinary saturation path.
+    pub max_events: Option<u64>,
+    /// Wall-clock budget per replication, seconds. **Non-deterministic
+    /// safety valve**, default off: a replication that finishes over
+    /// budget is recorded as saturated, which machine speed can change.
+    /// Leave `None` whenever reproducibility matters.
+    pub wall_limit_s: Option<f64>,
+}
+
+/// What the journal did during one sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalStats {
+    /// Replication records appended (and fsynced) this run.
+    pub records_written: u64,
+    /// Replications served from the journal instead of recomputed.
+    pub records_replayed: u64,
+    /// 1 when an existing journal was resumed, else 0.
+    pub resumes: u64,
+    /// Torn tail records truncated away on open.
+    pub torn_tails: u64,
+    /// Replication attempts that panicked (includes retried attempts).
+    pub replication_panics: u64,
+    /// Panicked replications that were retried.
+    pub replication_retries: u64,
+}
+
+impl JournalStats {
+    /// Renders the stats as an observability snapshot with the standard
+    /// counter names (`journal_records`, `journal_resumes`,
+    /// `replication_panics`, …), mergeable with the simulator's own
+    /// metrics pipeline.
+    pub fn to_metrics(&self) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new();
+        for (name, value) in [
+            ("journal_records", self.records_written),
+            ("journal_replayed", self.records_replayed),
+            ("journal_resumes", self.resumes),
+            ("journal_torn_tails", self.torn_tails),
+            ("replication_panics", self.replication_panics),
+            ("replication_retries", self.replication_retries),
+        ] {
+            let id = reg.counter(name);
+            reg.add(id, value);
+        }
+        reg.snapshot(SimTime::new(0.0))
+    }
+}
+
+/// Result of a journaled sweep: the scenario results (identical to what
+/// [`run_matrix`](super::run_matrix) would produce) plus journal
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct JournalOutcome {
+    /// One result per scenario, in input order.
+    pub results: Vec<ScenarioResult>,
+    /// What the journal did.
+    pub stats: JournalStats,
+}
+
+/// One line of the journal file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+enum JournalLine {
+    /// First line: identifies the sweep this journal belongs to.
+    Header {
+        version: u32,
+        /// Hex FNV-1a 64 over the canonical sweep configuration.
+        fingerprint: String,
+        code_version: String,
+        base_seed: u64,
+        scenarios: u64,
+        rule: StoppingRule,
+    },
+    /// One completed replication.
+    Rep {
+        scenario: String,
+        rep: u64,
+        summary: RepSummary,
+    },
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Hex fingerprint of the sweep configuration. The fingerprint is over
+/// the serialised form, so anything that changes what the sweep would
+/// compute — a scenario knob, the seed, the stopping rule, the schema —
+/// changes the fingerprint.
+fn sweep_fingerprint(
+    scenarios: &[Scenario],
+    base_seed: u64,
+    rule: &StoppingRule,
+) -> io::Result<String> {
+    let cfg = serde_json::to_string(&(scenarios, base_seed, rule))
+        .map_err(|e| invalid(format!("sweep configuration does not serialise: {e}")))?;
+    let tagged = format!("v{JOURNAL_VERSION}|{}|{cfg}", env!("CARGO_PKG_VERSION"));
+    Ok(format!("{:016x}", fnv1a64(tagged.as_bytes())))
+}
+
+/// Shared mutable state of a sweep in progress: the append handle, the
+/// first write error (sticky — later appends are skipped), and the
+/// counters the parallel workers bump.
+struct Shared {
+    writer: Mutex<File>,
+    write_error: Mutex<Option<io::Error>>,
+    written: AtomicU64,
+    replayed: AtomicU64,
+    panics: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl Shared {
+    /// Appends one replication record and makes it durable. A record is
+    /// only readable by a future resume once `sync_data` returned, so a
+    /// crash can tear at most the final line — which `load_journal`
+    /// truncates away.
+    fn append(&self, scenario: &str, rep: u64, summary: &RepSummary) {
+        let mut err_slot = self.write_error.lock();
+        if err_slot.is_some() {
+            return;
+        }
+        let line = JournalLine::Rep {
+            scenario: scenario.to_string(),
+            rep,
+            summary: summary.clone(),
+        };
+        let attempt = (|| -> io::Result<()> {
+            let mut text = serde_json::to_string(&line)
+                .map_err(|e| invalid(format!("journal record does not serialise: {e}")))?;
+            text.push('\n');
+            let mut file = self.writer.lock();
+            file.write_all(text.as_bytes())?;
+            file.sync_data()
+        })();
+        match attempt {
+            Ok(()) => {
+                self.written.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => *err_slot = Some(e),
+        }
+    }
+}
+
+/// Journaled replication summaries, keyed by scenario name, then by
+/// replication index.
+type RecordsByScenario = BTreeMap<String, BTreeMap<u64, RepSummary>>;
+
+/// Parses an existing journal: verifies the header, collects the
+/// contiguous per-scenario prefix of replication records, and reports how
+/// many bytes of the file are valid (anything past that is a torn tail).
+///
+/// Only the *final* line may be damaged — that is the only line a crash
+/// mid-append can tear. Damage anywhere else means the file was edited or
+/// corrupted, and resuming from it would silently skew results, so it is
+/// an error.
+fn parse_journal(data: &[u8], fingerprint: &str) -> io::Result<(RecordsByScenario, usize)> {
+    let mut records: RecordsByScenario = BTreeMap::new();
+    let mut valid_len = 0usize;
+    let mut offset = 0usize;
+    let mut first = true;
+    while let Some(nl) = data[offset..].iter().position(|&b| b == b'\n') {
+        let line_end = offset + nl + 1;
+        let parsed = std::str::from_utf8(&data[offset..line_end - 1])
+            .ok()
+            .and_then(|text| serde_json::from_str::<JournalLine>(text).ok());
+        let at_tail = line_end == data.len();
+        match parsed {
+            Some(JournalLine::Header {
+                version,
+                fingerprint: fp,
+                ..
+            }) if first => {
+                if version != JOURNAL_VERSION || fp != fingerprint {
+                    return Err(invalid(format!(
+                        "journal belongs to a different sweep (fingerprint {fp}, schema v{version}; \
+                         this sweep is {fingerprint}, schema v{JOURNAL_VERSION}): refusing to resume"
+                    )));
+                }
+            }
+            Some(JournalLine::Rep {
+                scenario,
+                rep,
+                summary,
+            }) if !first => {
+                records.entry(scenario).or_default().insert(rep, summary);
+            }
+            _ if at_tail => break, // torn final line: drop it
+            _ if first => {
+                return Err(invalid(
+                    "journal does not start with a valid header line".to_string(),
+                ));
+            }
+            _ => {
+                return Err(invalid(format!(
+                    "journal is corrupt at byte {offset}: only the final record may be torn"
+                )));
+            }
+        }
+        first = false;
+        valid_len = line_end;
+        offset = line_end;
+    }
+    Ok((records, valid_len))
+}
+
+/// Opens (or creates) the journal for a sweep. Returns the append handle,
+/// the per-scenario contiguous replay prefixes, and the open-time stats.
+fn open_journal(
+    path: &Path,
+    fingerprint: &str,
+    base_seed: u64,
+    scenario_count: usize,
+    rule: &StoppingRule,
+    resume: bool,
+) -> io::Result<(File, BTreeMap<String, Vec<RepSummary>>, JournalStats)> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut stats = JournalStats::default();
+    let existing = if resume {
+        match std::fs::read(path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        }
+    } else {
+        Vec::new()
+    };
+
+    let (records, valid_len) = if existing.is_empty() {
+        (BTreeMap::new(), 0)
+    } else {
+        parse_journal(&existing, fingerprint)?
+    };
+    if valid_len < existing.len() {
+        stats.torn_tails = 1;
+    }
+
+    let mut prefixes = BTreeMap::new();
+    if valid_len > 0 {
+        // A valid header (and possibly records) survived: truncate the
+        // torn tail away and append from there.
+        stats.resumes = 1;
+        // Contiguous prefix only: replication r is replayable iff every
+        // replication before it is journaled too, because the sweep
+        // absorbs in index order.
+        for (name, reps) in records {
+            let mut prefix = Vec::new();
+            for (i, (rep, summary)) in reps.into_iter().enumerate() {
+                if rep != i as u64 {
+                    break;
+                }
+                prefix.push(summary);
+            }
+            prefixes.insert(name, prefix);
+        }
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len as u64)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        file.sync_data()?;
+        Ok((file, prefixes, stats))
+    } else {
+        // Fresh start — including the case where a crash tore the header
+        // itself, leaving nothing replayable.
+        let mut file = File::create(path)?;
+        let header = JournalLine::Header {
+            version: JOURNAL_VERSION,
+            fingerprint: fingerprint.to_string(),
+            code_version: env!("CARGO_PKG_VERSION").to_string(),
+            base_seed,
+            scenarios: scenario_count as u64,
+            rule: *rule,
+        };
+        let mut text = serde_json::to_string(&header)
+            .map_err(|e| invalid(format!("journal header does not serialise: {e}")))?;
+        text.push('\n');
+        file.write_all(text.as_bytes())?;
+        file.sync_data()?;
+        Ok((file, prefixes, stats))
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
+    }
+}
+
+/// Runs one replication inside the isolation wrapper: panics are caught
+/// on the worker (the pool never sees them), retried once, then recorded
+/// as a failed-with-reason summary; a wall-budget overrun is recorded as
+/// saturation.
+fn run_rep_isolated<R>(
+    scenario: &Scenario,
+    base_seed: u64,
+    rep: u64,
+    guard: RepGuard,
+    shared: &Shared,
+    rep_runner: &R,
+) -> RepSummary
+where
+    R: Fn(&Scenario, u64, u64) -> RunResult + Sync,
+{
+    let mut retried = false;
+    loop {
+        let start = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| {
+            RepSummary::of(&rep_runner(scenario, base_seed, rep))
+        })) {
+            Ok(summary) => {
+                if let Some(limit) = guard.wall_limit_s {
+                    if start.elapsed().as_secs_f64() > limit {
+                        return RepSummary {
+                            saturated: true,
+                            ..Default::default()
+                        };
+                    }
+                }
+                return summary;
+            }
+            Err(payload) => {
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+                let reason = panic_message(payload.as_ref()).to_string();
+                if !retried {
+                    retried = true;
+                    shared.retries.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                return RepSummary::failure(format!(
+                    "replication {rep} panicked twice; last payload: {reason}"
+                ));
+            }
+        }
+    }
+}
+
+/// Per-sweep context shared by every scenario of a journaled matrix:
+/// everything [`run_scenario_journaled_inner`] needs besides the scenario
+/// itself and its journaled prefix.
+struct SweepCtx<'a> {
+    base_seed: u64,
+    rule: &'a StoppingRule,
+    obs: bool,
+    guard: RepGuard,
+    shared: &'a Shared,
+}
+
+fn run_scenario_journaled_inner<R>(
+    scenario: &Scenario,
+    prefix: &[RepSummary],
+    ctx: &SweepCtx<'_>,
+    rep_runner: &R,
+) -> ScenarioResult
+where
+    R: Fn(&Scenario, u64, u64) -> RunResult + Sync,
+{
+    let (acc, replications) = sweep(ctx.rule, |range| {
+        let start = range.start;
+        let summaries: Vec<(RepSummary, bool)> = range
+            .into_par_iter()
+            .map(|rep| {
+                if (rep as usize) < prefix.len() {
+                    ctx.shared.replayed.fetch_add(1, Ordering::Relaxed);
+                    (prefix[rep as usize].clone(), true)
+                } else {
+                    (
+                        run_rep_isolated(
+                            scenario,
+                            ctx.base_seed,
+                            rep,
+                            ctx.guard,
+                            ctx.shared,
+                            rep_runner,
+                        ),
+                        false,
+                    )
+                }
+            })
+            .collect();
+        // Journal fresh summaries in replication order before absorbing:
+        // by the time a summary can influence a published number, a
+        // durable record of it exists.
+        for (i, (summary, from_journal)) in summaries.iter().enumerate() {
+            if !from_journal {
+                ctx.shared.append(&scenario.name, start + i as u64, summary);
+            }
+        }
+        summaries.into_iter().map(|(s, _)| s).collect()
+    });
+    finish_scenario(
+        scenario,
+        ctx.base_seed,
+        ctx.rule,
+        acc,
+        replications,
+        ctx.obs,
+    )
+}
+
+/// [`run_matrix`](super::run_matrix) with a crash-safe journal at `path`.
+///
+/// With `resume = false` any existing journal at `path` is overwritten.
+/// With `resume = true` an existing journal is verified against this
+/// sweep's fingerprint (mismatch is an error), its torn tail — if a crash
+/// left one — is truncated away, and every journaled replication is
+/// replayed instead of recomputed; the remainder runs and is appended.
+/// The results are byte-identical to a straight-through
+/// [`run_matrix`](super::run_matrix) of the same sweep.
+pub fn run_matrix_journaled(
+    scenarios: &[Scenario],
+    base_seed: u64,
+    rule: &StoppingRule,
+    path: &Path,
+    resume: bool,
+    guard: RepGuard,
+) -> io::Result<JournalOutcome> {
+    run_matrix_journaled_with(scenarios, base_seed, rule, path, resume, guard, {
+        move |s: &Scenario, seed: u64, rep: u64| {
+            run_replication_capped(s, seed, rep, guard.max_events)
+        }
+    })
+}
+
+/// [`run_matrix_journaled`] with the replication runner injected — the
+/// seam the fault-injection tests use. Not part of the stable API.
+#[doc(hidden)]
+pub fn run_matrix_journaled_with<R>(
+    scenarios: &[Scenario],
+    base_seed: u64,
+    rule: &StoppingRule,
+    path: &Path,
+    resume: bool,
+    guard: RepGuard,
+    rep_runner: R,
+) -> io::Result<JournalOutcome>
+where
+    R: Fn(&Scenario, u64, u64) -> RunResult + Sync,
+{
+    let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+    names.sort_unstable();
+    if names.windows(2).any(|w| w[0] == w[1]) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "scenario names must be unique: the journal keys records by name",
+        ));
+    }
+    let fingerprint = sweep_fingerprint(scenarios, base_seed, rule)?;
+    let (file, prefixes, mut stats) =
+        open_journal(path, &fingerprint, base_seed, scenarios.len(), rule, resume)?;
+    let shared = Shared {
+        writer: Mutex::new(file),
+        write_error: Mutex::new(None),
+        written: AtomicU64::new(0),
+        replayed: AtomicU64::new(0),
+        panics: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
+    };
+    let ctx = SweepCtx {
+        base_seed,
+        rule,
+        obs: obs_enabled(),
+        guard,
+        shared: &shared,
+    };
+    let results: Vec<ScenarioResult> = scenarios
+        .par_iter()
+        .map(|scenario| {
+            let prefix = prefixes
+                .get(&scenario.name)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            run_scenario_journaled_inner(scenario, prefix, &ctx, &rep_runner)
+        })
+        .collect();
+    if let Some(e) = shared.write_error.lock().take() {
+        return Err(e);
+    }
+    stats.records_written = shared.written.load(Ordering::Relaxed);
+    stats.records_replayed = shared.replayed.load(Ordering::Relaxed);
+    stats.replication_panics = shared.panics.load(Ordering::Relaxed);
+    stats.replication_retries = shared.retries.load(Ordering::Relaxed);
+    Ok(JournalOutcome { results, stats })
+}
+
+/// One-scenario convenience wrapper around [`run_matrix_journaled`] — the
+/// shape `dgsched run --journal` uses.
+pub fn run_scenario_journaled(
+    scenario: &Scenario,
+    base_seed: u64,
+    rule: &StoppingRule,
+    path: &Path,
+    resume: bool,
+    guard: RepGuard,
+) -> io::Result<(ScenarioResult, JournalStats)> {
+    let mut outcome = run_matrix_journaled(
+        std::slice::from_ref(scenario),
+        base_seed,
+        rule,
+        path,
+        resume,
+        guard,
+    )?;
+    let result = outcome.results.pop().expect("exactly one scenario");
+    Ok((result, outcome.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::runner::run_matrix;
+    use crate::experiment::scenario::WorkloadKind;
+    use crate::policy::PolicyKind;
+    use dgsched_grid::{Availability, GridConfig, Heterogeneity};
+    use dgsched_workload::{BotType, Intensity, WorkloadSpec};
+
+    fn scenario(name: &str, policy: PolicyKind) -> Scenario {
+        Scenario {
+            name: name.into(),
+            grid: GridConfig {
+                total_power: 100.0,
+                heterogeneity: Heterogeneity::HOM,
+                availability: Availability::HIGH,
+                checkpoint: Default::default(),
+                outages: None,
+            },
+            workload: WorkloadKind::Single(WorkloadSpec {
+                bot_type: BotType {
+                    granularity: 1_000.0,
+                    app_size: 20_000.0,
+                    jitter: 0.5,
+                },
+                intensity: Intensity::Low,
+                count: 6,
+            }),
+            policy,
+            sim: crate::sim::SimConfig::default(),
+        }
+    }
+
+    fn rule() -> StoppingRule {
+        StoppingRule {
+            min_replications: 3,
+            max_replications: 5,
+            ..Default::default()
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dgsched-journal-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn journaled_matches_plain_run_matrix() {
+        let scenarios = vec![scenario("a", PolicyKind::Rr)];
+        let path = tmp("plain");
+        let out = run_matrix_journaled(&scenarios, 11, &rule(), &path, false, RepGuard::default())
+            .unwrap();
+        let plain = run_matrix(&scenarios, 11, &rule());
+        assert_eq!(
+            serde_json::to_string(&out.results).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "journaling must not perturb results"
+        );
+        assert_eq!(out.stats.records_written, plain[0].replications);
+        assert_eq!(out.stats.resumes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_replays_instead_of_recomputing() {
+        let scenarios = vec![scenario("a", PolicyKind::Rr)];
+        let path = tmp("resume");
+        let first =
+            run_matrix_journaled(&scenarios, 11, &rule(), &path, false, RepGuard::default())
+                .unwrap();
+        let second =
+            run_matrix_journaled(&scenarios, 11, &rule(), &path, true, RepGuard::default())
+                .unwrap();
+        assert_eq!(
+            serde_json::to_string(&first.results).unwrap(),
+            serde_json::to_string(&second.results).unwrap()
+        );
+        assert_eq!(second.stats.resumes, 1);
+        assert_eq!(second.stats.records_written, 0, "everything replayed");
+        assert_eq!(second.stats.records_replayed, first.stats.records_written);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_refuses_to_resume() {
+        let scenarios = vec![scenario("a", PolicyKind::Rr)];
+        let path = tmp("fingerprint");
+        run_matrix_journaled(&scenarios, 11, &rule(), &path, false, RepGuard::default()).unwrap();
+        let err = run_matrix_journaled(&scenarios, 12, &rule(), &path, true, RepGuard::default())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_scenario_names_are_rejected() {
+        let scenarios = vec![scenario("a", PolicyKind::Rr), scenario("a", PolicyKind::Rr)];
+        let path = tmp("dup");
+        let err = run_matrix_journaled(&scenarios, 11, &rule(), &path, false, RepGuard::default())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn event_budget_guard_trips_saturation() {
+        let scenarios = vec![scenario("a", PolicyKind::Rr)];
+        let path = tmp("guard");
+        let guard = RepGuard {
+            max_events: Some(10),
+            wall_limit_s: None,
+        };
+        let out = run_matrix_journaled(&scenarios, 11, &rule(), &path, false, guard).unwrap();
+        assert!(out.results[0].saturated, "10 events cannot drain 6 bags");
+        assert!(out.results[0].saturated_replications > 0);
+        assert_eq!(out.results[0].failed_replications, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_render_as_obs_counters() {
+        let stats = JournalStats {
+            records_written: 7,
+            records_replayed: 3,
+            resumes: 1,
+            torn_tails: 1,
+            replication_panics: 2,
+            replication_retries: 1,
+        };
+        let snap = stats.to_metrics();
+        assert_eq!(snap.counters["journal_records"], 7);
+        assert_eq!(snap.counters["journal_replayed"], 3);
+        assert_eq!(snap.counters["journal_resumes"], 1);
+        assert_eq!(snap.counters["journal_torn_tails"], 1);
+        assert_eq!(snap.counters["replication_panics"], 2);
+        assert_eq!(snap.counters["replication_retries"], 1);
+    }
+
+    #[test]
+    fn torn_header_means_fresh_start_is_required() {
+        let path = tmp("torn-header");
+        std::fs::write(&path, "{\"kind\":\"head").unwrap();
+        let scenarios = vec![scenario("a", PolicyKind::Rr)];
+        // The torn line is the only line, so it is dropped and the file
+        // treated as empty — but an empty resume cannot verify a header,
+        // so the journal is rewritten from scratch.
+        let out = run_matrix_journaled(&scenarios, 11, &rule(), &path, true, RepGuard::default())
+            .unwrap();
+        assert_eq!(out.stats.records_replayed, 0);
+        assert!(out.stats.records_written > 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

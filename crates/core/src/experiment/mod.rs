@@ -3,6 +3,7 @@
 //! and table emitters.
 
 mod figures;
+mod journal;
 mod plot;
 mod report;
 mod runner;
@@ -10,6 +11,10 @@ mod scenario;
 mod table;
 
 pub use figures::{extended_panels, fig1_panels, fig2_panels, PanelSpec};
+pub use journal::{
+    run_matrix_journaled, run_matrix_journaled_with, run_scenario_journaled, JournalOutcome,
+    JournalStats, RepGuard,
+};
 pub use plot::{panel_chart, BarChart};
 pub use report::Report;
 pub use runner::{

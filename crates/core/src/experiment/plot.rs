@@ -172,6 +172,7 @@ mod tests {
             half_width: 10.0,
             level: 0.95,
             n: 5,
+            degenerate: false,
         };
         let results = vec![ScenarioResult {
             name: "P g=1000 RR".into(),
@@ -185,6 +186,8 @@ mod tests {
             saturated: false,
             replication_means: vec![],
             metrics: None,
+            failed_replications: 0,
+            failure_reasons: Vec::new(),
         }];
         let chart = panel_chart("Fig 1a", &[1000.0], &["RR"], &results);
         let s = chart.render();

@@ -88,6 +88,7 @@ mod tests {
             half_width: 2.0,
             level: 0.95,
             n: 5,
+            degenerate: false,
         };
         ScenarioResult {
             name: name.into(),
@@ -101,6 +102,8 @@ mod tests {
             saturated: false,
             replication_means: vec![100.0; 5],
             metrics: None,
+            failed_replications: 0,
+            failure_reasons: Vec::new(),
         }
     }
 

@@ -73,6 +73,21 @@ pub struct ScenarioResult {
     /// output byte-identical.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics: Option<MetricsSnapshot>,
+    /// Replications that *failed* (panicked twice in the journaled
+    /// runner's isolation wrapper). Failure marks the scenario
+    /// [`saturated`](Self::saturated) — the statistics are equally
+    /// unusable — and this count says why. Zero serialises to nothing,
+    /// keeping healthy output byte-identical to pre-journal runs.
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub failed_replications: u64,
+    /// One reason per failed replication, in replication order. Empty
+    /// serialises to nothing.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub failure_reasons: Vec<String>,
+}
+
+fn u64_is_zero(n: &u64) -> bool {
+    *n == 0
 }
 
 /// True when the `DGSCHED_TRACE` environment toggle requests instrumented
@@ -89,6 +104,20 @@ pub fn obs_enabled() -> bool {
 /// Grid, workload and simulator streams derive from `(base_seed, rep)`;
 /// the policy does not influence them.
 pub fn run_replication(scenario: &Scenario, base_seed: u64, rep: u64) -> RunResult {
+    run_replication_capped(scenario, base_seed, rep, None)
+}
+
+/// [`run_replication`] with an optional extra event budget: the journal's
+/// per-replication guard clamps the configured `event_limit` (never
+/// raises it), so a runaway replication trips the ordinary saturation
+/// path. The clamp is part of the effective configuration — deterministic
+/// and independent of wall-clock speed.
+pub(crate) fn run_replication_capped(
+    scenario: &Scenario,
+    base_seed: u64,
+    rep: u64,
+    max_events: Option<u64>,
+) -> RunResult {
     let seeder = StreamSeeder::new(base_seed).subdomain("rep", rep);
     let mut grid_rng = seeder.stream("grid", 0);
     let grid = scenario.grid.build(&mut grid_rng);
@@ -96,6 +125,9 @@ pub fn run_replication(scenario: &Scenario, base_seed: u64, rep: u64) -> RunResu
     let workload = scenario.workload.generate(&scenario.grid, &mut wl_rng);
     let cfg = SimConfig {
         seed: seeder.stream_seed("sim", 0),
+        event_limit: max_events
+            .map(|m| m.min(scenario.sim.event_limit))
+            .unwrap_or(scenario.sim.event_limit),
         ..scenario.sim
     };
     simulate(&grid, &workload, scenario.policy, &cfg)
@@ -167,18 +199,27 @@ fn reportable_ci(w: &Welford, level: f64) -> ConfidenceInterval {
 /// replication: the fork half of the fork/join reduction. Each metric is
 /// a single-observation [`Welford`] (empty when the replication
 /// saturated) so the join half is a plain [`Welford::merge`] fold.
-#[derive(Debug, Clone, Default)]
-struct RepSummary {
-    saturated: bool,
-    turnaround: Welford,
-    waiting: Welford,
-    makespan: Welford,
-    wasted: Welford,
-    mean_turnaround: f64,
+///
+/// This is also the journal's record payload, so it carries stable serde:
+/// a journaled summary replayed on resume is indistinguishable from one
+/// recomputed live (Welford round-trips bit-for-bit).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub(crate) struct RepSummary {
+    pub(crate) saturated: bool,
+    /// `Some(reason)` when the replication panicked past its retry in the
+    /// journaled runner; the plain runner never sets it. Absent from the
+    /// wire format when `None`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub(crate) failed: Option<String>,
+    pub(crate) turnaround: Welford,
+    pub(crate) waiting: Welford,
+    pub(crate) makespan: Welford,
+    pub(crate) wasted: Welford,
+    pub(crate) mean_turnaround: f64,
 }
 
 impl RepSummary {
-    fn of(r: &RunResult) -> Self {
+    pub(crate) fn of(r: &RunResult) -> Self {
         let mut s = RepSummary {
             saturated: r.saturated,
             ..Default::default()
@@ -192,23 +233,37 @@ impl RepSummary {
         }
         s
     }
+
+    /// The failed-replication record: no statistics, a reason, and the
+    /// same "this scenario cannot be measured" effect as saturation.
+    pub(crate) fn failure(reason: String) -> Self {
+        RepSummary {
+            failed: Some(reason),
+            ..Default::default()
+        }
+    }
 }
 
 /// The join half of the reduction: scenario-level accumulators fed by
 /// merging [`RepSummary`] partials in replication-index order.
 #[derive(Debug, Default)]
-struct ScenarioAccum {
+pub(crate) struct ScenarioAccum {
     turnaround: Welford,
     waiting: Welford,
     makespan: Welford,
     wasted: Welford,
     means: Vec<f64>,
     saturated_reps: u64,
+    failed_reps: u64,
+    failure_reasons: Vec<String>,
 }
 
 impl ScenarioAccum {
     fn absorb(&mut self, s: &RepSummary) {
-        if s.saturated {
+        if let Some(reason) = &s.failed {
+            self.failed_reps += 1;
+            self.failure_reasons.push(reason.clone());
+        } else if s.saturated {
             self.saturated_reps += 1;
         } else {
             self.turnaround.merge(&s.turnaround);
@@ -219,8 +274,15 @@ impl ScenarioAccum {
         }
     }
 
-    /// Packages the accumulated state. A saturated scenario reports no
-    /// partial statistics: whatever clean observations the saturating
+    /// True when the scenario cannot be measured: a replication saturated
+    /// or failed. Either way more replications cannot help and the sweep
+    /// stops the scenario.
+    fn unusable(&self) -> bool {
+        self.saturated_reps > 0 || self.failed_reps > 0
+    }
+
+    /// Packages the accumulated state. A saturated (or failed) scenario
+    /// reports no partial statistics: whatever clean observations the
     /// sweep gathered are dropped, so consumers can never mistake a
     /// fragment of a diverging scenario for a measured mean.
     fn into_result(
@@ -229,7 +291,7 @@ impl ScenarioAccum {
         rule: &StoppingRule,
         replications: u64,
     ) -> ScenarioResult {
-        let saturated = self.saturated_reps > 0;
+        let saturated = self.unusable();
         if saturated {
             self.turnaround = Welford::new();
             self.waiting = Welford::new();
@@ -249,13 +311,25 @@ impl ScenarioAccum {
             saturated,
             replication_means: self.means,
             metrics: None,
+            failed_replications: self.failed_reps,
+            failure_reasons: self.failure_reasons,
         }
     }
 }
 
-/// Runs a scenario with the sequential stopping rule, replications in
-/// parallel batches sized to the pool width.
-pub fn run_scenario(scenario: &Scenario, base_seed: u64, rule: &StoppingRule) -> ScenarioResult {
+/// The sequential-stopping sweep loop, parameterised over how a batch of
+/// replication summaries is produced. Both the plain runner (compute
+/// every batch) and the journal runner (replay the journaled prefix, then
+/// compute) share it, which is what makes resumed sweeps byte-identical:
+/// batch sizes and the stopping index are decided *here*, from the
+/// summaries alone, never from where they came from.
+///
+/// Returns the accumulated state and the stopping index (the number of
+/// absorbed replications).
+pub(crate) fn sweep<F>(rule: &StoppingRule, mut batch: F) -> (ScenarioAccum, u64)
+where
+    F: FnMut(std::ops::Range<u64>) -> Vec<RepSummary>,
+{
     let mut acc = ScenarioAccum::default();
     let width = rayon::current_num_threads().max(1) as u64;
     let mut next_rep = 0u64;
@@ -264,28 +338,25 @@ pub fn run_scenario(scenario: &Scenario, base_seed: u64, rule: &StoppingRule) ->
     while stop.is_none() {
         // Batch size: reach the minimum first, then run pool-width batches
         // (speculatively — absorption below may stop mid-batch).
-        let batch = if next_rep < rule.min_replications {
+        let size = if next_rep < rule.min_replications {
             rule.min_replications - next_rep
         } else {
             (rule.max_replications - next_rep).min(width)
         };
-        if batch == 0 {
+        if size == 0 {
             break;
         }
-        let summaries: Vec<RepSummary> = (next_rep..next_rep + batch)
-            .into_par_iter()
-            .map(|rep| RepSummary::of(&run_replication(scenario, base_seed, rep)))
-            .collect();
+        let summaries = batch(next_rep..next_rep + size);
         // Absorb in replication order, re-evaluating the stopping rule
         // after every replication: the stopping index — and therefore the
-        // result — cannot depend on the batch width. A saturated
-        // replication means the scenario is operationally unstable; more
-        // replications cannot tighten anything meaningful.
+        // result — cannot depend on the batch width. A saturated (or
+        // failed) replication means the scenario is operationally
+        // unstable; more replications cannot tighten anything meaningful.
         for (i, s) in summaries.iter().enumerate() {
             acc.absorb(s);
             let done = next_rep + i as u64 + 1;
             if done >= rule.min_replications
-                && (acc.saturated_reps > 0
+                && (acc.unusable()
                     || done >= rule.max_replications
                     || rule.satisfied(&acc.turnaround))
             {
@@ -293,19 +364,56 @@ pub fn run_scenario(scenario: &Scenario, base_seed: u64, rule: &StoppingRule) ->
                 break;
             }
         }
-        next_rep += batch;
+        next_rep += size;
     }
 
     let replications = stop.unwrap_or(next_rep);
+    (acc, replications)
+}
+
+/// Packages a finished sweep, attaching the instrumented replay of
+/// replication 0 when observation was requested. The replay uses the
+/// same seeds as the measured run, so the snapshot is pure addition,
+/// never a perturbation.
+pub(crate) fn finish_scenario(
+    scenario: &Scenario,
+    base_seed: u64,
+    rule: &StoppingRule,
+    acc: ScenarioAccum,
+    replications: u64,
+    obs: bool,
+) -> ScenarioResult {
     let mut result = acc.into_result(scenario, rule, replications);
-    if obs_enabled() && !result.saturated {
-        // Instrumented replay of replication 0 (same seeds, identical
-        // run): the snapshot is pure addition, never a perturbation.
+    if obs && !result.saturated {
         let mut null = crate::sim::NullObserver;
         let (_, report) = run_replication_instrumented(scenario, base_seed, 0, &mut null);
         result.metrics = Some(report.metrics);
     }
     result
+}
+
+/// Runs a scenario with the sequential stopping rule, replications in
+/// parallel batches sized to the pool width.
+pub fn run_scenario(scenario: &Scenario, base_seed: u64, rule: &StoppingRule) -> ScenarioResult {
+    run_scenario_with_obs(scenario, base_seed, rule, obs_enabled())
+}
+
+/// [`run_scenario`] with the instrumentation toggle passed explicitly.
+/// Callers that sweep many scenarios read the environment once and thread
+/// the flag through, instead of consulting it per scenario.
+pub(crate) fn run_scenario_with_obs(
+    scenario: &Scenario,
+    base_seed: u64,
+    rule: &StoppingRule,
+    obs: bool,
+) -> ScenarioResult {
+    let (acc, replications) = sweep(rule, |range| {
+        range
+            .into_par_iter()
+            .map(|rep| RepSummary::of(&run_replication(scenario, base_seed, rep)))
+            .collect()
+    });
+    finish_scenario(scenario, base_seed, rule, acc, replications, obs)
 }
 
 /// Runs a list of scenarios, scenarios in parallel, reporting completion
@@ -327,6 +435,11 @@ where
     F: Fn(usize, usize, &str) + Send + Sync,
 {
     let total = scenarios.len();
+    // Read the instrumentation toggle once for the whole sweep: the
+    // environment is ambient mutable state, and consulting it per
+    // scenario would let a mid-sweep change produce a chimera result
+    // (some scenarios instrumented, some not).
+    let obs = obs_enabled();
     // Completed-scenario names, in completion order, waiting to be
     // reported. Whoever holds `reporter` (the running `done` count)
     // drains the queue; `try_lock` keeps everyone else moving.
@@ -335,7 +448,7 @@ where
     scenarios
         .par_iter()
         .map(|s| {
-            let r = run_scenario(s, base_seed, rule);
+            let r = run_scenario_with_obs(s, base_seed, rule, obs);
             pending.lock().push_back(s.name.clone());
             loop {
                 // If another worker holds the reporter lock, it will pick

@@ -108,6 +108,9 @@ impl Scenario {
         self.workload
             .validate()
             .map_err(|e| format!("scenario '{}': {e}", self.name))?;
+        self.sim
+            .validate()
+            .map_err(|e| format!("scenario '{}': {e}", self.name))?;
         Ok(())
     }
 }

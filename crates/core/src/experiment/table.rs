@@ -137,6 +137,7 @@ mod tests {
             half_width: mean * 0.02,
             level: 0.95,
             n: 5,
+            degenerate: false,
         };
         ScenarioResult {
             name: name.into(),
@@ -150,6 +151,8 @@ mod tests {
             saturated,
             replication_means: vec![mean; 5],
             metrics: None,
+            failed_replications: 0,
+            failure_reasons: Vec::new(),
         }
     }
 

@@ -97,6 +97,21 @@ impl SimConfig {
             ..SimConfig::default()
         }
     }
+
+    /// Checks the knobs for values that would disable both saturation
+    /// guards or poison the horizon arithmetic (a `null` smuggled through
+    /// JSON lands here as NaN). Call after deserialisation.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(h) = self.horizon {
+            if !(h.is_finite() && h > 0.0) {
+                return Err(format!("sim horizon must be finite and > 0, got {h}"));
+            }
+        }
+        if self.event_limit == 0 {
+            return Err("sim event_limit must be > 0 (0 would saturate instantly)".to_string());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -114,14 +114,29 @@ impl Handler<Event> for Driver<'_> {
 
 /// Derives a generous simulated-time cap for saturation detection: ten
 /// times the span a stable system would need to drain the workload.
+///
+/// A grid with no effective power (validation rejects these up front, but
+/// `simulate` can be handed a hand-built [`Grid`] directly) would make the
+/// division NaN/∞; such runs fall back to an *infinite* horizon — the
+/// engine treats it as "no time cap" and the event budget remains the
+/// saturation guard — rather than feeding NaN into the event queue.
 fn auto_horizon(grid: &Grid, workload: &Workload) -> f64 {
     let last_arrival = workload
         .bags
         .last()
         .map(|b| b.arrival.as_secs())
         .unwrap_or(0.0);
-    let drain = workload.total_work() / grid.config.effective_power();
-    10.0 * (last_arrival + drain) + 1e6
+    let power = grid.config.effective_power();
+    if !(power.is_finite() && power > 0.0) {
+        return f64::INFINITY;
+    }
+    let drain = workload.total_work() / power;
+    let horizon = 10.0 * (last_arrival + drain) + 1e6;
+    if horizon.is_finite() {
+        horizon
+    } else {
+        f64::INFINITY
+    }
 }
 
 /// Runs one simulation of `workload` on `grid` under `policy`.

@@ -31,6 +31,7 @@ pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
             half_width: f64::INFINITY,
             level,
             n: n as u64,
+            degenerate: true,
         };
     }
     let mut means = Vec::with_capacity(resamples);
@@ -54,6 +55,7 @@ pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
         half_width,
         level,
         n: n as u64,
+        degenerate: false,
     }
 }
 

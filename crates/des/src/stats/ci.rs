@@ -8,8 +8,11 @@ use serde::{Deserialize, Serialize};
 /// Two-sided Student-t critical value `t_{1-alpha/2, df}`.
 ///
 /// Computed from the inverse of the regularised incomplete beta function via
-/// Newton iteration on the CDF; accurate to ~1e-8, far beyond what CI
-/// reporting needs.
+/// Newton iteration on the CDF, verified against the CDF, with a bracketed
+/// bisection fallback for the cases Newton mishandles (the heavy tails at
+/// df ≤ 2 under extreme `alpha`, where the heuristic `x *= 2` start can
+/// land in a region of vanishing density and stall or overshoot).
+/// Accurate to ~1e-8, far beyond what CI reporting needs.
 pub fn t_critical(df: u64, alpha: f64) -> f64 {
     assert!(df >= 1, "degrees of freedom must be >= 1");
     assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
@@ -31,7 +34,41 @@ pub fn t_critical(df: u64, alpha: f64) -> f64 {
             break;
         }
     }
+    // Trust, but verify: Newton's answer must reproduce the target
+    // probability. A non-finite iterate, a negative quantile (p ≥ 0.5 ⇒
+    // t ≥ 0) or a stale residual all fall back to bisection.
+    if !(x.is_finite() && x >= 0.0) || (t_cdf(x, df) - p).abs() > 1e-8 {
+        x = t_quantile_bisect(p, df);
+    }
     x
+}
+
+/// Monotone bisection for the upper-tail t quantile (`p >= 0.5`): brackets
+/// the root by doubling, then halves the interval to convergence. Slower
+/// than Newton but unconditionally convergent — the CDF is monotone.
+fn t_quantile_bisect(p: f64, df: u64) -> f64 {
+    debug_assert!((0.5..1.0).contains(&p));
+    let mut lo = 0.0f64; // t_cdf(0) = 0.5 <= p
+    let mut hi = 1.0f64;
+    while t_cdf(hi, df) < p {
+        lo = hi;
+        hi *= 2.0;
+        if hi > 1e300 {
+            break; // p so close to 1 the quantile exceeds representable range
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if t_cdf(mid, df) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) <= 1e-12 * (1.0 + lo.abs()) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
 }
 
 /// Standard normal quantile (Acklam's rational approximation, |err| < 1.2e-9).
@@ -169,6 +206,12 @@ fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
     h
 }
 
+/// True when `b` is false — the `skip_serializing_if` predicate that keeps
+/// the `degenerate` flag out of healthy intervals' JSON.
+fn is_false(b: &bool) -> bool {
+    !*b
+}
+
 /// A mean estimate with its confidence interval.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ConfidenceInterval {
@@ -180,11 +223,18 @@ pub struct ConfidenceInterval {
     pub level: f64,
     /// Number of observations behind the estimate.
     pub n: u64,
+    /// True when the interval was built from fewer than two observations:
+    /// the raw half-width is infinite (reports clamp it to `0.0`), so a
+    /// `0.0` here reflects *missing data*, not a genuinely tight estimate.
+    /// Serialised only when set, keeping healthy intervals' JSON unchanged.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub degenerate: bool,
 }
 
 impl ConfidenceInterval {
     /// Builds the interval for the accumulator at `level` (e.g. 0.95).
-    /// With fewer than two observations the half-width is infinite.
+    /// With fewer than two observations the half-width is infinite and the
+    /// interval is flagged [`degenerate`](Self::degenerate).
     pub fn from_welford(w: &Welford, level: f64) -> Self {
         let n = w.count();
         let half_width = if n < 2 {
@@ -197,6 +247,7 @@ impl ConfidenceInterval {
             half_width,
             level,
             n,
+            degenerate: n < 2,
         }
     }
 
@@ -287,6 +338,48 @@ mod tests {
     }
 
     #[test]
+    fn t_low_df_matches_closed_forms() {
+        // df = 1 (Cauchy): quantile = tan(pi * (p - 1/2)).
+        // df = 2: quantile = (2p - 1) * sqrt(2 / (1 - (2p - 1)^2)).
+        // These are exactly the heavy-tail cases where the Newton start is
+        // heuristic; pin them across moderate and extreme alphas so the
+        // bisection fallback is exercised, not just the happy path.
+        for alpha in [0.2, 0.05, 0.01, 1e-4, 1e-6, 1e-8] {
+            let p = 1.0 - alpha / 2.0;
+            let want1 = (std::f64::consts::PI * (p - 0.5)).tan();
+            let got1 = t_critical(1, alpha);
+            assert!(
+                (got1 - want1).abs() / want1 < 1e-6,
+                "df=1 alpha={alpha}: got {got1}, want {want1}"
+            );
+            let u = 2.0 * p - 1.0;
+            let want2 = u * (2.0 / (1.0 - u * u)).sqrt();
+            let got2 = t_critical(2, alpha);
+            assert!(
+                (got2 - want2).abs() / want2 < 1e-6,
+                "df=2 alpha={alpha}: got {got2}, want {want2}"
+            );
+        }
+    }
+
+    #[test]
+    fn t_bisect_agrees_with_newton_everywhere() {
+        // The fallback must agree with the (verified) Newton answer over
+        // the whole table range, so switching paths can never shift a CI.
+        for df in [1, 2, 3, 5, 10, 29, 100] {
+            for alpha in [0.2, 0.05, 0.01] {
+                let p = 1.0 - alpha / 2.0;
+                let newton = t_critical(df, alpha);
+                let bisect = t_quantile_bisect(p, df);
+                assert!(
+                    (newton - bisect).abs() < 1e-7 * (1.0 + newton.abs()),
+                    "df={df} alpha={alpha}: newton {newton} vs bisect {bisect}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn normal_quantile_symmetry() {
         for &p in &[0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.975] {
             let q = normal_quantile(p);
@@ -319,14 +412,42 @@ mod tests {
         let w = Welford::new();
         let ci = ConfidenceInterval::from_welford(&w, 0.95);
         assert!(ci.half_width.is_infinite());
+        assert!(ci.degenerate, "empty accumulator must be flagged");
         let mut w = Welford::new();
         w.push(5.0);
         let ci = ConfidenceInterval::from_welford(&w, 0.95);
         assert!(ci.half_width.is_infinite());
+        assert!(ci.degenerate, "n = 1 must be flagged");
         w.push(5.0);
         let ci = ConfidenceInterval::from_welford(&w, 0.95);
         assert_eq!(ci.half_width, 0.0);
         assert_eq!(ci.relative_error(), 0.0);
+        assert!(
+            !ci.degenerate,
+            "zero variance over n >= 2 is genuinely tight, not degenerate"
+        );
+    }
+
+    #[test]
+    fn degenerate_flag_serialises_only_when_set() {
+        // Healthy interval: the flag stays off the wire, so pre-existing
+        // JSON consumers (and byte-identical goldens) see no change.
+        let xs = [1.0, 2.0, 3.0];
+        let w: Welford = xs.iter().copied().collect();
+        let healthy = ConfidenceInterval::from_welford(&w, 0.95);
+        let json = serde_json::to_string(&healthy).unwrap();
+        assert!(!json.contains("degenerate"), "{json}");
+        let back: ConfidenceInterval = serde_json::from_str(&json).unwrap();
+        assert!(!back.degenerate);
+        // Degenerate interval: the flag rides along and round-trips.
+        let mut one = Welford::new();
+        one.push(5.0);
+        let mut ci = ConfidenceInterval::from_welford(&one, 0.95);
+        ci.half_width = 0.0; // what reportable_ci does downstream
+        let json = serde_json::to_string(&ci).unwrap();
+        assert!(json.contains("\"degenerate\":true"), "{json}");
+        let back: ConfidenceInterval = serde_json::from_str(&json).unwrap();
+        assert!(back.degenerate && back.n == 1 && back.half_width == 0.0);
     }
 
     #[test]

@@ -1,15 +1,79 @@
 //! Numerically stable running mean/variance (Welford's algorithm).
 
-use serde::{Deserialize, Serialize};
+use serde::{de, Deserialize, Serialize, Value};
 
 /// Streaming accumulator for count, mean, variance, min and max.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+///
+/// Serialisation is **journal-stable**: JSON cannot carry the empty
+/// accumulator's `±inf` min/max sentinels (they degrade to `null`), so an
+/// empty accumulator is written with canonical zero min/max and the
+/// sentinels are restored on read. Any finite accumulator round-trips
+/// bit-for-bit (the JSON writer uses shortest round-trip float formatting),
+/// which the crash-safe replication journal relies on.
+#[derive(Debug, Clone, Copy)]
 pub struct Welford {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for Welford {
+    /// Same as [`Welford::new`]: the empty accumulator, with its `±inf`
+    /// min/max sentinels (a derived all-zero default would report a false
+    /// min/max of 0 after the first merge skipped it).
+    fn default() -> Self {
+        Welford::new()
+    }
+}
+
+impl Serialize for Welford {
+    fn serialize_value(&self) -> Value {
+        // n == 0 ⇒ min/max are the ±inf sentinels; write zeros instead so
+        // the record survives JSON (which has no infinities).
+        let (min, max) = if self.n == 0 {
+            (0.0, 0.0)
+        } else {
+            (self.min, self.max)
+        };
+        Value::Object(vec![
+            ("n".to_string(), Value::U64(self.n)),
+            ("mean".to_string(), Value::F64(self.mean)),
+            ("m2".to_string(), Value::F64(self.m2)),
+            ("min".to_string(), Value::F64(min)),
+            ("max".to_string(), Value::F64(max)),
+        ])
+    }
+}
+
+impl Deserialize for Welford {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| de::Error::msg("expected Welford object"))?;
+        let field = |name: &str| -> Result<&Value, de::Error> {
+            obj.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| de::Error::msg("missing Welford field"))
+        };
+        let n = u64::deserialize_value(field("n")?)?;
+        if n == 0 {
+            return Ok(Welford::new());
+        }
+        let w = Welford {
+            n,
+            mean: f64::deserialize_value(field("mean")?)?,
+            m2: f64::deserialize_value(field("m2")?)?,
+            min: f64::deserialize_value(field("min")?)?,
+            max: f64::deserialize_value(field("max")?)?,
+        };
+        if !(w.mean.is_finite() && w.m2.is_finite() && w.min.is_finite() && w.max.is_finite()) {
+            return Err(de::Error::msg("non-finite Welford state"));
+        }
+        Ok(w)
+    }
 }
 
 impl Welford {
@@ -175,6 +239,48 @@ mod tests {
         e.merge(&before);
         assert_eq!(e.count(), 3);
         assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trips_bit_for_bit() {
+        // The journal replays these through JSON: every bit of the state
+        // must survive, including awkward shortest-round-trip floats.
+        let w: Welford = [0.1, 1.0 / 3.0, 2.5e-17, 1e18, -7.25]
+            .iter()
+            .copied()
+            .collect();
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Welford = serde_json::from_str(&json).unwrap();
+        assert_eq!(w.count(), back.count());
+        assert_eq!(w.mean().to_bits(), back.mean().to_bits());
+        assert_eq!(w.variance().to_bits(), back.variance().to_bits());
+        assert_eq!(w.min().to_bits(), back.min().to_bits());
+        assert_eq!(w.max().to_bits(), back.max().to_bits());
+    }
+
+    #[test]
+    fn empty_serde_restores_sentinels() {
+        // JSON cannot carry ±inf; the empty accumulator must still come
+        // back canonical (min +inf / max -inf), not with null-poisoned or
+        // zeroed sentinels that a later merge would surface as fake data.
+        let json = serde_json::to_string(&Welford::new()).unwrap();
+        assert!(!json.contains("null"), "no field degraded to null: {json}");
+        let back: Welford = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.count(), 0);
+        assert_eq!(back.min(), f64::INFINITY);
+        assert_eq!(back.max(), f64::NEG_INFINITY);
+        let mut merged = back;
+        merged.push(5.0);
+        assert_eq!(merged.min(), 5.0);
+        assert_eq!(merged.max(), 5.0);
+    }
+
+    #[test]
+    fn default_is_canonical_empty() {
+        let d = Welford::default();
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.min(), f64::INFINITY);
+        assert_eq!(d.max(), f64::NEG_INFINITY);
     }
 
     #[test]

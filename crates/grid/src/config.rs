@@ -90,6 +90,22 @@ impl GridConfig {
                 }
             }
         }
+        if let Some(o) = &self.outages {
+            o.validate()?;
+        }
+        // The simulator derives its auto-horizon from total_work /
+        // effective_power: a grid that delivers no long-run power (zero
+        // availability, checkpoint efficiency 0, outages eating every
+        // cycle) would propagate a NaN/∞ horizon into the engine. Reject
+        // it here with a diagnosis instead.
+        let ep = self.effective_power();
+        if !(ep.is_finite() && ep > 0.0) {
+            return Err(format!(
+                "grid delivers no effective power ({ep}): availability, checkpoint \
+                 efficiency or outage configuration leaves no usable cycles, so no \
+                 workload can ever drain"
+            ));
+        }
         Ok(())
     }
 
@@ -258,6 +274,39 @@ mod tests {
         // is for — serde itself happily accepts any representable number.
         cfg.heterogeneity = Heterogeneity::HET;
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_effective_power() {
+        // An outage process that takes every machine down all the time
+        // leaves effective_power() at 0 — the auto-horizon would divide by
+        // it and hand the engine a NaN/∞ cap. validate must name the
+        // problem instead.
+        let mut cfg = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
+        cfg.outages = Some(crate::outage::OutageConfig {
+            mtbo: 1.0,
+            duration: dgsched_des::dist::DistConfig::Constant { value: f64::MAX },
+            fraction: 1.0,
+        });
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("effective power"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_outage_parameters() {
+        let mut cfg = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
+        cfg.outages = Some(crate::outage::OutageConfig {
+            mtbo: f64::NAN,
+            duration: dgsched_des::dist::DistConfig::Constant { value: 60.0 },
+            fraction: 0.5,
+        });
+        assert!(cfg.validate().unwrap_err().contains("mtbo"));
+        cfg.outages = Some(crate::outage::OutageConfig {
+            mtbo: 3600.0,
+            duration: dgsched_des::dist::DistConfig::Constant { value: 60.0 },
+            fraction: 1.5,
+        });
+        assert!(cfg.validate().unwrap_err().contains("fraction"));
     }
 
     #[test]

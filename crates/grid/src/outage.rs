@@ -43,13 +43,15 @@ impl OutageConfig {
 
     /// Validates parameters.
     pub fn validate(&self) -> Result<(), String> {
-        if self.mtbo <= 0.0 {
+        // `mtbo <= 0.0` alone lets NaN through (every comparison with NaN
+        // is false) — demand finiteness explicitly.
+        if !(self.mtbo.is_finite() && self.mtbo > 0.0) {
             return Err(format!(
-                "mean time between outages must be positive, got {}",
+                "outage mtbo (mean time between outages) must be finite and positive, got {}",
                 self.mtbo
             ));
         }
-        if !(0.0..=1.0).contains(&self.fraction) || self.fraction == 0.0 {
+        if !(self.fraction.is_finite() && self.fraction > 0.0 && self.fraction <= 1.0) {
             return Err(format!(
                 "outage fraction must be in (0, 1], got {}",
                 self.fraction

@@ -19,6 +19,15 @@ DGSCHED_THREADS=1 cargo test -q -p dgsched-core --test parallel_determinism
 DGSCHED_THREADS=4 cargo test -q -p dgsched-core --test parallel_determinism
 cargo test -q -p dgsched-core --test parallel_determinism
 
+echo "==> journal gate: kill/resume determinism at widths 1 and 4"
+# The journal contract: a sweep killed at any byte of the journal and
+# resumed must serialise byte-identical ScenarioResult JSON, and a
+# panicking replication is isolated instead of aborting the sweep. The
+# test simulates kills by truncating the journal mid-record and re-proves
+# the equality at explicit pool widths under both environment baselines.
+DGSCHED_THREADS=1 cargo test -q -p dgsched-core --test journal_resume
+DGSCHED_THREADS=4 cargo test -q -p dgsched-core --test journal_resume
+
 echo "==> telemetry gate: obs crate with and without the timing feature"
 # The observer seam must stay passive: the obs crate and its profiling
 # spans are built and tested in both configurations, and the passivity
@@ -27,9 +36,10 @@ cargo test -q -p dgsched-obs
 cargo test -q -p dgsched-obs --features timing
 cargo test -q -p dgsched-core --features timing --test observer_passivity
 
-echo "==> tracing-overhead smoke: bench_sim_json (tracer-on vs tracer-off)"
-# Writes plain / metrics / metrics+ring wall-clock into BENCH_sim.json and
-# asserts all three produce byte-identical RunResult JSON.
+echo "==> tracing/journal-overhead smoke: bench_sim_json"
+# Writes plain / metrics / metrics+ring wall-clock and journal-off vs
+# journal-on sweep wall-clock into BENCH_sim.json, asserting instrumented
+# runs and journaled sweeps produce byte-identical result JSON.
 cargo run --release -q -p dgsched-bench --bin bench_sim_json -- --out /tmp/BENCH_sim.ci.json
 python3 - <<'EOF'
 import json
@@ -37,6 +47,10 @@ doc = json.load(open("/tmp/BENCH_sim.ci.json"))
 o = doc["overhead"]
 assert o["identical_result"], "instrumented runs diverged from plain"
 print(f"tracer overhead ratio: {o['overhead_ratio']:.3f} (events={o['events']})")
+j = doc["journal"]
+assert j["identical_result"], "journaled sweep diverged from plain"
+print(f"journal overhead ratio: {j['overhead_ratio']:.3f} "
+      f"(records={j['records']}, resume {j['resume_s']:.2f}s)")
 EOF
 
 echo "==> cargo clippy --workspace -- -D warnings"

@@ -156,3 +156,54 @@ fn run_is_deterministic_across_invocations() {
         "same scenario + default seed must reproduce exactly"
     );
 }
+
+#[test]
+fn run_with_journal_resumes_byte_identically() {
+    let demo = Command::new(bin()).arg("demo").output().expect("demo");
+    let scenario = tmp("journal-scenario.json");
+    std::fs::write(&scenario, &demo.stdout).expect("write scenario");
+    let journal = tmp("run.journal.jsonl");
+    std::fs::remove_file(&journal).ok();
+    let run = |resume: bool| {
+        let mut args = vec![
+            "run",
+            scenario.to_str().unwrap(),
+            "--min-reps",
+            "2",
+            "--max-reps",
+            "2",
+            "--journal",
+            journal.to_str().unwrap(),
+        ];
+        if resume {
+            args.push("--resume");
+        }
+        let out = Command::new(bin()).args(&args).output().expect("run");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8(out.stdout).expect("utf8"),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (first, stderr1) = run(false);
+    assert!(stderr1.contains("written"), "journal stats reported");
+    // The journal now holds both replications; a resumed invocation must
+    // replay them (recomputing nothing) and print the same bytes.
+    let (second, stderr2) = run(true);
+    assert_eq!(first, second, "resume changed the result JSON");
+    assert!(
+        stderr2.contains("2 replayed") && stderr2.contains("resumed"),
+        "stderr: {stderr2}"
+    );
+    // --resume without --journal is a usage error.
+    let out = Command::new(bin())
+        .args(["run", scenario.to_str().unwrap(), "--resume"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    std::fs::remove_file(&journal).ok();
+}

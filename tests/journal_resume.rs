@@ -1,0 +1,257 @@
+//! Crash-safety and resume-determinism of the replication journal.
+//!
+//! The contract under test: `run_matrix_journaled` produces
+//! **byte-identical** `ScenarioResult` JSON whether the sweep ran straight
+//! through, or was killed at an arbitrary byte of the journal and resumed
+//! — any number of times, at any pool width. A crash is simulated by
+//! truncating the journal file mid-record (exactly what a killed process
+//! leaves behind); the resumed sweep must detect the torn tail, drop it,
+//! replay the intact prefix and recompute the rest.
+//!
+//! `scripts/ci.sh` runs this file at `DGSCHED_THREADS=1` and `=4`; the
+//! in-process `rayon::with_num_threads` calls below add explicit widths on
+//! top, so each CI invocation re-proves the equalities from a different
+//! baseline.
+
+use dgsched_core::experiment::{
+    run_matrix, run_matrix_journaled, run_matrix_journaled_with, RepGuard, Scenario, WorkloadKind,
+};
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::SimConfig;
+use dgsched_des::stats::StoppingRule;
+use dgsched_grid::{Availability, GridConfig, Heterogeneity};
+use dgsched_workload::{BotType, Intensity, WorkloadSpec};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scenario(name: &str, policy: PolicyKind) -> Scenario {
+    Scenario {
+        name: name.into(),
+        grid: GridConfig {
+            total_power: 100.0,
+            heterogeneity: Heterogeneity::HOM,
+            availability: Availability::HIGH,
+            checkpoint: Default::default(),
+            outages: None,
+        },
+        workload: WorkloadKind::Single(WorkloadSpec {
+            bot_type: BotType {
+                granularity: 1_000.0,
+                app_size: 20_000.0,
+                jitter: 0.5,
+            },
+            intensity: Intensity::Low,
+            count: 6,
+        }),
+        policy,
+        sim: SimConfig::default(),
+    }
+}
+
+fn matrix() -> Vec<Scenario> {
+    vec![
+        scenario("journal-a", PolicyKind::Rr),
+        scenario("journal-b", PolicyKind::FcfsShare),
+        scenario("journal-c", PolicyKind::LongIdle),
+    ]
+}
+
+fn rule() -> StoppingRule {
+    StoppingRule {
+        min_replications: 3,
+        max_replications: 6,
+        ..Default::default()
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dgsched-journal-resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn journaled_sweep_matches_plain_matrix_at_every_width() {
+    let scenarios = matrix();
+    let plain = serde_json::to_string(&run_matrix(&scenarios, 42, &rule())).unwrap();
+    for width in [1usize, 4] {
+        let path = tmp(&format!("plain-eq-{width}"));
+        let out = rayon::with_num_threads(width, || {
+            run_matrix_journaled(&scenarios, 42, &rule(), &path, false, RepGuard::default())
+        })
+        .unwrap();
+        assert_eq!(
+            serde_json::to_string(&out.results).unwrap(),
+            plain,
+            "journaled sweep diverged from run_matrix at width {width}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_at_any_cut_point() {
+    let scenarios = matrix();
+    for width in [1usize, 4] {
+        let path = tmp(&format!("kill-{width}"));
+        let straight = rayon::with_num_threads(width, || {
+            run_matrix_journaled(&scenarios, 42, &rule(), &path, false, RepGuard::default())
+        })
+        .unwrap();
+        let reference = serde_json::to_string(&straight.results).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let total_records = full.iter().filter(|&&b| b == b'\n').count() - 1;
+        assert!(total_records >= 9, "3 scenarios × ≥3 reps journaled");
+
+        // Kill the sweep at assorted byte offsets: after the header, after
+        // a few whole records, and twice mid-record (a torn tail). Every
+        // resume must reproduce the straight-through bytes.
+        let header_end = full.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let cuts = [
+            header_end,
+            header_end + 17, // torn first record
+            full.len() / 2,  // torn middle record (with luck, mid-float)
+            full.len() - 3,  // torn final record
+        ];
+        for (i, &cut) in cuts.iter().enumerate() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let resumed = rayon::with_num_threads(width, || {
+                run_matrix_journaled(&scenarios, 42, &rule(), &path, true, RepGuard::default())
+            })
+            .unwrap();
+            assert_eq!(
+                serde_json::to_string(&resumed.results).unwrap(),
+                reference,
+                "resume after cut {i} (byte {cut}) diverged at width {width}"
+            );
+            assert_eq!(resumed.stats.resumes, 1);
+            let intact_records = full[..cut]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count()
+                .saturating_sub(1);
+            assert_eq!(
+                resumed.stats.records_replayed as usize, intact_records,
+                "every intact record is replayed, nothing recomputed twice"
+            );
+            if cut > header_end && full[cut - 1] != b'\n' {
+                assert_eq!(resumed.stats.torn_tails, 1, "cut {i} tore a record");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn repeated_kills_still_converge_to_the_same_bytes() {
+    // Kill → resume → kill the resumed journal → resume again: the third
+    // generation must still serialise the straight-through bytes.
+    let scenarios = matrix();
+    let path = tmp("rekill");
+    let straight =
+        run_matrix_journaled(&scenarios, 42, &rule(), &path, false, RepGuard::default()).unwrap();
+    let reference = serde_json::to_string(&straight.results).unwrap();
+    for _generation in 0..3 {
+        let full = std::fs::read(&path).unwrap();
+        let cut = full.len() * 2 / 3;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let resumed =
+            run_matrix_journaled(&scenarios, 42, &rule(), &path, true, RepGuard::default())
+                .unwrap();
+        assert_eq!(serde_json::to_string(&resumed.results).unwrap(), reference);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn persistent_panic_is_isolated_to_its_scenario() {
+    let scenarios = matrix();
+    let rule = rule();
+    for width in [1usize, 4] {
+        let path = tmp(&format!("panic-{width}"));
+        // Replication 1 of journal-b dies on every attempt; everything
+        // else runs normally.
+        let out = rayon::with_num_threads(width, || {
+            run_matrix_journaled_with(
+                &scenarios,
+                42,
+                &rule,
+                &path,
+                false,
+                RepGuard::default(),
+                |s: &Scenario, seed: u64, rep: u64| {
+                    if s.name == "journal-b" && rep == 1 {
+                        panic!("injected fault in {} rep {rep}", s.name);
+                    }
+                    dgsched_core::experiment::run_replication(s, seed, rep)
+                },
+            )
+        })
+        .unwrap();
+        let by_name = |n: &str| out.results.iter().find(|r| r.name == n).unwrap();
+        let b = by_name("journal-b");
+        assert!(b.saturated, "a failed replication marks the scenario");
+        assert_eq!(b.failed_replications, 1);
+        assert_eq!(b.failure_reasons.len(), 1);
+        assert!(
+            b.failure_reasons[0].contains("injected fault"),
+            "{:?}",
+            b.failure_reasons
+        );
+        assert!(b.replication_means.is_empty(), "statistics dropped");
+        // The sweep continued: the other scenarios match their plain runs.
+        let plain = run_matrix(&scenarios, 42, &rule);
+        for name in ["journal-a", "journal-c"] {
+            let clean = plain.iter().find(|r| r.name == name).unwrap();
+            assert_eq!(
+                serde_json::to_string(by_name(name)).unwrap(),
+                serde_json::to_string(clean).unwrap(),
+                "{name} perturbed by journal-b's panic at width {width}"
+            );
+        }
+        // One failing replication: first attempt panics, the retry panics,
+        // then it is recorded as failed.
+        assert_eq!(out.stats.replication_panics, 2);
+        assert_eq!(out.stats.replication_retries, 1);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn transient_panic_is_retried_and_leaves_no_trace_in_the_results() {
+    let scenarios = matrix();
+    let rule = rule();
+    let path = tmp("transient");
+    let attempts = AtomicU64::new(0);
+    let out = run_matrix_journaled_with(
+        &scenarios,
+        42,
+        &rule,
+        &path,
+        false,
+        RepGuard::default(),
+        |s: &Scenario, seed: u64, rep: u64| {
+            if s.name == "journal-a" && rep == 2 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient fault");
+            }
+            dgsched_core::experiment::run_replication(s, seed, rep)
+        },
+    )
+    .unwrap();
+    let plain = serde_json::to_string(&run_matrix(&scenarios, 42, &rule)).unwrap();
+    assert_eq!(
+        serde_json::to_string(&out.results).unwrap(),
+        plain,
+        "a retried transient panic must not change any result byte"
+    );
+    assert_eq!(out.stats.replication_panics, 1);
+    assert_eq!(out.stats.replication_retries, 1);
+    assert_eq!(
+        out.results
+            .iter()
+            .map(|r| r.failed_replications)
+            .sum::<u64>(),
+        0
+    );
+    std::fs::remove_file(&path).ok();
+}

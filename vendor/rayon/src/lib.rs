@@ -141,8 +141,14 @@ where
                         return;
                     }
                     // Own deque first (LIFO side), then steal from the
-                    // front of the others' deques.
-                    let chunk = queues[me].lock().unwrap().pop_back().or_else(|| {
+                    // front of the others' deques. The own-queue guard MUST
+                    // drop before the steal loop: chaining `.or_else(..)`
+                    // onto the locked pop keeps the guard alive across the
+                    // steal (temporary lifetime extension), and two workers
+                    // stealing at once then hold-and-wait on each other's
+                    // queues — a circular deadlock.
+                    let own = queues[me].lock().unwrap().pop_back();
+                    let chunk = own.or_else(|| {
                         (1..width)
                             .find_map(|d| queues[(me + d) % width].lock().unwrap().pop_front())
                     });
@@ -455,6 +461,22 @@ mod tests {
         let err =
             std::panic::catch_unwind(|| with_num_threads(2, || join(|| 0, || panic!("right"))));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn concurrent_stealing_cannot_deadlock() {
+        // Regression: the own-queue guard must drop before the steal loop.
+        // At width 2 both workers sit in the steal path together near the
+        // end of every map; if either still holds its (empty) own queue
+        // while probing the other's, the two hold-and-wait in a cycle and
+        // this test hangs. Many short maps make the window easy to hit.
+        for round in 0..500u32 {
+            let out: Vec<u32> = with_num_threads(2, || {
+                (0..64u32).into_par_iter().map(|x| x ^ round).collect()
+            });
+            assert_eq!(out.len(), 64);
+            assert_eq!(out[0], round);
+        }
     }
 
     #[test]
