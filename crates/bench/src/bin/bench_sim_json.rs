@@ -3,12 +3,17 @@
 //! pool threads, written as JSON for regression tracking.
 //!
 //! ```text
-//! cargo run --release -p dgsched-bench --bin bench_sim_json [--out BENCH_sim.json]
+//! cargo run --release -p dgsched-bench --bin bench_sim_json [--out BENCH_sim.json | --smoke]
 //! ```
 //!
 //! `paper` is the study's own scale (100 machines); `large` is the
 //! many-machine / many-bag regime where the scheduler's incremental
-//! indices matter (a fleet that is mostly idle at any instant). The
+//! indices matter (a fleet that is mostly idle at any instant);
+//! `huge-1k` / `huge-10k` is the scaling tier — grid and bags grow
+//! together under lazy availability, and events/s per policy should hold
+//! roughly flat across it. `--smoke` runs only the 10k tier and exits
+//! non-zero if FCFS-Excl drops below a quarter of the policy-median
+//! events/s (the CI guard for the replica-churn scaling cliff). The
 //! `sweep` section times `run_matrix` over an F1a-derived scenario grid
 //! sequentially and on the work-stealing pool, and cross-checks that
 //! both runs serialise byte-identically.
@@ -29,6 +34,7 @@ struct Scale {
     name: &'static str,
     grid: GridConfig,
     spec: WorkloadSpec,
+    cfg: SimConfig,
 }
 
 #[derive(Serialize)]
@@ -301,6 +307,7 @@ fn scales() -> Vec<Scale> {
                 intensity: Intensity::Medium,
                 count: 20,
             },
+            cfg: SimConfig::with_seed(7),
         },
         Scale {
             name: "large",
@@ -320,34 +327,63 @@ fn scales() -> Vec<Scale> {
                 intensity: Intensity::Low,
                 count: 50,
             },
+            cfg: SimConfig::with_seed(7),
         },
     ]
 }
 
-fn main() {
-    let mut out_path = String::from("BENCH_sim.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--out" => out_path = args.next().expect("--out needs a path"),
-            other => {
-                eprintln!("unknown flag {other}; usage: bench_sim_json [--out PATH]");
-                std::process::exit(1);
-            }
-        }
-    }
+/// The scaling tier: machines and tasks-per-bag grow together (tasks/bag
+/// ≈ machines), so the work available per dispatch round stays
+/// proportional to the fleet and events/s should hold roughly flat from
+/// 1k to 10k machines. Lazy availability is on — this is the
+/// configuration the tier exists to exercise: the event queue carries
+/// only busy machines, not the whole (mostly idle) fleet.
+fn huge_scales() -> Vec<Scale> {
+    let lazy_cfg = SimConfig {
+        lazy_availability: true,
+        ..SimConfig::with_seed(7)
+    };
+    [(1_000usize, "huge-1k"), (10_000, "huge-10k")]
+        .into_iter()
+        .map(|(n, name)| Scale {
+            name,
+            grid: GridConfig {
+                total_power: 10.0 * n as f64, // n Hom machines
+                heterogeneity: Heterogeneity::HOM,
+                availability: Availability::HIGH,
+                checkpoint: CheckpointConfig::default(),
+                outages: None,
+            },
+            spec: WorkloadSpec {
+                bot_type: BotType {
+                    granularity: 5_000.0,
+                    // Tasks per bag grow as n·ln n, not n: WQR's unlimited
+                    // replication spends ≈ n·ln n launches draining each
+                    // bag's tail (every free machine re-replicates the
+                    // shrinking remainder), so bags must outgrow the fleet
+                    // by the same harmonic factor for launches-per-event —
+                    // and hence events/s — to stay flat across the tier.
+                    app_size: 15_000.0 * n as f64 * (n as f64).ln() / 1_000.0_f64.ln(),
+                    jitter: 0.5,
+                },
+                intensity: Intensity::Low,
+                count: 10,
+            },
+            cfg: lazy_cfg,
+        })
+        .collect()
+}
 
+/// Times every policy at every scale: one warm-up, then best of three.
+fn bench_rows(scales: &[Scale]) -> Vec<BenchRow> {
     let mut rows = Vec::new();
-    for scale in scales() {
+    for scale in scales {
         let grid = scale.grid.build(&mut rand::rngs::StdRng::seed_from_u64(1));
         let workload = scale
             .spec
             .generate(&scale.grid, &mut rand::rngs::StdRng::seed_from_u64(2));
         for kind in PolicyKind::all_with_baselines() {
-            // One warm-up, then time the best of three runs: cheap and
-            // stable enough for trend tracking.
-            let cfg = SimConfig::with_seed(7);
-            let warm = simulate(&grid, &workload, kind, &cfg);
+            let warm = simulate(&grid, &workload, kind, &scale.cfg);
             assert!(
                 !warm.saturated,
                 "{}: {} saturated",
@@ -358,7 +394,7 @@ fn main() {
             let mut events = 0u64;
             for _ in 0..3 {
                 let t0 = Instant::now();
-                let r = simulate(&grid, &workload, kind, &cfg);
+                let r = simulate(&grid, &workload, kind, &scale.cfg);
                 let dt = t0.elapsed().as_secs_f64();
                 if dt < best {
                     best = dt;
@@ -367,7 +403,7 @@ fn main() {
             }
             let eps = events as f64 / best;
             eprintln!(
-                "{:<6} {:<12} {:>9} events  {:>8.1} ms  {:>12.0} events/s",
+                "{:<8} {:<12} {:>9} events  {:>8.1} ms  {:>12.0} events/s",
                 scale.name,
                 kind.paper_name(),
                 events,
@@ -385,6 +421,94 @@ fn main() {
             });
         }
     }
+    rows
+}
+
+/// Per-policy events/s across the scaling tier, with the 10k/1k ratio —
+/// the flat-scaling check at a glance.
+fn print_scaling_summary(rows: &[BenchRow]) {
+    let scales: Vec<&str> = {
+        let mut v = Vec::new();
+        for r in rows {
+            if !v.contains(&r.scenario) {
+                v.push(r.scenario);
+            }
+        }
+        v
+    };
+    eprintln!("scaling summary (events/s per policy):");
+    for kind in PolicyKind::all_with_baselines() {
+        let eps: Vec<f64> = scales
+            .iter()
+            .filter_map(|&s| {
+                rows.iter()
+                    .find(|r| r.scenario == s && r.policy == kind.paper_name())
+                    .map(|r| r.events_per_s)
+            })
+            .collect();
+        if eps.is_empty() {
+            continue;
+        }
+        let cells: Vec<String> = scales
+            .iter()
+            .zip(&eps)
+            .map(|(s, e)| format!("{s} {e:>10.0}"))
+            .collect();
+        let ratio = eps.last().unwrap() / eps[0];
+        eprintln!(
+            "  {:<12} {}  ratio {:.2}",
+            kind.paper_name(),
+            cells.join("  "),
+            ratio
+        );
+    }
+}
+
+/// `--smoke`: the CI gate. Runs only the 10k scaling tier and fails when
+/// FCFS-Excl falls below a quarter of the policy-median events/s — the
+/// regression guard for the replica-churn cliff this tier was built to
+/// keep dead.
+fn smoke() -> ! {
+    let tier = huge_scales().pop().expect("huge tier exists");
+    let rows = bench_rows(&[tier]);
+    let mut eps: Vec<f64> = rows.iter().map(|r| r.events_per_s).collect();
+    eps.sort_by(f64::total_cmp);
+    let median = eps[eps.len() / 2];
+    let excl = rows
+        .iter()
+        .find(|r| r.policy == PolicyKind::FcfsExcl.paper_name())
+        .expect("FCFS-Excl row");
+    let floor = 0.25 * median;
+    eprintln!(
+        "smoke: FCFS-Excl {:.0} events/s, policy median {:.0}, floor {:.0}",
+        excl.events_per_s, median, floor
+    );
+    if excl.events_per_s < floor {
+        eprintln!("smoke FAILED: FCFS-Excl is below 25% of the policy median");
+        std::process::exit(1);
+    }
+    eprintln!("smoke ok");
+    std::process::exit(0);
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_sim.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--smoke" => smoke(),
+            other => {
+                eprintln!("unknown flag {other}; usage: bench_sim_json [--out PATH | --smoke]");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut rows = bench_rows(&scales());
+    let huge = bench_rows(&huge_scales());
+    print_scaling_summary(&huge);
+    rows.extend(huge);
     let doc = BenchDoc {
         unit: "events/s",
         benchmarks: rows,

@@ -14,7 +14,7 @@ use super::{BagSelection, View};
 use dgsched_workload::BotId;
 
 /// The FCFS-Shared policy.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FcfsShare;
 
 impl FcfsShare {

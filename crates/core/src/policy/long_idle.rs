@@ -12,7 +12,7 @@ use super::{BagSelection, View};
 use dgsched_workload::BotId;
 
 /// The Longest-Idle policy.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LongIdle;
 
 impl LongIdle {

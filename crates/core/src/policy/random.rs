@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Uniform random bag selection among dispatchable bags.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RandomSelect {
     rng: StdRng,
 }

@@ -9,7 +9,7 @@ use super::{BagSelection, View};
 use dgsched_workload::BotId;
 
 /// The Round-Robin policy.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct RoundRobin {
     /// Id of the bag served last; the scan starts just after it. Completed
     /// bags keep their slot in the circular order by id comparison.
@@ -19,7 +19,7 @@ pub struct RoundRobin {
 impl RoundRobin {
     /// Creates the policy.
     pub fn new() -> Self {
-        RoundRobin { cursor: None }
+        Self::default()
     }
 
     /// Scans the active list circularly starting after `self.cursor`,

@@ -10,7 +10,7 @@ use super::{BagSelection, View};
 use dgsched_workload::BotId;
 
 /// The Round-Robin No-Replica-First policy.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct RoundRobinNrf {
     rr: RoundRobin,
 }
@@ -18,9 +18,7 @@ pub struct RoundRobinNrf {
 impl RoundRobinNrf {
     /// Creates the policy.
     pub fn new() -> Self {
-        RoundRobinNrf {
-            rr: RoundRobin::new(),
-        }
+        Self::default()
     }
 }
 

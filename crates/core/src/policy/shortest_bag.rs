@@ -12,7 +12,7 @@ use super::{BagSelection, View};
 use dgsched_workload::BotId;
 
 /// The Shortest-Bag-First policy (knowledge-based).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ShortestBagFirst;
 
 impl ShortestBagFirst {

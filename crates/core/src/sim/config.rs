@@ -72,6 +72,23 @@ pub struct SimConfig {
     pub horizon: Option<f64>,
     /// Hard cap on processed events (second saturation guard).
     pub event_limit: u64,
+    /// Elide fail/repair events for idle machines: their up/down renewal
+    /// process is reconstructed on demand (at dispatch, outages and end of
+    /// run) from the same per-machine RNG streams, so the event queue
+    /// scales with *busy* machines instead of grid size. Results are
+    /// equivalent to the eager default; only the timing of fail/repair
+    /// trace records changes (idle-window failures surface when they are
+    /// observed, not when they happen — the knowledge-free scheduler never
+    /// sees them either way). Ignored (eager behavior) on never-failing
+    /// grids, under [`MachineOrder::FewestFailuresFirst`] and with
+    /// [`DynamicReplication`], both of which consume failure observations
+    /// the moment they happen.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub lazy_availability: bool,
+}
+
+fn is_false(b: &bool) -> bool {
+    !*b
 }
 
 impl Default for SimConfig {
@@ -85,6 +102,7 @@ impl Default for SimConfig {
             warmup_bags: 0,
             horizon: None,
             event_limit: 200_000_000,
+            lazy_availability: false,
         }
     }
 }

@@ -24,20 +24,19 @@ impl SimState {
     /// per call, exactly as the pre-index scheduler did. Reference mode
     /// dispatches from this list.
     pub(super) fn free_machine_ids_scan(&self, order: MachineOrder) -> Vec<MachineId> {
-        let mut ids: Vec<MachineId> = self
-            .machines
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.is_free())
-            .map(|(i, _)| MachineId(i as u32))
+        let mut ids: Vec<MachineId> = (0..self.machines.len())
+            .filter(|&i| self.machines.is_free(i))
+            .map(|i| MachineId(i as u32))
             .collect();
         match order {
             MachineOrder::Arbitrary => {}
-            MachineOrder::FastestFirst => {
-                ids.sort_by(|a, b| self.machine(*b).power.total_cmp(&self.machine(*a).power))
-            }
+            MachineOrder::FastestFirst => ids.sort_by(|a, b| {
+                self.machines.hot[b.index()]
+                    .power
+                    .total_cmp(&self.machines.hot[a.index()].power)
+            }),
             MachineOrder::FewestFailuresFirst => {
-                ids.sort_by_key(|m| self.machine(*m).failures);
+                ids.sort_by_key(|m| self.machines.failures[m.index()]);
             }
         }
         debug_assert_eq!(
@@ -87,18 +86,69 @@ impl Driver<'_> {
         let threshold = self.effective_threshold(now);
         if self.reference {
             for mid in self.state.free_machine_ids_scan(self.cfg.machine_order) {
+                if !self.validate_free(mid, now, sched) {
+                    continue;
+                }
                 if !self.dispatch_one(mid, now, threshold, sched) {
                     break;
                 }
             }
         } else {
             while let Some(mid) = self.state.free.first() {
+                if !self.validate_free(mid, now, sched) {
+                    continue;
+                }
                 if !self.dispatch_one(mid, now, threshold, sched) {
                     break;
                 }
             }
         }
         self.prof.record(self.span_round, round_started);
+    }
+
+    /// Lazy availability: confirm an allegedly-free machine really is up
+    /// before handing it to the policy. Idle machines carry no fail/repair
+    /// events, so their recorded window may be stale; this fast-forwards
+    /// the renewal state to `now`. A machine discovered down leaves the
+    /// free index and gets a repair event at the closed-form end of its
+    /// current down window — the instant the eager schedule would have
+    /// repaired it. Always true under the eager default.
+    fn validate_free<Q: PendingEvents<Event>>(
+        &mut self,
+        mid: MachineId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) -> bool {
+        if !self.lazy {
+            return true;
+        }
+        let i = mid.index();
+        let t = now.as_secs();
+        if self.state.machines.hot[i].cycle_end > t {
+            debug_assert!(
+                self.state.machines.hot[i].up,
+                "free index holds a down machine"
+            );
+            return true;
+        }
+        let avail = self.state.avail.expect("lazy mode needs a failure process");
+        let ms = &mut self.state.machines;
+        let (rng, h) = (&mut ms.avail_rng[i], &mut ms.hot[i]);
+        let f = avail.fast_forward(rng, &mut h.up, &mut h.cycle_end, t);
+        ms.failures[i] += f;
+        self.state.counters.machine_failures += f;
+        if self.state.machines.hot[i].up {
+            return true;
+        }
+        // Down right now: the elided failure surfaces at observation time.
+        self.observer.on_machine_fail(now, mid);
+        self.state.free.remove(mid);
+        let ev = sched.schedule_in(
+            self.state.machines.hot[i].cycle_end - t,
+            Event::MachineRepair(mid),
+        );
+        self.state.machines.hot[i].next_transition = ev;
+        false
     }
 
     /// One selection step for one free machine; `false` ends the round.
@@ -152,8 +202,11 @@ impl Driver<'_> {
         self.observer
             .on_dispatch(now, bag, task, machine, is_replication);
         self.state.bags[bag.index()].note_replica_started(task, now);
-        let ckpt_key = self.state.bags[bag.index()].tasks[task.index()].ckpt_key;
-        let saved = if self.state.ckpt.enabled() {
+        let t = &self.state.bags[bag.index()].tasks[task.index()];
+        let ckpt_key = t.ckpt_key;
+        // `has_checkpoint` lives on the task record this path already
+        // touched; only a genuinely checkpointed task pays the store read.
+        let saved = if self.state.ckpt.enabled() && t.has_checkpoint {
             self.state.store.saved_work(ckpt_key)
         } else {
             0.0
@@ -166,16 +219,17 @@ impl Driver<'_> {
             event: EventId::NONE,
             started: now,
         });
-        self.state.machines[machine.index()].replica = Some(rid);
+        self.state.machines.hot[machine.index()].replica = Some(rid);
         self.state.free.remove(machine);
         self.state.task_replicas.attach(ckpt_key, rid);
         self.state.counters.replicas_launched += 1;
         if saved > 0.0 {
             let ckpt = self.state.ckpt;
-            let cost = ckpt.retrieve_cost(&mut self.state.machines[machine.index()].xfer_rng);
+            let cost = ckpt.retrieve_cost(&mut self.state.machines.xfer_rng[machine.index()]);
             self.state.counters.retrieve_time += cost;
             let ev = sched.schedule_in(cost, Event::Replica(rid));
-            self.state.slab.get_mut(rid).expect("just inserted").event = ev;
+            self.state.slab.set_event(rid, ev);
+            self.materialize_fail_before(machine, now.as_secs() + cost, sched);
         } else {
             self.start_computing(rid, 0.0, sched);
         }

@@ -5,13 +5,13 @@
 //! dispatch / lifecycle / fault subsystems. The scheduling semantics live
 //! in those modules; this one only wires them together.
 
-use super::config::SimConfig;
+use super::config::{MachineOrder, SimConfig};
 use super::events::Event;
 use super::indices::{FreeMachineIndex, TaskReplicaIndex};
 use super::metrics::{BagMetrics, Counters, MachineStats, MetricsObserver, RunResult};
 use super::observer::{Fanout, NullObserver, SimObserver};
 use crate::policy::{BagSelection, PolicyKind};
-use crate::state::{BagRt, MachineRt, ReplicaId, ReplicaSlab};
+use crate::state::{BagRt, Machines, ReplicaId, ReplicaSlab};
 use dgsched_des::engine::QueueOps;
 use dgsched_des::engine::{Control, Engine, Handler, RunOutcome, Scheduler};
 use dgsched_des::event::EventId;
@@ -29,7 +29,7 @@ use serde::{Deserialize, Serialize};
 /// Everything a run needs besides the policy (split so the policy can
 /// borrow a read-only view while the driver stays mutable).
 pub(super) struct SimState {
-    pub(super) machines: Vec<MachineRt>,
+    pub(super) machines: Machines,
     pub(super) bags: Vec<BagRt>,
     /// Incomplete, arrived bags in arrival order.
     pub(super) active: Vec<BotId>,
@@ -60,12 +60,6 @@ pub(super) struct SimState {
     pub(super) power_prefix: Vec<f64>,
 }
 
-impl SimState {
-    pub(super) fn machine(&self, id: MachineId) -> &MachineRt {
-        &self.machines[id.index()]
-    }
-}
-
 pub(super) struct Driver<'a> {
     pub(super) state: SimState,
     pub(super) policy: Box<dyn BagSelection>,
@@ -77,6 +71,10 @@ pub(super) struct Driver<'a> {
     /// indices are still maintained, just not consulted). Used to validate
     /// index equivalence.
     pub(super) reference: bool,
+    /// Lazy availability is in force: idle machines carry no fail/repair
+    /// events; their renewal state lives in `machines.cycle_end` and is
+    /// fast-forwarded on demand (see `SimConfig::lazy_availability`).
+    pub(super) lazy: bool,
     /// Wall-clock profiling spans. All recording compiles to nothing
     /// unless the `timing` feature is on.
     pub(super) prof: Profiler,
@@ -263,20 +261,14 @@ fn run_reported(
         .checkpoint
         .interval_for_mtbf(grid.config.machine_mtbf());
 
-    let machines: Vec<MachineRt> = grid
-        .machines
-        .iter()
-        .map(|m| MachineRt {
-            power: m.power,
-            up: true,
-            replica: None,
-            next_transition: EventId::NONE,
-            avail_rng: seeder.stream("machine-avail", u64::from(m.id.0)),
-            xfer_rng: seeder.stream("machine-xfer", u64::from(m.id.0)),
-            busy_time: 0.0,
-            failures: 0,
-        })
-        .collect();
+    let mut machines = Machines::with_capacity(grid.len());
+    for m in &grid.machines {
+        machines.push(
+            m.power,
+            seeder.stream("machine-avail", u64::from(m.id.0)),
+            seeder.stream("machine-xfer", u64::from(m.id.0)),
+        );
+    }
 
     let powers: Vec<f64> = grid.machines.iter().map(|m| m.power).collect();
     let mut free = FreeMachineIndex::new(&powers, cfg.machine_order);
@@ -303,6 +295,14 @@ fn run_reported(
     let mut prof = Profiler::new();
     let span_round = prof.span("scheduler_round");
     let span_dispatch = prof.span("dispatch");
+
+    // Lazy availability needs a failure process to elide, and is off under
+    // the two knobs that consume failure observations the moment they
+    // happen (their observation order is exactly what laziness reorders).
+    let lazy = cfg.lazy_availability
+        && avail.is_some()
+        && cfg.machine_order != MachineOrder::FewestFailuresFirst
+        && cfg.dynamic_replication.is_none();
 
     let mut driver = Driver {
         state: SimState {
@@ -331,6 +331,7 @@ fn run_reported(
         saturated: false,
         observer,
         reference,
+        lazy,
         prof,
         span_round,
         span_dispatch,
@@ -341,10 +342,20 @@ fn run_reported(
         engine.prime(bag.arrival, Event::BagArrival(bag.id.0));
     }
     if let Some(avail) = driver.state.avail {
-        for (i, machine) in driver.state.machines.iter_mut().enumerate() {
-            let up = avail.next_up(&mut machine.avail_rng);
-            machine.next_transition =
-                engine.prime(SimTime::new(up), Event::MachineFail(MachineId(i as u32)));
+        if driver.lazy {
+            // No events yet: record each machine's first up-window end and
+            // reconstruct from there on demand. Same draws, same order, as
+            // the eager priming below — trajectories are identical.
+            for i in 0..driver.state.machines.len() {
+                driver.state.machines.hot[i].cycle_end =
+                    avail.next_up(&mut driver.state.machines.avail_rng[i]);
+            }
+        } else {
+            for i in 0..driver.state.machines.len() {
+                let up = avail.next_up(&mut driver.state.machines.avail_rng[i]);
+                driver.state.machines.hot[i].next_transition =
+                    engine.prime(SimTime::new(up), Event::MachineFail(MachineId(i as u32)));
+            }
         }
     }
     if let Some(outage) = driver.state.outage {
@@ -356,17 +367,35 @@ fn run_reported(
     driver.saturated =
         !matches!(outcome, RunOutcome::Stopped) || driver.state.completed_bags < workload.len();
 
+    // Lazy mode: settle every idle machine's elided failures up to the end
+    // of the run so the reported failure counts match the eager ones.
+    // Machines with a materialised transition (busy, or known-down) advance
+    // through events and must not be double-walked.
+    if driver.lazy {
+        if let Some(avail) = driver.state.avail {
+            let t = engine.now().as_secs();
+            let ms = &mut driver.state.machines;
+            let mut settled = 0;
+            for i in 0..ms.len() {
+                if ms.hot[i].next_transition == EventId::NONE {
+                    let (rng, h) = (&mut ms.avail_rng[i], &mut ms.hot[i]);
+                    let f = avail.fast_forward(rng, &mut h.up, &mut h.cycle_end, t);
+                    ms.failures[i] += f;
+                    settled += f;
+                }
+            }
+            driver.state.counters.machine_failures += settled;
+        }
+    }
+
     let policy_name = driver.policy.name().to_string();
-    let machines = driver
-        .state
-        .machines
-        .iter()
-        .enumerate()
-        .map(|(i, m)| MachineStats {
+    let ms = &driver.state.machines;
+    let machines = (0..ms.len())
+        .map(|i| MachineStats {
             machine: i as u32,
-            power: m.power,
-            busy_time: m.busy_time,
-            failures: m.failures,
+            power: ms.hot[i].power,
+            busy_time: ms.hot[i].busy_time,
+            failures: ms.failures[i],
         })
         .collect();
     driver.prof.absorb("event_queue_pop", engine.pop_span());

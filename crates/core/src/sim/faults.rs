@@ -25,33 +25,59 @@ impl Driver<'_> {
         // Announced before the per-machine failures so the trace stays
         // time-ordered with the outage ahead of its same-timestamp kills.
         self.observer.on_outage(now, duration);
+        // Lazy availability: settle every idle machine's renewal state
+        // *before* the hit loop. The hit draw below is consumed only for
+        // up machines, so up-ness must be exact here or the outage stream
+        // would diverge from the eager schedule.
+        if self.lazy {
+            let avail = self.state.avail.expect("lazy mode needs a failure process");
+            for i in 0..self.state.machines.len() {
+                if self.state.machines.hot[i].next_transition != EventId::NONE {
+                    continue; // busy or known-down: events keep it current
+                }
+                let mid = MachineId(i as u32);
+                let ms = &mut self.state.machines;
+                let (rng, h) = (&mut ms.avail_rng[i], &mut ms.hot[i]);
+                let f = avail.fast_forward(rng, &mut h.up, &mut h.cycle_end, now.as_secs());
+                ms.failures[i] += f;
+                self.state.counters.machine_failures += f;
+                if !self.state.machines.hot[i].up {
+                    // Down all along: surface the failure and materialise
+                    // the repair at its closed-form window end.
+                    self.observer.on_machine_fail(now, mid);
+                    self.state.free.remove(mid);
+                    let ev = sched.schedule_in(
+                        self.state.machines.hot[i].cycle_end - now.as_secs(),
+                        Event::MachineRepair(mid),
+                    );
+                    self.state.machines.hot[i].next_transition = ev;
+                }
+            }
+        }
         let mut any_killed = false;
         for i in 0..self.state.machines.len() {
             let mid = MachineId(i as u32);
-            if !self.state.machines[i].up || !outage.hits(&mut self.state.outage_rng) {
+            if !self.state.machines.hot[i].up || !outage.hits(&mut self.state.outage_rng) {
                 continue;
             }
             self.observer.on_machine_fail(now, mid);
-            if self.state.machines[i].is_free() {
+            if self.state.machines.is_free(i) {
                 self.state.free.remove(mid);
             }
-            let victim = {
-                let m = &mut self.state.machines[i];
-                m.up = false;
-                m.failures += 1;
-                m.replica.take()
-            };
+            self.state.machines.hot[i].up = false;
+            self.state.machines.failures[i] += 1;
+            let victim = self.state.machines.hot[i].replica;
             self.state.free.note_failure(mid);
             self.state.counters.machine_failures += 1;
             // Override the machine's own cycle for the outage window.
-            let pending = self.state.machines[i].next_transition;
+            let pending = self.state.machines.hot[i].next_transition;
             sched.cancel(pending);
             let ev = sched.schedule_in(duration, Event::MachineRepair(mid));
-            self.state.machines[i].next_transition = ev;
+            self.state.machines.hot[i].next_transition = ev;
+            if self.lazy {
+                self.state.machines.hot[i].cycle_end = now.as_secs() + duration;
+            }
             if let Some(rid) = victim {
-                // `machine.replica` was already taken; restore it so the
-                // shared kill path sees a consistent machine.
-                self.state.machines[i].replica = Some(rid);
                 self.kill_replica(rid, true, sched);
                 self.state.counters.replicas_killed_failure += 1;
                 any_killed = true;
@@ -64,30 +90,63 @@ impl Driver<'_> {
         }
     }
 
+    /// Lazy availability: gives a busy machine a real fail event only when
+    /// the failure lands at or before the replica's next milestone at
+    /// `deadline` (absolute seconds). A later failure cannot act before
+    /// the milestone handler runs and re-checks on reschedule, so keeping
+    /// it virtual is free — and spares the event queue one far-future
+    /// schedule/cancel pair per launch, which is most of them on a
+    /// high-availability grid.
+    pub(super) fn materialize_fail_before<Q: PendingEvents<Event>>(
+        &mut self,
+        machine: MachineId,
+        deadline: f64,
+        sched: &mut Scheduler<'_, Event, Q>,
+    ) {
+        if !self.lazy {
+            return;
+        }
+        let i = machine.index();
+        if self.state.machines.hot[i].next_transition != EventId::NONE
+            || self.state.machines.hot[i].cycle_end > deadline
+        {
+            return;
+        }
+        let delay = self.state.machines.hot[i].cycle_end - sched.now().as_secs();
+        let ev = sched.schedule_in(delay, Event::MachineFail(machine));
+        self.state.machines.hot[i].next_transition = ev;
+    }
+
     pub(super) fn machine_fail<Q: PendingEvents<Event>>(
         &mut self,
         mid: MachineId,
         sched: &mut Scheduler<'_, Event, Q>,
     ) {
         let now = sched.now();
+        let i = mid.index();
         self.observer.on_machine_fail(now, mid);
-        if self.state.machine(mid).is_free() {
+        if self.state.machines.is_free(i) {
             self.state.free.remove(mid);
         }
-        let m = &mut self.state.machines[mid.index()];
-        debug_assert!(m.up, "failure of a machine that is already down");
-        m.up = false;
-        m.failures += 1;
-        let victim = m.replica;
+        debug_assert!(
+            self.state.machines.hot[i].up,
+            "failure of a machine that is already down"
+        );
+        self.state.machines.hot[i].up = false;
+        self.state.machines.failures[i] += 1;
+        let victim = self.state.machines.hot[i].replica;
         self.state.free.note_failure(mid);
         self.state.counters.machine_failures += 1;
         let avail = self
             .state
             .avail
             .expect("failing grid has an availability process");
-        let down = avail.next_down(&mut self.state.machines[mid.index()].avail_rng);
+        let down = avail.next_down(&mut self.state.machines.avail_rng[i]);
         let ev = sched.schedule_in(down, Event::MachineRepair(mid));
-        self.state.machines[mid.index()].next_transition = ev;
+        self.state.machines.hot[i].next_transition = ev;
+        if self.lazy {
+            self.state.machines.hot[i].cycle_end = now.as_secs() + down;
+        }
         if let Some(rid) = victim {
             self.kill_replica(rid, true, sched);
             self.state.counters.replicas_killed_failure += 1;
@@ -102,21 +161,29 @@ impl Driver<'_> {
         sched: &mut Scheduler<'_, Event, Q>,
     ) {
         self.observer.on_machine_repair(sched.now(), mid);
-        {
-            let m = &mut self.state.machines[mid.index()];
-            debug_assert!(!m.up, "repair of a machine that is up");
-            debug_assert!(m.replica.is_none());
-            m.up = true;
-        }
+        let i = mid.index();
+        debug_assert!(
+            !self.state.machines.hot[i].up,
+            "repair of a machine that is up"
+        );
+        debug_assert!(self.state.machines.hot[i].replica.is_none());
+        self.state.machines.hot[i].up = true;
         self.state.free.insert(mid);
         // Resume the machine's own failure cycle (absent when only the
         // correlated-outage process can take machines down).
         if let Some(avail) = self.state.avail {
-            let up = avail.next_up(&mut self.state.machines[mid.index()].avail_rng);
-            let ev = sched.schedule_in(up, Event::MachineFail(mid));
-            self.state.machines[mid.index()].next_transition = ev;
+            let up = avail.next_up(&mut self.state.machines.avail_rng[i]);
+            if self.lazy {
+                // The machine is idle again: record the window end, no
+                // fail event until something occupies it.
+                self.state.machines.hot[i].cycle_end = sched.now().as_secs() + up;
+                self.state.machines.hot[i].next_transition = EventId::NONE;
+            } else {
+                let ev = sched.schedule_in(up, Event::MachineFail(mid));
+                self.state.machines.hot[i].next_transition = ev;
+            }
         } else {
-            self.state.machines[mid.index()].next_transition = EventId::NONE;
+            self.state.machines.hot[i].next_transition = EventId::NONE;
         }
         self.dispatch_all(sched);
     }

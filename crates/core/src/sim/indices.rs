@@ -17,63 +17,92 @@
 //!   the sibling-kill order determinism depends on.
 
 use super::config::MachineOrder;
+use crate::state::bitset::BitSet;
 use crate::state::ReplicaId;
 use dgsched_grid::MachineId;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Two-level bitset over dense indices: O(1) insert/remove/contains and
-/// first-set lookup that touches one summary word per 4096 keys.
+/// Min-replica-count bucket queue: the running tasks of one bag, bucketed
+/// by their current replica count so the least-replicated task (WQR's
+/// replication candidate, ties broken by lowest task id) is found in O(1).
+///
+/// Replaces a `BTreeMap<u32, BTreeSet<u32>>`: under an unbounded
+/// replication threshold (FCFS-Excl) every freed machine replicates some
+/// running task, and each launch/kill used to pay two tree rebalances.
+/// Here a count change flips two bits and nudges a monotone minimum
+/// pointer; the pointer only walks forward over buckets emptied since the
+/// last query, so maintenance is amortised O(1) per replica event
+/// (the classic bucket-queue argument: the pointer can only retreat when
+/// a count drops below it, which itself is a paid O(1) update).
 #[derive(Debug, Default, Clone)]
-struct BitSet {
-    leaf: Vec<u64>,
-    summary: Vec<u64>,
+pub(crate) struct ReplicaCountBuckets {
+    /// `buckets[c]` holds the tasks with exactly `c` running replicas
+    /// (`c ≥ 1`; index 0 is never populated).
+    buckets: Vec<BitSet>,
+    /// Smallest index of a non-empty bucket (meaningless while `len == 0`).
+    min_count: u32,
+    /// Total tasks bucketed.
+    len: usize,
+    /// Task-id capacity each new bucket is created with.
+    tasks: usize,
 }
 
-impl BitSet {
-    fn with_capacity(n: usize) -> Self {
-        let words = n.div_ceil(64);
-        BitSet {
-            leaf: vec![0; words],
-            summary: vec![0; words.div_ceil(64).max(1)],
+impl ReplicaCountBuckets {
+    /// Builds an empty bucket queue for a bag of `tasks` tasks.
+    pub fn new(tasks: usize) -> Self {
+        ReplicaCountBuckets {
+            buckets: Vec::new(),
+            min_count: 0,
+            len: 0,
+            tasks,
         }
     }
 
-    /// Sets bit `i`; returns `false` when it was already set.
-    fn insert(&mut self, i: usize) -> bool {
-        let (w, b) = (i / 64, i % 64);
-        let was = self.leaf[w] & (1 << b) != 0;
-        self.leaf[w] |= 1 << b;
-        self.summary[w / 64] |= 1 << (w % 64);
-        !was
-    }
-
-    /// Clears bit `i`; returns `false` when it was already clear.
-    fn remove(&mut self, i: usize) -> bool {
-        let (w, b) = (i / 64, i % 64);
-        let was = self.leaf[w] & (1 << b) != 0;
-        self.leaf[w] &= !(1 << b);
-        if self.leaf[w] == 0 {
-            self.summary[w / 64] &= !(1 << (w % 64));
+    /// Moves `task` from bucket `from` to bucket `to` (0 meaning absent on
+    /// that side). Counts change by one replica at a time, so buckets are
+    /// grown lazily one index past the current deepest.
+    pub fn bump(&mut self, task: u32, from: u32, to: u32) {
+        if from > 0 {
+            let was = self.buckets[from as usize].remove(task as usize);
+            debug_assert!(was, "task was bucketed at its old count");
+            self.len -= 1;
         }
-        was
-    }
-
-    fn contains(&self, i: usize) -> bool {
-        self.leaf[i / 64] & (1 << (i % 64)) != 0
-    }
-
-    /// Lowest set bit, if any.
-    fn first(&self) -> Option<usize> {
-        for (sw, &s) in self.summary.iter().enumerate() {
-            if s == 0 {
-                continue;
+        if to > 0 {
+            while self.buckets.len() <= to as usize {
+                self.buckets.push(BitSet::with_capacity(self.tasks));
             }
-            let w = sw * 64 + s.trailing_zeros() as usize;
-            let l = self.leaf[w];
-            debug_assert_ne!(l, 0, "summary bit set over an empty leaf word");
-            return Some(w * 64 + l.trailing_zeros() as usize);
+            self.buckets[to as usize].insert(task as usize);
+            if self.len == 0 || to < self.min_count {
+                self.min_count = to;
+            }
+            self.len += 1;
         }
-        None
+        if self.len == 0 {
+            self.min_count = 0;
+        } else {
+            // Restore the invariant: `min_count` points at a non-empty
+            // bucket. The walk is paid for by the bumps that emptied the
+            // buckets it skips.
+            while self.buckets[self.min_count as usize].is_empty() {
+                self.min_count += 1;
+            }
+        }
+    }
+
+    /// The smallest replica count of any bucketed task, if any.
+    pub fn min_count(&self) -> Option<u32> {
+        (self.len > 0).then_some(self.min_count)
+    }
+
+    /// The lowest-id task at the smallest replica count, with that count.
+    pub fn min_task(&self) -> Option<(u32, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        let task = self.buckets[self.min_count as usize]
+            .first()
+            .expect("min_count bucket is never empty");
+        Some((self.min_count, task as u32))
     }
 }
 
@@ -212,43 +241,136 @@ impl FreeMachineIndex {
     }
 }
 
+/// Sentinel for "no slot / no key" in the intrusive replica lists.
+const NIL: u32 = u32::MAX;
+
+/// A task's list endpoints: first and last attached slot (`NIL` when
+/// empty). Kept as one record so the per-key random access attach and
+/// detach both make touches a single cacheline, not two parallel arrays.
+#[derive(Debug, Clone, Copy)]
+struct Ends {
+    head: u32,
+    tail: u32,
+}
+
+const EMPTY_ENDS: Ends = Ends {
+    head: NIL,
+    tail: NIL,
+};
+
+/// One replica slot's intrusive links plus the attach bookkeeping, packed
+/// into 16 bytes so a link update is one line instead of four scattered
+/// array hits (`prev` / `next` are `NIL` at the list ends).
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    prev: u32,
+    next: u32,
+    /// Generation of the handle attached at this slot, to reconstruct
+    /// [`ReplicaId`]s on drain and ignore stale detaches.
+    gen: u32,
+    /// Whether the slot is currently attached to any list.
+    attached: bool,
+}
+
+const FREE_LINK: Link = Link {
+    prev: NIL,
+    next: NIL,
+    gen: 0,
+    attached: false,
+};
+
 /// Running replicas per task, keyed by the task's dense checkpoint key.
 ///
-/// Replaces a `HashMap<(u32, u32), Vec<ReplicaId>>`: lookup is a plain
-/// index and the per-task lists are reused for the whole run instead of
-/// being allocated and dropped as entries churn. Lists preserve attach
-/// order — the order sibling replicas are killed in when a task completes,
-/// which the golden traces depend on.
+/// The per-task lists are intrusive doubly-linked lists threaded through
+/// a slot-indexed array: a replica occupies exactly one list at a time,
+/// so one [`Link`] record per slot suffices. `detach` — the path a
+/// machine failure takes for every killed replica — is an O(1) unlink
+/// instead of the `Vec::remove` scan it used to be, and nothing here
+/// allocates after the arrays reach the run's high-water mark.
+/// Traversal follows `next` from the head, which is attach order — the
+/// order sibling replicas are killed in when a task completes, which the
+/// golden traces depend on.
 #[derive(Debug, Default)]
 pub(crate) struct TaskReplicaIndex {
-    lists: Vec<Vec<ReplicaId>>,
+    /// List endpoints per checkpoint key.
+    ends: Vec<Ends>,
+    /// Intrusive links per replica slot.
+    links: Vec<Link>,
 }
 
 impl TaskReplicaIndex {
     /// Grows the key space to at least `keys` entries.
     pub fn ensure(&mut self, keys: usize) {
-        if self.lists.len() < keys {
-            self.lists.resize_with(keys, Vec::new);
+        if self.ends.len() < keys {
+            self.ends.resize(keys, EMPTY_ENDS);
         }
     }
 
-    /// Registers a running replica of the task at `key`.
+    /// Grows the per-slot link array to cover slot `idx`.
+    fn ensure_slot(&mut self, idx: usize) {
+        if self.links.len() <= idx {
+            self.links.resize(idx + 1, FREE_LINK);
+        }
+    }
+
+    /// Registers a running replica of the task at `key`, at the tail.
     pub fn attach(&mut self, key: usize, rid: ReplicaId) {
-        self.lists[key].push(rid);
+        let i = rid.idx as usize;
+        self.ensure_slot(i);
+        debug_assert!(!self.links[i].attached, "replica attached twice");
+        let t = self.ends[key].tail;
+        self.links[i] = Link {
+            prev: t,
+            next: NIL,
+            gen: rid.gen,
+            attached: true,
+        };
+        if t == NIL {
+            self.ends[key].head = rid.idx;
+        } else {
+            self.links[t as usize].next = rid.idx;
+        }
+        self.ends[key].tail = rid.idx;
     }
 
     /// Unregisters a replica (no-op if it is not listed — the completing
     /// task's list is drained before its siblings are killed).
     pub fn detach(&mut self, key: usize, rid: ReplicaId) {
-        let list = &mut self.lists[key];
-        if let Some(pos) = list.iter().position(|&r| r == rid) {
-            list.remove(pos);
+        let i = rid.idx as usize;
+        let Some(link) = self.links.get(i).copied() else {
+            return;
+        };
+        if !link.attached || link.gen != rid.gen {
+            return;
+        }
+        self.links[i].attached = false;
+        let (p, n) = (link.prev, link.next);
+        if p == NIL {
+            self.ends[key].head = n;
+        } else {
+            self.links[p as usize].next = n;
+        }
+        if n == NIL {
+            self.ends[key].tail = p;
+        } else {
+            self.links[n as usize].prev = p;
         }
     }
 
-    /// Empties the task's list, yielding the replicas in attach order.
-    pub fn take(&mut self, key: usize) -> std::vec::Drain<'_, ReplicaId> {
-        self.lists[key].drain(..)
+    /// Empties the task's list into `out`, in attach order.
+    pub fn take_into(&mut self, key: usize, out: &mut Vec<ReplicaId>) {
+        let mut cur = self.ends[key].head;
+        while cur != NIL {
+            let i = cur as usize;
+            debug_assert!(self.links[i].attached);
+            self.links[i].attached = false;
+            out.push(ReplicaId {
+                idx: cur,
+                gen: self.links[i].gen,
+            });
+            cur = self.links[i].next;
+        }
+        self.ends[key] = EMPTY_ENDS;
     }
 }
 
@@ -315,16 +437,31 @@ mod tests {
     }
 
     #[test]
-    fn bitset_first_spans_words() {
-        let mut b = BitSet::with_capacity(200);
-        assert_eq!(b.first(), None);
-        b.insert(130);
-        b.insert(67);
-        assert_eq!(b.first(), Some(67));
-        b.remove(67);
-        assert_eq!(b.first(), Some(130));
-        b.remove(130);
-        assert_eq!(b.first(), None);
+    fn count_buckets_track_minimum() {
+        let mut b = ReplicaCountBuckets::new(8);
+        assert_eq!(b.min_task(), None);
+        assert_eq!(b.min_count(), None);
+        b.bump(3, 0, 1);
+        b.bump(5, 0, 1);
+        assert_eq!(b.min_task(), Some((1, 3)), "lowest id wins ties");
+        // Task 3 gains replicas: 1 → 2 → 3.
+        b.bump(3, 1, 2);
+        b.bump(3, 2, 3);
+        assert_eq!(b.min_task(), Some((1, 5)));
+        // Task 5 leaves (stopped): the pointer walks forward to count 3.
+        b.bump(5, 1, 0);
+        assert_eq!(b.min_task(), Some((3, 3)));
+        assert_eq!(b.min_count(), Some(3));
+        // A new task at count 1 pulls the minimum back down.
+        b.bump(0, 0, 1);
+        assert_eq!(b.min_task(), Some((1, 0)));
+        // Empty out entirely.
+        b.bump(0, 1, 0);
+        b.bump(3, 3, 0);
+        assert_eq!(b.min_task(), None);
+        // Refill after empty: min pointer resets correctly.
+        b.bump(7, 0, 2);
+        assert_eq!(b.min_task(), Some((2, 7)));
     }
 
     #[test]
@@ -336,10 +473,37 @@ mod tests {
         t.attach(0, rid(3));
         t.attach(0, rid(9));
         t.detach(0, rid(3));
-        let order: Vec<u32> = t.take(0).map(|r| r.idx).collect();
-        assert_eq!(order, vec![5, 9]);
+        let mut order = Vec::new();
+        t.take_into(0, &mut order);
+        assert_eq!(order.iter().map(|r| r.idx).collect::<Vec<_>>(), [5, 9]);
         // Detaching from an already-drained list is a no-op.
         t.detach(0, rid(5));
-        assert_eq!(t.take(0).count(), 0);
+        order.clear();
+        t.take_into(0, &mut order);
+        assert!(order.is_empty());
+    }
+
+    #[test]
+    fn task_replicas_detach_head_middle_tail() {
+        let rid = |idx| ReplicaId { idx, gen: 1 };
+        let mut t = TaskReplicaIndex::default();
+        t.ensure(1);
+        for i in 0..5 {
+            t.attach(0, rid(i));
+        }
+        t.detach(0, rid(0)); // head
+        t.detach(0, rid(2)); // middle
+        t.detach(0, rid(4)); // tail
+                             // A stale generation never unlinks a live entry.
+        t.detach(0, ReplicaId { idx: 1, gen: 0 });
+        let mut order = Vec::new();
+        t.take_into(0, &mut order);
+        assert_eq!(order.iter().map(|r| r.idx).collect::<Vec<_>>(), [1, 3]);
+        assert!(order.iter().all(|r| r.gen == 1));
+        // Slots freed by the drain can be re-attached, to any key.
+        t.attach(0, rid(2));
+        order.clear();
+        t.take_into(0, &mut order);
+        assert_eq!(order.iter().map(|r| r.idx).collect::<Vec<_>>(), [2]);
     }
 }

@@ -10,6 +10,7 @@ use super::events::Event;
 use super::metrics::BagMetrics;
 use crate::state::{ReplicaId, ReplicaPhase};
 use dgsched_des::engine::{Control, Scheduler};
+use dgsched_des::event::EventId;
 use dgsched_des::queue::PendingEvents;
 use dgsched_des::time::SimTime;
 use dgsched_workload::BotId;
@@ -25,14 +26,10 @@ impl Driver<'_> {
         sched: &mut Scheduler<'_, Event, Q>,
     ) {
         let now = sched.now();
-        let (machine, work) = {
-            let r = self.state.slab.get(rid).expect("live replica");
-            (
-                r.machine,
-                self.state.bags[r.bag.index()].tasks[r.task.index()].work,
-            )
-        };
-        let power = self.state.machine(machine).power;
+        let (bag, task) = (self.state.slab.bag(rid), self.state.slab.task(rid));
+        let machine = self.state.slab.machine(rid);
+        let work = self.state.bags[bag.index()].tasks[task.index()].work;
+        let power = self.state.machines.hot[machine.index()].power;
         let remaining = (work - base).max(0.0);
         let t_done = remaining / power;
         let tau = self.state.tau;
@@ -42,13 +39,16 @@ impl Driver<'_> {
             (t_done, false)
         };
         let ev = sched.schedule_in(delay, Event::Replica(rid));
-        let r = self.state.slab.get_mut(rid).expect("live replica");
-        r.phase = ReplicaPhase::Computing {
-            since: now,
-            base_work: base,
-            next_is_checkpoint,
-        };
-        r.event = ev;
+        self.state.slab.set_phase(
+            rid,
+            ReplicaPhase::Computing {
+                since: now,
+                base_work: base,
+                next_is_checkpoint,
+            },
+        );
+        self.state.slab.set_event(rid, ev);
+        self.materialize_fail_before(machine, now.as_secs() + delay, sched);
     }
 
     /// Handles a replica milestone according to its phase.
@@ -58,14 +58,11 @@ impl Driver<'_> {
         sched: &mut Scheduler<'_, Event, Q>,
     ) -> Control {
         let now = sched.now();
-        let phase = {
-            let Some(r) = self.state.slab.get(rid) else {
-                // Killed replicas cancel their events; a stale pop means a
-                // cancellation was missed.
-                debug_assert!(false, "event for a dead replica");
-                return Control::Continue;
-            };
-            r.phase
+        let Some(phase) = self.state.slab.try_phase(rid) else {
+            // Killed replicas cancel their events; a stale pop means a
+            // cancellation was missed.
+            debug_assert!(false, "event for a dead replica");
+            return Control::Continue;
         };
         match phase {
             ReplicaPhase::Retrieving { resume_work } => {
@@ -77,18 +74,21 @@ impl Driver<'_> {
                 base_work,
                 next_is_checkpoint: true,
             } => {
-                let machine = self.state.slab.get(rid).expect("live replica").machine;
-                let power = self.state.machine(machine).power;
+                let machine = self.state.slab.machine(rid);
+                let power = self.state.machines.hot[machine.index()].power;
                 let work_now = base_work + now.since(since) * power;
                 let ckpt = self.state.ckpt;
-                let cost = ckpt.save_cost(&mut self.state.machines[machine.index()].xfer_rng);
+                let cost = ckpt.save_cost(&mut self.state.machines.xfer_rng[machine.index()]);
                 self.state.counters.checkpoint_time += cost;
                 let ev = sched.schedule_in(cost, Event::Replica(rid));
-                let r = self.state.slab.get_mut(rid).expect("live replica");
-                r.phase = ReplicaPhase::Checkpointing {
-                    work_at_write: work_now,
-                };
-                r.event = ev;
+                self.state.slab.set_phase(
+                    rid,
+                    ReplicaPhase::Checkpointing {
+                        work_at_write: work_now,
+                    },
+                );
+                self.state.slab.set_event(rid, ev);
+                self.materialize_fail_before(machine, now.as_secs() + cost, sched);
                 Control::Continue
             }
             ReplicaPhase::Computing {
@@ -96,14 +96,10 @@ impl Driver<'_> {
                 ..
             } => self.complete_task(rid, sched),
             ReplicaPhase::Checkpointing { work_at_write } => {
-                let (key, bag, task) = {
-                    let r = self.state.slab.get(rid).expect("live replica");
-                    (
-                        self.state.bags[r.bag.index()].tasks[r.task.index()].ckpt_key,
-                        r.bag,
-                        r.task,
-                    )
-                };
+                let (bag, task) = (self.state.slab.bag(rid), self.state.slab.task(rid));
+                let t = &mut self.state.bags[bag.index()].tasks[task.index()];
+                let key = t.ckpt_key;
+                t.has_checkpoint = true;
                 self.state.store.save(key, work_at_write);
                 self.state.counters.checkpoints_written += 1;
                 self.observer
@@ -126,18 +122,25 @@ impl Driver<'_> {
         let (bag_id, task_id) = (r.bag, r.task);
         self.observer
             .on_task_complete(now, bag_id, task_id, r.machine);
-        let machine = &mut self.state.machines[r.machine.index()];
-        machine.replica = None;
-        machine.busy_time += now.since(r.started);
+        self.state.machines.hot[r.machine.index()].replica = None;
+        self.state.machines.hot[r.machine.index()].busy_time += now.since(r.started);
         self.state.counters.busy_time += now.since(r.started);
         // A completing machine is up by construction: failures kill their
         // replica first.
+        if self.lazy {
+            // Back to idle: drop the materialised fail event. The window
+            // end stays recorded in `cycle_end` for on-demand validation.
+            let mi = r.machine.index();
+            sched.cancel(self.state.machines.hot[mi].next_transition);
+            self.state.machines.hot[mi].next_transition = EventId::NONE;
+        }
         self.state.free.insert(r.machine);
 
         let (work, ckpt_key) = {
             let bag = &mut self.state.bags[bag_id.index()];
-            let task = &bag.tasks[task_id.index()];
+            let task = &mut bag.tasks[task_id.index()];
             let pair = (task.work, task.ckpt_key);
+            task.has_checkpoint = false;
             bag.note_task_completed(task_id, now);
             pair
         };
@@ -148,13 +151,11 @@ impl Driver<'_> {
         // scratch buffer sidesteps borrowing the index during the kills.
         let mut sibs = std::mem::take(&mut self.state.sibling_scratch);
         sibs.clear();
-        sibs.extend(
-            self.state
-                .task_replicas
-                .take(ckpt_key)
-                .filter(|&s| s != rid),
-        );
+        self.state.task_replicas.take_into(ckpt_key, &mut sibs);
         for &sib in &sibs {
+            if sib == rid {
+                continue;
+            }
             self.kill_replica(sib, false, sched);
             self.state.counters.replicas_killed_sibling += 1;
         }
@@ -214,15 +215,21 @@ impl Driver<'_> {
         self.observer
             .on_replica_killed(now, r.bag, r.task, r.machine, by_failure);
         sched.cancel(r.event);
-        let machine = &mut self.state.machines[r.machine.index()];
-        debug_assert_eq!(machine.replica, Some(rid));
-        machine.replica = None;
+        let mi = r.machine.index();
+        debug_assert_eq!(self.state.machines.hot[mi].replica, Some(rid));
+        self.state.machines.hot[mi].replica = None;
         let occupancy = now.since(r.started);
-        machine.busy_time += occupancy;
+        self.state.machines.hot[mi].busy_time += occupancy;
         self.state.counters.busy_time += occupancy;
         self.state.counters.killed_occupancy += occupancy;
         // Sibling kills free an up machine; failure kills leave it down.
-        if machine.up {
+        if self.state.machines.hot[mi].up {
+            if self.lazy {
+                // Back to idle: the materialised fail event goes away
+                // (failure kills keep theirs — it became the repair).
+                sched.cancel(self.state.machines.hot[mi].next_transition);
+                self.state.machines.hot[mi].next_transition = EventId::NONE;
+            }
             self.state.free.insert(r.machine);
         }
 

@@ -44,7 +44,7 @@ mod driver;
 mod events;
 mod faults;
 mod gantt;
-mod indices;
+pub(crate) mod indices;
 mod lifecycle;
 mod metrics;
 mod observer;

@@ -1,9 +1,10 @@
 //! Per-bag runtime state: the scheduler's queue for one BoT application.
 
 use super::task::{TaskPhase, TaskRt};
+use crate::sim::indices::ReplicaCountBuckets;
 use dgsched_des::time::SimTime;
 use dgsched_workload::{BagOfTasks, BotId, TaskId};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Runtime state of one bag: its tasks, its pending queues and its
 /// completion bookkeeping.
@@ -48,9 +49,9 @@ pub struct BagRt {
     pub first_dispatch: Option<SimTime>,
     /// When the bag's last task completed.
     pub completed_at: Option<SimTime>,
-    /// Tasks with at least one running replica, bucketed by replica count.
-    /// Buckets hold task indices; no bucket is ever empty.
-    running_by_count: BTreeMap<u32, BTreeSet<u32>>,
+    /// Tasks with at least one running replica, bucketed by replica count
+    /// in a min-bucket queue (O(1) least-replicated lookup).
+    running_by_count: ReplicaCountBuckets,
     /// Monotone max-deque over `pending_restarts` (a subsequence of it, in
     /// queue order, strictly decreasing in waiting time): the front is the
     /// longest-waiting restart. Valid because the restart queue is strictly
@@ -80,7 +81,7 @@ impl BagRt {
             running_replicas: 0,
             first_dispatch: None,
             completed_at: None,
-            running_by_count: BTreeMap::new(),
+            running_by_count: ReplicaCountBuckets::new(tasks.len()),
             restart_wait: VecDeque::new(),
             remaining_work: tasks.iter().map(|t| t.work).sum(),
             tasks,
@@ -143,21 +144,18 @@ impl BagRt {
     /// The running task with the fewest replicas strictly below `threshold`
     /// (WQR's replication candidate), ties broken by lowest task id.
     pub fn replication_candidate(&self, threshold: u32) -> Option<TaskId> {
-        let (&count, bucket) = self.running_by_count.iter().next()?;
+        let (count, task) = self.running_by_count.min_task()?;
         if count >= threshold {
             return None;
         }
-        Some(TaskId(
-            *bucket.iter().next().expect("buckets are never empty"),
-        ))
+        Some(TaskId(task))
     }
 
     /// True when [`Self::replication_candidate`] would return a task.
     pub fn can_replicate(&self, threshold: u32) -> bool {
         self.running_by_count
-            .keys()
-            .next()
-            .is_some_and(|&count| count < threshold)
+            .min_count()
+            .is_some_and(|count| count < threshold)
     }
 
     /// Largest waiting time among pending tasks at `now` (LongIdle's
@@ -239,20 +237,7 @@ impl BagRt {
     /// Moves `task` between replica-count buckets after its count changed
     /// from `from` to `to` (0 meaning absent).
     fn bump_count(&mut self, task: TaskId, from: u32, to: u32) {
-        let idx = task.index() as u32;
-        if from > 0 {
-            let bucket = self
-                .running_by_count
-                .get_mut(&from)
-                .expect("task was bucketed");
-            bucket.remove(&idx);
-            if bucket.is_empty() {
-                self.running_by_count.remove(&from);
-            }
-        }
-        if to > 0 {
-            self.running_by_count.entry(to).or_default().insert(idx);
-        }
+        self.running_by_count.bump(task.index() as u32, from, to);
     }
 
     /// Marks a task as having gained a running replica, maintaining the

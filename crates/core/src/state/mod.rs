@@ -1,11 +1,12 @@
 //! Runtime state of one simulation: tasks, bags, replicas, machines.
 
 mod bag;
+pub(crate) mod bitset;
 mod machine;
 mod replica;
 mod task;
 
 pub use bag::BagRt;
-pub use machine::MachineRt;
+pub use machine::Machines;
 pub use replica::{Replica, ReplicaId, ReplicaPhase, ReplicaSlab};
 pub use task::{TaskPhase, TaskRt};

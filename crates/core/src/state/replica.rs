@@ -3,6 +3,14 @@
 //! A replica is one attempt to run one task on one machine. Replicas are
 //! stored in a generational slab so that stale event references (a bug, but
 //! a cheap one to guard against) can never alias a recycled slot.
+//! The slab packs each slot as one contiguous record rather than
+//! splitting fields into per-column arrays: the dominant operations on a
+//! replica are `insert` (launch) and `remove` (completion / kill), and both
+//! touch *every* field of a single slot at a random index. A columnar
+//! layout turns that one logical access into eight cache lines; the packed
+//! record is one or two. Field reads between launch and death
+//! (`set_phase`, `machine`, …) land on the same line the insert just
+//! wrote, so they lose nothing.
 
 use dgsched_des::event::EventId;
 use dgsched_des::time::SimTime;
@@ -43,8 +51,9 @@ pub enum ReplicaPhase {
     },
 }
 
-/// One running replica.
-#[derive(Debug, Clone)]
+/// One replica's fields, by value — the record [`ReplicaSlab::insert`]
+/// stores and [`ReplicaSlab::remove`] hands back.
+#[derive(Debug, Clone, Copy)]
 pub struct Replica {
     /// Owning bag.
     pub bag: BotId,
@@ -75,18 +84,20 @@ impl Replica {
     }
 }
 
-/// Generational slab of replicas.
+/// One slab slot: generation stamp, occupancy, and the packed record.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    gen: u32,
+    occupied: bool,
+    rep: Replica,
+}
+
+/// Generational slab of replicas, one packed record per slot.
 #[derive(Debug, Default)]
 pub struct ReplicaSlab {
     slots: Vec<Slot>,
     free: Vec<u32>,
     live: usize,
-}
-
-#[derive(Debug)]
-struct Slot {
-    gen: u32,
-    replica: Option<Replica>,
 }
 
 impl ReplicaSlab {
@@ -105,19 +116,37 @@ impl ReplicaSlab {
         self.live == 0
     }
 
+    /// Resolves a handle to its slot, panicking on a stale or dead one.
+    fn slot(&self, id: ReplicaId) -> usize {
+        let i = id.idx as usize;
+        assert_eq!(self.slots[i].gen, id.gen, "stale replica handle");
+        debug_assert!(self.slots[i].occupied, "handle to an empty replica slot");
+        i
+    }
+
+    /// True when `id` refers to a live replica.
+    pub fn contains(&self, id: ReplicaId) -> bool {
+        let i = id.idx as usize;
+        self.slots
+            .get(i)
+            .is_some_and(|s| s.gen == id.gen && s.occupied)
+    }
+
     /// Inserts a replica, returning its handle.
     pub fn insert(&mut self, replica: Replica) -> ReplicaId {
         self.live += 1;
         if let Some(idx) = self.free.pop() {
-            let slot = &mut self.slots[idx as usize];
-            debug_assert!(slot.replica.is_none());
-            slot.replica = Some(replica);
-            ReplicaId { idx, gen: slot.gen }
+            let s = &mut self.slots[idx as usize];
+            debug_assert!(!s.occupied);
+            s.occupied = true;
+            s.rep = replica;
+            ReplicaId { idx, gen: s.gen }
         } else {
             let idx = self.slots.len() as u32;
             self.slots.push(Slot {
                 gen: 0,
-                replica: Some(replica),
+                occupied: true,
+                rep: replica,
             });
             ReplicaId { idx, gen: 0 }
         }
@@ -128,31 +157,52 @@ impl ReplicaSlab {
     /// # Panics
     /// Panics if the handle is stale or the slot is empty.
     pub fn remove(&mut self, id: ReplicaId) -> Replica {
-        let slot = &mut self.slots[id.idx as usize];
-        assert_eq!(slot.gen, id.gen, "stale replica handle");
-        let r = slot.replica.take().expect("removing an empty replica slot");
-        slot.gen = slot.gen.wrapping_add(1);
+        let i = self.slot(id);
+        let s = &mut self.slots[i];
+        assert!(s.occupied, "removing an empty replica slot");
+        s.occupied = false;
+        s.gen = s.gen.wrapping_add(1);
         self.free.push(id.idx);
         self.live -= 1;
-        r
+        s.rep
     }
 
-    /// Borrows a live replica; `None` when the handle is stale.
-    pub fn get(&self, id: ReplicaId) -> Option<&Replica> {
-        let slot = self.slots.get(id.idx as usize)?;
-        if slot.gen != id.gen {
-            return None;
-        }
-        slot.replica.as_ref()
+    /// The owning bag of a live replica.
+    pub fn bag(&self, id: ReplicaId) -> BotId {
+        self.slots[self.slot(id)].rep.bag
     }
 
-    /// Mutably borrows a live replica; `None` when the handle is stale.
-    pub fn get_mut(&mut self, id: ReplicaId) -> Option<&mut Replica> {
-        let slot = self.slots.get_mut(id.idx as usize)?;
-        if slot.gen != id.gen {
-            return None;
-        }
-        slot.replica.as_mut()
+    /// The task a live replica is running.
+    pub fn task(&self, id: ReplicaId) -> TaskId {
+        self.slots[self.slot(id)].rep.task
+    }
+
+    /// The machine a live replica occupies.
+    pub fn machine(&self, id: ReplicaId) -> MachineId {
+        self.slots[self.slot(id)].rep.machine
+    }
+
+    /// A live replica's current phase.
+    pub fn phase(&self, id: ReplicaId) -> ReplicaPhase {
+        self.slots[self.slot(id)].rep.phase
+    }
+
+    /// A live replica's phase, or `None` when the handle is stale.
+    pub fn try_phase(&self, id: ReplicaId) -> Option<ReplicaPhase> {
+        self.contains(id)
+            .then(|| self.slots[id.idx as usize].rep.phase)
+    }
+
+    /// Re-phases a live replica.
+    pub fn set_phase(&mut self, id: ReplicaId, phase: ReplicaPhase) {
+        let i = self.slot(id);
+        self.slots[i].rep.phase = phase;
+    }
+
+    /// Points a live replica at its next outstanding event.
+    pub fn set_event(&mut self, id: ReplicaId, event: EventId) {
+        let i = self.slot(id);
+        self.slots[i].rep.event = event;
     }
 }
 
@@ -177,11 +227,14 @@ mod tests {
         assert!(slab.is_empty());
         let id = slab.insert(replica());
         assert_eq!(slab.len(), 1);
-        assert!(slab.get(id).is_some());
+        assert!(slab.contains(id));
+        assert_eq!(slab.bag(id), BotId(0));
+        assert_eq!(slab.machine(id), MachineId(0));
         let r = slab.remove(id);
         assert_eq!(r.bag, BotId(0));
         assert!(slab.is_empty());
-        assert!(slab.get(id).is_none(), "removed handle must be stale");
+        assert!(!slab.contains(id), "removed handle must be stale");
+        assert!(slab.try_phase(id).is_none());
     }
 
     #[test]
@@ -192,8 +245,8 @@ mod tests {
         let b = slab.insert(replica());
         assert_eq!(a.idx, b.idx, "slot should be recycled");
         assert_ne!(a.gen, b.gen, "generation must differ");
-        assert!(slab.get(a).is_none());
-        assert!(slab.get(b).is_some());
+        assert!(!slab.contains(a));
+        assert!(slab.contains(b));
     }
 
     #[test]
@@ -204,6 +257,25 @@ mod tests {
         slab.remove(a);
         slab.insert(replica());
         slab.remove(a);
+    }
+
+    #[test]
+    fn phase_and_event_updates_land_in_the_slot() {
+        let mut slab = ReplicaSlab::new();
+        let id = slab.insert(replica());
+        slab.set_phase(
+            id,
+            ReplicaPhase::Checkpointing {
+                work_at_write: 450.0,
+            },
+        );
+        slab.set_event(id, EventId::NONE);
+        assert_eq!(
+            slab.phase(id),
+            ReplicaPhase::Checkpointing {
+                work_at_write: 450.0
+            }
+        );
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct TaskRt {
     pub wait_since: SimTime,
     /// True once the task has failed at least once (restart priority).
     pub is_restart: bool,
+    /// True while the checkpoint store holds saved work for this task.
+    /// Mirrors `store.saved_work(ckpt_key) > 0` so the dispatch hot path
+    /// can skip the store lookup (a second random array access) for the
+    /// common never-checkpointed case.
+    pub has_checkpoint: bool,
     /// Dense key into the run-wide checkpoint store.
     pub ckpt_key: usize,
 }
@@ -45,6 +50,7 @@ impl TaskRt {
             wait_accum: 0.0,
             wait_since: arrival,
             is_restart: false,
+            has_checkpoint: false,
             ckpt_key,
         }
     }

@@ -123,6 +123,37 @@ impl UpDownSampler {
         self.down.sample(rng)
     }
 
+    /// Advances one machine's renewal state to time `t`, consuming up/down
+    /// draws until the current window covers `t`. On entry `up` and
+    /// `cycle_end` describe the machine's current window (up-ness and the
+    /// absolute time it ends); on exit they describe the window containing
+    /// `t`. Returns the number of failures (up→down transitions) consumed.
+    ///
+    /// Because each machine owns a private RNG stream and windows are
+    /// drawn strictly in cycle order, reconstructing state on demand here
+    /// yields exactly the trajectory an eagerly-evented machine walks —
+    /// the basis of the simulator's lazy-availability mode.
+    pub fn fast_forward<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        up: &mut bool,
+        cycle_end: &mut f64,
+        t: f64,
+    ) -> u64 {
+        let mut failures = 0;
+        while *cycle_end <= t {
+            if *up {
+                *cycle_end += self.next_down(rng);
+                *up = false;
+                failures += 1;
+            } else {
+                *cycle_end += self.next_up(rng);
+                *up = true;
+            }
+        }
+        failures
+    }
+
     /// Simulates the renewal process for `horizon` seconds and returns the
     /// fraction of time spent up — used by calibration tests.
     pub fn empirical_availability<R: Rng + ?Sized>(&self, horizon: f64, rng: &mut R) -> f64 {
@@ -176,6 +207,46 @@ mod tests {
             let a = s.empirical_availability(3e8, &mut rng);
             assert!((a - target).abs() < 0.02, "target {target}: empirical {a}");
         }
+    }
+
+    #[test]
+    fn fast_forward_matches_eager_replay() {
+        let s = Availability::LOW.sampler().unwrap();
+        // Eager walk: materialise every window boundary from one stream.
+        let mut eager = rand::rngs::StdRng::seed_from_u64(99);
+        let mut boundaries = Vec::new(); // (window_end, up_during_window)
+        let mut t = s.next_up(&mut eager);
+        let mut up = true;
+        while t < 50_000.0 {
+            boundaries.push((t, up));
+            t += if up {
+                s.next_down(&mut eager)
+            } else {
+                s.next_up(&mut eager)
+            };
+            up = !up;
+        }
+        boundaries.push((t, up));
+        // Lazy walk from an identically seeded stream, probed at a few
+        // points, must land in the same windows with the same fail counts.
+        let mut lazy = rand::rngs::StdRng::seed_from_u64(99);
+        let mut lup = true;
+        let mut lend = s.next_up(&mut lazy);
+        let mut total_fails = 0;
+        for probe in [1_000.0, 12_000.0, 12_000.0, 33_333.3, 49_999.0] {
+            total_fails += s.fast_forward(&mut lazy, &mut lup, &mut lend, probe);
+            let (end, wup) = *boundaries
+                .iter()
+                .find(|&&(end, _)| end > probe)
+                .expect("probe within horizon");
+            assert_eq!(lend, end, "window end diverged at probe {probe}");
+            assert_eq!(lup, wup, "up-ness diverged at probe {probe}");
+        }
+        let expected: u64 = boundaries
+            .iter()
+            .filter(|&&(end, up)| end <= 49_999.0 && up)
+            .count() as u64;
+        assert_eq!(total_fails, expected, "failure count diverged");
     }
 
     #[test]

@@ -53,6 +53,14 @@ print(f"journal overhead ratio: {j['overhead_ratio']:.3f} "
       f"(records={j['records']}, resume {j['resume_s']:.2f}s)")
 EOF
 
+if [ "${DGSCHED_BENCH_SMOKE:-0}" = "1" ]; then
+  echo "==> huge-tier scaling smoke: bench_sim_json --smoke"
+  # Opt-in (slow): re-runs the 10k-machine tier only and fails when
+  # FCFS-Excl's events/s falls below a quarter of the other policies'
+  # median — the canary for the replica-churn scaling cliff.
+  cargo run --release -q -p dgsched-bench --bin bench_sim_json -- --smoke
+fi
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

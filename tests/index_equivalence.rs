@@ -110,6 +110,33 @@ fn machine_orders_match_reference() {
     }
 }
 
+/// FCFS-Excl on a 5000-machine grid: with its unlimited replication
+/// threshold every free machine re-replicates the few running tasks, so
+/// the run lives almost entirely in the replica-churn regime where the
+/// min-replica-count bucket queue does the candidate selection. The naive
+/// reference rescans all 5000 machines per round, which is why this case
+/// only runs under `--release`.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "reference mode is O(machines) per round; release-only"
+)]
+fn fcfs_excl_5k_machines_matches_reference() {
+    let gc = GridConfig {
+        total_power: 50_000.0,
+        heterogeneity: Heterogeneity::HOM,
+        availability: Availability::HIGH,
+        checkpoint: CheckpointConfig::default(),
+        outages: None,
+    };
+    let g = gc.build(&mut rand::rngs::StdRng::seed_from_u64(42));
+    assert_eq!(g.len(), 5_000);
+    let cfg = SimConfig::with_seed(2008);
+    let indexed = run(true, &g, PolicyKind::FcfsExcl, &cfg);
+    let reference = run(false, &g, PolicyKind::FcfsExcl, &cfg);
+    assert_eq!(indexed, reference);
+}
+
 #[test]
 fn dynamic_replication_matches_reference() {
     // The failure-adaptive threshold changes mid-run; both modes must

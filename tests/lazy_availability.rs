@@ -1,0 +1,200 @@
+//! Equivalence of the lazy-availability mode (`SimConfig::lazy_availability`):
+//! eliding fail/repair events for idle machines must not change anything a
+//! scheduler or a metrics consumer can see. The lazy run reconstructs idle
+//! machines' renewal trajectories from the same per-machine RNG streams, so
+//! every [`RunResult`] field except the processed-event count — per-bag
+//! metrics, per-machine failure/busy totals, counters, end time — must equal
+//! the eager run's exactly. Only the *timing* of fail/repair trace records
+//! may differ (idle-window failures surface when observed, not when they
+//! happen), which is why the comparison here is on results, while the
+//! indexed-vs-reference comparison (both lazy) is still on full traces.
+
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::{
+    simulate, simulate_observed, simulate_observed_reference, MachineOrder, RunResult, SimConfig,
+    TraceRecorder,
+};
+use dgsched_des::dist::DistConfig;
+use dgsched_des::time::SimTime;
+use dgsched_grid::{Availability, CheckpointConfig, Grid, GridConfig, Heterogeneity, OutageConfig};
+use dgsched_workload::{BagOfTasks, BotId, TaskId, TaskSpec, Workload};
+use rand::SeedableRng;
+
+fn grid(het: Heterogeneity, avail: Availability, outages: Option<OutageConfig>) -> Grid {
+    let cfg = GridConfig {
+        total_power: 60.0,
+        heterogeneity: het,
+        availability: avail,
+        checkpoint: CheckpointConfig::default(),
+        outages,
+    };
+    cfg.build(&mut rand::rngs::StdRng::seed_from_u64(42))
+}
+
+/// Same mixed workload as the index-equivalence suite: replication, restarts
+/// and sibling kills all occur under every policy.
+fn workload() -> Workload {
+    let mk = |id: u32, at: f64, works: &[f64]| BagOfTasks {
+        id: BotId(id),
+        arrival: SimTime::new(at),
+        tasks: works
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| TaskSpec {
+                id: TaskId(i as u32),
+                work: w,
+            })
+            .collect(),
+        granularity: 10_000.0,
+    };
+    Workload {
+        bags: vec![
+            mk(0, 0.0, &[12_000.0, 8_000.0, 8_000.0, 15_000.0]),
+            mk(1, 500.0, &[20_000.0, 5_000.0, 9_000.0]),
+            mk(2, 1_500.0, &[30_000.0]),
+            mk(3, 2_000.0, &[7_000.0, 7_000.0, 7_000.0, 7_000.0, 7_000.0]),
+            mk(4, 4_000.0, &[18_000.0, 2_500.0]),
+        ],
+        lambda: 1e-3,
+        label: "lazy-equiv".into(),
+    }
+}
+
+fn lazy_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        lazy_availability: true,
+        ..SimConfig::with_seed(seed)
+    }
+}
+
+/// Everything in a [`RunResult`] except the processed-event count, which is
+/// the one field laziness is *supposed* to shrink.
+fn comparable(r: &RunResult) -> serde_json::Value {
+    let json = serde_json::to_string(r).expect("RunResult serialises");
+    let v: serde_json::Value = serde_json::from_str(&json).expect("round-trips");
+    let serde_json::Value::Object(fields) = v else {
+        panic!("RunResult serialises to an object");
+    };
+    serde_json::Value::Object(fields.into_iter().filter(|(k, _)| k != "events").collect())
+}
+
+#[test]
+fn lazy_matches_eager_results_for_every_policy() {
+    for avail in [Availability::MED, Availability::LOW] {
+        let g = grid(Heterogeneity::HET, avail, None);
+        for kind in PolicyKind::all_with_baselines() {
+            let eager = simulate(&g, &workload(), kind, &SimConfig::with_seed(2008));
+            let lazy = simulate(&g, &workload(), kind, &lazy_cfg(2008));
+            assert_eq!(
+                comparable(&eager),
+                comparable(&lazy),
+                "lazy results diverged: {kind:?} at {avail:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lazy_matches_eager_results_under_outages() {
+    // Correlated outages consume a shared RNG stream whose draws depend on
+    // which machines are up — the outage pre-pass must keep that exact.
+    let outages = Some(OutageConfig {
+        mtbo: 5_000.0,
+        duration: DistConfig::Constant { value: 600.0 },
+        fraction: 0.5,
+    });
+    let g = grid(Heterogeneity::HOM, Availability::MED, outages);
+    for kind in [PolicyKind::FcfsShare, PolicyKind::FcfsExcl, PolicyKind::Rr] {
+        let eager = simulate(&g, &workload(), kind, &SimConfig::with_seed(77));
+        let lazy = simulate(&g, &workload(), kind, &lazy_cfg(77));
+        assert_eq!(
+            comparable(&eager),
+            comparable(&lazy),
+            "lazy results diverged under outages: {kind:?}"
+        );
+    }
+}
+
+#[test]
+fn lazy_indexed_matches_lazy_reference_traces() {
+    // Within lazy mode the indexed and full-scan schedulers must still be
+    // byte-identical — including the observation-time fail/repair records.
+    let wl = workload();
+    for avail in [Availability::MED, Availability::LOW] {
+        let g = grid(Heterogeneity::HET, avail, None);
+        for kind in PolicyKind::all_with_baselines() {
+            let cfg = lazy_cfg(2008);
+            let mut a = TraceRecorder::new();
+            let ra = simulate_observed(&g, &wl, kind.create_seeded(cfg.seed), &cfg, &mut a);
+            let mut b = TraceRecorder::new();
+            let rb =
+                simulate_observed_reference(&g, &wl, kind.create_seeded(cfg.seed), &cfg, &mut b);
+            assert!(a.is_time_ordered());
+            assert_eq!(ra.events, rb.events, "event counts diverged: {kind:?}");
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap(),
+                "lazy trace diverged from reference: {kind:?} at {avail:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lazy_elides_events_on_a_mostly_idle_grid() {
+    // One tiny bag on a large low-availability grid: almost every machine
+    // is idle almost always, so the lazy run must process far fewer events.
+    let cfg = GridConfig {
+        total_power: 600.0, // 60 machines, at most 2 ever busy
+        heterogeneity: Heterogeneity::Homogeneous { power: 10.0 },
+        availability: Availability::LOW,
+        checkpoint: CheckpointConfig::default(),
+        outages: None,
+    };
+    let g = cfg.build(&mut rand::rngs::StdRng::seed_from_u64(42));
+    let wl = Workload {
+        bags: vec![BagOfTasks {
+            id: BotId(0),
+            arrival: SimTime::new(0.0),
+            tasks: vec![TaskSpec {
+                id: TaskId(0),
+                work: 20_000.0,
+            }],
+            granularity: 20_000.0,
+        }],
+        lambda: 1.0,
+        label: "idle".into(),
+    };
+    let kind = PolicyKind::FcfsShare;
+    let eager = simulate(&g, &wl, kind, &SimConfig::with_seed(5));
+    let lazy = simulate(&g, &wl, kind, &lazy_cfg(5));
+    assert_eq!(comparable(&eager), comparable(&lazy));
+    assert!(
+        lazy.events < eager.events,
+        "laziness must shrink the event count ({} vs {})",
+        lazy.events,
+        eager.events
+    );
+}
+
+#[test]
+fn lazy_flag_is_ignored_where_observation_order_matters() {
+    // FewestFailuresFirst consumes failure observations the moment they
+    // happen; the flag must fall back to eager behaviour, trace included.
+    let wl = workload();
+    let g = grid(Heterogeneity::HET, Availability::LOW, None);
+    let mut eager_cfg = SimConfig::with_seed(2008);
+    eager_cfg.machine_order = MachineOrder::FewestFailuresFirst;
+    let mut flagged_cfg = eager_cfg;
+    flagged_cfg.lazy_availability = true;
+    let kind = PolicyKind::LongIdle;
+    let mut a = TraceRecorder::new();
+    simulate_observed(&g, &wl, kind.create_seeded(2008), &eager_cfg, &mut a);
+    let mut b = TraceRecorder::new();
+    simulate_observed(&g, &wl, kind.create_seeded(2008), &flagged_cfg, &mut b);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "flag must be inert under FewestFailuresFirst"
+    );
+}
