@@ -471,9 +471,23 @@ fn print_scaling_summary(rows: &[BenchRow]) {
 fn smoke() -> ! {
     let tier = huge_scales().pop().expect("huge tier exists");
     let rows = bench_rows(&[tier]);
-    let mut eps: Vec<f64> = rows.iter().map(|r| r.events_per_s).collect();
+    // The gate compares FCFS-Excl against the *other* policies, so the
+    // reference median must exclude its own row — otherwise a uniform
+    // slowdown of everything-but-Excl drags the median down with it and
+    // the gate goes blind. True median: mean of the two middle elements
+    // when the count is even.
+    let mut eps: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.policy != PolicyKind::FcfsExcl.paper_name())
+        .map(|r| r.events_per_s)
+        .collect();
+    assert!(!eps.is_empty(), "smoke tier has non-Excl policies");
     eps.sort_by(f64::total_cmp);
-    let median = eps[eps.len() / 2];
+    let median = if eps.len() % 2 == 1 {
+        eps[eps.len() / 2]
+    } else {
+        0.5 * (eps[eps.len() / 2 - 1] + eps[eps.len() / 2])
+    };
     let excl = rows
         .iter()
         .find(|r| r.policy == PolicyKind::FcfsExcl.paper_name())

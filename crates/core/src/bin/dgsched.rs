@@ -3,31 +3,49 @@
 //! ```text
 //! dgsched demo                          # print a sample scenario JSON
 //! dgsched run scenario.json             # run it (replications + CI) and report
+//! dgsched serve --addr 127.0.0.1:7700   # sweep service with a result cache
 //! dgsched gen-workload -g 25000 -u low -n 50 -o w.json   # generate a workload
 //! dgsched summarize w.json              # describe a saved workload
 //! ```
 //!
 //! Scenario files are the serde form of [`dgsched_core::experiment::Scenario`].
+//!
+//! Exit codes: `0` success, `1` runtime failure (bad file, failed sweep,
+//! bind error), `2` usage error (unknown flag, missing value).
 
 use dgsched_core::experiment::{
     run_replication_instrumented, run_scenario, run_scenario_journaled, RepGuard, Scenario,
     WorkloadKind,
 };
 use dgsched_core::policy::PolicyKind;
+use dgsched_core::serve::{self_check, ServeConfig, Server};
 use dgsched_core::sim::Gantt;
 use dgsched_core::sim::SimConfig;
 use dgsched_core::sim::{TraceRecorder, TraceRing};
 use dgsched_des::stats::StoppingRule;
 use dgsched_grid::{Availability, GridConfig, Heterogeneity};
 use dgsched_workload::{BotType, Intensity, Workload, WorkloadSpec, WorkloadSummary};
-use std::path::Path;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dgsched demo\n  dgsched run <scenario.json> [--seed N] [--min-reps N] [--max-reps N]\n               [--journal <file.jsonl> [--resume]]\n  dgsched trace <scenario.json> [--seed N] [--rep N] [--out trace.json]\n                [--jsonl trace.jsonl] [--bin trace.dgtr] [--ring N] [--metrics] [--gantt]\n  dgsched gen-workload -g <granularity> -u <low|medium|high> -n <bags> -o <file> [--seed N]\n  dgsched summarize <workload.json>\n\njournal:\n  --journal FILE    append each completed replication to FILE (fsynced\n                    JSONL) so a killed run loses at most the replication\n                    in flight; replications are panic-isolated\n  --resume          replay the journal's intact records instead of\n                    recomputing them; the final JSON is byte-identical to\n                    an uninterrupted run\n\nenvironment:\n  DGSCHED_TRACE=1   attach the metrics registry to `dgsched run` (adds a\n                    'metrics' snapshot of replication 0 to the result JSON)"
+        "usage:\n  dgsched demo\n  dgsched run <scenario.json> [--seed N] [--min-reps N] [--max-reps N]\n               [--journal <file.jsonl> [--resume]]\n  dgsched serve [--addr HOST:PORT] [--cache-dir DIR] [--slots N]\n                [--threads N] [--check]\n  dgsched trace <scenario.json> [--seed N] [--rep N] [--out trace.json]\n                [--jsonl trace.jsonl] [--bin trace.dgtr] [--ring N] [--metrics] [--gantt]\n  dgsched gen-workload -g <granularity> -u <low|medium|high> -n <bags> -o <file> [--seed N]\n  dgsched summarize <workload.json>\n\njournal:\n  --journal FILE    append each completed replication to FILE (fsynced\n                    JSONL) so a killed run loses at most the replication\n                    in flight; replications are panic-isolated\n  --resume          replay the journal's intact records instead of\n                    recomputing them; the final JSON is byte-identical to\n                    an uninterrupted run\n\nserve:\n  --addr HOST:PORT  listen address (default 127.0.0.1:7700; port 0 binds\n                    an ephemeral port, reported on stdout)\n  --cache-dir DIR   state directory for the result cache and journals\n                    (default: per-instance temp dir); results are keyed\n                    by sweep fingerprint and cache hits are byte-identical\n  --slots N         concurrent sweep slots, fair-shared across tenants\n                    round-robin (default 1)\n  --threads N       pool width for each sweep (default: DGSCHED_THREADS /\n                    RAYON_NUM_THREADS / all cores)\n  --check           self-test: bind, round-trip a demo sweep twice, verify\n                    the second is a byte-identical cache hit, exit\n\nenvironment:\n  DGSCHED_TRACE=1   attach the metrics registry to `dgsched run` (adds a\n                    'metrics' snapshot of replication 0 to the result JSON)"
     );
     exit(2)
+}
+
+/// Usage error: consistent prefix, pointer at the help text, exit 2.
+fn fail(msg: &str) -> ! {
+    eprintln!("dgsched: {msg} (run 'dgsched' with no arguments for usage)");
+    exit(2)
+}
+
+/// Runtime failure: consistent prefix, exit 1.
+fn die(msg: &str) -> ! {
+    eprintln!("dgsched: {msg}");
+    exit(1)
 }
 
 fn demo_scenario() -> Scenario {
@@ -47,18 +65,35 @@ fn demo_scenario() -> Scenario {
     }
 }
 
-fn parse_u64(args: &mut std::iter::Peekable<std::vec::IntoIter<String>>, flag: &str) -> u64 {
+type Args = std::iter::Peekable<std::vec::IntoIter<String>>;
+
+/// The value of `flag`, or a usage error naming the flag.
+fn flag_value(args: &mut Args, flag: &str) -> String {
     args.next()
-        .unwrap_or_else(|| usage())
-        .parse()
-        .unwrap_or_else(|_| {
-            eprintln!("{flag} takes a number");
-            exit(2)
-        })
+        .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
 }
 
-fn cmd_run(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
-    let path = args.next().unwrap_or_else(|| usage());
+fn parse_u64(args: &mut Args, flag: &str) -> u64 {
+    flag_value(args, flag)
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("{flag} takes a number")))
+}
+
+fn load_scenario(path: &str) -> Scenario {
+    let data =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let scenario: Scenario =
+        serde_json::from_str(&data).unwrap_or_else(|e| die(&format!("invalid scenario file: {e}")));
+    if let Err(e) = scenario.validate() {
+        die(&format!("invalid scenario file: {e}"))
+    }
+    scenario
+}
+
+fn cmd_run(mut args: Args) {
+    let path = args
+        .next()
+        .unwrap_or_else(|| fail("run needs a scenario file"));
     let mut seed = 2008u64;
     let mut rule = StoppingRule::default();
     let mut journal: Option<String> = None;
@@ -68,27 +103,15 @@ fn cmd_run(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
             "--seed" => seed = parse_u64(&mut args, "--seed"),
             "--min-reps" => rule.min_replications = parse_u64(&mut args, "--min-reps"),
             "--max-reps" => rule.max_replications = parse_u64(&mut args, "--max-reps"),
-            "--journal" => journal = Some(args.next().unwrap_or_else(|| usage())),
+            "--journal" => journal = Some(flag_value(&mut args, "--journal")),
             "--resume" => resume = true,
-            _ => usage(),
+            _ => fail(&format!("unknown flag {flag:?} for 'run'")),
         }
     }
     if resume && journal.is_none() {
-        eprintln!("--resume requires --journal");
-        exit(2)
+        fail("--resume requires --journal")
     }
-    let data = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        exit(1)
-    });
-    let scenario: Scenario = serde_json::from_str(&data).unwrap_or_else(|e| {
-        eprintln!("invalid scenario file: {e}");
-        exit(1)
-    });
-    if let Err(e) = scenario.validate() {
-        eprintln!("invalid scenario file: {e}");
-        exit(1)
-    }
+    let scenario = load_scenario(&path);
     eprintln!("running '{}' (seed {seed})...", scenario.name);
     let result = match &journal {
         Some(jpath) => {
@@ -100,10 +123,7 @@ fn cmd_run(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
                 resume,
                 RepGuard::default(),
             )
-            .unwrap_or_else(|e| {
-                eprintln!("journal {jpath}: {e}");
-                exit(1)
-            });
+            .unwrap_or_else(|e| die(&format!("journal {jpath}: {e}")));
             eprintln!(
                 "journal {jpath}: {} written, {} replayed{}{}{}",
                 stats.records_written,
@@ -148,8 +168,62 @@ fn cmd_run(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
     }
 }
 
-fn cmd_trace(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
-    let path = args.next().unwrap_or_else(|| usage());
+fn cmd_serve(mut args: Args) {
+    let mut cfg = ServeConfig::default();
+    let mut check = false;
+    let mut addr_given = false;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => {
+                cfg.addr = flag_value(&mut args, "--addr");
+                addr_given = true;
+            }
+            "--cache-dir" => {
+                cfg.cache_dir = Some(PathBuf::from(flag_value(&mut args, "--cache-dir")))
+            }
+            "--slots" => cfg.slots = parse_u64(&mut args, "--slots") as usize,
+            "--threads" => cfg.width = Some(parse_u64(&mut args, "--threads") as usize),
+            "--check" => check = true,
+            _ => fail(&format!("unknown flag {flag:?} for 'serve'")),
+        }
+    }
+    if check {
+        // The self-test defaults to an ephemeral port so it never
+        // collides with a daemon already running on the default one.
+        let addr = if addr_given {
+            cfg.addr.as_str()
+        } else {
+            "127.0.0.1:0"
+        };
+        match self_check(addr) {
+            Ok(summary) => {
+                println!("serve self-check: {summary}");
+                return;
+            }
+            Err(e) => die(&format!("serve self-check failed: {e}")),
+        }
+    }
+    let server =
+        Server::bind(&cfg).unwrap_or_else(|e| die(&format!("cannot bind {}: {e}", cfg.addr)));
+    let addr = server.local_addr();
+    // Machine-readable startup line: tooling (and the integration tests)
+    // parse the bound address from here, which is what makes `--addr
+    // 127.0.0.1:0` usable.
+    println!("{{\"event\":\"listening\",\"addr\":\"{addr}\"}}");
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "dgsched serve: listening on {addr} ({} cached sweeps warm)",
+        server.warmed_entries()
+    );
+    if let Err(e) = server.run() {
+        die(&format!("serve: {e}"))
+    }
+}
+
+fn cmd_trace(mut args: Args) {
+    let path = args
+        .next()
+        .unwrap_or_else(|| fail("trace needs a scenario file"));
     let mut seed = 2008u64;
     let mut rep = 0u64;
     let mut out: Option<String> = None;
@@ -162,34 +236,22 @@ fn cmd_trace(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
         match flag.as_str() {
             "--seed" => seed = parse_u64(&mut args, "--seed"),
             "--rep" => rep = parse_u64(&mut args, "--rep"),
-            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
-            "--jsonl" => jsonl = Some(args.next().unwrap_or_else(|| usage())),
-            "--bin" => bin = Some(args.next().unwrap_or_else(|| usage())),
+            "--out" => out = Some(flag_value(&mut args, "--out")),
+            "--jsonl" => jsonl = Some(flag_value(&mut args, "--jsonl")),
+            "--bin" => bin = Some(flag_value(&mut args, "--bin")),
             "--ring" => {
                 let n = parse_u64(&mut args, "--ring");
                 if n == 0 {
-                    eprintln!("--ring takes a non-zero capacity");
-                    exit(2)
+                    fail("--ring takes a non-zero capacity")
                 }
                 ring = Some(n as usize);
             }
             "--metrics" => metrics = true,
             "--gantt" => gantt = true,
-            _ => usage(),
+            _ => fail(&format!("unknown flag {flag:?} for 'trace'")),
         }
     }
-    let data = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        exit(1)
-    });
-    let scenario: Scenario = serde_json::from_str(&data).unwrap_or_else(|e| {
-        eprintln!("invalid scenario file: {e}");
-        exit(1)
-    });
-    if let Err(e) = scenario.validate() {
-        eprintln!("invalid scenario file: {e}");
-        exit(1)
-    }
+    let scenario = load_scenario(&path);
     // One replication with the chosen tracer riding the metrics registry;
     // the RunResult is byte-identical to an untraced run of the same
     // (seed, rep) pair.
@@ -217,18 +279,12 @@ fn cmd_trace(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
     let trace = TraceRecorder { events };
     if let Some(p) = &jsonl {
         let text = dgsched_obs::write_jsonl(&trace.events, dropped);
-        std::fs::write(p, text).unwrap_or_else(|e| {
-            eprintln!("cannot write {p}: {e}");
-            exit(1)
-        });
+        std::fs::write(p, text).unwrap_or_else(|e| die(&format!("cannot write {p}: {e}")));
         eprintln!("wrote JSONL trace to {p}");
     }
     if let Some(p) = &bin {
         let bytes = dgsched_obs::encode_binary(&trace.events, dropped);
-        std::fs::write(p, bytes).unwrap_or_else(|e| {
-            eprintln!("cannot write {p}: {e}");
-            exit(1)
-        });
+        std::fs::write(p, bytes).unwrap_or_else(|e| die(&format!("cannot write {p}: {e}")));
         eprintln!("wrote binary trace to {p}");
     }
     if metrics {
@@ -240,10 +296,7 @@ fn cmd_trace(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
     match out {
         Some(out) => {
             let json = serde_json::to_string(&trace).expect("trace serialises");
-            std::fs::write(&out, json).unwrap_or_else(|e| {
-                eprintln!("cannot write {out}: {e}");
-                exit(1)
-            });
+            std::fs::write(&out, json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
             eprintln!("wrote trace to {out}");
         }
         None if !gantt && !metrics && jsonl.is_none() && bin.is_none() => {
@@ -259,7 +312,7 @@ fn cmd_trace(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
     }
 }
 
-fn cmd_gen_workload(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
+fn cmd_gen_workload(mut args: Args) {
     let mut granularity = 25_000.0f64;
     let mut intensity = Intensity::Low;
     let mut count = 50usize;
@@ -268,30 +321,26 @@ fn cmd_gen_workload(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "-g" | "--granularity" => {
-                granularity = args
-                    .next()
-                    .unwrap_or_else(|| usage())
+                granularity = flag_value(&mut args, "-g")
                     .parse()
-                    .unwrap_or_else(|_| usage())
+                    .unwrap_or_else(|_| fail("-g takes a number"))
             }
             "-u" | "--intensity" => {
-                intensity = match args.next().unwrap_or_else(|| usage()).as_str() {
+                intensity = match flag_value(&mut args, "-u").as_str() {
                     "low" => Intensity::Low,
                     "medium" => Intensity::Medium,
                     "high" => Intensity::High,
-                    _ => usage(),
+                    other => fail(&format!("-u takes low|medium|high, got {other:?}")),
                 }
             }
             "-n" | "--count" => {
-                count = args
-                    .next()
-                    .unwrap_or_else(|| usage())
+                count = flag_value(&mut args, "-n")
                     .parse()
-                    .unwrap_or_else(|_| usage())
+                    .unwrap_or_else(|_| fail("-n takes a number"))
             }
-            "-o" | "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "-o" | "--out" => out = flag_value(&mut args, "-o"),
             "--seed" => seed = parse_u64(&mut args, "--seed"),
-            _ => usage(),
+            _ => fail(&format!("unknown flag {flag:?} for 'gen-workload'")),
         }
     }
     let grid = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
@@ -302,10 +351,8 @@ fn cmd_gen_workload(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
     };
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
     let w = spec.generate(&grid, &mut rng);
-    w.save(Path::new(&out)).unwrap_or_else(|e| {
-        eprintln!("cannot write {out}: {e}");
-        exit(1)
-    });
+    w.save(Path::new(&out))
+        .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
     eprintln!(
         "wrote {} bags / {} tasks to {out}",
         w.len(),
@@ -313,12 +360,12 @@ fn cmd_gen_workload(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
     );
 }
 
-fn cmd_summarize(mut args: std::iter::Peekable<std::vec::IntoIter<String>>) {
-    let path = args.next().unwrap_or_else(|| usage());
-    let w = Workload::load(Path::new(&path)).unwrap_or_else(|e| {
-        eprintln!("cannot load {path}: {e}");
-        exit(1)
-    });
+fn cmd_summarize(mut args: Args) {
+    let path = args
+        .next()
+        .unwrap_or_else(|| fail("summarize needs a workload file"));
+    let w = Workload::load(Path::new(&path))
+        .unwrap_or_else(|e| die(&format!("cannot load {path}: {e}")));
     let s = WorkloadSummary::of(&w);
     println!(
         "{}",
@@ -340,9 +387,11 @@ fn main() {
             );
         }
         Some("run") => cmd_run(args),
+        Some("serve") => cmd_serve(args),
         Some("trace") => cmd_trace(args),
         Some("gen-workload") => cmd_gen_workload(args),
         Some("summarize") => cmd_summarize(args),
-        _ => usage(),
+        Some(other) => fail(&format!("unknown command {other:?}")),
+        None => usage(),
     }
 }

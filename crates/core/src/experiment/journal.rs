@@ -52,7 +52,8 @@
 //! [`Welford`]: dgsched_des::stats::Welford
 
 use super::runner::{
-    finish_scenario, obs_enabled, run_replication_capped, sweep, RepSummary, ScenarioResult,
+    finish_scenario, obs_enabled, run_replication_capped, sweep, ProgressSink, RepSummary,
+    ScenarioResult,
 };
 use super::scenario::Scenario;
 use crate::sim::RunResult;
@@ -71,8 +72,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Journal schema version; folded into the fingerprint, so a journal
-/// written by an incompatible schema refuses to resume.
-const JOURNAL_VERSION: u32 = 1;
+/// written by an incompatible schema refuses to resume. v2 widened the
+/// fingerprint from 64 to 128 bits (see [`sweep_fingerprint`]).
+const JOURNAL_VERSION: u32 = 2;
 
 /// Per-replication resource guard for journaled sweeps.
 #[derive(Debug, Clone, Copy, Default)]
@@ -161,32 +163,70 @@ enum JournalLine {
     },
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+/// One FNV-1a-style stream: xor the byte in, multiply by an odd
+/// constant. Parameterised over (offset basis, multiplier) so two
+/// independently-seeded streams can be combined into a wide digest.
+fn fnv1a64_stream(bytes: &[u8], basis: u64, prime: u64) -> u64 {
+    let mut h = basis;
     for &b in bytes {
         h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
+        h = h.wrapping_mul(prime);
     }
     h
+}
+
+/// 128-bit content digest as 32 hex chars: two independent FNV-1a-style
+/// streams (the standard FNV-1a 64 parameters, and a second stream with
+/// a different basis and multiplier) over a length-prefixed copy of the
+/// input. A single 64-bit FNV is fine for "did the config change?" but
+/// too collision-weak to *address* a result cache with — birthday
+/// collisions at ~2^32 keys, and FNV has known short-input weaknesses.
+/// The length prefix removes extension ambiguity; the second stream
+/// pushes accidental collision odds to ~2^-128 per pair.
+fn digest128_hex(bytes: &[u8]) -> String {
+    let mut prefixed = Vec::with_capacity(bytes.len() + 8);
+    prefixed.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    prefixed.extend_from_slice(bytes);
+    let lo = fnv1a64_stream(&prefixed, 0xcbf2_9ce4_8422_2325, 0x100_0000_01b3);
+    let hi = fnv1a64_stream(&prefixed, 0x6c62_272e_07bb_0145, 0x9e37_79b9_7f4a_7c15);
+    format!("{hi:016x}{lo:016x}")
 }
 
 fn invalid(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// Hex fingerprint of the sweep configuration. The fingerprint is over
-/// the serialised form, so anything that changes what the sweep would
+/// Canonical byte encoding of a sweep configuration: the `serde_json`
+/// serialisation of the `(scenarios, base_seed, rule)` tuple. Both the
+/// journal fingerprint and the sweep service's stored-request
+/// verification are computed over exactly these bytes, so "same
+/// fingerprint" and "same canonical bytes" can be cross-checked.
+pub fn canonical_sweep_bytes(
+    scenarios: &[Scenario],
+    base_seed: u64,
+    rule: &StoppingRule,
+) -> io::Result<Vec<u8>> {
+    serde_json::to_vec(&(scenarios, base_seed, rule))
+        .map_err(|e| invalid(format!("sweep configuration does not serialise: {e}")))
+}
+
+/// 128-bit hex fingerprint of the sweep configuration. The fingerprint
+/// is over the canonical serialised form plus the journal-schema and
+/// crate versions, so anything that changes what the sweep would
 /// compute — a scenario knob, the seed, the stopping rule, the schema —
-/// changes the fingerprint.
-fn sweep_fingerprint(
+/// changes the fingerprint. It is strong enough to key a
+/// content-addressed cache, but cache consumers must still verify the
+/// stored canonical bytes match before serving (see
+/// [`serve`](crate::serve)).
+pub fn sweep_fingerprint(
     scenarios: &[Scenario],
     base_seed: u64,
     rule: &StoppingRule,
 ) -> io::Result<String> {
-    let cfg = serde_json::to_string(&(scenarios, base_seed, rule))
-        .map_err(|e| invalid(format!("sweep configuration does not serialise: {e}")))?;
-    let tagged = format!("v{JOURNAL_VERSION}|{}|{cfg}", env!("CARGO_PKG_VERSION"));
-    Ok(format!("{:016x}", fnv1a64(tagged.as_bytes())))
+    let cfg = canonical_sweep_bytes(scenarios, base_seed, rule)?;
+    let mut tagged = format!("v{JOURNAL_VERSION}|{}|", env!("CARGO_PKG_VERSION")).into_bytes();
+    tagged.extend_from_slice(&cfg);
+    Ok(digest128_hex(&tagged))
 }
 
 /// Shared mutable state of a sweep in progress: the append handle, the
@@ -519,6 +559,37 @@ pub fn run_matrix_journaled(
     })
 }
 
+/// [`run_matrix_journaled`] reporting scenario completions through
+/// `progress` (called with `(done, total, name)`, `done` strictly
+/// increasing, reporting never blocking the sweep — the same contract as
+/// [`run_matrix_with_progress`](super::run_matrix_with_progress)). The
+/// sweep service streams these events to its clients.
+pub fn run_matrix_journaled_with_progress<F>(
+    scenarios: &[Scenario],
+    base_seed: u64,
+    rule: &StoppingRule,
+    path: &Path,
+    resume: bool,
+    guard: RepGuard,
+    progress: F,
+) -> io::Result<JournalOutcome>
+where
+    F: Fn(usize, usize, &str) + Send + Sync,
+{
+    run_matrix_journaled_core(
+        scenarios,
+        base_seed,
+        rule,
+        path,
+        resume,
+        guard,
+        &move |s: &Scenario, seed: u64, rep: u64| {
+            run_replication_capped(s, seed, rep, guard.max_events)
+        },
+        &progress,
+    )
+}
+
 /// [`run_matrix_journaled`] with the replication runner injected — the
 /// seam the fault-injection tests use. Not part of the stable API.
 #[doc(hidden)]
@@ -530,6 +601,32 @@ pub fn run_matrix_journaled_with<R>(
     resume: bool,
     guard: RepGuard,
     rep_runner: R,
+) -> io::Result<JournalOutcome>
+where
+    R: Fn(&Scenario, u64, u64) -> RunResult + Sync,
+{
+    run_matrix_journaled_core(
+        scenarios,
+        base_seed,
+        rule,
+        path,
+        resume,
+        guard,
+        &rep_runner,
+        &|_, _, _| {},
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_matrix_journaled_core<R>(
+    scenarios: &[Scenario],
+    base_seed: u64,
+    rule: &StoppingRule,
+    path: &Path,
+    resume: bool,
+    guard: RepGuard,
+    rep_runner: &R,
+    progress: &(dyn Fn(usize, usize, &str) + Send + Sync),
 ) -> io::Result<JournalOutcome>
 where
     R: Fn(&Scenario, u64, u64) -> RunResult + Sync,
@@ -560,6 +657,7 @@ where
         guard,
         shared: &shared,
     };
+    let sink = ProgressSink::new(scenarios.len(), progress);
     let results: Vec<ScenarioResult> = scenarios
         .par_iter()
         .map(|scenario| {
@@ -567,7 +665,9 @@ where
                 .get(&scenario.name)
                 .map(Vec::as_slice)
                 .unwrap_or(&[]);
-            run_scenario_journaled_inner(scenario, prefix, &ctx, &rep_runner)
+            let r = run_scenario_journaled_inner(scenario, prefix, &ctx, rep_runner);
+            sink.complete(&scenario.name);
+            r
         })
         .collect();
     if let Some(e) = shared.write_error.lock().take() {

@@ -12,7 +12,8 @@ mod table;
 
 pub use figures::{extended_panels, fig1_panels, fig2_panels, PanelSpec};
 pub use journal::{
-    run_matrix_journaled, run_matrix_journaled_with, run_scenario_journaled, JournalOutcome,
+    canonical_sweep_bytes, run_matrix_journaled, run_matrix_journaled_with,
+    run_matrix_journaled_with_progress, run_scenario_journaled, sweep_fingerprint, JournalOutcome,
     JournalStats, RepGuard,
 };
 pub use plot::{panel_chart, BarChart};

@@ -416,15 +416,65 @@ pub(crate) fn run_scenario_with_obs(
     finish_scenario(scenario, base_seed, rule, acc, replications, obs)
 }
 
+/// Monotone, non-blocking completion reporting, shared by the plain and
+/// journaled matrix runners: workers queue completed-scenario names and
+/// whoever holds the reporter lock (the running `done` count) drains the
+/// queue, so `done` is strictly increasing across callback invocations
+/// and reporting never blocks the sweep — a worker that finishes while
+/// another worker is inside the (possibly slow) callback hands its
+/// completion to that worker's drain loop instead of waiting.
+pub(crate) struct ProgressSink<'a> {
+    total: usize,
+    pending: Mutex<VecDeque<String>>,
+    done: Mutex<usize>,
+    callback: &'a (dyn Fn(usize, usize, &str) + Send + Sync),
+}
+
+impl<'a> ProgressSink<'a> {
+    pub(crate) fn new(
+        total: usize,
+        callback: &'a (dyn Fn(usize, usize, &str) + Send + Sync),
+    ) -> Self {
+        ProgressSink {
+            total,
+            pending: Mutex::new(VecDeque::new()),
+            done: Mutex::new(0),
+            callback,
+        }
+    }
+
+    /// Queues one completed scenario and drains the queue unless another
+    /// worker already holds the reporter lock (that worker will pick the
+    /// entry up — its post-drop re-check closes the race).
+    pub(crate) fn complete(&self, name: &str) {
+        self.pending.lock().push_back(name.to_string());
+        loop {
+            let Some(mut done) = self.done.try_lock() else {
+                break;
+            };
+            loop {
+                let name = self.pending.lock().pop_front();
+                let Some(name) = name else { break };
+                *done += 1;
+                (self.callback)(*done, self.total, &name);
+            }
+            drop(done);
+            // A completion queued between our final pop and the drop
+            // would otherwise go unreported until the next finish.
+            if self.pending.lock().is_empty() {
+                break;
+            }
+        }
+    }
+}
+
 /// Runs a list of scenarios, scenarios in parallel, reporting completion
 /// through `progress` (called with `(done, total, name)` after each
 /// scenario finishes).
 ///
 /// `done` is strictly increasing across calls and `name` is the
 /// scenario completed by the `done`-th finish. Reporting never blocks
-/// the sweep: a worker that finishes while another worker is inside the
-/// (possibly slow) callback hands its completion to that worker's drain
-/// loop instead of waiting.
+/// the sweep (see [`ProgressSink`]).
 pub fn run_matrix_with_progress<F>(
     scenarios: &[Scenario],
     base_seed: u64,
@@ -434,42 +484,17 @@ pub fn run_matrix_with_progress<F>(
 where
     F: Fn(usize, usize, &str) + Send + Sync,
 {
-    let total = scenarios.len();
     // Read the instrumentation toggle once for the whole sweep: the
     // environment is ambient mutable state, and consulting it per
     // scenario would let a mid-sweep change produce a chimera result
     // (some scenarios instrumented, some not).
     let obs = obs_enabled();
-    // Completed-scenario names, in completion order, waiting to be
-    // reported. Whoever holds `reporter` (the running `done` count)
-    // drains the queue; `try_lock` keeps everyone else moving.
-    let pending: Mutex<VecDeque<String>> = Mutex::new(VecDeque::new());
-    let reporter: Mutex<usize> = Mutex::new(0);
+    let sink = ProgressSink::new(scenarios.len(), &progress);
     scenarios
         .par_iter()
         .map(|s| {
             let r = run_scenario_with_obs(s, base_seed, rule, obs);
-            pending.lock().push_back(s.name.clone());
-            loop {
-                // If another worker holds the reporter lock, it will pick
-                // up the name we just queued (its post-drop re-check below
-                // closes the race), so this worker returns to sweep work.
-                let Some(mut done) = reporter.try_lock() else {
-                    break;
-                };
-                loop {
-                    let name = pending.lock().pop_front();
-                    let Some(name) = name else { break };
-                    *done += 1;
-                    progress(*done, total, &name);
-                }
-                drop(done);
-                // A completion queued between our final pop and the drop
-                // would otherwise go unreported until the next finish.
-                if pending.lock().is_empty() {
-                    break;
-                }
-            }
+            sink.complete(&s.name);
             r
         })
         .collect()

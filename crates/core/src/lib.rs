@@ -37,5 +37,6 @@
 pub mod analysis;
 pub mod experiment;
 pub mod policy;
+pub mod serve;
 pub mod sim;
 pub mod state;

@@ -1,0 +1,421 @@
+//! Wire format of the sweep service: a hand-rolled slice of HTTP/1.1
+//! plus the JSON request/response bodies.
+//!
+//! The service speaks to local clients over a `TcpListener`, so the
+//! protocol is deliberately small: one request per connection,
+//! `Connection: close`, bodies framed by `Content-Length` on the way in
+//! and by `Content-Length` (plain responses) or connection close
+//! (progress streams) on the way out. No chunked encoding, no
+//! keep-alive, no TLS — everything a vendored, offline dependency stack
+//! can carry on `std` alone.
+
+use crate::experiment::{Scenario, ScenarioResult};
+use dgsched_des::stats::StoppingRule;
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on accepted request bodies. A scenario matrix is a few
+/// kilobytes; anything near this limit is a malformed or hostile client.
+pub const MAX_BODY_BYTES: usize = 16 << 20;
+
+fn default_seed() -> u64 {
+    2008
+}
+
+/// Body of `POST /sweep`: one scenario-matrix request.
+///
+/// The cache key is derived from `(scenarios, base_seed, rule)` only —
+/// see [`canonical_sweep_bytes`](crate::experiment::canonical_sweep_bytes)
+/// — so the same sweep submitted by different tenants dedupes and caches
+/// as one computation. `tenant` only feeds fair-share admission.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepRequest {
+    /// The scenario matrix to run. Names must be unique (the journal
+    /// keys records by name).
+    pub scenarios: Vec<Scenario>,
+    /// Base seed of the replication streams (default: 2008, matching
+    /// `dgsched run`).
+    #[serde(default = "default_seed")]
+    pub base_seed: u64,
+    /// Sequential stopping rule (default: the paper's 95 % / 2.5 %).
+    #[serde(default)]
+    pub rule: StoppingRule,
+    /// Fair-share admission bucket. Requests without a tenant share the
+    /// `"anonymous"` bucket.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub tenant: Option<String>,
+}
+
+/// Body of a successful sweep response. Serialised once, cached, and
+/// replayed byte-for-byte on every cache hit — the determinism contract
+/// (same request ⇒ same bytes at any pool width) is what makes cache
+/// hits trivially verifiable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResponse {
+    /// The 128-bit sweep fingerprint the result is cached under.
+    pub fingerprint: String,
+    /// One result per scenario, in request order — exactly what
+    /// [`run_matrix`](crate::experiment::run_matrix) would produce.
+    pub results: Vec<ScenarioResult>,
+}
+
+/// One line of a `POST /sweep?stream=1` response: progress events while
+/// the sweep runs, then a final `result` line embedding the same bytes a
+/// plain response would carry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum StreamEvent {
+    /// A scenario finished; `done` is strictly increasing.
+    Progress {
+        /// Scenarios completed so far.
+        done: u64,
+        /// Scenarios in the sweep.
+        total: u64,
+        /// Name of the scenario completed by this event.
+        scenario: String,
+    },
+}
+
+/// A parsed inbound HTTP request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method, uppercase (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent, including any query string.
+    pub target: String,
+    /// Headers with lowercased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Path of the target, without the query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// True when the query string contains the given `key=value` pair or
+    /// bare `key` flag.
+    pub fn query_flag(&self, key: &str) -> bool {
+        let Some(query) = self.target.split_once('?').map(|(_, q)| q) else {
+            return false;
+        };
+        query
+            .split('&')
+            .any(|kv| kv == key || kv.strip_prefix(key).map(|v| v.starts_with('=')) == Some(true))
+    }
+}
+
+/// A parsed inbound HTTP response (the client half, used by
+/// [`http_request`] and the self-test).
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code of the response line.
+    pub status: u16,
+    /// Headers with lowercased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+/// Case-insensitive header lookup (names are stored lowercased).
+pub fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    let name = name.to_ascii_lowercase();
+    headers
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one CRLF- (or LF-) terminated line, without the terminator.
+fn read_line<R: BufRead>(r: &mut R) -> io::Result<String> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-message",
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Reads headers (already past the start line) until the blank line;
+/// names are lowercased.
+fn read_headers<R: BufRead>(r: &mut R) -> io::Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(format!("malformed header line: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+fn read_body<R: BufRead>(r: &mut R, headers: &[(String, String)]) -> io::Result<Vec<u8>> {
+    let len = match header_value(headers, "content-length") {
+        None => return Ok(Vec::new()),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| bad(format!("unparsable content-length: {v:?}")))?,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(bad(format!(
+            "body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Parses one HTTP/1.1 request from the stream: start line, headers,
+/// and a `Content-Length`-framed body.
+pub fn read_http_request<R: BufRead>(r: &mut R) -> io::Result<HttpRequest> {
+    let start = read_line(r)?;
+    let mut parts = start.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Err(bad(format!("malformed request line: {start:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported protocol version: {version:?}")));
+    }
+    let headers = read_headers(r)?;
+    let body = read_body(r, &headers)?;
+    Ok(HttpRequest {
+        method: method.to_ascii_uppercase(),
+        target: target.to_string(),
+        headers,
+        body,
+    })
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "",
+    }
+}
+
+/// Writes a complete `Content-Length`-framed response and flushes it.
+pub fn write_http_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        status_reason(status),
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes the head of a close-delimited streaming response (no
+/// `Content-Length`; the body ends when the connection closes). The
+/// caller then writes JSONL event lines.
+pub fn write_http_stream_head<W: Write>(
+    w: &mut W,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 200 OK\r\ncontent-type: {content_type}\r\nconnection: close\r\n"
+    )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+fn write_request_head<W: Write>(
+    w: &mut W,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body_len: usize,
+) -> io::Result<()> {
+    write!(
+        w,
+        "{method} {target} HTTP/1.1\r\nhost: localhost\r\ncontent-length: {body_len}\r\nconnection: close\r\n"
+    )?;
+    for (name, value) in headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")
+}
+
+fn read_response_head<R: BufRead>(r: &mut R) -> io::Result<(u16, Vec<(String, String)>)> {
+    let start = read_line(r)?;
+    let status = start
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad(format!("malformed status line: {start:?}")))?;
+    Ok((status, read_headers(r)?))
+}
+
+/// Minimal blocking HTTP client: one request, one response, connection
+/// closed. The body is read to `Content-Length` when present, else to
+/// EOF (the framing the service's streaming responses use). Used by the
+/// `serve --check` self-test and the integration tests.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<HttpResponse> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    write_request_head(&mut writer, method, target, headers, body.len())?;
+    writer.write_all(body)?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let (status, headers) = read_response_head(&mut reader)?;
+    let body = match header_value(&headers, "content-length") {
+        Some(v) => {
+            let len = v
+                .parse::<usize>()
+                .map_err(|_| bad(format!("unparsable content-length: {v:?}")))?;
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        None => {
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body)?;
+            body
+        }
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// What [`http_request_streaming`] yields: status, response headers, and
+/// the reader positioned at the first body line.
+pub type StreamingResponse = (u16, Vec<(String, String)>, BufReader<TcpStream>);
+
+/// [`http_request`] for streaming endpoints: sends the request, parses
+/// the response head, and hands back the reader positioned at the first
+/// body line so the caller can consume JSONL events as they arrive.
+pub fn http_request_streaming(
+    addr: &str,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<StreamingResponse> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    write_request_head(&mut writer, method, target, headers, body.len())?;
+    writer.write_all(body)?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let (status, headers) = read_response_head(&mut reader)?;
+    Ok((status, headers, reader))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_round_trips_through_the_parser() {
+        let wire = b"POST /sweep?stream=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        let req = read_http_request(&mut Cursor::new(&wire[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/sweep");
+        assert!(req.query_flag("stream"));
+        assert!(!req.query_flag("str"));
+        assert_eq!(header_value(&req.headers, "HOST"), Some("x"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn missing_content_length_means_empty_body() {
+        let wire = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_http_request(&mut Cursor::new(&wire[..])).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for wire in [
+            &b"FROB\r\n\r\n"[..],
+            &b"GET / SPDY/3\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nno-colon\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\ncontent-length: zap\r\n\r\n"[..],
+        ] {
+            assert!(
+                read_http_request(&mut Cursor::new(wire)).is_err(),
+                "accepted {wire:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_before_allocation() {
+        let wire = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = read_http_request(&mut Cursor::new(wire.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn response_writer_frames_by_content_length() {
+        let mut out = Vec::new();
+        write_http_response(&mut out, 200, "application/json", &[("x-k", "v")], b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("x-k: v\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn sweep_request_defaults_apply() {
+        let req: SweepRequest = serde_json::from_str(r#"{"scenarios":[]}"#).unwrap();
+        assert_eq!(req.base_seed, 2008);
+        assert_eq!(
+            req.rule.max_relative_error,
+            StoppingRule::default().max_relative_error
+        );
+        assert!(req.tenant.is_none());
+    }
+}

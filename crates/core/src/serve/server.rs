@@ -1,0 +1,809 @@
+//! The daemon: accept loop, request routing, and the sweep execution
+//! path that ties cache, single-flight, admission and journal together.
+//!
+//! Lifecycle of a `POST /sweep`:
+//!
+//! ```text
+//! parse + validate ─▶ fingerprint ─▶ cache probe ──hit──▶ cached bytes
+//!                                        │miss
+//!                                  single-flight ──follower──▶ leader's bytes
+//!                                        │leader
+//!                                  fair-share admission (slot)
+//!                                        │
+//!                        journaled sweep (resume if a journal exists)
+//!                                        │
+//!                        cache insert ─▶ publish ─▶ response bytes
+//! ```
+//!
+//! Every response body for the same canonical request is byte-identical
+//! — computed, replayed from a journal after a crash, or served from the
+//! cache — because the underlying sweep is deterministic at any pool
+//! width and the cache stores the serialised bytes themselves.
+
+use super::admission::Admission;
+use super::cache::{CacheEntry, CacheLookup, ResultCache};
+use super::protocol::{
+    header_value, http_request, read_http_request, write_http_response, write_http_stream_head,
+    HttpRequest, StreamEvent, SweepRequest, SweepResponse,
+};
+use super::single_flight::{FlightRole, LeaderToken, SingleFlight};
+use crate::experiment::{
+    canonical_sweep_bytes, run_matrix_journaled_with_progress, sweep_fingerprint, RepGuard,
+    Scenario, WorkloadKind,
+};
+use crate::policy::PolicyKind;
+use crate::sim::SimConfig;
+use dgsched_des::stats::StoppingRule;
+use dgsched_des::time::SimTime;
+use dgsched_grid::{Availability, GridConfig, Heterogeneity};
+use dgsched_obs::{MetricsRegistry, MetricsSnapshot};
+use dgsched_workload::{BotType, Intensity, WorkloadSpec};
+use parking_lot::Mutex;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Configuration of one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7700`; port `0` binds an
+    /// ephemeral port (reported by [`Server::local_addr`] and the
+    /// `listening` line on stdout).
+    pub addr: String,
+    /// State directory for the result cache and sweep journals. `None`
+    /// uses a per-instance directory under the system temp dir — still
+    /// crash-safe within the instance, but not warm across restarts.
+    pub cache_dir: Option<PathBuf>,
+    /// Concurrent sweep slots for fair-share admission (default 1: one
+    /// sweep at a time owns the whole pool).
+    pub slots: usize,
+    /// Pool-width override applied around each sweep; `None` inherits
+    /// the environment (`DGSCHED_THREADS` / `RAYON_NUM_THREADS`).
+    pub width: Option<usize>,
+    /// Per-replication resource guard for admitted sweeps.
+    pub guard: RepGuard,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7700".to_string(),
+            cache_dir: None,
+            slots: 1,
+            width: None,
+            guard: RepGuard::default(),
+        }
+    }
+}
+
+/// Monotonic counters of everything the daemon did, exported as a
+/// [`MetricsSnapshot`] on `GET /metrics`. The integration tests read
+/// `serve_sweeps_executed`, `serve_cache_hits` and
+/// `serve_single_flight_waits` to prove the dedupe story.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    requests: AtomicU64,
+    sweep_requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_collisions: AtomicU64,
+    single_flight_waits: AtomicU64,
+    sweeps_executed: AtomicU64,
+    sweeps_failed: AtomicU64,
+    journal_replayed: AtomicU64,
+    journal_resumes: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+impl ServeMetrics {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the counters (plus the cache's open-time numbers) in the
+    /// standard snapshot shape.
+    fn snapshot(&self, cache: &ResultCache) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new();
+        for (name, value) in [
+            ("serve_requests", self.requests.load(Ordering::Relaxed)),
+            (
+                "serve_sweep_requests",
+                self.sweep_requests.load(Ordering::Relaxed),
+            ),
+            ("serve_cache_hits", self.cache_hits.load(Ordering::Relaxed)),
+            (
+                "serve_cache_misses",
+                self.cache_misses.load(Ordering::Relaxed),
+            ),
+            (
+                "serve_cache_collisions",
+                self.cache_collisions.load(Ordering::Relaxed),
+            ),
+            (
+                "serve_single_flight_waits",
+                self.single_flight_waits.load(Ordering::Relaxed),
+            ),
+            (
+                "serve_sweeps_executed",
+                self.sweeps_executed.load(Ordering::Relaxed),
+            ),
+            (
+                "serve_sweeps_failed",
+                self.sweeps_failed.load(Ordering::Relaxed),
+            ),
+            (
+                "serve_journal_replayed",
+                self.journal_replayed.load(Ordering::Relaxed),
+            ),
+            (
+                "serve_journal_resumes",
+                self.journal_resumes.load(Ordering::Relaxed),
+            ),
+            (
+                "serve_bad_requests",
+                self.bad_requests.load(Ordering::Relaxed),
+            ),
+            ("serve_cache_warm_entries", cache.warmed()),
+            ("serve_pending_journals", cache.pending_journals()),
+        ] {
+            let id = reg.counter(name);
+            reg.add(id, value);
+        }
+        reg.snapshot(SimTime::new(0.0))
+    }
+}
+
+struct ServerInner {
+    cache: ResultCache,
+    flight: SingleFlight,
+    admission: Admission,
+    metrics: ServeMetrics,
+    width: Option<usize>,
+    guard: RepGuard,
+    local_addr: SocketAddr,
+    shutdown: AtomicBool,
+}
+
+/// A bound daemon, not yet accepting. [`run`](Server::run) blocks the
+/// caller; [`spawn`](Server::spawn) accepts on a background thread (the
+/// self-test and in-process tests use this).
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<ServerInner>,
+}
+
+/// Handle of a [`spawn`](Server::spawn)ed daemon.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<ServerInner>,
+    join: thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the daemon thread. In-flight
+    /// connection handlers finish on their own threads.
+    pub fn shutdown(self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Poke the accept loop awake so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.join.join();
+    }
+}
+
+impl Server {
+    /// Binds the listener and opens (warming) the result cache.
+    pub fn bind(cfg: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let state_dir = cfg.cache_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!(
+                "dgsched-serve-{}-{}",
+                std::process::id(),
+                local_addr.port()
+            ))
+        });
+        let cache = ResultCache::open(&state_dir)?;
+        Ok(Server {
+            listener,
+            inner: Arc::new(ServerInner {
+                cache,
+                flight: SingleFlight::new(),
+                admission: Admission::new(cfg.slots),
+                metrics: ServeMetrics::default(),
+                width: cfg.width,
+                guard: cfg.guard,
+                local_addr,
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// Entries warmed from the cache directory at bind time.
+    pub fn warmed_entries(&self) -> u64 {
+        self.inner.cache.warmed()
+    }
+
+    /// Accepts connections until shutdown, one handler thread per
+    /// connection. A handler that panics kills only its own connection
+    /// (and resolves its single-flight followers with an error).
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let inner = self.inner.clone();
+            thread::spawn(move || {
+                let _ = handle_connection(&inner, stream);
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let inner = self.inner.clone();
+        let join = thread::spawn(move || {
+            let _ = self.run();
+        });
+        ServerHandle { addr, inner, join }
+    }
+}
+
+fn json_error(status: u16, msg: &str) -> (u16, Vec<u8>) {
+    let mut body = b"{\"error\":".to_vec();
+    body.extend_from_slice(&serde_json::to_vec(msg).expect("string serialises"));
+    body.push(b'}');
+    (status, body)
+}
+
+fn handle_connection(inner: &Arc<ServerInner>, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let request = match read_http_request(&mut reader) {
+        Ok(r) => r,
+        Err(e) => {
+            ServeMetrics::bump(&inner.metrics.bad_requests);
+            let (status, body) = json_error(400, &format!("malformed request: {e}"));
+            return write_http_response(&mut writer, status, "application/json", &[], &body);
+        }
+    };
+    ServeMetrics::bump(&inner.metrics.requests);
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => {
+            write_http_response(&mut writer, 200, "application/json", &[], b"{\"ok\":true}")
+        }
+        ("GET", "/metrics") => {
+            let body = serde_json::to_vec(&inner.metrics.snapshot(&inner.cache))
+                .expect("snapshot serialises");
+            write_http_response(&mut writer, 200, "application/json", &[], &body)
+        }
+        ("POST", "/shutdown") => {
+            write_http_response(&mut writer, 200, "application/json", &[], b"{\"ok\":true}")?;
+            inner.shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(inner.local_addr);
+            Ok(())
+        }
+        ("POST", "/sweep") => handle_sweep(inner, &request, &mut writer),
+        _ => {
+            ServeMetrics::bump(&inner.metrics.bad_requests);
+            let (status, body) = json_error(404, "no such endpoint");
+            write_http_response(&mut writer, status, "application/json", &[], &body)
+        }
+    }
+}
+
+/// Validates a sweep request the way the CLI validates a scenario file,
+/// plus the journal's unique-name requirement.
+fn validate_request(req: &SweepRequest) -> Result<(), String> {
+    if req.scenarios.is_empty() {
+        return Err("request contains no scenarios".to_string());
+    }
+    for scenario in &req.scenarios {
+        scenario.validate()?;
+    }
+    let mut names: Vec<&str> = req.scenarios.iter().map(|s| s.name.as_str()).collect();
+    names.sort_unstable();
+    if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
+        return Err(format!(
+            "scenario names must be unique (duplicate: {:?})",
+            w[0]
+        ));
+    }
+    Ok(())
+}
+
+/// How the response body was obtained; sent as the `x-dgsched-cache`
+/// header and on the streamed result line.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CacheDisposition {
+    Miss,
+    Hit,
+    Wait,
+    Collision,
+}
+
+impl CacheDisposition {
+    fn as_str(self) -> &'static str {
+        match self {
+            CacheDisposition::Miss => "miss",
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Wait => "wait",
+            CacheDisposition::Collision => "collision",
+        }
+    }
+}
+
+/// Writer shared between the response path and the sweep's progress
+/// callback. Progress writes ignore errors: a client that hung up must
+/// not abort the sweep — the result still lands in the cache.
+struct SweepConnection<'a> {
+    writer: Mutex<&'a mut BufWriter<TcpStream>>,
+    streaming: bool,
+    /// Set once the streaming head has been written — after this point
+    /// errors can no longer be reported as an HTTP status.
+    head_sent: AtomicBool,
+}
+
+impl SweepConnection<'_> {
+    fn send_stream_head(&self, fingerprint: &str) {
+        if !self.streaming || self.head_sent.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut w = self.writer.lock();
+        let _ = write_http_stream_head(
+            &mut **w,
+            "application/x-ndjson",
+            &[("x-dgsched-fingerprint", fingerprint)],
+        );
+    }
+
+    fn send_progress(&self, done: usize, total: usize, scenario: &str) {
+        // Plain connections get one framed response at the end; progress
+        // lines are a streaming-only concept (and must follow the head).
+        if !self.streaming || !self.head_sent.load(Ordering::SeqCst) {
+            return;
+        }
+        let event = StreamEvent::Progress {
+            done: done as u64,
+            total: total as u64,
+            scenario: scenario.to_string(),
+        };
+        let mut line = serde_json::to_vec(&event).expect("event serialises");
+        line.push(b'\n');
+        let mut w = self.writer.lock();
+        let _ = w.write_all(&line);
+        let _ = w.flush();
+    }
+
+    /// Sends the final payload: the whole plain response, or the
+    /// terminal `result` JSONL line with the cached bytes embedded
+    /// verbatim.
+    fn send_result(
+        &self,
+        fingerprint: &str,
+        disposition: CacheDisposition,
+        entry: &CacheEntry,
+    ) -> io::Result<()> {
+        let mut w = self.writer.lock();
+        if self.streaming {
+            drop(w);
+            self.send_stream_head(fingerprint);
+            let mut w = self.writer.lock();
+            let mut line = format!(
+                "{{\"event\":\"result\",\"cache\":\"{}\",\"response\":",
+                disposition.as_str()
+            )
+            .into_bytes();
+            line.extend_from_slice(&entry.response);
+            line.extend_from_slice(b"}\n");
+            w.write_all(&line)?;
+            w.flush()
+        } else {
+            write_http_response(
+                &mut **w,
+                200,
+                "application/json",
+                &[
+                    ("x-dgsched-cache", disposition.as_str()),
+                    ("x-dgsched-fingerprint", fingerprint),
+                ],
+                &entry.response,
+            )
+        }
+    }
+
+    fn send_error(&self, status: u16, msg: &str) -> io::Result<()> {
+        let mut w = self.writer.lock();
+        if self.streaming && self.head_sent.load(Ordering::SeqCst) {
+            // Head already on the wire: report the error as a terminal
+            // JSONL line instead of a status.
+            let mut line = b"{\"event\":\"error\",\"error\":".to_vec();
+            line.extend_from_slice(&serde_json::to_vec(msg).expect("string serialises"));
+            line.extend_from_slice(b"}\n");
+            w.write_all(&line)?;
+            w.flush()
+        } else {
+            let (status, body) = json_error(status, msg);
+            write_http_response(&mut **w, status, "application/json", &[], &body)
+        }
+    }
+}
+
+fn handle_sweep(
+    inner: &Arc<ServerInner>,
+    request: &HttpRequest,
+    writer: &mut BufWriter<TcpStream>,
+) -> io::Result<()> {
+    ServeMetrics::bump(&inner.metrics.sweep_requests);
+    let streaming = request.query_flag("stream")
+        || header_value(&request.headers, "accept") == Some("application/x-ndjson");
+    let conn = SweepConnection {
+        writer: Mutex::new(writer),
+        streaming,
+        head_sent: AtomicBool::new(false),
+    };
+    let req: SweepRequest = match serde_json::from_slice(&request.body) {
+        Ok(r) => r,
+        Err(e) => {
+            ServeMetrics::bump(&inner.metrics.bad_requests);
+            return conn.send_error(400, &format!("invalid sweep request: {e}"));
+        }
+    };
+    if let Err(msg) = validate_request(&req) {
+        ServeMetrics::bump(&inner.metrics.bad_requests);
+        return conn.send_error(400, &msg);
+    }
+    let canonical = match canonical_sweep_bytes(&req.scenarios, req.base_seed, &req.rule) {
+        Ok(b) => b,
+        Err(e) => return conn.send_error(500, &e.to_string()),
+    };
+    let fingerprint = match sweep_fingerprint(&req.scenarios, req.base_seed, &req.rule) {
+        Ok(f) => f,
+        Err(e) => return conn.send_error(500, &e.to_string()),
+    };
+
+    match inner.cache.lookup(&fingerprint, &canonical) {
+        CacheLookup::Hit(entry) => {
+            ServeMetrics::bump(&inner.metrics.cache_hits);
+            return conn.send_result(&fingerprint, CacheDisposition::Hit, &entry);
+        }
+        CacheLookup::Collision => {
+            ServeMetrics::bump(&inner.metrics.cache_collisions);
+            return run_collision(inner, &req, &fingerprint, &conn);
+        }
+        CacheLookup::Miss => {}
+    }
+    ServeMetrics::bump(&inner.metrics.cache_misses);
+
+    match inner.flight.join(&fingerprint) {
+        FlightRole::Follower(Ok(entry)) => {
+            ServeMetrics::bump(&inner.metrics.single_flight_waits);
+            if entry.request == canonical {
+                conn.send_result(&fingerprint, CacheDisposition::Wait, &entry)
+            } else {
+                // A fingerprint collision raced the leader; compute this
+                // request's own answer, uncached.
+                ServeMetrics::bump(&inner.metrics.cache_collisions);
+                run_collision(inner, &req, &fingerprint, &conn)
+            }
+        }
+        FlightRole::Follower(Err(msg)) => {
+            ServeMetrics::bump(&inner.metrics.single_flight_waits);
+            conn.send_error(500, &format!("sweep failed: {msg}"))
+        }
+        FlightRole::Leader(token) => {
+            run_leader(inner, &req, &fingerprint, &canonical, token, &conn)
+        }
+    }
+}
+
+/// The leader path: admission, journaled sweep (resuming any journal a
+/// crashed instance left), cache insert, publish.
+fn run_leader(
+    inner: &Arc<ServerInner>,
+    req: &SweepRequest,
+    fingerprint: &str,
+    canonical: &[u8],
+    token: LeaderToken,
+    conn: &SweepConnection<'_>,
+) -> io::Result<()> {
+    // Double-check the cache under leadership: a previous leader may
+    // have inserted between our probe and our join.
+    if let CacheLookup::Hit(entry) = inner.cache.lookup(fingerprint, canonical) {
+        ServeMetrics::bump(&inner.metrics.cache_hits);
+        inner.flight.finish(token, Ok(entry.clone()));
+        return conn.send_result(fingerprint, CacheDisposition::Hit, &entry);
+    }
+    let tenant = req.tenant.as_deref().unwrap_or("anonymous");
+    let permit = inner.admission.admit(tenant);
+    conn.send_stream_head(fingerprint);
+    ServeMetrics::bump(&inner.metrics.sweeps_executed);
+    let journal_path = inner.cache.journal_path(fingerprint);
+    let resume = journal_path.exists();
+    let guard = inner.guard;
+    let run = || {
+        run_matrix_journaled_with_progress(
+            &req.scenarios,
+            req.base_seed,
+            &req.rule,
+            &journal_path,
+            resume,
+            guard,
+            |done, total, name| conn.send_progress(done, total, name),
+        )
+    };
+    let outcome = match inner.width {
+        Some(w) => rayon::with_num_threads(w, run),
+        None => run(),
+    };
+    drop(permit);
+    match outcome {
+        Ok(outcome) => {
+            inner
+                .metrics
+                .journal_replayed
+                .fetch_add(outcome.stats.records_replayed, Ordering::Relaxed);
+            inner
+                .metrics
+                .journal_resumes
+                .fetch_add(outcome.stats.resumes, Ordering::Relaxed);
+            let response = SweepResponse {
+                fingerprint: fingerprint.to_string(),
+                results: outcome.results,
+            };
+            let bytes = serde_json::to_vec(&response).expect("response serialises");
+            match inner.cache.insert(fingerprint, canonical, bytes) {
+                Ok(entry) => {
+                    inner.flight.finish(token, Ok(entry.clone()));
+                    conn.send_result(fingerprint, CacheDisposition::Miss, &entry)
+                }
+                Err(e) => {
+                    let msg = format!("result computed but cache write failed: {e}");
+                    ServeMetrics::bump(&inner.metrics.sweeps_failed);
+                    inner.flight.finish(token, Err(msg.clone()));
+                    conn.send_error(500, &msg)
+                }
+            }
+        }
+        Err(e) => {
+            ServeMetrics::bump(&inner.metrics.sweeps_failed);
+            let msg = e.to_string();
+            inner.flight.finish(token, Err(msg.clone()));
+            conn.send_error(500, &format!("sweep failed: {msg}"))
+        }
+    }
+}
+
+/// The fingerprint-collision path (2⁻¹²⁸ odds, or a corrupted store):
+/// compute this request's answer under admission, without touching the
+/// stored entry or the journal keyed by the colliding fingerprint.
+fn run_collision(
+    inner: &Arc<ServerInner>,
+    req: &SweepRequest,
+    fingerprint: &str,
+    conn: &SweepConnection<'_>,
+) -> io::Result<()> {
+    let tenant = req.tenant.as_deref().unwrap_or("anonymous");
+    let permit = inner.admission.admit(tenant);
+    conn.send_stream_head(fingerprint);
+    ServeMetrics::bump(&inner.metrics.sweeps_executed);
+    let results = {
+        let run = || {
+            crate::experiment::run_matrix_with_progress(
+                &req.scenarios,
+                req.base_seed,
+                &req.rule,
+                |done, total, name| conn.send_progress(done, total, name),
+            )
+        };
+        match inner.width {
+            Some(w) => rayon::with_num_threads(w, run),
+            None => run(),
+        }
+    };
+    drop(permit);
+    let response = SweepResponse {
+        fingerprint: fingerprint.to_string(),
+        results,
+    };
+    let entry = CacheEntry {
+        request: Vec::new(),
+        response: serde_json::to_vec(&response).expect("response serialises"),
+    };
+    conn.send_result(fingerprint, CacheDisposition::Collision, &entry)
+}
+
+/// A tiny, fast scenario pair for the `serve --check` self-test: small
+/// bags, two replications, milliseconds of compute.
+fn check_request() -> SweepRequest {
+    let scenario = |name: &str, policy: PolicyKind| Scenario {
+        name: name.to_string(),
+        grid: GridConfig {
+            total_power: 100.0,
+            heterogeneity: Heterogeneity::HOM,
+            availability: Availability::HIGH,
+            checkpoint: Default::default(),
+            outages: None,
+        },
+        workload: WorkloadKind::Single(WorkloadSpec {
+            bot_type: BotType {
+                granularity: 1_000.0,
+                app_size: 20_000.0,
+                jitter: 0.5,
+            },
+            intensity: Intensity::Low,
+            count: 6,
+        }),
+        policy,
+        sim: SimConfig::default(),
+    };
+    SweepRequest {
+        scenarios: vec![
+            scenario("check: RR", PolicyKind::Rr),
+            scenario("check: FCFS-Share", PolicyKind::FcfsShare),
+        ],
+        base_seed: 2008,
+        rule: StoppingRule {
+            min_replications: 2,
+            max_replications: 2,
+            ..StoppingRule::default()
+        },
+        tenant: Some("self-check".to_string()),
+    }
+}
+
+/// `dgsched serve --check`: bind (an ephemeral port unless `addr` pins
+/// one), round-trip a demo sweep twice, and verify the second response
+/// is a byte-identical cache hit. Returns a human-readable summary, or
+/// a description of the first discrepancy.
+pub fn self_check(addr: &str) -> Result<String, String> {
+    let cfg = ServeConfig {
+        addr: addr.to_string(),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(&cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn();
+    let outcome = (|| {
+        let body = serde_json::to_vec(&check_request()).expect("request serialises");
+        let first = http_request(&addr, "POST", "/sweep", &[], &body)
+            .map_err(|e| format!("first request failed: {e}"))?;
+        if first.status != 200 {
+            return Err(format!(
+                "first request: status {} body {}",
+                first.status,
+                String::from_utf8_lossy(&first.body)
+            ));
+        }
+        if header_value(&first.headers, "x-dgsched-cache") != Some("miss") {
+            return Err("first request was not a cache miss".to_string());
+        }
+        let second = http_request(&addr, "POST", "/sweep", &[], &body)
+            .map_err(|e| format!("second request failed: {e}"))?;
+        if header_value(&second.headers, "x-dgsched-cache") != Some("hit") {
+            return Err("second request was not a cache hit".to_string());
+        }
+        if first.body != second.body {
+            return Err("cache hit served different bytes than the computed response".to_string());
+        }
+        if let Err(e) = http_request(&addr, "POST", "/shutdown", &[], b"") {
+            return Err(format!("shutdown failed: {e}"));
+        }
+        Ok(format!(
+            "round-trip ok at {addr}: miss then byte-identical hit ({} bytes)",
+            first.body.len()
+        ))
+    })();
+    match &outcome {
+        // /shutdown already stopped the accept loop on success; make
+        // sure it stops on failure too, then join either way.
+        Ok(_) => {
+            let _ = handle.join.join();
+        }
+        Err(_) => handle.shutdown(),
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dgsched-serve-unit-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spawn_server(dir: &PathBuf) -> ServerHandle {
+        let server = Server::bind(&ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        server.spawn()
+    }
+
+    #[test]
+    fn health_metrics_and_unknown_routes() {
+        let dir = tmp_dir("routes");
+        let handle = spawn_server(&dir);
+        let addr = handle.addr().to_string();
+        let health = http_request(&addr, "GET", "/healthz", &[], b"").unwrap();
+        assert_eq!(health.status, 200);
+        assert_eq!(health.body, b"{\"ok\":true}");
+        let metrics = http_request(&addr, "GET", "/metrics", &[], b"").unwrap();
+        let snap: MetricsSnapshot = serde_json::from_slice(&metrics.body).unwrap();
+        assert_eq!(snap.counters["serve_sweeps_executed"], 0);
+        let missing = http_request(&addr, "GET", "/frobnicate", &[], b"").unwrap();
+        assert_eq!(missing.status, 404);
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_validates_before_running() {
+        let dir = tmp_dir("validate");
+        let handle = spawn_server(&dir);
+        let addr = handle.addr().to_string();
+        let empty = http_request(&addr, "POST", "/sweep", &[], br#"{"scenarios":[]}"#).unwrap();
+        assert_eq!(empty.status, 400);
+        let garbage = http_request(&addr, "POST", "/sweep", &[], b"not json").unwrap();
+        assert_eq!(garbage.status, 400);
+        // Duplicate names are a journal hazard: rejected up front.
+        let mut req = check_request();
+        req.scenarios[1].name = req.scenarios[0].name.clone();
+        let body = serde_json::to_vec(&req).unwrap();
+        let dup = http_request(&addr, "POST", "/sweep", &[], &body).unwrap();
+        assert_eq!(dup.status, 400);
+        assert!(String::from_utf8_lossy(&dup.body).contains("unique"));
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn self_check_passes_end_to_end() {
+        let summary = self_check("127.0.0.1:0").expect("self-check");
+        assert!(summary.contains("byte-identical hit"), "{summary}");
+    }
+
+    #[test]
+    fn streamed_and_plain_responses_embed_the_same_result() {
+        let dir = tmp_dir("stream");
+        let handle = spawn_server(&dir);
+        let addr = handle.addr().to_string();
+        let body = serde_json::to_vec(&check_request()).unwrap();
+        let plain = http_request(&addr, "POST", "/sweep", &[], &body).unwrap();
+        assert_eq!(plain.status, 200);
+        let streamed = http_request(&addr, "POST", "/sweep?stream=1", &[], &body).unwrap();
+        // Cache hit in stream mode: a single terminal result line whose
+        // embedded response is exactly the plain body.
+        let text = String::from_utf8(streamed.body).unwrap();
+        let line = text.lines().last().expect("result line");
+        let value: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert_eq!(value["event"], "result");
+        assert_eq!(value["cache"], "hit");
+        let embedded = serde_json::to_string(&value["response"]).unwrap();
+        let plain_value: serde_json::Value = serde_json::from_slice(&plain.body).unwrap();
+        assert_eq!(embedded, serde_json::to_string(&plain_value).unwrap());
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

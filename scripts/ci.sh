@@ -28,6 +28,18 @@ echo "==> journal gate: kill/resume determinism at widths 1 and 4"
 DGSCHED_THREADS=1 cargo test -q -p dgsched-core --test journal_resume
 DGSCHED_THREADS=4 cargo test -q -p dgsched-core --test journal_resume
 
+echo "==> serve gate: daemon dedupe + kill/resume at widths 1 and 4"
+# The sweep service contract: concurrent identical requests execute one
+# sweep and serve byte-identical bytes, and a daemon SIGKILLed mid-sweep
+# resumes from its journal to the same bytes after restart. The tests
+# spawn the real dgsched binary and pin its width per-test; running the
+# battery under both environment baselines re-proves it whatever the
+# inherited DGSCHED_THREADS resolves to. The --check self-test is the
+# deployable liveness probe (bind, sweep, verify a byte-identical hit).
+DGSCHED_THREADS=1 cargo test -q -p dgsched-core --test serve
+DGSCHED_THREADS=4 cargo test -q -p dgsched-core --test serve
+cargo run --release -q -p dgsched-core --bin dgsched -- serve --check
+
 echo "==> telemetry gate: obs crate with and without the timing feature"
 # The observer seam must stay passive: the obs crate and its profiling
 # spans are built and tested in both configurations, and the passivity
