@@ -1,0 +1,441 @@
+//! A hand-rolled Rust scanner: just enough lexical structure to walk a
+//! source file as a stream of significant tokens plus a side-channel of
+//! line comments.
+//!
+//! The lint rules only need identifiers, punctuation and line numbers,
+//! but getting those *right* requires skipping everything that can
+//! contain rule-triggering text without being code: line and (nested)
+//! block comments, string literals (including raw and byte strings),
+//! char literals, and lifetimes (so `'a` is never half a char literal).
+//! Numbers are lexed as opaque literals so `2.0.total_cmp(..)` cannot
+//! smear the float into the method-call dot.
+//!
+//! The scanner is lossy by design — it does not build an AST and it does
+//! not need to: every rule in [`crate::rules`] is expressed over short
+//! token sequences, and suppression comments ride in on the comment
+//! side-channel with their own line numbers.
+
+/// What a significant token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (raw identifiers are unescaped: `r#use`
+    /// lexes as `use`).
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// A string/char/numeric literal; contents deliberately dropped.
+    Literal,
+}
+
+/// One significant token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub line: u32,
+}
+
+/// One `//` line comment.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Text after the `//` (or `///`, `//!`) marker, untrimmed.
+    pub text: String,
+    /// True when no significant token precedes the comment on its line.
+    pub own_line: bool,
+}
+
+/// The scan result: tokens in source order plus all line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Scans `src` into tokens and comments. Never fails: unterminated
+/// constructs simply consume to end of input, which is the right
+/// behavior for a linter that must keep going on half-broken files.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        code_on_line: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    /// Has the current line produced a significant token yet?
+    code_on_line: bool,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.code_on_line = false;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind) {
+        self.out.toks.push(Tok {
+            kind,
+            line: self.line,
+        });
+        self.code_on_line = true;
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.quote(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(),
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct(c));
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let own_line = !self.code_on_line;
+        self.bump();
+        self.bump();
+        // Doc-comment markers are part of the marker, not the text.
+        if matches!(self.peek(0), Some('/') | Some('!')) {
+            self.bump();
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            text,
+            own_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// A plain (non-raw) string literal starting at the current `"`.
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.out.toks.push(Tok {
+            kind: TokKind::Literal,
+            line,
+        });
+        self.code_on_line = true;
+    }
+
+    /// A raw string body: the opening `"` has not been consumed yet and
+    /// `hashes` count `#`s in the delimiter.
+    fn raw_string_body(&mut self, hashes: usize) {
+        let line = self.line;
+        self.bump(); // the opening quote
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.out.toks.push(Tok {
+            kind: TokKind::Literal,
+            line,
+        });
+        self.code_on_line = true;
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn quote(&mut self) {
+        let line = self.line;
+        match (self.peek(1), self.peek(2)) {
+            // '\n', '\'', '\\' etc: always a char literal.
+            (Some('\\'), _) => {
+                self.bump();
+                self.bump();
+                self.bump(); // the escaped char
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    line,
+                });
+                self.code_on_line = true;
+            }
+            // 'x' — a single char closed by a quote.
+            (Some(_), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.bump();
+                self.out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    line,
+                });
+                self.code_on_line = true;
+            }
+            // A lifetime: consume the quote and let the identifier path
+            // pick up the name (it is irrelevant to every rule).
+            _ => {
+                self.bump();
+                self.push(TokKind::Punct('\''));
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `2.0` continues the literal; `2.method()` does not.
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(self.chars.get(self.pos - 1), Some('e') | Some('E'))
+            {
+                // Exponent sign: `1e-5`.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.out.toks.push(Tok {
+            kind: TokKind::Literal,
+            line,
+        });
+        self.code_on_line = true;
+    }
+
+    /// An identifier, or one of the prefixed literal forms that *start*
+    /// like an identifier: `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'c'`,
+    /// and raw identifiers `r#name`.
+    fn ident_or_prefixed(&mut self) {
+        // Raw/byte string detection before committing to an identifier.
+        let (p0, p1, p2) = (self.peek(0), self.peek(1), self.peek(2));
+        if p0 == Some('r') || p0 == Some('b') {
+            let raw = p0 == Some('r') || p1 == Some('r');
+            let after_prefix = if p0 == Some('b') && p1 == Some('r') {
+                2
+            } else {
+                1
+            };
+            let mut hashes = 0usize;
+            while self.peek(after_prefix + hashes) == Some('#') {
+                hashes += 1;
+            }
+            let quote_at = after_prefix + hashes;
+            if self.peek(quote_at) == Some('"') {
+                // r"…", r#"…"#, br#"…"# (no escapes) or b"…" (escapes).
+                for _ in 0..quote_at {
+                    self.bump();
+                }
+                if raw {
+                    self.raw_string_body(hashes);
+                } else {
+                    self.string_literal();
+                }
+                return;
+            }
+            if p0 == Some('b') && p1 == Some('\'') {
+                // b'c' byte literal: consume to the closing quote.
+                let line = self.line;
+                self.bump();
+                self.bump();
+                if self.peek(0) == Some('\\') {
+                    self.bump();
+                }
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    line,
+                });
+                self.code_on_line = true;
+                return;
+            }
+            if p0 == Some('r') && p1 == Some('#') && p2.is_some_and(is_ident_char) {
+                // Raw identifier r#use → lex the unescaped name.
+                self.bump();
+                self.bump();
+                self.ident();
+                return;
+            }
+        }
+        self.ident();
+    }
+
+    fn ident(&mut self) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_char(c) {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident(name));
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            // not code: FlaggedName
+            /* nor this: FlaggedName /* nested */ still comment */
+            let s = "FlaggedName";
+            let r = r#"FlaggedName"#;
+            let b = b"FlaggedName";
+            real_ident();
+        "##;
+        let names = idents(src);
+        assert!(names.contains(&"real_ident".to_string()));
+        assert!(!names.contains(&"FlaggedName".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_following_code() {
+        let names = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(names.contains(&"str".to_string()));
+        assert!(names.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn char_literals_close() {
+        let names = idents("let c = 'x'; let n = '\\n'; after();");
+        assert!(names.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn float_literals_keep_their_dot_but_release_method_calls() {
+        let toks = lex("2.0.total_cmp(&x); v[1].name");
+        let names: Vec<_> = toks
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains(&"total_cmp"));
+        assert!(names.contains(&"name"));
+    }
+
+    #[test]
+    fn line_numbers_and_own_line_comments() {
+        let src = "let a = 1;\n// own line\nlet b = 2; // trailing\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].own_line);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(!lexed.comments[1].own_line);
+        assert_eq!(lexed.comments[1].line, 3);
+        let b_line = lexed
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("b".into()))
+            .unwrap()
+            .line;
+        assert_eq!(b_line, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_unescape() {
+        let names = idents("let r#use = 1;");
+        assert!(names.contains(&"use".to_string()));
+    }
+}

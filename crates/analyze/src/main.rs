@@ -1,0 +1,124 @@
+//! CLI for the determinism lint.
+//!
+//! ```text
+//! dgsched-analyze lint [--root <dir>] [PATH…]   # exit 0 clean, 1 findings
+//! dgsched-analyze rules                          # print the rule table
+//! ```
+//!
+//! With no `PATH` arguments, lints the workspace default scope
+//! (`crates/**/*.rs` minus tests — see the library docs). Explicit paths
+//! are linted as given: files directly (even test files), directories
+//! with the default scope policy.
+
+use dgsched_analyze::{collect_rs_files, lint_files, rules, workspace_root, LintReport};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: dgsched-analyze <lint [--root DIR] [PATH…] | rules>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn print_rules() {
+    println!("rule            what");
+    println!("--------------  ----");
+    for r in rules::RULES {
+        println!("{:<14}  {}", r.name, r.what);
+        println!("{:<14}  why: {}", "", r.why);
+    }
+    println!();
+    println!(
+        "suppress with:  // dgsched-analyze: allow(<rule>) -- <reason>   (same line or the line above)"
+    );
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("dgsched-analyze: unknown flag `{flag}`");
+                return usage();
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+
+    let report = if paths.is_empty() {
+        let start = root
+            .clone()
+            .unwrap_or_else(|| std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")));
+        let Some(ws) = workspace_root(&start) else {
+            eprintln!(
+                "dgsched-analyze: no workspace root above {} (pass --root)",
+                start.display()
+            );
+            return ExitCode::from(2);
+        };
+        dgsched_analyze::lint_tree(&ws)
+    } else {
+        let mut files = Vec::new();
+        for p in &paths {
+            if p.is_dir() {
+                match collect_rs_files(p) {
+                    Ok(fs) => files.extend(fs),
+                    Err(e) => {
+                        eprintln!("dgsched-analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                files.push(p.clone());
+            }
+        }
+        lint_files(&files)
+    };
+
+    let report: LintReport = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dgsched-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for (file, line) in &report.unused_suppressions {
+        eprintln!("warning: {file}:{line}: unused suppression (rule no longer fires here)");
+    }
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if report.findings.is_empty() {
+        eprintln!(
+            "dgsched-analyze: clean — {} file(s), {} unused suppression warning(s)",
+            report.files_scanned,
+            report.unused_suppressions.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "dgsched-analyze: {} violation(s) in {} file(s)",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

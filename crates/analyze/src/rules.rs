@@ -1,0 +1,462 @@
+//! The determinism rules and the token-stream engine that applies them.
+//!
+//! Every rule is a short pattern over the significant-token stream of
+//! one file (see [`crate::lexer`]). The engine additionally understands:
+//!
+//! * `use` declarations — imports are not use sites, so rules that match
+//!   bare type names skip them (`use std::collections::…;`);
+//! * `#[cfg(test)]` / `#[test]`-gated items — test shadow state may use
+//!   whatever containers it likes, only shipping code is result-path;
+//! * suppression comments — `// dgsched-analyze: allow(<rule>) -- <reason>`
+//!   on the offending line (trailing) or alone on the line(s) directly
+//!   above it. A suppression without a written reason is itself a
+//!   violation (`bad-suppression`), so every exception in the tree is
+//!   documented and diff-reviewable.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+use std::path::Path;
+
+/// Marker in comments that introduces a suppression.
+pub const ANNOTATION_MARKER: &str = "dgsched-analyze:";
+
+/// A rule's identity and rationale, for `dgsched-analyze rules` and docs.
+pub struct RuleInfo {
+    pub name: &'static str,
+    pub what: &'static str,
+    pub why: &'static str,
+}
+
+/// The rule table. `bad-suppression` is meta (emitted by the engine,
+/// never suppressible) and is not listed here.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "unordered-iter",
+        what: "use of std HashMap/HashSet outside imports and test code",
+        why: "hash iteration order is randomized per process; any order that reaches a \
+              result or serialized output breaks byte-identical sweeps",
+    },
+    RuleInfo {
+        name: "wall-clock",
+        what: "Instant::now or SystemTime outside the timing allowlist",
+        why: "wall-clock reads differ per run and per pool width; results must depend \
+              only on (scenario, seed, rule)",
+    },
+    RuleInfo {
+        name: "float-ord",
+        what: ".partial_cmp(..) method calls on result-path values",
+        why: "partial_cmp returns None on NaN, silently reordering or dropping \
+              comparisons; result-path float ordering must use total_cmp or an \
+              explicit NaN rejection",
+    },
+    RuleInfo {
+        name: "thread-id",
+        what: "thread::current() in shipping code",
+        why: "thread identity varies with pool width and OS scheduling; anything \
+              derived from it that feeds a RunResult is width-dependent",
+    },
+];
+
+/// Returns the rule metadata for `name`, if it is a real rule.
+pub fn rule_named(name: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path as given to the scanner (display-normalized by the caller).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed suppression comment.
+struct Suppression {
+    /// Line of the comment itself.
+    comment_line: u32,
+    /// Code line the suppression covers.
+    applies_to: u32,
+    rules: Vec<String>,
+    used: bool,
+}
+
+/// Scans one file's source. `path` is used only for reporting.
+pub fn scan_source(path: &Path, src: &str) -> ScanOutcome {
+    let lexed = lex(src);
+    let mask = test_gated_mask(&lexed.toks);
+    let (mut suppressions, mut findings) = parse_suppressions(path, &lexed.comments, &lexed.toks);
+
+    let raw = raw_findings(path, &lexed.toks, &mask);
+    for finding in raw {
+        let suppressed = suppressions
+            .iter_mut()
+            .find(|s| s.applies_to == finding.line && s.rules.iter().any(|r| r == finding.rule));
+        match suppressed {
+            Some(s) => s.used = true,
+            None => findings.push(finding),
+        }
+    }
+
+    let unused: Vec<u32> = suppressions
+        .iter()
+        .filter(|s| !s.used)
+        .map(|s| s.comment_line)
+        .collect();
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    ScanOutcome { findings, unused }
+}
+
+/// What scanning one file produced.
+pub struct ScanOutcome {
+    pub findings: Vec<Finding>,
+    /// Comment lines of suppressions that matched nothing (reported as
+    /// warnings, not violations, so a fixed rule doesn't break the gate).
+    pub unused: Vec<u32>,
+}
+
+fn finding(path: &Path, line: u32, rule: &'static str, message: String) -> Finding {
+    Finding {
+        file: path.display().to_string(),
+        line,
+        rule,
+        message,
+    }
+}
+
+/// Applies the rule patterns to the unmasked token stream.
+fn raw_findings(path: &Path, toks: &[Tok], masked: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut in_use = false;
+    for (i, tok) in toks.iter().enumerate() {
+        match &tok.kind {
+            TokKind::Punct(';') => in_use = false,
+            TokKind::Ident(name) => {
+                if name == "use" {
+                    in_use = true;
+                }
+                if masked[i] {
+                    continue;
+                }
+                match name.as_str() {
+                    "HashMap" | "HashSet" if !in_use => out.push(finding(
+                        path,
+                        tok.line,
+                        "unordered-iter",
+                        format!(
+                            "`{name}` has randomized iteration order; use BTreeMap/BTreeSet \
+                             (or annotate a never-iterated use)"
+                        ),
+                    )),
+                    "SystemTime" if !in_use => out.push(finding(
+                        path,
+                        tok.line,
+                        "wall-clock",
+                        "`SystemTime` is a wall-clock read; results must not depend on it"
+                            .to_string(),
+                    )),
+                    "Instant" if ident_path_is(toks, i, "now") => out.push(finding(
+                        path,
+                        tok.line,
+                        "wall-clock",
+                        "`Instant::now()` is a wall-clock read; results must not depend on it"
+                            .to_string(),
+                    )),
+                    "thread" if ident_path_is(toks, i, "current") => out.push(finding(
+                        path,
+                        tok.line,
+                        "thread-id",
+                        "`thread::current()` varies with pool width; never let it feed a result"
+                            .to_string(),
+                    )),
+                    "partial_cmp" if prev_is_dot(toks, i) => out.push(finding(
+                        path,
+                        tok.line,
+                        "float-ord",
+                        "`.partial_cmp(..)` is NaN-lossy; use total_cmp or reject NaN explicitly"
+                            .to_string(),
+                    )),
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// True when `toks[i]` is followed by `::<next>` with the given name.
+fn ident_path_is(toks: &[Tok], i: usize, next: &str) -> bool {
+    matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct(':')))
+        && matches!(toks.get(i + 2).map(|t| &t.kind), Some(TokKind::Punct(':')))
+        && matches!(
+            toks.get(i + 3).map(|t| &t.kind),
+            Some(TokKind::Ident(n)) if n == next
+        )
+}
+
+/// True when the previous significant token is a method-call dot.
+fn prev_is_dot(toks: &[Tok], i: usize) -> bool {
+    i > 0 && matches!(toks[i - 1].kind, TokKind::Punct('.'))
+}
+
+/// Marks token spans belonging to attributes, and — when an attribute
+/// mentions the bare identifier `test` (`#[cfg(test)]`, `#[test]`,
+/// `#[cfg(all(test, …))]`) — the item the attribute gates.
+fn test_gated_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !matches!(toks[i].kind, TokKind::Punct('#')) {
+            i += 1;
+            continue;
+        }
+        let mut gated = false;
+        // One or more consecutive attributes (`#[..]` / `#![..]`).
+        let mut j = i;
+        while j < toks.len() && matches!(toks[j].kind, TokKind::Punct('#')) {
+            let mut k = j + 1;
+            if matches!(toks.get(k).map(|t| &t.kind), Some(TokKind::Punct('!'))) {
+                k += 1;
+            }
+            if !matches!(toks.get(k).map(|t| &t.kind), Some(TokKind::Punct('['))) {
+                break;
+            }
+            let mut depth = 0usize;
+            while k < toks.len() {
+                match toks[k].kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokKind::Ident(ref n) if n == "test" => gated = true,
+                    _ => {}
+                }
+                mask[k] = true;
+                k += 1;
+            }
+            mask[j] = true;
+            if k < toks.len() {
+                mask[k] = true;
+            }
+            j = k + 1;
+        }
+        if gated {
+            // Mask the gated item: through the first brace block that
+            // closes back to depth 0, or to a top-level `;`.
+            let mut depth = 0usize;
+            while j < toks.len() {
+                mask[j] = true;
+                match toks[j].kind {
+                    TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct('}') => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokKind::Punct(';') if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        i = j.max(i + 1);
+    }
+    mask
+}
+
+/// Extracts suppression comments; malformed ones become findings.
+fn parse_suppressions(
+    path: &Path,
+    comments: &[Comment],
+    toks: &[Tok],
+) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix(ANNOTATION_MARKER) else {
+            continue;
+        };
+        let rest = rest.trim();
+        match parse_allow(rest) {
+            Ok(rules) => {
+                let applies_to = if c.own_line {
+                    // First code line after the comment (skipping further
+                    // comment-only lines, which carry no tokens).
+                    toks.iter()
+                        .map(|t| t.line)
+                        .find(|&l| l > c.line)
+                        .unwrap_or(0)
+                } else {
+                    c.line
+                };
+                sups.push(Suppression {
+                    comment_line: c.line,
+                    applies_to,
+                    rules,
+                    used: false,
+                });
+            }
+            Err(why) => findings.push(finding(
+                path,
+                c.line,
+                "bad-suppression",
+                format!("malformed suppression: {why}"),
+            )),
+        }
+    }
+    (sups, findings)
+}
+
+/// Parses `allow(rule[, rule…]) -- reason`, validating rule names and
+/// requiring a non-empty reason.
+fn parse_allow(s: &str) -> Result<Vec<String>, String> {
+    let s = s.trim();
+    let Some(rest) = s.strip_prefix("allow(") else {
+        return Err(format!(
+            "expected `allow(<rule>) -- <reason>` after `{ANNOTATION_MARKER}`"
+        ));
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `allow(`".to_string());
+    };
+    let list = &rest[..close];
+    let tail = rest[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Err("missing ` -- <reason>`: every suppression must say why".to_string());
+    };
+    if reason.trim().is_empty() {
+        return Err("empty reason: every suppression must say why".to_string());
+    }
+    let mut rules = Vec::new();
+    for name in list.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            return Err("empty rule list in `allow()`".to_string());
+        }
+        if rule_named(name).is_none() {
+            let known: Vec<&str> = RULES.iter().map(|r| r.name).collect();
+            return Err(format!(
+                "unknown rule `{name}` (known: {})",
+                known.join(", ")
+            ));
+        }
+        rules.push(name.to_string());
+    }
+    Ok(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scan(src: &str) -> ScanOutcome {
+        scan_source(&PathBuf::from("mem.rs"), src)
+    }
+
+    #[test]
+    fn imports_are_not_use_sites() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: Vec<u8> = vec![]; }\n";
+        assert!(scan(src).findings.is_empty());
+    }
+
+    #[test]
+    fn unordered_container_is_flagged_at_its_line() {
+        let src = "use x;\nfn f() {\n    let m = HashMap::new();\n}\n";
+        let out = scan(src);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].line, 3);
+        assert_eq!(out.findings[0].rule, "unordered-iter");
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f() { let m = HashMap::new(); }\n}\n";
+        assert!(scan(src).findings.is_empty());
+    }
+
+    #[test]
+    fn trailing_suppression_with_reason_is_honored() {
+        let src =
+            "fn f() { let m = HashMap::new(); } // dgsched-analyze: allow(unordered-iter) -- probe only\n";
+        let out = scan(src);
+        assert!(out.findings.is_empty());
+        assert!(out.unused.is_empty());
+    }
+
+    #[test]
+    fn own_line_suppression_covers_the_next_code_line() {
+        let src = "// dgsched-analyze: allow(unordered-iter) -- membership probes only\nfn f(m: HashSet<u8>) {}\n";
+        assert!(scan(src).findings.is_empty());
+    }
+
+    #[test]
+    fn suppression_without_reason_is_a_violation() {
+        let src = "fn f() { let m = HashMap::new(); } // dgsched-analyze: allow(unordered-iter)\n";
+        let out = scan(src);
+        assert!(out
+            .findings
+            .iter()
+            .any(|f| f.rule == "bad-suppression" && f.message.contains("why")));
+        // The underlying violation still stands: nothing was suppressed.
+        assert!(out.findings.iter().any(|f| f.rule == "unordered-iter"));
+    }
+
+    #[test]
+    fn unknown_rule_names_are_rejected() {
+        let src = "// dgsched-analyze: allow(no-such-rule) -- because\nfn f() {}\n";
+        let out = scan(src);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, "bad-suppression");
+    }
+
+    #[test]
+    fn wall_clock_and_thread_id_sequences() {
+        let src = "fn f() {\n    let t = Instant::now();\n    let id = std::thread::current().id();\n    let s = SystemTime::now();\n}\n";
+        let out = scan(src);
+        let rules: Vec<_> = out.findings.iter().map(|f| (f.rule, f.line)).collect();
+        assert!(rules.contains(&("wall-clock", 2)));
+        assert!(rules.contains(&("thread-id", 3)));
+        assert!(rules.contains(&("wall-clock", 4)));
+    }
+
+    #[test]
+    fn partial_cmp_calls_flag_but_definitions_do_not() {
+        let src = "impl PartialOrd for X {\n    fn partial_cmp(&self, o: &X) -> Option<Ordering> {\n        self.v.partial_cmp(&o.v)\n    }\n}\n";
+        let out = scan(src);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].line, 3);
+        assert_eq!(out.findings[0].rule, "float-ord");
+    }
+
+    #[test]
+    fn unused_suppressions_are_reported() {
+        let src = "// dgsched-analyze: allow(wall-clock) -- stale\nfn clean() {}\n";
+        let out = scan(src);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.unused, vec![1]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger() {
+        let src = "fn f() -> &'static str {\n    // HashMap in a comment\n    \"HashMap Instant SystemTime\"\n}\n";
+        assert!(scan(src).findings.is_empty());
+    }
+}

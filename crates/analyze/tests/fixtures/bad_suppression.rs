@@ -1,0 +1,16 @@
+//! Lint fixture: malformed suppressions — each is itself a violation.
+
+use std::collections::HashMap;
+
+pub fn no_reason() -> HashMap<u8, u8> {
+    HashMap::new() // dgsched-analyze: allow(unordered-iter)
+}
+
+pub fn empty_reason() -> HashMap<u8, u8> {
+    HashMap::new() // dgsched-analyze: allow(unordered-iter) --
+}
+
+pub fn unknown_rule() {
+    // dgsched-analyze: allow(nondeterminism) -- not a rule name
+    let _ = 1;
+}

@@ -1,0 +1,27 @@
+//! Lint fixture: the `float-ord` violation class.
+
+use std::cmp::Ordering;
+
+pub fn pick(xs: &mut [f64]) -> Option<f64> {
+    // A NaN-lossy sort: the comparator silently equates NaN with all.
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal)); // flagged (line 7)
+    xs.first().copied()
+}
+
+pub fn positive(x: f64) -> bool {
+    x.partial_cmp(&0.0) == Some(Ordering::Greater) // flagged (line 12)
+}
+
+pub struct V(f64);
+
+impl PartialOrd for V {
+    // A definition is not a call: not flagged.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+impl PartialEq for V {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}

@@ -1,0 +1,20 @@
+//! Lint fixture: every violation class, each carrying a well-formed
+//! suppression with a written reason — scans clean.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Index {
+    // dgsched-analyze: allow(unordered-iter) -- id→slot lookup, probed by key, never iterated
+    slots: HashMap<u64, usize>,
+}
+
+pub fn bench_only() -> f64 {
+    let t0 = Instant::now(); // dgsched-analyze: allow(wall-clock) -- local timing harness, never serialized
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn clamp(x: f64) -> bool {
+    // dgsched-analyze: allow(float-ord) -- operand proven non-NaN one line above
+    x.partial_cmp(&0.0).is_some()
+}

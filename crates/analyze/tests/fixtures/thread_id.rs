@@ -1,0 +1,10 @@
+//! Lint fixture: the `thread-id` violation class.
+
+pub fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id()) // flagged (line 4)
+}
+
+pub fn also_direct() -> std::thread::ThreadId {
+    use std::thread;
+    thread::current().id() // flagged (line 9)
+}

@@ -1,0 +1,27 @@
+//! Lint fixture: the `unordered-iter` violation class. Not compiled —
+//! driven by `tests/lint_fixtures.rs` through the scanner.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Widths {
+    by_policy: HashMap<String, u64>, // flagged (line 7)
+    seen: HashSet<u64>,              // flagged (line 8)
+}
+
+pub fn summarize(w: &Widths) -> Vec<String> {
+    // Iterating the map straight into output: the canonical leak.
+    w.by_policy.iter().map(|(k, v)| format!("{k}={v}")).collect()
+}
+
+pub fn build() -> HashMap<String, u64> { // flagged (line 16)
+    HashMap::new() // flagged (line 17)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test shadow state is out of scope: not flagged.
+    use std::collections::HashMap;
+    pub fn shadow() -> HashMap<u8, u8> {
+        HashMap::new()
+    }
+}

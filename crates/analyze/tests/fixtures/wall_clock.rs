@@ -1,0 +1,18 @@
+//! Lint fixture: the `wall-clock` violation class.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> f64 {
+    let t0 = Instant::now(); // flagged (line 6)
+    t0.elapsed().as_secs_f64()
+}
+
+pub struct Header {
+    created: SystemTime, // flagged (line 11)
+}
+
+pub fn header() -> Header {
+    Header {
+        created: SystemTime::now(), // flagged (line 16)
+    }
+}

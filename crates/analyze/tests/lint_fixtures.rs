@@ -1,0 +1,120 @@
+//! The lint's acceptance battery: each seeded fixture exits dirty with
+//! file:line diagnostics, the suppressed fixture exits clean, and the
+//! real tree is clean — which makes `cargo test` itself enforce the
+//! determinism contract (the CI gate re-runs the binary for the same
+//! check at the shell level).
+
+use dgsched_analyze::{lint_files, lint_tree, rules::Finding};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn findings_for(name: &str) -> Vec<Finding> {
+    lint_files(&[fixture(name)])
+        .expect("fixture reads")
+        .findings
+}
+
+fn lines_of(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn unordered_iter_fixture_flags_every_site_with_lines() {
+    let fs = findings_for("unordered_iter.rs");
+    assert_eq!(lines_of(&fs, "unordered-iter"), vec![7, 8, 16, 17]);
+    assert_eq!(fs.len(), 4, "cfg(test) module must stay exempt: {fs:?}");
+    assert!(fs[0].file.ends_with("unordered_iter.rs"));
+}
+
+#[test]
+fn wall_clock_fixture_flags_instant_and_system_time() {
+    let fs = findings_for("wall_clock.rs");
+    assert_eq!(lines_of(&fs, "wall-clock"), vec![6, 11, 16]);
+    assert_eq!(fs.len(), 3, "{fs:?}");
+}
+
+#[test]
+fn float_ord_fixture_flags_calls_not_definitions() {
+    let fs = findings_for("float_ord.rs");
+    assert_eq!(lines_of(&fs, "float-ord"), vec![7, 12]);
+    assert_eq!(fs.len(), 2, "{fs:?}");
+}
+
+#[test]
+fn thread_id_fixture_flags_both_spellings() {
+    let fs = findings_for("thread_id.rs");
+    assert_eq!(lines_of(&fs, "thread-id"), vec![4, 9]);
+    assert_eq!(fs.len(), 2, "{fs:?}");
+}
+
+#[test]
+fn suppressed_fixture_is_clean_with_no_unused_warnings() {
+    let report = lint_files(&[fixture("suppressed_ok.rs")]).expect("fixture reads");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(
+        report.unused_suppressions.is_empty(),
+        "{:?}",
+        report.unused_suppressions
+    );
+}
+
+#[test]
+fn malformed_suppressions_are_violations_and_suppress_nothing() {
+    let fs = findings_for("bad_suppression.rs");
+    assert_eq!(lines_of(&fs, "bad-suppression"), vec![6, 10, 14]);
+    // The underlying violations still fire: nothing was suppressed.
+    assert_eq!(lines_of(&fs, "unordered-iter"), vec![5, 6, 9, 10]);
+}
+
+#[test]
+fn the_tree_is_clean() {
+    // crates/analyze/../.. is the workspace root.
+    let ws = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    assert!(ws.join("Cargo.toml").exists(), "not a workspace: {ws:?}");
+    let report = lint_tree(&ws).expect("tree walks");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.findings.is_empty(),
+        "determinism lint violations in the tree:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.unused_suppressions.is_empty(),
+        "stale suppressions: {:?}",
+        report.unused_suppressions
+    );
+}
+
+#[test]
+fn lint_output_is_deterministic_across_invocations() {
+    // The lint polices determinism; it must practice it. Two walks over
+    // the same fixtures must render identical reports in identical order.
+    let files = vec![
+        fixture("wall_clock.rs"),
+        fixture("unordered_iter.rs"),
+        fixture("float_ord.rs"),
+    ];
+    let a = lint_files(&files).expect("reads");
+    let b = lint_files(&files).expect("reads");
+    let ra: Vec<String> = a.findings.iter().map(|f| f.to_string()).collect();
+    let rb: Vec<String> = b.findings.iter().map(|f| f.to_string()).collect();
+    assert_eq!(ra, rb);
+}

@@ -441,6 +441,7 @@ where
 {
     let mut retried = false;
     loop {
+        // dgsched-analyze: allow(wall-clock) -- RepGuard's wall-clock limit is an explicit safety valve; a tripped limit serializes as `saturated`, the same value the event budget produces deterministically
         let start = Instant::now();
         match catch_unwind(AssertUnwindSafe(|| {
             RepSummary::of(&rep_runner(scenario, base_seed, rep))

@@ -14,7 +14,7 @@
 //! ([`AdmissionState::grant_next`]), unit-tested synchronously; the
 //! blocking shell around it is a `Mutex`/`Condvar` pair.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::{Condvar, Mutex};
 
 /// The queue state: who is waiting, in what per-tenant order, and which
@@ -32,7 +32,9 @@ struct AdmissionState {
     /// its next arrival, which is exactly the round-robin contract).
     rotation: VecDeque<String>,
     /// Tickets granted a slot whose owner has not yet observed it.
-    granted: HashSet<u64>,
+    /// Ordered so any future enumeration (e.g. `/metrics`) is
+    /// deterministic; the set is tiny, so the tree costs nothing.
+    granted: BTreeSet<u64>,
 }
 
 impl AdmissionState {

@@ -10,10 +10,14 @@
 //!
 //! Built on `std::sync` (the vendored `parking_lot` has no `Condvar`).
 //! Lock poisoning is recovered with `into_inner`: the state protected by
-//! these mutexes is a plain value slot, always valid.
+//! these mutexes is a plain value slot, always valid. Because these are
+//! std locks, the `lockcheck` witness in `vendor/parking_lot` does not
+//! see them — the condvar wait/relock cycle could not be tracked
+//! soundly anyway; the flight map is a leaf lock (nothing is acquired
+//! while it is held), which is the deadlock-freedom argument here.
 
 use super::cache::CacheEntry;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex};
 
 /// What a flight resolves to: the cache entry the leader computed, or
@@ -26,7 +30,10 @@ struct Flight {
     cv: Condvar,
 }
 
-type FlightMap = Mutex<HashMap<String, Arc<Flight>>>;
+// Ordered on purpose: `/metrics` (and any future flight enumeration)
+// must see in-flight fingerprints in deterministic key order, per the
+// determinism lint's unordered-iter rule.
+type FlightMap = Mutex<BTreeMap<String, Arc<Flight>>>;
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())

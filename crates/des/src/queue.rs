@@ -490,8 +490,10 @@ pub struct CalendarQueue<E> {
     /// Start time of the bucket under the cursor.
     cursor_time: f64,
     /// Ids scheduled but not yet popped or cancelled.
+    // dgsched-analyze: allow(unordered-iter) -- event-id membership probe; never iterated, pop order comes from the bucket scan
     pending: HashSet<u64>,
     /// Ids cancelled but still physically in a bucket (lazy deletion).
+    // dgsched-analyze: allow(unordered-iter) -- lazy-deletion membership probe; never iterated
     cancelled: HashSet<u64>,
     next_id: u64,
     live: usize,
@@ -541,7 +543,9 @@ impl<E> CalendarQueue<E> {
             bucket_width: 1.0,
             cursor: 0,
             cursor_time: 0.0,
+            // dgsched-analyze: allow(unordered-iter) -- constructor for the membership sets annotated above
             pending: HashSet::new(),
+            // dgsched-analyze: allow(unordered-iter) -- constructor for the membership sets annotated above
             cancelled: HashSet::new(),
             next_id: 0,
             live: 0,
@@ -762,6 +766,7 @@ impl<E> PendingEvents<E> for CalendarQueue<E> {
 pub struct BTreeQueue<E> {
     map: BTreeMap<(u64, u64), (SimTime, E)>,
     /// id → key, so `cancel` can find the entry.
+    // dgsched-analyze: allow(unordered-iter) -- id→key lookup table probed by event id; iteration order can't reach results (pop order comes from the BTreeMap)
     index: std::collections::HashMap<u64, (u64, u64)>,
     next_id: u64,
 }
@@ -777,6 +782,7 @@ impl<E> BTreeQueue<E> {
     pub fn new() -> Self {
         BTreeQueue {
             map: BTreeMap::new(),
+            // dgsched-analyze: allow(unordered-iter) -- constructor for the lookup table annotated above
             index: std::collections::HashMap::new(),
             next_id: 0,
         }

@@ -61,8 +61,19 @@ impl BagOfTasks {
             if t.id.index() != i {
                 return Err(format!("{}: task id {} at position {i}", self.id, t.id));
             }
-            if t.work.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-                return Err(format!("{}: task {} has work {}", self.id, t.id, t.work));
+            // `!(work > 0.0)` is true for zero, negatives AND NaN — the
+            // old `partial_cmp != Greater` spelling hid the NaN case in
+            // a comparison that silently returned None. The negation is
+            // the point: clippy's preferred `partial_cmp` spelling is
+            // exactly the NaN-swallowing form this replaces.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(t.work > 0.0) {
+                let why = if t.work.is_nan() {
+                    "NaN work (rejected: NaN would poison every turnaround statistic)"
+                } else {
+                    "non-positive work"
+                };
+                return Err(format!("{}: task {} has {why} ({})", self.id, t.id, t.work));
             }
         }
         Ok(())
@@ -108,6 +119,13 @@ mod tests {
         assert!(b.validate().is_err());
         let mut b = bag();
         b.tasks[0].work = 0.0;
+        assert!(b.validate().is_err());
+        let mut b = bag();
+        b.tasks[0].work = f64::NAN;
+        let err = b.validate().expect_err("NaN work must be rejected");
+        assert!(err.contains("NaN"), "error must name the NaN cause: {err}");
+        let mut b = bag();
+        b.tasks[0].work = -1.0;
         assert!(b.validate().is_err());
         let mut b = bag();
         b.tasks.clear();

@@ -10,6 +10,13 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> determinism lint gate: dgsched-analyze"
+# Walks crates/**/*.rs and fails on any unannotated result-path
+# determinism violation (unordered iteration, wall-clock reads, NaN-lossy
+# float ordering, thread identity). Suppressions must carry a written
+# reason; the lint's fixture battery runs inside `cargo test` above.
+cargo run --release -q -p dgsched-analyze -- lint
+
 echo "==> parallel-determinism gate: threads forced to 1, forced to 4, and default"
 # The test compares run_matrix JSON across pool widths in-process; running
 # it under three different environment baselines re-proves the equality
@@ -39,6 +46,19 @@ echo "==> serve gate: daemon dedupe + kill/resume at widths 1 and 4"
 DGSCHED_THREADS=1 cargo test -q -p dgsched-core --test serve
 DGSCHED_THREADS=4 cargo test -q -p dgsched-core --test serve
 cargo run --release -q -p dgsched-core --bin dgsched -- serve --check
+
+echo "==> lockcheck gate: lock-order witness on, pool/single-flight/journal batteries"
+# The witness must (a) catch the reconstructed PR-5 hold-and-wait cycle
+# deterministically (parking_lot unit tests + tests/lockcheck.rs), and
+# (b) stay result-passive: the golden-fingerprint test inside
+# tests/lockcheck.rs pins run_matrix bytes to the seed value in BOTH
+# feature configurations, and the determinism batteries re-run with the
+# witness live at widths 1 and 4.
+cargo test -q -p parking_lot --features lockcheck
+DGSCHED_THREADS=1 cargo test -q -p dgsched-core --features lockcheck \
+  --lib --test lockcheck --test parallel_determinism --test journal_resume --test serve
+DGSCHED_THREADS=4 cargo test -q -p dgsched-core --features lockcheck \
+  --lib --test lockcheck --test parallel_determinism --test journal_resume --test serve
 
 echo "==> telemetry gate: obs crate with and without the timing feature"
 # The observer seam must stay passive: the obs crate and its profiling
@@ -78,6 +98,9 @@ cargo clippy --workspace -- -D warnings
 
 echo "==> cargo clippy -p dgsched-obs --features timing -- -D warnings"
 cargo clippy -p dgsched-obs --features timing -- -D warnings
+
+echo "==> cargo clippy -p dgsched-core --features lockcheck -- -D warnings"
+cargo clippy -p dgsched-core --features lockcheck -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check

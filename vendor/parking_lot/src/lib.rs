@@ -6,55 +6,138 @@
 //! `Result<_, TryLockError>`. The sweep runner leans on `try_lock` for
 //! its non-blocking progress reporter, so these locks see genuine
 //! cross-thread contention — the tests below exercise exactly that.
+//!
+//! # The `lockcheck` feature
+//!
+//! With `--features lockcheck`, every `Mutex`/`RwLock` acquisition is
+//! routed through the lock-order witness in [`lockcheck`]: per-thread
+//! held-lock sets plus a global acquisition-order graph with incremental
+//! cycle detection. A hold-and-wait cycle (the shape of the PR-5
+//! steal-loop deadlock) panics **deterministically, before blocking**,
+//! naming both acquisition sites — instead of hanging until someone
+//! reaches for futex archaeology. Without the feature every hook
+//! compiles away: guard types degrade to plain `std::sync` aliases and
+//! the lock structs carry no extra field, so the passivity argument is
+//! the same as `dgsched-obs`'s — the off build is byte-for-byte the seed
+//! behavior, asserted by `tests/lockcheck.rs` in `dgsched-core`.
 
 // Vendored stand-in: keep the upstream-compatible surface, not our lint style.
 #![allow(clippy::all)]
 
+#[cfg(feature = "lockcheck")]
+pub mod lockcheck;
+
 use std::sync::TryLockError;
 
 /// A mutex whose `lock` never returns a poison error.
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lockcheck")]
+    id: u64,
+    inner: std::sync::Mutex<T>,
+}
 
 /// Guard type returned by [`Mutex::lock`].
+#[cfg(not(feature = "lockcheck"))]
 pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// Guard type returned by [`Mutex::lock`]: the std guard plus the
+/// witness's release token (dropped after the unlock, updating the
+/// thread's held-lock set).
+#[cfg(feature = "lockcheck")]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+    _witness: lockcheck::HeldToken,
+}
+
+#[cfg(feature = "lockcheck")]
+impl<'a, T: ?Sized> std::ops::Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(feature = "lockcheck")]
+impl<'a, T: ?Sized> std::ops::DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 impl<T> Mutex<T> {
     /// Wraps `value` in a new mutex.
     pub fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            #[cfg(feature = "lockcheck")]
+            id: lockcheck::new_lock_id(),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex and returns the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, recovering from poisoning.
+    #[cfg_attr(feature = "lockcheck", track_caller)]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lockcheck")]
+        {
+            let site = std::panic::Location::caller();
+            // Witness first: a would-be deadlock panics instead of
+            // blocking forever.
+            lockcheck::before_blocking_acquire(self.id, site);
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            MutexGuard {
+                inner,
+                _witness: lockcheck::HeldToken::acquired(self.id, site),
+            }
+        }
+        #[cfg(not(feature = "lockcheck"))]
+        {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
     }
 
     /// Acquires the lock only if it is free right now. `None` means some
     /// other thread holds it — never that the lock is poisoned.
+    ///
+    /// Under `lockcheck`, a successful probe joins the held set (later
+    /// blocking acquisitions record edges from it) but records no edge
+    /// itself: a non-blocking probe cannot complete a hold-and-wait.
+    #[cfg_attr(feature = "lockcheck", track_caller)]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
+        let inner = match self.inner.try_lock() {
             Ok(guard) => Some(guard),
             Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
             Err(TryLockError::WouldBlock) => None,
+        };
+        #[cfg(feature = "lockcheck")]
+        {
+            let site = std::panic::Location::caller();
+            inner.map(|inner| MutexGuard {
+                inner,
+                _witness: lockcheck::HeldToken::acquired(self.id, site),
+            })
+        }
+        #[cfg(not(feature = "lockcheck"))]
+        {
+            inner
         }
     }
 
     /// Mutable access without locking (the `&mut` proves exclusivity).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 
     /// True when some thread currently holds the lock. Inherently racy:
     /// only useful for diagnostics, never for synchronisation.
     pub fn is_locked(&self) -> bool {
-        match self.0.try_lock() {
+        match self.inner.try_lock() {
             Ok(_) | Err(TryLockError::Poisoned(_)) => false,
             Err(TryLockError::WouldBlock) => true,
         }
@@ -68,58 +151,163 @@ impl<T: Default> Default for Mutex<T> {
 }
 
 /// Guard type returned by [`RwLock::read`].
+#[cfg(not(feature = "lockcheck"))]
 pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
 
 /// Guard type returned by [`RwLock::write`].
+#[cfg(not(feature = "lockcheck"))]
 pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
 
+/// Guard type returned by [`RwLock::read`] under `lockcheck`.
+#[cfg(feature = "lockcheck")]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    _witness: lockcheck::HeldToken,
+}
+
+/// Guard type returned by [`RwLock::write`] under `lockcheck`.
+#[cfg(feature = "lockcheck")]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    _witness: lockcheck::HeldToken,
+}
+
+#[cfg(feature = "lockcheck")]
+impl<'a, T: ?Sized> std::ops::Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(feature = "lockcheck")]
+impl<'a, T: ?Sized> std::ops::Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(feature = "lockcheck")]
+impl<'a, T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
 /// A read–write lock whose accessors never return poison errors.
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+///
+/// Under `lockcheck`, readers and writers map onto one witness node:
+/// coarse (reader/reader order is harmless) but sound — reader/writer
+/// order inversions are real deadlock recipes and are reported.
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lockcheck")]
+    id: u64,
+    inner: std::sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
     /// Wraps `value` in a new lock.
     pub fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock {
+            #[cfg(feature = "lockcheck")]
+            id: lockcheck::new_lock_id(),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock and returns the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read guard.
+    #[cfg_attr(feature = "lockcheck", track_caller)]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lockcheck")]
+        {
+            let site = std::panic::Location::caller();
+            lockcheck::before_blocking_acquire(self.id, site);
+            let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+            RwLockReadGuard {
+                inner,
+                _witness: lockcheck::HeldToken::acquired(self.id, site),
+            }
+        }
+        #[cfg(not(feature = "lockcheck"))]
+        {
+            self.inner.read().unwrap_or_else(|e| e.into_inner())
+        }
     }
 
     /// Acquires an exclusive write guard.
+    #[cfg_attr(feature = "lockcheck", track_caller)]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lockcheck")]
+        {
+            let site = std::panic::Location::caller();
+            lockcheck::before_blocking_acquire(self.id, site);
+            let inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+            RwLockWriteGuard {
+                inner,
+                _witness: lockcheck::HeldToken::acquired(self.id, site),
+            }
+        }
+        #[cfg(not(feature = "lockcheck"))]
+        {
+            self.inner.write().unwrap_or_else(|e| e.into_inner())
+        }
     }
 
     /// Acquires a read guard only if no writer holds or is taking the lock.
+    #[cfg_attr(feature = "lockcheck", track_caller)]
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
+        let inner = match self.inner.try_read() {
             Ok(guard) => Some(guard),
             Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
             Err(TryLockError::WouldBlock) => None,
+        };
+        #[cfg(feature = "lockcheck")]
+        {
+            let site = std::panic::Location::caller();
+            inner.map(|inner| RwLockReadGuard {
+                inner,
+                _witness: lockcheck::HeldToken::acquired(self.id, site),
+            })
+        }
+        #[cfg(not(feature = "lockcheck"))]
+        {
+            inner
         }
     }
 
     /// Acquires a write guard only if the lock is entirely free.
+    #[cfg_attr(feature = "lockcheck", track_caller)]
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
+        let inner = match self.inner.try_write() {
             Ok(guard) => Some(guard),
             Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
             Err(TryLockError::WouldBlock) => None,
+        };
+        #[cfg(feature = "lockcheck")]
+        {
+            let site = std::panic::Location::caller();
+            inner.map(|inner| RwLockWriteGuard {
+                inner,
+                _witness: lockcheck::HeldToken::acquired(self.id, site),
+            })
+        }
+        #[cfg(not(feature = "lockcheck"))]
+        {
+            inner
         }
     }
 
     /// Mutable access without locking (the `&mut` proves exclusivity).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -216,5 +404,112 @@ mod tests {
         let mut l = RwLock::new(String::from("a"));
         l.get_mut().push('b');
         assert_eq!(*l.read(), "ab");
+    }
+}
+
+#[cfg(all(test, feature = "lockcheck"))]
+mod lockcheck_tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    /// The witness's core promise: opposite acquisition orders panic at
+    /// the second acquisition, deterministically, naming both sites.
+    #[test]
+    fn opposite_orders_panic_with_both_sites() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        {
+            let _ga = a.lock(); // establishes a → b
+            let _gb = b.lock();
+        }
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _gb = b.lock();
+            let _ga = a.lock(); // b → a: cycle
+        }))
+        .expect_err("the inverted order must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock acquisition order cycle"), "{msg}");
+        assert!(
+            msg.contains("lockcheck.rs") || msg.contains("lib.rs"),
+            "{msg}"
+        );
+        // Both this test's acquisition sites are named.
+        let here = "vendor/parking_lot/src/lib.rs";
+        let named = msg.matches(here).count();
+        assert!(named >= 2, "expected ≥2 sites from {here} in:\n{msg}");
+    }
+
+    #[test]
+    fn consistent_orders_never_panic() {
+        let a = Arc::new(Mutex::new(0));
+        let b = Arc::new(Mutex::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let a = a.clone();
+                let b = b.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let ga = a.lock();
+                        let mut gb = b.lock();
+                        *gb += *ga;
+                    }
+                });
+            }
+        });
+        assert!(*b.lock() >= 0);
+    }
+
+    #[test]
+    fn recursive_acquisition_panics_as_self_cycle() {
+        let m = Mutex::new(());
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _g1 = m.lock();
+            let _g2 = m.lock(); // would deadlock on every schedule
+        }))
+        .expect_err("recursive lock must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("recursive acquisition"), "{msg}");
+    }
+
+    #[test]
+    fn try_lock_probes_record_no_ordering_edges() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        {
+            let _ga = a.lock();
+            let _gb = b.try_lock().expect("free"); // no edge a → b
+        }
+        // The opposite blocking order is therefore still legal.
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }
+
+    #[test]
+    fn guards_leave_the_held_set_on_drop() {
+        let m = Mutex::new(());
+        assert_eq!(lockcheck::held_count(), 0);
+        {
+            let _g = m.lock();
+            assert_eq!(lockcheck::held_count(), 1);
+        }
+        assert_eq!(lockcheck::held_count(), 0);
+    }
+
+    #[test]
+    fn rwlock_read_then_write_inversion_is_reported() {
+        let a = RwLock::new(());
+        let b = Mutex::new(());
+        {
+            let _ga = a.read();
+            let _gb = b.lock(); // a → b
+        }
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _gb = b.lock();
+            let _ga = a.write(); // b → a: cycle across lock kinds
+        }))
+        .expect_err("reader/writer inversion must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("cycle"), "{msg}");
     }
 }

@@ -1,0 +1,209 @@
+//! The lock-order witness: turns a *potential* hold-and-wait cycle into
+//! a deterministic panic with the acquisition sites named.
+//!
+//! Motivation: the PR-5 steal-loop deadlock — two pool workers each
+//! holding their own queue mutex while blocking on the other's — shipped
+//! as a hang that needed futex archaeology to diagnose. The witness
+//! makes that class of bug loud and immediate: it maintains, per thread,
+//! the ordered set of locks currently held, and globally, a
+//! lock-acquisition-order graph. Whenever a thread blocks on lock `B`
+//! while holding lock `A`, the edge `A → B` (with both acquisition
+//! `Location`s) is recorded; if `B ⇝ A` is already reachable, the two
+//! orders can interleave into a deadlock on some schedule, and the
+//! witness panics **before blocking** — so even a schedule that *would*
+//! have deadlocked reports instead of hanging.
+//!
+//! Semantics, deliberately conservative:
+//!
+//! * nodes are lock **instances** (a monotonically increasing id
+//!   assigned at construction, never reused), so unrelated locks whose
+//!   allocations alias addresses can never create false cycles;
+//! * edges persist for the life of the process: ordering is a global
+//!   protocol, not a momentary fact — `A → B` observed now and `B → A`
+//!   observed an hour later is still a deadlock recipe;
+//! * a successful `try_lock` adds the lock to the held set (later
+//!   blocking acquisitions will record edges *from* it) but records no
+//!   edge *into* itself and never panics: a non-blocking probe cannot
+//!   complete a hold-and-wait cycle;
+//! * `RwLock` readers and writers map onto one node — coarse (two
+//!   readers cannot deadlock each other) but sound for cycle detection,
+//!   and this tree never takes a lock recursively;
+//! * re-acquiring a lock already held by the same thread panics as a
+//!   self-cycle (for these non-reentrant primitives it is a guaranteed
+//!   deadlock).
+//!
+//! The witness's own state lives behind a `std::sync::Mutex` (never the
+//! instrumented type, so it cannot witness itself) and every access
+//! recovers from poisoning: a panic raised *by* the witness must not
+//! wedge the next check.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Next lock-instance id. Starts at 1 so 0 can never name a real lock.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The global acquisition-order graph: `from → {to → (from_site, to_site)}`.
+/// Sites are those of the **first** observation of the edge — stable,
+/// deterministic names for the report. `BTreeMap` keeps every traversal
+/// (and therefore every cycle report) in deterministic order.
+static GRAPH: Mutex<BTreeMap<u64, BTreeMap<u64, Edge>>> = Mutex::new(BTreeMap::new());
+
+#[derive(Clone, Copy)]
+struct Edge {
+    from_site: &'static Location<'static>,
+    to_site: &'static Location<'static>,
+}
+
+thread_local! {
+    /// Locks this thread currently holds, in acquisition order.
+    static HELD: RefCell<Vec<(u64, &'static Location<'static>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Allocates the id for a new lock instance.
+pub(crate) fn new_lock_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+fn graph() -> std::sync::MutexGuard<'static, BTreeMap<u64, BTreeMap<u64, Edge>>> {
+    GRAPH.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Is `to` reachable from `from` over recorded edges? Iterative DFS in
+/// deterministic (BTreeMap) order; `path` returns the node sequence
+/// `from ⇝ to` when reachable.
+fn find_path(g: &BTreeMap<u64, BTreeMap<u64, Edge>>, from: u64, to: u64) -> Option<Vec<u64>> {
+    let mut stack = vec![(from, vec![from])];
+    let mut visited = std::collections::BTreeSet::new();
+    while let Some((node, path)) = stack.pop() {
+        if node == to {
+            return Some(path);
+        }
+        if !visited.insert(node) {
+            continue;
+        }
+        if let Some(succ) = g.get(&node) {
+            // Reverse so the smallest successor is explored first: the
+            // reported cycle is the lexicographically first one.
+            for &next in succ.keys().rev() {
+                if !visited.contains(&next) {
+                    let mut p = path.clone();
+                    p.push(next);
+                    stack.push((next, p));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Records that the current thread is about to **block** on `(id, site)`.
+/// Panics (instead of blocking) when the acquisition would establish an
+/// order contradicting one already on record.
+pub(crate) fn before_blocking_acquire(id: u64, site: &'static Location<'static>) {
+    HELD.with(|h| {
+        let held = h.borrow();
+        if held.is_empty() {
+            return;
+        }
+        if let Some(&(_, held_site)) = held.iter().find(|&&(hid, _)| hid == id) {
+            panic!(
+                "lockcheck: recursive acquisition of lock#{id}\n  \
+                 first acquired at {held_site}\n  re-acquired at {site}\n  \
+                 (non-reentrant lock: this deadlocks on every schedule)"
+            );
+        }
+        let mut g = graph();
+        for &(held_id, held_site) in held.iter() {
+            // About to add held_id → id. A recorded path id ⇝ held_id
+            // means the opposite order exists somewhere: cycle.
+            if let Some(path) = find_path(&g, id, held_id) {
+                let report = render_cycle(&g, &path, held_id, id, held_site, site);
+                drop(g);
+                panic!("{report}");
+            }
+            g.entry(held_id).or_default().entry(id).or_insert(Edge {
+                from_site: held_site,
+                to_site: site,
+            });
+        }
+    });
+}
+
+/// Records a successful (already granted) acquisition.
+pub(crate) fn on_acquired(id: u64, site: &'static Location<'static>) {
+    HELD.with(|h| h.borrow_mut().push((id, site)));
+}
+
+/// Records a release (guard drop). Removal is by id from the back:
+/// guards can drop out of acquisition order.
+pub(crate) fn on_released(id: u64) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&(hid, _)| hid == id) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// Renders the deterministic cycle report, naming both acquisition
+/// sites of the offending edge and every recorded edge closing the loop.
+fn render_cycle(
+    g: &BTreeMap<u64, BTreeMap<u64, Edge>>,
+    path: &[u64],
+    held_id: u64,
+    acq_id: u64,
+    held_site: &'static Location<'static>,
+    acq_site: &'static Location<'static>,
+) -> String {
+    let mut out = String::from(
+        "lockcheck: lock acquisition order cycle (potential hold-and-wait deadlock)\n",
+    );
+    out.push_str(&format!(
+        "  this thread: holds lock#{held_id} (acquired at {held_site}), wants lock#{acq_id} (at {acq_site})\n"
+    ));
+    out.push_str("  contradicting the recorded order:\n");
+    for pair in path.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if let Some(e) = g.get(&a).and_then(|m| m.get(&b)) {
+            out.push_str(&format!(
+                "    lock#{a} (held at {}) -> lock#{b} (acquired at {})\n",
+                e.from_site, e.to_site
+            ));
+        }
+    }
+    out.push_str(
+        "  some schedule interleaves these acquisitions into a deadlock; \
+         fix by acquiring in one global order (or drop the first guard before \
+         taking the second, as the PR-5 steal loop now does)",
+    );
+    out
+}
+
+/// RAII token held inside an instrumented guard; its drop is the
+/// release record.
+pub(crate) struct HeldToken {
+    id: u64,
+}
+
+impl HeldToken {
+    /// Records the acquisition and returns the release token.
+    pub(crate) fn acquired(id: u64, site: &'static Location<'static>) -> Self {
+        on_acquired(id, site);
+        HeldToken { id }
+    }
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        on_released(self.id);
+    }
+}
+
+/// Test-visible introspection: number of locks the current thread holds.
+pub fn held_count() -> usize {
+    HELD.with(|h| h.borrow().len())
+}

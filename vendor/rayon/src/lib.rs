@@ -28,7 +28,11 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+// The pool's queue locks come from the vendored parking_lot so the
+// `lockcheck` lock-order witness covers the steal loop — the site of the
+// PR-5 hold-and-wait deadlock. parking_lot's lock() recovers poisoning
+// and returns the guard directly (no unwrap).
+use parking_lot::Mutex;
 
 thread_local! {
     /// Scoped width override; inherited by pool workers so nested
@@ -119,7 +123,7 @@ where
     let per_worker = chunks.len().div_ceil(width);
     for (i, chunk) in chunks.into_iter().enumerate() {
         let w = (i / per_worker).min(width - 1);
-        queues[w].get_mut().unwrap().push_back(chunk);
+        queues[w].get_mut().push_back(chunk);
     }
 
     let done: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
@@ -147,10 +151,9 @@ where
                     // steal (temporary lifetime extension), and two workers
                     // stealing at once then hold-and-wait on each other's
                     // queues — a circular deadlock.
-                    let own = queues[me].lock().unwrap().pop_back();
+                    let own = queues[me].lock().pop_back();
                     let chunk = own.or_else(|| {
-                        (1..width)
-                            .find_map(|d| queues[(me + d) % width].lock().unwrap().pop_front())
+                        (1..width).find_map(|d| queues[(me + d) % width].lock().pop_front())
                     });
                     let Some(chunk) = chunk else { return };
                     let start = chunk.start;
@@ -158,9 +161,9 @@ where
                         chunk.items.into_iter().map(f).collect::<Vec<U>>()
                     }));
                     match out {
-                        Ok(out) => done.lock().unwrap().push((start, out)),
+                        Ok(out) => done.lock().push((start, out)),
                         Err(payload) => {
-                            let mut slot = panic_payload.lock().unwrap();
+                            let mut slot = panic_payload.lock();
                             if slot.is_none() {
                                 *slot = Some(payload);
                             }
@@ -173,10 +176,10 @@ where
         }
     });
 
-    if let Some(payload) = panic_payload.into_inner().unwrap() {
+    if let Some(payload) = panic_payload.into_inner() {
         resume_unwind(payload);
     }
-    let mut parts = done.into_inner().unwrap();
+    let mut parts = done.into_inner();
     parts.sort_by_key(|(start, _)| *start);
     let mut out = Vec::with_capacity(n);
     for (_, part) in parts {
@@ -413,10 +416,10 @@ mod tests {
         with_num_threads(1, || {
             (0..16).into_par_iter().for_each(|i| {
                 assert_eq!(std::thread::current().id(), caller);
-                order.lock().unwrap().push(i);
+                order.lock().push(i);
             });
         });
-        assert_eq!(order.into_inner().unwrap(), (0..16).collect::<Vec<i32>>());
+        assert_eq!(order.into_inner(), (0..16).collect::<Vec<i32>>());
     }
 
     #[test]
