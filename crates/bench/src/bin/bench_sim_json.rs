@@ -19,7 +19,8 @@
 //! both runs serialise byte-identically.
 
 use dgsched_core::experiment::{
-    fig1_panels, run_matrix, run_matrix_journaled, RepGuard, Scenario, WorkloadKind,
+    fig1_panels, run_matrix, run_matrix_journaled, run_matrix_regret, OracleConfig, RepGuard,
+    Scenario, WorkloadKind,
 };
 use dgsched_core::policy::PolicyKind;
 use dgsched_core::sim::{simulate, simulate_instrumented, NullObserver, SimConfig, TraceRing};
@@ -108,6 +109,34 @@ struct JournalBench {
     identical_result: bool,
 }
 
+/// One timed hindsight-oracle pass at a fixed pool width.
+#[derive(Serialize)]
+struct OracleRun {
+    threads: usize,
+    wall_s: f64,
+    restarts_per_s: f64,
+}
+
+/// Hindsight-oracle search throughput: a small regret matrix (seven
+/// policies on one platform, so the penalty search runs once and is
+/// shared) timed at pool widths 1 and 4. Wall-clock covers the whole
+/// `run_matrix_regret` pass — donor traces, seven policy replays per
+/// replication, and the restart search — so restarts/s is a conservative
+/// end-to-end figure, not a kernel microbenchmark.
+#[derive(Serialize)]
+struct OracleBench {
+    scenarios: usize,
+    replications: u64,
+    restarts: u32,
+    iters: u32,
+    /// Restarts executed per timed run (env groups × replications × restarts).
+    restarts_total: u64,
+    runs: Vec<OracleRun>,
+    /// True when both widths serialised byte-identical regret matrices —
+    /// the oracle inherits the determinism contract.
+    identical_result: bool,
+}
+
 #[derive(Serialize)]
 struct BenchDoc {
     unit: &'static str,
@@ -115,6 +144,82 @@ struct BenchDoc {
     sweep: SweepBench,
     overhead: OverheadBench,
     journal: JournalBench,
+    oracle: OracleBench,
+}
+
+fn bench_oracle() -> OracleBench {
+    let grid = GridConfig {
+        total_power: 80.0,
+        heterogeneity: Heterogeneity::HET,
+        availability: Availability::LOW,
+        checkpoint: CheckpointConfig::default(),
+        outages: None,
+    };
+    let scenarios: Vec<Scenario> = PolicyKind::all_with_baselines()
+        .into_iter()
+        .map(|policy| Scenario {
+            name: format!("oracle bench {policy}"),
+            grid,
+            workload: WorkloadKind::Single(WorkloadSpec {
+                bot_type: BotType {
+                    granularity: 2_000.0,
+                    app_size: 16_000.0,
+                    jitter: 0.5,
+                },
+                intensity: Intensity::Medium,
+                count: 5,
+            }),
+            policy,
+            sim: SimConfig::default(),
+        })
+        .collect();
+    let rule = StoppingRule {
+        min_replications: 2,
+        max_replications: 2,
+        ..Default::default()
+    };
+    let ocfg = OracleConfig {
+        restarts: 8,
+        iters: 80,
+        seed: 7,
+        replications: 2,
+    };
+    // One platform → one environment group shared by all seven policies.
+    let restarts_total = u64::from(ocfg.restarts) * ocfg.replications;
+
+    let mut runs = Vec::new();
+    let mut jsons = Vec::new();
+    for threads in [1usize, 4] {
+        let t0 = Instant::now();
+        let results =
+            rayon::with_num_threads(threads, || run_matrix_regret(&scenarios, 42, &rule, &ocfg));
+        let wall_s = t0.elapsed().as_secs_f64();
+        let restarts_per_s = restarts_total as f64 / wall_s;
+        eprintln!(
+            "oracle {:>2} threads  {:>6.2} s  {:>6.1} restarts/s",
+            threads, wall_s, restarts_per_s
+        );
+        jsons.push(serde_json::to_string(&results).expect("oracle serialises"));
+        runs.push(OracleRun {
+            threads,
+            wall_s,
+            restarts_per_s,
+        });
+    }
+    let identical_result = jsons.windows(2).all(|w| w[0] == w[1]);
+    assert!(
+        identical_result,
+        "oracle search diverged across pool widths"
+    );
+    OracleBench {
+        scenarios: scenarios.len(),
+        replications: ocfg.replications,
+        restarts: ocfg.restarts,
+        iters: ocfg.iters,
+        restarts_total,
+        runs,
+        identical_result,
+    }
 }
 
 fn bench_journal() -> JournalBench {
@@ -529,6 +634,7 @@ fn main() {
         sweep: bench_sweep(),
         overhead: bench_overhead(),
         journal: bench_journal(),
+        oracle: bench_oracle(),
     };
     std::fs::write(
         &out_path,

@@ -3,6 +3,7 @@
 //! ```text
 //! dgsched demo                          # print a sample scenario JSON
 //! dgsched run scenario.json             # run it (replications + CI) and report
+//! dgsched oracle scenario.json          # run it, then report hindsight regret
 //! dgsched serve --addr 127.0.0.1:7700   # sweep service with a result cache
 //! dgsched gen-workload -g 25000 -u low -n 50 -o w.json   # generate a workload
 //! dgsched summarize w.json              # describe a saved workload
@@ -14,8 +15,8 @@
 //! bind error), `2` usage error (unknown flag, missing value).
 
 use dgsched_core::experiment::{
-    run_replication_instrumented, run_scenario, run_scenario_journaled, RepGuard, Scenario,
-    WorkloadKind,
+    run_matrix_regret, run_matrix_regret_journaled, run_replication_instrumented, run_scenario,
+    run_scenario_journaled, OracleConfig, RepGuard, Scenario, WorkloadKind,
 };
 use dgsched_core::policy::PolicyKind;
 use dgsched_core::serve::{self_check, ServeConfig, Server};
@@ -31,7 +32,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dgsched demo\n  dgsched run <scenario.json> [--seed N] [--min-reps N] [--max-reps N]\n               [--journal <file.jsonl> [--resume]]\n  dgsched serve [--addr HOST:PORT] [--cache-dir DIR] [--slots N]\n                [--threads N] [--check]\n  dgsched trace <scenario.json> [--seed N] [--rep N] [--out trace.json]\n                [--jsonl trace.jsonl] [--bin trace.dgtr] [--ring N] [--metrics] [--gantt]\n  dgsched gen-workload -g <granularity> -u <low|medium|high> -n <bags> -o <file> [--seed N]\n  dgsched summarize <workload.json>\n\njournal:\n  --journal FILE    append each completed replication to FILE (fsynced\n                    JSONL) so a killed run loses at most the replication\n                    in flight; replications are panic-isolated\n  --resume          replay the journal's intact records instead of\n                    recomputing them; the final JSON is byte-identical to\n                    an uninterrupted run\n\nserve:\n  --addr HOST:PORT  listen address (default 127.0.0.1:7700; port 0 binds\n                    an ephemeral port, reported on stdout)\n  --cache-dir DIR   state directory for the result cache and journals\n                    (default: per-instance temp dir); results are keyed\n                    by sweep fingerprint and cache hits are byte-identical\n  --slots N         concurrent sweep slots, fair-shared across tenants\n                    round-robin (default 1)\n  --threads N       pool width for each sweep (default: DGSCHED_THREADS /\n                    RAYON_NUM_THREADS / all cores)\n  --check           self-test: bind, round-trip a demo sweep twice, verify\n                    the second is a byte-identical cache hit, exit\n\nenvironment:\n  DGSCHED_TRACE=1   attach the metrics registry to `dgsched run` (adds a\n                    'metrics' snapshot of replication 0 to the result JSON)"
+        "usage:\n  dgsched demo\n  dgsched run <scenario.json> [--seed N] [--min-reps N] [--max-reps N]\n               [--journal <file.jsonl> [--resume]]\n  dgsched oracle <scenario.json> [--seed N] [--min-reps N] [--max-reps N]\n                 [--restarts N] [--iters N] [--oracle-seed N] [--oracle-reps N]\n                 [--journal <file.jsonl> [--resume]]\n  dgsched serve [--addr HOST:PORT] [--cache-dir DIR] [--slots N]\n                [--threads N] [--check]\n  dgsched trace <scenario.json> [--seed N] [--rep N] [--out trace.json]\n                [--jsonl trace.jsonl] [--bin trace.dgtr] [--ring N] [--metrics] [--gantt]\n  dgsched gen-workload -g <granularity> -u <low|medium|high> -n <bags> -o <file> [--seed N]\n  dgsched summarize <workload.json>\n\noracle:\n  runs the sweep, then replays each replication's captured environment\n  and searches for the hindsight-optimal bag schedule; the result JSON\n  gains a 'regret' section ((policy - oracle) / oracle with a CI)\n  --restarts N      independent search restarts per replication (default 8)\n  --iters N         move proposals per restart (default 120)\n  --oracle-seed N   search stream seed (default 0)\n  --oracle-reps N   replications the oracle evaluates (default 3)\n  --journal FILE    append each completed search restart to FILE (fsynced\n                    JSONL); with --resume, journaled restarts are folded\n                    in instead of recomputed, byte-identically\n\njournal:\n  --journal FILE    append each completed replication to FILE (fsynced\n                    JSONL) so a killed run loses at most the replication\n                    in flight; replications are panic-isolated\n  --resume          replay the journal's intact records instead of\n                    recomputing them; the final JSON is byte-identical to\n                    an uninterrupted run\n\nserve:\n  --addr HOST:PORT  listen address (default 127.0.0.1:7700; port 0 binds\n                    an ephemeral port, reported on stdout)\n  --cache-dir DIR   state directory for the result cache and journals\n                    (default: per-instance temp dir); results are keyed\n                    by sweep fingerprint and cache hits are byte-identical\n  --slots N         concurrent sweep slots, fair-shared across tenants\n                    round-robin (default 1)\n  --threads N       pool width for each sweep (default: DGSCHED_THREADS /\n                    RAYON_NUM_THREADS / all cores)\n  --check           self-test: bind, round-trip a demo sweep twice, verify\n                    the second is a byte-identical cache hit, exit\n\nenvironment:\n  DGSCHED_TRACE=1   attach the metrics registry to `dgsched run` (adds a\n                    'metrics' snapshot of replication 0 to the result JSON)"
     );
     exit(2)
 }
@@ -165,6 +166,89 @@ fn cmd_run(mut args: Args) {
             "mean turnaround {:.0} s ± {:.0} ({} replications)",
             result.turnaround.mean, result.turnaround.half_width, result.replications
         );
+    }
+}
+
+fn cmd_oracle(mut args: Args) {
+    let path = args
+        .next()
+        .unwrap_or_else(|| fail("oracle needs a scenario file"));
+    let mut seed = 2008u64;
+    let mut rule = StoppingRule::default();
+    let mut ocfg = OracleConfig::default();
+    let mut journal: Option<String> = None;
+    let mut resume = false;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--seed" => seed = parse_u64(&mut args, "--seed"),
+            "--min-reps" => rule.min_replications = parse_u64(&mut args, "--min-reps"),
+            "--max-reps" => rule.max_replications = parse_u64(&mut args, "--max-reps"),
+            "--restarts" => ocfg.restarts = parse_u64(&mut args, "--restarts") as u32,
+            "--iters" => ocfg.iters = parse_u64(&mut args, "--iters") as u32,
+            "--oracle-seed" => ocfg.seed = parse_u64(&mut args, "--oracle-seed"),
+            "--oracle-reps" => ocfg.replications = parse_u64(&mut args, "--oracle-reps"),
+            "--journal" => journal = Some(flag_value(&mut args, "--journal")),
+            "--resume" => resume = true,
+            _ => fail(&format!("unknown flag {flag:?} for 'oracle'")),
+        }
+    }
+    if resume && journal.is_none() {
+        fail("--resume requires --journal")
+    }
+    if ocfg.restarts == 0 {
+        fail("--restarts takes a non-zero count")
+    }
+    let scenario = load_scenario(&path);
+    eprintln!(
+        "oracle for '{}' (seed {seed}, {} restarts x {} iters x {} replications)...",
+        scenario.name, ocfg.restarts, ocfg.iters, ocfg.replications
+    );
+    let scenarios = std::slice::from_ref(&scenario);
+    let results = match &journal {
+        Some(jpath) => {
+            let (results, stats) = run_matrix_regret_journaled(
+                scenarios,
+                seed,
+                &rule,
+                &ocfg,
+                Path::new(jpath),
+                resume,
+            )
+            .unwrap_or_else(|e| die(&format!("oracle journal {jpath}: {e}")));
+            eprintln!(
+                "oracle journal {jpath}: {} restarts written, {} replayed{}{}",
+                stats.restarts_written,
+                stats.restarts_replayed,
+                if stats.resumes > 0 { " (resumed)" } else { "" },
+                if stats.torn_tails > 0 {
+                    ", torn tail truncated"
+                } else {
+                    ""
+                },
+            );
+            results
+        }
+        None => run_matrix_regret(scenarios, seed, &rule, &ocfg),
+    };
+    let result = &results[0];
+    println!(
+        "{}",
+        serde_json::to_string_pretty(result).expect("result serialises")
+    );
+    match &result.regret {
+        Some(reg) => eprintln!(
+            "oracle turnaround {:.0} s ± {:.0}; regret {:.1}% ± {:.1} ({} of {} replications measured)",
+            reg.oracle_turnaround.mean,
+            reg.oracle_turnaround.half_width,
+            100.0 * reg.regret.mean,
+            100.0 * reg.regret.half_width,
+            reg.measured_replications,
+            reg.replications,
+        ),
+        None => eprintln!(
+            "note: scenario saturated ({} of {} replications) — no regret to report",
+            result.saturated_replications, result.replications
+        ),
     }
 }
 
@@ -387,6 +471,7 @@ fn main() {
             );
         }
         Some("run") => cmd_run(args),
+        Some("oracle") => cmd_oracle(args),
         Some("serve") => cmd_serve(args),
         Some("trace") => cmd_trace(args),
         Some("gen-workload") => cmd_gen_workload(args),

@@ -183,7 +183,7 @@ fn fnv1a64_stream(bytes: &[u8], basis: u64, prime: u64) -> u64 {
 /// collisions at ~2^32 keys, and FNV has known short-input weaknesses.
 /// The length prefix removes extension ambiguity; the second stream
 /// pushes accidental collision odds to ~2^-128 per pair.
-fn digest128_hex(bytes: &[u8]) -> String {
+pub(crate) fn digest128_hex(bytes: &[u8]) -> String {
     let mut prefixed = Vec::with_capacity(bytes.len() + 8);
     prefixed.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
     prefixed.extend_from_slice(bytes);
@@ -225,6 +225,37 @@ pub fn sweep_fingerprint(
 ) -> io::Result<String> {
     let cfg = canonical_sweep_bytes(scenarios, base_seed, rule)?;
     let mut tagged = format!("v{JOURNAL_VERSION}|{}|", env!("CARGO_PKG_VERSION")).into_bytes();
+    tagged.extend_from_slice(&cfg);
+    Ok(digest128_hex(&tagged))
+}
+
+/// Canonical byte encoding of an oracle computation: the `serde_json`
+/// serialisation of the `(scenarios, base_seed, rule, oracle)` tuple —
+/// the sweep configuration plus the search knobs, since both determine
+/// the regret numbers.
+pub fn canonical_oracle_bytes(
+    scenarios: &[Scenario],
+    base_seed: u64,
+    rule: &StoppingRule,
+    ocfg: &super::regret::OracleConfig,
+) -> io::Result<Vec<u8>> {
+    serde_json::to_vec(&(scenarios, base_seed, (rule, ocfg)))
+        .map_err(|e| invalid(format!("oracle configuration does not serialise: {e}")))
+}
+
+/// 128-bit hex fingerprint of an oracle computation, tagged distinctly
+/// from sweep fingerprints so the two key spaces can never collide in a
+/// shared cache. Keys the serve daemon's `/oracle` cache and the restart
+/// journal's resume check.
+pub fn oracle_fingerprint(
+    scenarios: &[Scenario],
+    base_seed: u64,
+    rule: &StoppingRule,
+    ocfg: &super::regret::OracleConfig,
+) -> io::Result<String> {
+    let cfg = canonical_oracle_bytes(scenarios, base_seed, rule, ocfg)?;
+    let mut tagged =
+        format!("oracle|v{JOURNAL_VERSION}|{}|", env!("CARGO_PKG_VERSION")).into_bytes();
     tagged.extend_from_slice(&cfg);
     Ok(digest128_hex(&tagged))
 }

@@ -5,6 +5,7 @@
 mod figures;
 mod journal;
 mod plot;
+mod regret;
 mod report;
 mod runner;
 mod scenario;
@@ -12,14 +13,18 @@ mod table;
 
 pub use figures::{extended_panels, fig1_panels, fig2_panels, PanelSpec};
 pub use journal::{
-    canonical_sweep_bytes, run_matrix_journaled, run_matrix_journaled_with,
-    run_matrix_journaled_with_progress, run_scenario_journaled, sweep_fingerprint, JournalOutcome,
-    JournalStats, RepGuard,
+    canonical_oracle_bytes, canonical_sweep_bytes, oracle_fingerprint, run_matrix_journaled,
+    run_matrix_journaled_with, run_matrix_journaled_with_progress, run_scenario_journaled,
+    sweep_fingerprint, JournalOutcome, JournalStats, RepGuard,
 };
 pub use plot::{panel_chart, BarChart};
+pub use regret::{
+    oracle_replication, run_matrix_regret, run_matrix_regret_journaled, OracleConfig,
+    OracleJournalStats, OracleReplication, RegretSection,
+};
 pub use report::Report;
 pub use runner::{
-    obs_enabled, run_matrix, run_matrix_with_progress, run_replication,
+    obs_enabled, replication_inputs, run_matrix, run_matrix_with_progress, run_replication,
     run_replication_instrumented, run_replication_traced, run_scenario, ScenarioResult,
 };
 pub use scenario::{Scenario, WorkloadKind};

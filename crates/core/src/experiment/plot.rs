@@ -188,6 +188,7 @@ mod tests {
             metrics: None,
             failed_replications: 0,
             failure_reasons: Vec::new(),
+            regret: None,
         }];
         let chart = panel_chart("Fig 1a", &[1000.0], &["RR"], &results);
         let s = chart.render();

@@ -84,6 +84,11 @@ pub struct ScenarioResult {
     /// serialises to nothing.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub failure_reasons: Vec<String>,
+    /// Hindsight-oracle regret, present only when the sweep ran through
+    /// [`run_matrix_regret`](super::run_matrix_regret). `None` serialises
+    /// to nothing, keeping plain sweeps byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub regret: Option<super::regret::RegretSection>,
 }
 
 fn u64_is_zero(n: &u64) -> bool {
@@ -107,6 +112,28 @@ pub fn run_replication(scenario: &Scenario, base_seed: u64, rep: u64) -> RunResu
     run_replication_capped(scenario, base_seed, rep, None)
 }
 
+/// The deterministic inputs of replication `rep`: the realized grid, the
+/// generated workload, and the effective [`SimConfig`]. Every
+/// `run_replication*` entry builds exactly these, so callers that need to
+/// re-drive a recorded replication (trace replay, the hindsight oracle)
+/// get byte-identical inputs from the same `(base_seed, rep)` key.
+pub fn replication_inputs(
+    scenario: &Scenario,
+    base_seed: u64,
+    rep: u64,
+) -> (dgsched_grid::Grid, dgsched_workload::Workload, SimConfig) {
+    let seeder = StreamSeeder::new(base_seed).subdomain("rep", rep);
+    let mut grid_rng = seeder.stream("grid", 0);
+    let grid = scenario.grid.build(&mut grid_rng);
+    let mut wl_rng = seeder.stream("workload", 0);
+    let workload = scenario.workload.generate(&scenario.grid, &mut wl_rng);
+    let cfg = SimConfig {
+        seed: seeder.stream_seed("sim", 0),
+        ..scenario.sim
+    };
+    (grid, workload, cfg)
+}
+
 /// [`run_replication`] with an optional extra event budget: the journal's
 /// per-replication guard clamps the configured `event_limit` (never
 /// raises it), so a runaway replication trips the ordinary saturation
@@ -118,18 +145,10 @@ pub(crate) fn run_replication_capped(
     rep: u64,
     max_events: Option<u64>,
 ) -> RunResult {
-    let seeder = StreamSeeder::new(base_seed).subdomain("rep", rep);
-    let mut grid_rng = seeder.stream("grid", 0);
-    let grid = scenario.grid.build(&mut grid_rng);
-    let mut wl_rng = seeder.stream("workload", 0);
-    let workload = scenario.workload.generate(&scenario.grid, &mut wl_rng);
-    let cfg = SimConfig {
-        seed: seeder.stream_seed("sim", 0),
-        event_limit: max_events
-            .map(|m| m.min(scenario.sim.event_limit))
-            .unwrap_or(scenario.sim.event_limit),
-        ..scenario.sim
-    };
+    let (grid, workload, mut cfg) = replication_inputs(scenario, base_seed, rep);
+    if let Some(m) = max_events {
+        cfg.event_limit = m.min(cfg.event_limit);
+    }
     simulate(&grid, &workload, scenario.policy, &cfg)
 }
 
@@ -140,15 +159,7 @@ pub fn run_replication_traced(
     base_seed: u64,
     rep: u64,
 ) -> (RunResult, crate::sim::TraceRecorder) {
-    let seeder = StreamSeeder::new(base_seed).subdomain("rep", rep);
-    let mut grid_rng = seeder.stream("grid", 0);
-    let grid = scenario.grid.build(&mut grid_rng);
-    let mut wl_rng = seeder.stream("workload", 0);
-    let workload = scenario.workload.generate(&scenario.grid, &mut wl_rng);
-    let cfg = SimConfig {
-        seed: seeder.stream_seed("sim", 0),
-        ..scenario.sim
-    };
+    let (grid, workload, cfg) = replication_inputs(scenario, base_seed, rep);
     let mut trace = crate::sim::TraceRecorder::new();
     let policy = scenario.policy.create_seeded(cfg.seed);
     let result = crate::sim::simulate_observed(&grid, &workload, policy, &cfg, &mut trace);
@@ -167,15 +178,7 @@ pub fn run_replication_instrumented(
     rep: u64,
     observer: &mut dyn crate::sim::SimObserver,
 ) -> (RunResult, SimReport) {
-    let seeder = StreamSeeder::new(base_seed).subdomain("rep", rep);
-    let mut grid_rng = seeder.stream("grid", 0);
-    let grid = scenario.grid.build(&mut grid_rng);
-    let mut wl_rng = seeder.stream("workload", 0);
-    let workload = scenario.workload.generate(&scenario.grid, &mut wl_rng);
-    let cfg = SimConfig {
-        seed: seeder.stream_seed("sim", 0),
-        ..scenario.sim
-    };
+    let (grid, workload, cfg) = replication_inputs(scenario, base_seed, rep);
     let policy = scenario.policy.create_seeded(cfg.seed);
     crate::sim::simulate_instrumented(&grid, &workload, policy, &cfg, observer)
 }
@@ -187,7 +190,7 @@ pub fn run_replication_instrumented(
 /// parsing back into an `f64`. Reports clamp it to `0.0`; the
 /// `saturated` flag, not the interval, is what marks the result as off
 /// the chart.
-fn reportable_ci(w: &Welford, level: f64) -> ConfidenceInterval {
+pub(crate) fn reportable_ci(w: &Welford, level: f64) -> ConfidenceInterval {
     let mut ci = ConfidenceInterval::from_welford(w, level);
     if !ci.half_width.is_finite() {
         ci.half_width = 0.0;
@@ -313,6 +316,7 @@ impl ScenarioAccum {
             metrics: None,
             failed_replications: self.failed_reps,
             failure_reasons: self.failure_reasons,
+            regret: None,
         }
     }
 }

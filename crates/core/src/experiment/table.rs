@@ -153,6 +153,7 @@ mod tests {
             metrics: None,
             failed_replications: 0,
             failure_reasons: Vec::new(),
+            regret: None,
         }
     }
 

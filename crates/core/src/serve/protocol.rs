@@ -9,7 +9,7 @@
 //! keep-alive, no TLS — everything a vendored, offline dependency stack
 //! can carry on `std` alone.
 
-use crate::experiment::{Scenario, ScenarioResult};
+use crate::experiment::{OracleConfig, Scenario, ScenarioResult};
 use dgsched_des::stats::StoppingRule;
 use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -57,6 +57,41 @@ pub struct SweepResponse {
     pub fingerprint: String,
     /// One result per scenario, in request order — exactly what
     /// [`run_matrix`](crate::experiment::run_matrix) would produce.
+    pub results: Vec<ScenarioResult>,
+}
+
+/// Body of `POST /oracle`: a sweep request plus the hindsight-oracle
+/// search knobs. Cached under the oracle fingerprint — a key space
+/// tagged distinctly from sweep fingerprints, so a `/sweep` and an
+/// `/oracle` over the same scenarios never collide in the store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OracleRequest {
+    /// The scenario matrix to run and score against the oracle.
+    pub scenarios: Vec<Scenario>,
+    /// Base seed of the replication streams (default: 2008).
+    #[serde(default = "default_seed")]
+    pub base_seed: u64,
+    /// Sequential stopping rule for the base sweep.
+    #[serde(default)]
+    pub rule: StoppingRule,
+    /// Search knobs: restarts, iterations, seed, replications.
+    #[serde(default)]
+    pub oracle: OracleConfig,
+    /// Fair-share admission bucket, as on `/sweep`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub tenant: Option<String>,
+}
+
+/// Body of a successful `/oracle` response: sweep results with the
+/// `regret` section attached to every non-saturated scenario. Cached and
+/// replayed byte-for-byte like sweep responses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OracleResponse {
+    /// The 128-bit oracle fingerprint the result is cached under.
+    pub fingerprint: String,
+    /// One result per scenario, in request order — exactly what
+    /// [`run_matrix_regret`](crate::experiment::run_matrix_regret)
+    /// produces.
     pub results: Vec<ScenarioResult>,
 }
 

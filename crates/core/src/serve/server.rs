@@ -24,12 +24,13 @@ use super::admission::Admission;
 use super::cache::{CacheEntry, CacheLookup, ResultCache};
 use super::protocol::{
     header_value, http_request, read_http_request, write_http_response, write_http_stream_head,
-    HttpRequest, StreamEvent, SweepRequest, SweepResponse,
+    HttpRequest, OracleRequest, OracleResponse, StreamEvent, SweepRequest, SweepResponse,
 };
 use super::single_flight::{FlightRole, LeaderToken, SingleFlight};
 use crate::experiment::{
-    canonical_sweep_bytes, run_matrix_journaled_with_progress, sweep_fingerprint, RepGuard,
-    Scenario, WorkloadKind,
+    canonical_oracle_bytes, canonical_sweep_bytes, oracle_fingerprint,
+    run_matrix_journaled_with_progress, run_matrix_regret, run_matrix_regret_journaled,
+    sweep_fingerprint, RepGuard, Scenario, WorkloadKind,
 };
 use crate::policy::PolicyKind;
 use crate::sim::SimConfig;
@@ -87,6 +88,7 @@ impl Default for ServeConfig {
 pub struct ServeMetrics {
     requests: AtomicU64,
     sweep_requests: AtomicU64,
+    oracle_requests: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_collisions: AtomicU64,
@@ -112,6 +114,10 @@ impl ServeMetrics {
             (
                 "serve_sweep_requests",
                 self.sweep_requests.load(Ordering::Relaxed),
+            ),
+            (
+                "serve_oracle_requests",
+                self.oracle_requests.load(Ordering::Relaxed),
             ),
             ("serve_cache_hits", self.cache_hits.load(Ordering::Relaxed)),
             (
@@ -299,6 +305,7 @@ fn handle_connection(inner: &Arc<ServerInner>, stream: TcpStream) -> io::Result<
             Ok(())
         }
         ("POST", "/sweep") => handle_sweep(inner, &request, &mut writer),
+        ("POST", "/oracle") => handle_oracle(inner, &request, &mut writer),
         _ => {
             ServeMetrics::bump(&inner.metrics.bad_requests);
             let (status, body) = json_error(404, "no such endpoint");
@@ -307,16 +314,16 @@ fn handle_connection(inner: &Arc<ServerInner>, stream: TcpStream) -> io::Result<
     }
 }
 
-/// Validates a sweep request the way the CLI validates a scenario file,
-/// plus the journal's unique-name requirement.
-fn validate_request(req: &SweepRequest) -> Result<(), String> {
-    if req.scenarios.is_empty() {
+/// Validates a request's scenario matrix the way the CLI validates a
+/// scenario file, plus the journal's unique-name requirement.
+fn validate_scenarios(scenarios: &[Scenario]) -> Result<(), String> {
+    if scenarios.is_empty() {
         return Err("request contains no scenarios".to_string());
     }
-    for scenario in &req.scenarios {
+    for scenario in scenarios {
         scenario.validate()?;
     }
-    let mut names: Vec<&str> = req.scenarios.iter().map(|s| s.name.as_str()).collect();
+    let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
     names.sort_unstable();
     if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
         return Err(format!(
@@ -464,7 +471,7 @@ fn handle_sweep(
             return conn.send_error(400, &format!("invalid sweep request: {e}"));
         }
     };
-    if let Err(msg) = validate_request(&req) {
+    if let Err(msg) = validate_scenarios(&req.scenarios) {
         ServeMetrics::bump(&inner.metrics.bad_requests);
         return conn.send_error(400, &msg);
     }
@@ -628,6 +635,182 @@ fn run_collision(
     conn.send_result(fingerprint, CacheDisposition::Collision, &entry)
 }
 
+/// `POST /oracle`: the sweep plus per-policy hindsight regret. Shares
+/// the sweep path's machinery — fingerprint-keyed cache entry (in the
+/// tagged oracle key space), single-flight, fair-share admission, pool
+/// width override — and journals completed search restarts under the
+/// fingerprint so a killed daemon resumes the search byte-identically.
+fn handle_oracle(
+    inner: &Arc<ServerInner>,
+    request: &HttpRequest,
+    writer: &mut BufWriter<TcpStream>,
+) -> io::Result<()> {
+    ServeMetrics::bump(&inner.metrics.oracle_requests);
+    let conn = SweepConnection {
+        writer: Mutex::new(writer),
+        streaming: false,
+        head_sent: AtomicBool::new(false),
+    };
+    let req: OracleRequest = match serde_json::from_slice(&request.body) {
+        Ok(r) => r,
+        Err(e) => {
+            ServeMetrics::bump(&inner.metrics.bad_requests);
+            return conn.send_error(400, &format!("invalid oracle request: {e}"));
+        }
+    };
+    if let Err(msg) = validate_scenarios(&req.scenarios) {
+        ServeMetrics::bump(&inner.metrics.bad_requests);
+        return conn.send_error(400, &msg);
+    }
+    if req.oracle.restarts == 0 {
+        ServeMetrics::bump(&inner.metrics.bad_requests);
+        return conn.send_error(400, "oracle.restarts must be non-zero");
+    }
+    let canonical =
+        match canonical_oracle_bytes(&req.scenarios, req.base_seed, &req.rule, &req.oracle) {
+            Ok(b) => b,
+            Err(e) => return conn.send_error(500, &e.to_string()),
+        };
+    let fingerprint =
+        match oracle_fingerprint(&req.scenarios, req.base_seed, &req.rule, &req.oracle) {
+            Ok(f) => f,
+            Err(e) => return conn.send_error(500, &e.to_string()),
+        };
+
+    match inner.cache.lookup(&fingerprint, &canonical) {
+        CacheLookup::Hit(entry) => {
+            ServeMetrics::bump(&inner.metrics.cache_hits);
+            return conn.send_result(&fingerprint, CacheDisposition::Hit, &entry);
+        }
+        CacheLookup::Collision => {
+            ServeMetrics::bump(&inner.metrics.cache_collisions);
+            return run_oracle_collision(inner, &req, &fingerprint, &conn);
+        }
+        CacheLookup::Miss => {}
+    }
+    ServeMetrics::bump(&inner.metrics.cache_misses);
+
+    match inner.flight.join(&fingerprint) {
+        FlightRole::Follower(Ok(entry)) => {
+            ServeMetrics::bump(&inner.metrics.single_flight_waits);
+            if entry.request == canonical {
+                conn.send_result(&fingerprint, CacheDisposition::Wait, &entry)
+            } else {
+                ServeMetrics::bump(&inner.metrics.cache_collisions);
+                run_oracle_collision(inner, &req, &fingerprint, &conn)
+            }
+        }
+        FlightRole::Follower(Err(msg)) => {
+            ServeMetrics::bump(&inner.metrics.single_flight_waits);
+            conn.send_error(500, &format!("oracle failed: {msg}"))
+        }
+        FlightRole::Leader(token) => {
+            run_oracle_leader(inner, &req, &fingerprint, &canonical, token, &conn)
+        }
+    }
+}
+
+/// The `/oracle` leader path: admission, regret matrix with journaled
+/// search restarts (resuming any journal a crashed instance left), cache
+/// insert, publish.
+fn run_oracle_leader(
+    inner: &Arc<ServerInner>,
+    req: &OracleRequest,
+    fingerprint: &str,
+    canonical: &[u8],
+    token: LeaderToken,
+    conn: &SweepConnection<'_>,
+) -> io::Result<()> {
+    if let CacheLookup::Hit(entry) = inner.cache.lookup(fingerprint, canonical) {
+        ServeMetrics::bump(&inner.metrics.cache_hits);
+        inner.flight.finish(token, Ok(entry.clone()));
+        return conn.send_result(fingerprint, CacheDisposition::Hit, &entry);
+    }
+    let tenant = req.tenant.as_deref().unwrap_or("anonymous");
+    let permit = inner.admission.admit(tenant);
+    ServeMetrics::bump(&inner.metrics.sweeps_executed);
+    let journal_path = inner.cache.journal_path(fingerprint);
+    let resume = journal_path.exists();
+    let run = || {
+        run_matrix_regret_journaled(
+            &req.scenarios,
+            req.base_seed,
+            &req.rule,
+            &req.oracle,
+            &journal_path,
+            resume,
+        )
+    };
+    let outcome = match inner.width {
+        Some(w) => rayon::with_num_threads(w, run),
+        None => run(),
+    };
+    drop(permit);
+    match outcome {
+        Ok((results, stats)) => {
+            inner
+                .metrics
+                .journal_replayed
+                .fetch_add(stats.restarts_replayed, Ordering::Relaxed);
+            inner
+                .metrics
+                .journal_resumes
+                .fetch_add(stats.resumes, Ordering::Relaxed);
+            let response = OracleResponse {
+                fingerprint: fingerprint.to_string(),
+                results,
+            };
+            let bytes = serde_json::to_vec(&response).expect("response serialises");
+            match inner.cache.insert(fingerprint, canonical, bytes) {
+                Ok(entry) => {
+                    inner.flight.finish(token, Ok(entry.clone()));
+                    conn.send_result(fingerprint, CacheDisposition::Miss, &entry)
+                }
+                Err(e) => {
+                    let msg = format!("result computed but cache write failed: {e}");
+                    ServeMetrics::bump(&inner.metrics.sweeps_failed);
+                    inner.flight.finish(token, Err(msg.clone()));
+                    conn.send_error(500, &msg)
+                }
+            }
+        }
+        Err(e) => {
+            ServeMetrics::bump(&inner.metrics.sweeps_failed);
+            let msg = e.to_string();
+            inner.flight.finish(token, Err(msg.clone()));
+            conn.send_error(500, &format!("oracle failed: {msg}"))
+        }
+    }
+}
+
+/// The `/oracle` fingerprint-collision path: compute this request's
+/// answer under admission, unjournaled and uncached.
+fn run_oracle_collision(
+    inner: &Arc<ServerInner>,
+    req: &OracleRequest,
+    fingerprint: &str,
+    conn: &SweepConnection<'_>,
+) -> io::Result<()> {
+    let tenant = req.tenant.as_deref().unwrap_or("anonymous");
+    let permit = inner.admission.admit(tenant);
+    ServeMetrics::bump(&inner.metrics.sweeps_executed);
+    let run = || run_matrix_regret(&req.scenarios, req.base_seed, &req.rule, &req.oracle);
+    let results = match inner.width {
+        Some(w) => rayon::with_num_threads(w, run),
+        None => run(),
+    };
+    drop(permit);
+    let response = OracleResponse {
+        fingerprint: fingerprint.to_string(),
+        results,
+    };
+    let entry = CacheEntry {
+        request: Vec::new(),
+        response: serde_json::to_vec(&response).expect("response serialises"),
+    };
+    conn.send_result(fingerprint, CacheDisposition::Collision, &entry)
+}
+
 /// A tiny, fast scenario pair for the `serve --check` self-test: small
 /// bags, two replications, milliseconds of compute.
 fn check_request() -> SweepRequest {
@@ -774,6 +957,63 @@ mod tests {
         let dup = http_request(&addr, "POST", "/sweep", &[], &body).unwrap();
         assert_eq!(dup.status, 400);
         assert!(String::from_utf8_lossy(&dup.body).contains("unique"));
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oracle_round_trip_caches_and_reports_regret() {
+        let dir = tmp_dir("oracle");
+        let handle = spawn_server(&dir);
+        let addr = handle.addr().to_string();
+        let sweep = check_request();
+        let req = OracleRequest {
+            scenarios: sweep.scenarios.clone(),
+            base_seed: sweep.base_seed,
+            rule: sweep.rule,
+            oracle: crate::experiment::OracleConfig {
+                restarts: 2,
+                iters: 10,
+                seed: 1,
+                replications: 2,
+            },
+            tenant: Some("self-check".to_string()),
+        };
+        let body = serde_json::to_vec(&req).unwrap();
+        let first = http_request(&addr, "POST", "/oracle", &[], &body).unwrap();
+        assert_eq!(
+            first.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&first.body)
+        );
+        assert_eq!(
+            header_value(&first.headers, "x-dgsched-cache"),
+            Some("miss")
+        );
+        let resp: OracleResponse = serde_json::from_slice(&first.body).unwrap();
+        assert_eq!(resp.results.len(), 2);
+        for r in &resp.results {
+            let reg = r.regret.as_ref().expect("regret section");
+            assert!(reg.regret.mean >= 0.0, "{}", r.name);
+        }
+        let second = http_request(&addr, "POST", "/oracle", &[], &body).unwrap();
+        assert_eq!(
+            header_value(&second.headers, "x-dgsched-cache"),
+            Some("hit")
+        );
+        assert_eq!(first.body, second.body, "cache hit must be byte-identical");
+        // The oracle key space is tagged: the same scenarios submitted as
+        // a plain sweep still miss (and compute their own entry).
+        let sweep_body = serde_json::to_vec(&check_request()).unwrap();
+        let sres = http_request(&addr, "POST", "/sweep", &[], &sweep_body).unwrap();
+        assert_eq!(header_value(&sres.headers, "x-dgsched-cache"), Some("miss"));
+        // Bad search knobs are rejected up front.
+        let mut bad = req;
+        bad.oracle.restarts = 0;
+        let bad_body = serde_json::to_vec(&bad).unwrap();
+        let rejected = http_request(&addr, "POST", "/oracle", &[], &bad_body).unwrap();
+        assert_eq!(rejected.status, 400);
         handle.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -10,6 +10,7 @@ use super::events::Event;
 use super::indices::{FreeMachineIndex, TaskReplicaIndex};
 use super::metrics::{BagMetrics, Counters, MachineStats, MetricsObserver, RunResult};
 use super::observer::{Fanout, NullObserver, SimObserver};
+use super::replay::{ReplayState, TraceEnv};
 use crate::policy::{BagSelection, PolicyKind};
 use crate::state::{BagRt, Machines, ReplicaId, ReplicaSlab};
 use dgsched_des::engine::QueueOps;
@@ -75,6 +76,10 @@ pub(super) struct Driver<'a> {
     /// events; their renewal state lives in `machines.cycle_end` and is
     /// fast-forwarded on demand (see `SimConfig::lazy_availability`).
     pub(super) lazy: bool,
+    /// Trace replay is in force: fault handlers consume the recorded
+    /// timeline instead of drawing from the availability/outage RNG
+    /// streams (see [`super::replay`]). Mutually exclusive with `lazy`.
+    pub(super) replay: Option<ReplayState<'a>>,
     /// Wall-clock profiling spans. All recording compiles to nothing
     /// unless the `timing` feature is on.
     pub(super) prof: Profiler,
@@ -193,7 +198,7 @@ pub fn simulate_instrumented(
 ) -> (RunResult, SimReport) {
     let mut metrics = MetricsObserver::new();
     let mut fan = Fanout(observer, &mut metrics);
-    let (result, mut report) = run_reported(grid, workload, policy, cfg, &mut fan, false);
+    let (result, mut report) = run_reported(grid, workload, policy, cfg, &mut fan, false, None);
     report.metrics = metrics.finish(SimTime::new(result.end_time), result.machines.len());
     (result, report)
 }
@@ -226,6 +231,53 @@ pub fn simulate_observed_reference(
     run(grid, workload, policy, cfg, observer, true)
 }
 
+/// Replays `policy` against the recorded fault timeline `env` instead of
+/// the live availability/outage RNG streams (see [`super::replay`]).
+///
+/// Replaying the policy whose run produced the trace reproduces its
+/// original [`RunResult`] byte-identically; replaying a *different*
+/// policy yields the run that policy would have produced under the same
+/// seed, because the environment streams are policy-independent. This is
+/// the evaluation seam of the hindsight oracle.
+///
+/// # Panics
+/// Panics when `env` was extracted for a different machine count, when
+/// `cfg` requests lazy availability (traces must be captured and replayed
+/// in eager mode — the default), or when the replay diverges from the
+/// recorded timeline.
+pub fn simulate_replayed(
+    grid: &Grid,
+    workload: &Workload,
+    policy: Box<dyn BagSelection>,
+    cfg: &SimConfig,
+    env: &TraceEnv,
+) -> RunResult {
+    let mut observer = NullObserver;
+    simulate_replayed_observed(grid, workload, policy, cfg, env, &mut observer)
+}
+
+/// [`simulate_replayed`] with an observer attached (e.g. to re-capture
+/// the replayed run's trace).
+pub fn simulate_replayed_observed(
+    grid: &Grid,
+    workload: &Workload,
+    policy: Box<dyn BagSelection>,
+    cfg: &SimConfig,
+    env: &TraceEnv,
+    observer: &mut dyn SimObserver,
+) -> RunResult {
+    assert_eq!(
+        env.machines(),
+        grid.len(),
+        "trace environment does not match the grid"
+    );
+    assert!(
+        !cfg.lazy_availability,
+        "trace replay requires eager availability (lazy traces reorder fault records)"
+    );
+    run_reported(grid, workload, policy, cfg, observer, false, Some(env)).0
+}
+
 fn run(
     grid: &Grid,
     workload: &Workload,
@@ -234,7 +286,7 @@ fn run(
     observer: &mut dyn SimObserver,
     reference: bool,
 ) -> RunResult {
-    run_reported(grid, workload, policy, cfg, observer, reference).0
+    run_reported(grid, workload, policy, cfg, observer, reference, None).0
 }
 
 fn run_reported(
@@ -244,6 +296,7 @@ fn run_reported(
     cfg: &SimConfig,
     observer: &mut dyn SimObserver,
     reference: bool,
+    replay: Option<&TraceEnv>,
 ) -> (RunResult, SimReport) {
     assert!(!grid.is_empty(), "cannot schedule on an empty grid");
     assert!(!workload.is_empty(), "cannot simulate an empty workload");
@@ -299,10 +352,19 @@ fn run_reported(
     // Lazy availability needs a failure process to elide, and is off under
     // the two knobs that consume failure observations the moment they
     // happen (their observation order is exactly what laziness reorders).
+    // Replay is eager by construction: every recorded transition is a real
+    // event, so the replayed run must materialise them eagerly too.
     let lazy = cfg.lazy_availability
         && avail.is_some()
+        && replay.is_none()
         && cfg.machine_order != MachineOrder::FewestFailuresFirst
         && cfg.dynamic_replication.is_none();
+    if replay.is_some() {
+        assert!(
+            horizon.is_finite(),
+            "trace replay needs a finite horizon so sentinel events never fire"
+        );
+    }
 
     let mut driver = Driver {
         state: SimState {
@@ -332,6 +394,7 @@ fn run_reported(
         observer,
         reference,
         lazy,
+        replay: replay.map(ReplayState::new),
         prof,
         span_round,
         span_dispatch,
@@ -341,7 +404,22 @@ fn run_reported(
     for bag in &workload.bags {
         engine.prime(bag.arrival, Event::BagArrival(bag.id.0));
     }
-    if let Some(avail) = driver.state.avail {
+    if let Some(rp) = driver.replay.as_ref() {
+        // Replay: the same priming structure as the eager branch below —
+        // one pending failure per machine, one outage — but at recorded
+        // instants (sentinels when the trace holds none), so event-id
+        // allocation matches the live run exactly.
+        if driver.state.avail.is_some() {
+            for i in 0..driver.state.machines.len() {
+                let at = rp.next_personal_fail(i);
+                driver.state.machines.hot[i].next_transition =
+                    engine.prime(at, Event::MachineFail(MachineId(i as u32)));
+            }
+        }
+        if driver.state.outage.is_some() {
+            engine.prime(rp.next_outage(), Event::Outage);
+        }
+    } else if let Some(avail) = driver.state.avail {
         if driver.lazy {
             // No events yet: record each machine's first up-window end and
             // reconstruct from there on demand. Same draws, same order, as
@@ -358,9 +436,11 @@ fn run_reported(
             }
         }
     }
-    if let Some(outage) = driver.state.outage {
-        let gap = outage.next_gap(&mut driver.state.outage_rng);
-        engine.prime(SimTime::new(gap), Event::Outage);
+    if driver.replay.is_none() {
+        if let Some(outage) = driver.state.outage {
+            let gap = outage.next_gap(&mut driver.state.outage_rng);
+            engine.prime(SimTime::new(gap), Event::Outage);
+        }
     }
 
     let outcome = engine.run(&mut driver);

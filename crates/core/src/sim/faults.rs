@@ -21,7 +21,10 @@ impl Driver<'_> {
         let now = sched.now();
         let outage = self.state.outage.expect("outage event without a config");
         self.state.counters.outages += 1;
-        let duration = outage.duration(&mut self.state.outage_rng);
+        let duration = match self.replay.as_mut() {
+            Some(rp) => rp.consume_outage(now.as_secs()),
+            None => outage.duration(&mut self.state.outage_rng),
+        };
         // Announced before the per-machine failures so the trace stays
         // time-ordered with the outage ahead of its same-timestamp kills.
         self.observer.on_outage(now, duration);
@@ -57,7 +60,16 @@ impl Driver<'_> {
         let mut any_killed = false;
         for i in 0..self.state.machines.len() {
             let mid = MachineId(i as u32);
-            if !self.state.machines.hot[i].up || !outage.hits(&mut self.state.outage_rng) {
+            if !self.state.machines.hot[i].up {
+                continue;
+            }
+            // The hit draw is consumed only for up machines; under replay
+            // the trace's kill record stands in for the Bernoulli draw.
+            let hit = match self.replay.as_mut() {
+                Some(rp) => rp.outage_hits(i, now.as_secs()),
+                None => outage.hits(&mut self.state.outage_rng),
+            };
+            if !hit {
                 continue;
             }
             self.observer.on_machine_fail(now, mid);
@@ -72,7 +84,13 @@ impl Driver<'_> {
             // Override the machine's own cycle for the outage window.
             let pending = self.state.machines.hot[i].next_transition;
             sched.cancel(pending);
-            let ev = sched.schedule_in(duration, Event::MachineRepair(mid));
+            let ev = match self.replay.as_ref() {
+                // The recorded repair instant is exactly `now + duration`
+                // as the live run computed it; rescheduling the recorded
+                // value keeps the timestamp bit-identical.
+                Some(rp) => sched.schedule_at(rp.next_repair(i), Event::MachineRepair(mid)),
+                None => sched.schedule_in(duration, Event::MachineRepair(mid)),
+            };
             self.state.machines.hot[i].next_transition = ev;
             if self.lazy {
                 self.state.machines.hot[i].cycle_end = now.as_secs() + duration;
@@ -83,8 +101,15 @@ impl Driver<'_> {
                 any_killed = true;
             }
         }
-        let gap = outage.next_gap(&mut self.state.outage_rng);
-        sched.schedule_in(gap, Event::Outage);
+        match self.replay.as_ref() {
+            Some(rp) => {
+                sched.schedule_at(rp.next_outage(), Event::Outage);
+            }
+            None => {
+                let gap = outage.next_gap(&mut self.state.outage_rng);
+                sched.schedule_in(gap, Event::Outage);
+            }
+        }
         if any_killed {
             self.dispatch_all(sched);
         }
@@ -137,16 +162,22 @@ impl Driver<'_> {
         let victim = self.state.machines.hot[i].replica;
         self.state.free.note_failure(mid);
         self.state.counters.machine_failures += 1;
-        let avail = self
-            .state
-            .avail
-            .expect("failing grid has an availability process");
-        let down = avail.next_down(&mut self.state.machines.avail_rng[i]);
-        let ev = sched.schedule_in(down, Event::MachineRepair(mid));
+        let ev = if let Some(rp) = self.replay.as_mut() {
+            rp.consume_personal_fail(i, now.as_secs());
+            sched.schedule_at(rp.next_repair(i), Event::MachineRepair(mid))
+        } else {
+            let avail = self
+                .state
+                .avail
+                .expect("failing grid has an availability process");
+            let down = avail.next_down(&mut self.state.machines.avail_rng[i]);
+            let ev = sched.schedule_in(down, Event::MachineRepair(mid));
+            if self.lazy {
+                self.state.machines.hot[i].cycle_end = now.as_secs() + down;
+            }
+            ev
+        };
         self.state.machines.hot[i].next_transition = ev;
-        if self.lazy {
-            self.state.machines.hot[i].cycle_end = now.as_secs() + down;
-        }
         if let Some(rid) = victim {
             self.kill_replica(rid, true, sched);
             self.state.counters.replicas_killed_failure += 1;
@@ -171,7 +202,16 @@ impl Driver<'_> {
         self.state.free.insert(mid);
         // Resume the machine's own failure cycle (absent when only the
         // correlated-outage process can take machines down).
-        if let Some(avail) = self.state.avail {
+        if let Some(rp) = self.replay.as_mut() {
+            rp.consume_repair(i, sched.now().as_secs());
+            if self.state.avail.is_some() {
+                let at = rp.next_personal_fail(i);
+                let ev = sched.schedule_at(at, Event::MachineFail(mid));
+                self.state.machines.hot[i].next_transition = ev;
+            } else {
+                self.state.machines.hot[i].next_transition = EventId::NONE;
+            }
+        } else if let Some(avail) = self.state.avail {
             let up = avail.next_up(&mut self.state.machines.avail_rng[i]);
             if self.lazy {
                 // The machine is idle again: record the window end, no

@@ -48,6 +48,7 @@ pub(crate) mod indices;
 mod lifecycle;
 mod metrics;
 mod observer;
+mod replay;
 
 #[cfg(test)]
 mod tests;
@@ -55,10 +56,11 @@ mod tests;
 pub use check::CheckingObserver;
 pub use config::{DynamicReplication, MachineOrder, SimConfig, TaskOrder};
 pub use driver::{
-    simulate, simulate_instrumented, simulate_observed, simulate_observed_reference, simulate_with,
-    SimReport,
+    simulate, simulate_instrumented, simulate_observed, simulate_observed_reference,
+    simulate_replayed, simulate_replayed_observed, simulate_with, SimReport,
 };
 pub use events::Event;
 pub use gantt::Gantt;
 pub use metrics::{BagMetrics, Counters, MachineStats, MetricsObserver, RunResult};
 pub use observer::{Fanout, NullObserver, SimObserver, TraceEvent, TraceRecorder, TraceRing};
+pub use replay::TraceEnv;

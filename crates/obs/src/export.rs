@@ -457,6 +457,48 @@ mod tests {
     }
 
     #[test]
+    fn binary_round_trips_truncation_flag() {
+        let events = sample_events();
+        let bytes = encode_binary(&events, 41);
+        let back = decode_binary(&bytes).unwrap();
+        assert_eq!(back.events, events);
+        assert_eq!(back.dropped, 41);
+        assert!(back.truncated());
+        // The flag lives in the header, not the payload: the same events
+        // with a different drop count encode to different bytes of the
+        // same length.
+        let clean = encode_binary(&events, 0);
+        assert_ne!(bytes, clean);
+        assert_eq!(bytes.len(), clean.len());
+        assert!(!decode_binary(&clean).unwrap().truncated());
+    }
+
+    #[test]
+    fn ring_drop_count_survives_both_codecs() {
+        // A full run pushed through a 4-slot ring: the export must carry
+        // the ring's eviction count, and both decoders must agree the
+        // trace is a truncated window, not a complete run.
+        let events = sample_events();
+        let mut ring = crate::ring::TraceRing::new(4);
+        for ev in &events {
+            ring.push(ev.clone());
+        }
+        assert_eq!(ring.dropped(), events.len() as u64 - 4);
+
+        let text = write_jsonl(&ring.events(), ring.dropped());
+        let from_jsonl = read_jsonl(&text).unwrap();
+        let bytes = encode_binary(&ring.events(), ring.dropped());
+        let from_binary = decode_binary(&bytes).unwrap();
+
+        for decoded in [&from_jsonl, &from_binary] {
+            assert_eq!(decoded.events, events[events.len() - 4..]);
+            assert_eq!(decoded.dropped, ring.dropped());
+            assert!(decoded.truncated());
+        }
+        assert_eq!(from_jsonl, from_binary, "codecs must agree on the window");
+    }
+
+    #[test]
     fn jsonl_header_must_be_sane() {
         assert!(matches!(read_jsonl(""), Err(TraceCodecError::BadHeader(_))));
         assert!(matches!(

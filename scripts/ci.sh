@@ -60,6 +60,16 @@ DGSCHED_THREADS=1 cargo test -q -p dgsched-core --features lockcheck \
 DGSCHED_THREADS=4 cargo test -q -p dgsched-core --features lockcheck \
   --lib --test lockcheck --test parallel_determinism --test journal_resume --test serve
 
+echo "==> oracle gate: replay exactness + regret battery at widths 1 and 4"
+# The hindsight-oracle contract: trace replay reproduces the live run
+# byte-identically (tests/trace_replay.rs), and the regret battery —
+# oracle ≤ best observed policy per cell, regret ≥ 0 across the full
+# matrix, search byte-identical across pool widths and across resumed
+# restarts (tests/oracle_regret.rs) — holds under both environment
+# baselines.
+DGSCHED_THREADS=1 cargo test -q -p dgsched-core --test trace_replay --test oracle_regret
+DGSCHED_THREADS=4 cargo test -q -p dgsched-core --test trace_replay --test oracle_regret
+
 echo "==> telemetry gate: obs crate with and without the timing feature"
 # The observer seam must stay passive: the obs crate and its profiling
 # spans are built and tested in both configurations, and the passivity
@@ -83,6 +93,11 @@ j = doc["journal"]
 assert j["identical_result"], "journaled sweep diverged from plain"
 print(f"journal overhead ratio: {j['overhead_ratio']:.3f} "
       f"(records={j['records']}, resume {j['resume_s']:.2f}s)")
+orc = doc["oracle"]
+assert orc["identical_result"], "oracle search diverged across pool widths"
+for run in orc["runs"]:
+    print(f"oracle search @ {run['threads']} threads: "
+          f"{run['restarts_per_s']:.1f} restarts/s")
 EOF
 
 if [ "${DGSCHED_BENCH_SMOKE:-0}" = "1" ]; then

@@ -118,6 +118,57 @@ fn trace_emits_parseable_trace_and_gantt() {
 }
 
 #[test]
+fn oracle_reports_regret_section() {
+    let demo = Command::new(bin()).arg("demo").output().expect("demo");
+    let scenario = tmp("oracle-scenario.json");
+    std::fs::write(&scenario, &demo.stdout).expect("write scenario");
+    let out = Command::new(bin())
+        .args([
+            "oracle",
+            scenario.to_str().unwrap(),
+            "--min-reps",
+            "1",
+            "--max-reps",
+            "1",
+            "--oracle-reps",
+            "1",
+            "--restarts",
+            "2",
+            "--iters",
+            "10",
+        ])
+        .output()
+        .expect("oracle");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("oracle output is JSON");
+    let regret = &json["regret"];
+    assert!(
+        regret["oracle_turnaround"]["mean"].as_f64().unwrap() > 0.0,
+        "regret section missing: {}",
+        serde_json::to_string(&json).unwrap()
+    );
+    assert!(regret["regret"]["mean"].as_f64().unwrap() >= 0.0);
+    assert_eq!(regret["replications"], 1);
+
+    // --resume without --journal and a zero-restart search are usage errors.
+    let out = Command::new(bin())
+        .args(["oracle", scenario.to_str().unwrap(), "--resume"])
+        .output()
+        .expect("oracle");
+    assert!(!out.status.success());
+    let out = Command::new(bin())
+        .args(["oracle", scenario.to_str().unwrap(), "--restarts", "0"])
+        .output()
+        .expect("oracle");
+    assert!(!out.status.success());
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = Command::new(bin()).arg("frobnicate").output().expect("run");
     assert!(!out.status.success());

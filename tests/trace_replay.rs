@@ -1,0 +1,181 @@
+//! Trace-replay exactness: re-simulating a policy's captured trace
+//! through `TraceEnv` reproduces its original `RunResult` byte-for-byte —
+//! the replay twin of the `simulate_instrumented` passivity proof, and
+//! the load-bearing correctness anchor of the hindsight oracle.
+//!
+//! Two contracts are pinned:
+//!
+//! * **Exactness** — for every policy, replaying the trace captured from
+//!   its own run yields the identical `RunResult` (serialised JSON
+//!   compared byte-for-byte), including on grids with correlated outages
+//!   and on never-failing grids.
+//! * **Policy independence** — the environment timeline captured from one
+//!   policy's run re-drives *any* policy to exactly the run it would have
+//!   produced live under the same seed, because availability/outage
+//!   streams are keyed by seed only. This is what lets the oracle score
+//!   alternative schedules against a single captured environment.
+
+use dgsched_core::experiment::{
+    replication_inputs, run_replication_traced, Scenario, WorkloadKind,
+};
+use dgsched_core::policy::PolicyKind;
+use dgsched_core::sim::{
+    simulate_replayed, simulate_replayed_observed, SimConfig, TraceEnv, TraceRecorder,
+};
+use dgsched_des::dist::DistConfig;
+use dgsched_grid::{Availability, CheckpointConfig, GridConfig, Heterogeneity, OutageConfig};
+use dgsched_workload::{BotType, Intensity, WorkloadSpec};
+
+/// A small grid (≈8 machines) so the 7-policy × 4-platform battery stays
+/// fast; the replay seam is exercised identically at any scale.
+fn small_grid(heterogeneity: Heterogeneity, availability: Availability) -> GridConfig {
+    GridConfig {
+        total_power: 80.0,
+        heterogeneity,
+        availability,
+        checkpoint: CheckpointConfig::default(),
+        outages: None,
+    }
+}
+
+/// Hom/Het × High/Low — the oracle battery's platform axis.
+fn platforms() -> Vec<(&'static str, GridConfig)> {
+    vec![
+        (
+            "Hom-High",
+            small_grid(Heterogeneity::HOM, Availability::HIGH),
+        ),
+        ("Hom-Low", small_grid(Heterogeneity::HOM, Availability::LOW)),
+        (
+            "Het-High",
+            small_grid(Heterogeneity::HET, Availability::HIGH),
+        ),
+        ("Het-Low", small_grid(Heterogeneity::HET, Availability::LOW)),
+    ]
+}
+
+fn scenario(policy: PolicyKind, name: &str, grid: GridConfig) -> Scenario {
+    Scenario {
+        name: format!("replay {name} {policy}"),
+        grid,
+        workload: WorkloadKind::Single(WorkloadSpec {
+            bot_type: BotType {
+                granularity: 2_000.0,
+                app_size: 16_000.0,
+                jitter: 0.5,
+            },
+            intensity: Intensity::Medium,
+            count: 5,
+        }),
+        policy,
+        sim: SimConfig::default(),
+    }
+}
+
+fn json(r: &impl serde::Serialize) -> String {
+    serde_json::to_string(r).unwrap()
+}
+
+/// Captures a replication's trace and replays it through the same policy;
+/// the `RunResult`s must serialise byte-identically.
+fn assert_replay_exact(sc: &Scenario, base_seed: u64, rep: u64) {
+    let (live, trace) = run_replication_traced(sc, base_seed, rep);
+    let (grid, workload, cfg) = replication_inputs(sc, base_seed, rep);
+    let env = TraceEnv::from_trace(&trace.events, grid.len());
+    let replayed = simulate_replayed(
+        &grid,
+        &workload,
+        sc.policy.create_seeded(cfg.seed),
+        &cfg,
+        &env,
+    );
+    assert_eq!(
+        json(&live),
+        json(&replayed),
+        "replay diverged from live run for '{}'",
+        sc.name
+    );
+}
+
+#[test]
+fn replaying_own_trace_reproduces_run_result_byte_for_byte() {
+    for (pname, grid) in platforms() {
+        for policy in PolicyKind::all_with_baselines() {
+            assert_replay_exact(&scenario(policy, pname, grid), 2008, 0);
+        }
+    }
+}
+
+#[test]
+fn replay_is_exact_across_replications() {
+    let grid = small_grid(Heterogeneity::HET, Availability::LOW);
+    for rep in 0..3 {
+        assert_replay_exact(&scenario(PolicyKind::RrNrf, "Het-Low", grid), 2008, rep);
+    }
+}
+
+#[test]
+fn replay_is_exact_under_correlated_outages() {
+    let mut grid = small_grid(Heterogeneity::HOM, Availability::HIGH);
+    grid.outages = Some(OutageConfig {
+        mtbo: 2_000.0,
+        duration: DistConfig::Constant { value: 120.0 },
+        fraction: 0.5,
+    });
+    for policy in PolicyKind::all_with_baselines() {
+        assert_replay_exact(&scenario(policy, "Hom-High+outage", grid), 2008, 0);
+    }
+}
+
+#[test]
+fn replay_is_exact_on_never_failing_grid() {
+    let grid = small_grid(Heterogeneity::HOM, Availability::Always);
+    assert_replay_exact(&scenario(PolicyKind::Rr, "Hom-Always", grid), 2008, 0);
+}
+
+/// Replaying a run while re-capturing its trace must reproduce the
+/// recorded timeline itself, not just the final metrics: same events, in
+/// the same order, at bit-identical times.
+#[test]
+fn replayed_trace_matches_captured_trace() {
+    let grid = small_grid(Heterogeneity::HET, Availability::LOW);
+    let sc = scenario(PolicyKind::LongIdle, "Het-Low", grid);
+    let (_, trace) = run_replication_traced(&sc, 2008, 0);
+    let (g, w, cfg) = replication_inputs(&sc, 2008, 0);
+    let env = TraceEnv::from_trace(&trace.events, g.len());
+    let mut retrace = TraceRecorder::new();
+    simulate_replayed_observed(
+        &g,
+        &w,
+        sc.policy.create_seeded(cfg.seed),
+        &cfg,
+        &env,
+        &mut retrace,
+    );
+    assert_eq!(
+        json(&trace.events),
+        json(&retrace.events),
+        "replay must re-emit the recorded timeline verbatim"
+    );
+}
+
+/// The environment timeline is policy-independent: the trace captured
+/// under one policy re-drives every other policy to exactly the run it
+/// produces live at the same `(base_seed, rep)`.
+#[test]
+fn any_policy_replays_exactly_under_another_policys_trace() {
+    let grid = small_grid(Heterogeneity::HET, Availability::LOW);
+    let donor = scenario(PolicyKind::Rr, "Het-Low", grid);
+    let (_, trace) = run_replication_traced(&donor, 2008, 0);
+    let (g, w, cfg) = replication_inputs(&donor, 2008, 0);
+    let env = TraceEnv::from_trace(&trace.events, g.len());
+    for policy in PolicyKind::all_with_baselines() {
+        let live = run_replication_traced(&scenario(policy, "Het-Low", grid), 2008, 0).0;
+        let replayed = simulate_replayed(&g, &w, policy.create_seeded(cfg.seed), &cfg, &env);
+        assert_eq!(
+            json(&live),
+            json(&replayed),
+            "policy {policy} diverged under a donor trace"
+        );
+    }
+}
