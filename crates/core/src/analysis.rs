@@ -32,16 +32,37 @@ pub fn makespan_lower_bound(bag: &BagOfTasks, grid: &Grid) -> f64 {
 /// Offered load ρ of a workload description on a grid: arrival rate times
 /// per-bag demand on *effective* power. A system with ρ ≥ 1 has no
 /// stationary regime and must saturate.
-pub fn offered_load(lambda: f64, mean_bag_work: f64, grid: &Grid) -> f64 {
-    assert!(lambda >= 0.0 && mean_bag_work > 0.0);
-    lambda * mean_bag_work / grid.config.effective_power()
+///
+/// `lambda` and `mean_bag_work` typically come straight from scenario
+/// JSON, so out-of-range values (NaN from a `null`, a negative rate, a
+/// zero mean) are reported as an `Err` instead of panicking — a hostile
+/// request must not take down a sweep thread in the serve daemon.
+pub fn offered_load(lambda: f64, mean_bag_work: f64, grid: &Grid) -> Result<f64, String> {
+    if !(lambda.is_finite() && lambda >= 0.0) {
+        return Err(format!(
+            "arrival rate must be finite and >= 0, got {lambda}"
+        ));
+    }
+    if !(mean_bag_work.is_finite() && mean_bag_work > 0.0) {
+        return Err(format!(
+            "mean bag work must be finite and > 0, got {mean_bag_work}"
+        ));
+    }
+    let power = grid.config.effective_power();
+    if !(power.is_finite() && power > 0.0) {
+        return Err(format!(
+            "grid effective power must be finite and > 0, got {power}"
+        ));
+    }
+    Ok(lambda * mean_bag_work / power)
 }
 
 /// True when the configuration admits a steady state (ρ < 1 with a small
 /// safety margin for replication overhead is NOT included — this is the
-/// pure work-conservation criterion).
-pub fn is_stable(lambda: f64, mean_bag_work: f64, grid: &Grid) -> bool {
-    offered_load(lambda, mean_bag_work, grid) < 1.0
+/// pure work-conservation criterion). Propagates [`offered_load`]'s
+/// validation errors.
+pub fn is_stable(lambda: f64, mean_bag_work: f64, grid: &Grid) -> Result<bool, String> {
+    offered_load(lambda, mean_bag_work, grid).map(|rho| rho < 1.0)
 }
 
 #[cfg(test)]
@@ -149,13 +170,35 @@ mod tests {
     #[test]
     fn offered_load_and_stability() {
         let grid = reliable_grid(10, 10.0); // effective power 100
-        assert!((offered_load(0.001, 50_000.0, &grid) - 0.5).abs() < 1e-12);
-        assert!(is_stable(0.001, 50_000.0, &grid));
-        assert!(!is_stable(0.003, 50_000.0, &grid));
+        assert!((offered_load(0.001, 50_000.0, &grid).unwrap() - 0.5).abs() < 1e-12);
+        assert!(is_stable(0.001, 50_000.0, &grid).unwrap());
+        assert!(!is_stable(0.003, 50_000.0, &grid).unwrap());
         assert!(
-            !is_stable(0.002, 50_000.0, &grid),
+            !is_stable(0.002, 50_000.0, &grid).unwrap(),
             "ρ = 1 exactly is unstable"
         );
+    }
+
+    #[test]
+    fn offered_load_rejects_hostile_inputs_without_panicking() {
+        // Regression: these were `assert!`s, so a scenario JSON carrying
+        // NaN/negative values panicked the caller (the serve daemon's
+        // sweep thread) instead of failing the request.
+        let grid = reliable_grid(4, 10.0);
+        for (lambda, work) in [
+            (f64::NAN, 100.0),
+            (-0.5, 100.0),
+            (f64::INFINITY, 100.0),
+            (0.01, 0.0),
+            (0.01, -5.0),
+            (0.01, f64::NAN),
+        ] {
+            assert!(
+                offered_load(lambda, work, &grid).is_err(),
+                "λ={lambda} work={work} must be rejected"
+            );
+            assert!(is_stable(lambda, work, &grid).is_err());
+        }
     }
 
     #[test]
@@ -180,7 +223,7 @@ mod tests {
             lambda: 0.02,
             label: "overload".into(),
         };
-        assert!(!is_stable(0.02, 4000.0, &grid));
+        assert!(!is_stable(0.02, 4000.0, &grid).unwrap());
         let cfg = SimConfig {
             horizon: Some(2_000.0),
             ..SimConfig::with_seed(1)

@@ -5,7 +5,9 @@
 //! dgsched run scenario.json             # run it (replications + CI) and report
 //! dgsched oracle scenario.json          # run it, then report hindsight regret
 //! dgsched serve --addr 127.0.0.1:7700   # sweep service with a result cache
-//! dgsched gen-workload -g 25000 -u low -n 50 -o w.json   # generate a workload
+//! dgsched gen --size pareto:alpha=1.5,min=8e5 --arrivals mmpp:ratio=9,frac=0.1,len=25 \
+//!             -o scenario.json          # trace-realistic scenario (heavy tails)
+//! dgsched gen-workload -g 25000 -u low -n 50 -o w.json   # paper-model workload file
 //! dgsched summarize w.json              # describe a saved workload
 //! ```
 //!
@@ -25,14 +27,17 @@ use dgsched_core::sim::SimConfig;
 use dgsched_core::sim::{TraceRecorder, TraceRing};
 use dgsched_des::stats::StoppingRule;
 use dgsched_grid::{Availability, GridConfig, Heterogeneity};
-use dgsched_workload::{BotType, Intensity, Workload, WorkloadSpec, WorkloadSummary};
+use dgsched_workload::{
+    ArrivalModel, BotType, Intensity, RealisticSpec, SizeModel, TaskJitter, Workload, WorkloadSpec,
+    WorkloadSummary,
+};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dgsched demo\n  dgsched run <scenario.json> [--seed N] [--min-reps N] [--max-reps N]\n               [--journal <file.jsonl> [--resume]]\n  dgsched oracle <scenario.json> [--seed N] [--min-reps N] [--max-reps N]\n                 [--restarts N] [--iters N] [--oracle-seed N] [--oracle-reps N]\n                 [--journal <file.jsonl> [--resume]]\n  dgsched serve [--addr HOST:PORT] [--cache-dir DIR] [--slots N]\n                [--threads N] [--check]\n  dgsched trace <scenario.json> [--seed N] [--rep N] [--out trace.json]\n                [--jsonl trace.jsonl] [--bin trace.dgtr] [--ring N] [--metrics] [--gantt]\n  dgsched gen-workload -g <granularity> -u <low|medium|high> -n <bags> -o <file> [--seed N]\n  dgsched summarize <workload.json>\n\noracle:\n  runs the sweep, then replays each replication's captured environment\n  and searches for the hindsight-optimal bag schedule; the result JSON\n  gains a 'regret' section ((policy - oracle) / oracle with a CI)\n  --restarts N      independent search restarts per replication (default 8)\n  --iters N         move proposals per restart (default 120)\n  --oracle-seed N   search stream seed (default 0)\n  --oracle-reps N   replications the oracle evaluates (default 3)\n  --journal FILE    append each completed search restart to FILE (fsynced\n                    JSONL); with --resume, journaled restarts are folded\n                    in instead of recomputed, byte-identically\n\njournal:\n  --journal FILE    append each completed replication to FILE (fsynced\n                    JSONL) so a killed run loses at most the replication\n                    in flight; replications are panic-isolated\n  --resume          replay the journal's intact records instead of\n                    recomputing them; the final JSON is byte-identical to\n                    an uninterrupted run\n\nserve:\n  --addr HOST:PORT  listen address (default 127.0.0.1:7700; port 0 binds\n                    an ephemeral port, reported on stdout)\n  --cache-dir DIR   state directory for the result cache and journals\n                    (default: per-instance temp dir); results are keyed\n                    by sweep fingerprint and cache hits are byte-identical\n  --slots N         concurrent sweep slots, fair-shared across tenants\n                    round-robin (default 1)\n  --threads N       pool width for each sweep (default: DGSCHED_THREADS /\n                    RAYON_NUM_THREADS / all cores)\n  --check           self-test: bind, round-trip a demo sweep twice, verify\n                    the second is a byte-identical cache hit, exit\n\nenvironment:\n  DGSCHED_TRACE=1   attach the metrics registry to `dgsched run` (adds a\n                    'metrics' snapshot of replication 0 to the result JSON)"
+        "usage:\n  dgsched demo\n  dgsched run <scenario.json> [--seed N] [--min-reps N] [--max-reps N]\n               [--journal <file.jsonl> [--resume]]\n  dgsched oracle <scenario.json> [--seed N] [--min-reps N] [--max-reps N]\n                 [--restarts N] [--iters N] [--oracle-seed N] [--oracle-reps N]\n                 [--journal <file.jsonl> [--resume]]\n  dgsched serve [--addr HOST:PORT] [--cache-dir DIR] [--slots N]\n                [--threads N] [--check]\n  dgsched trace <scenario.json> [--seed N] [--rep N] [--out trace.json]\n                [--jsonl trace.jsonl] [--bin trace.dgtr] [--ring N] [--metrics] [--gantt]\n  dgsched gen [-g N] [-u low|medium|high] [-n bags] [--size SPEC] [--jitter SPEC]\n              [--arrivals SPEC] [--policy NAME] [--het] [--avail high|med|low]\n              [--warmup N] [--name NAME] [-o scenario.json]\n              [--workload w.json] [--seed N]\n  dgsched gen-workload -g <granularity> -u <low|medium|high> -n <bags> -o <file> [--seed N]\n  dgsched summarize <workload.json>\n\ngen:\n  emits a trace-realistic scenario JSON (stdout or -o) that `dgsched\n  run`, `oracle` and the serve daemon accept unmodified; the workload is\n  regenerated per replication from the embedded spec, so the file is\n  pure configuration and byte-identical for a fixed flag set\n  --size SPEC       per-bag application size distribution:\n                    fixed[:app_size=X] (default, X=2.5e6)\n                    pareto:alpha=A,min=M[,cap=C]   (heavy tail, A > 1)\n                    zipf:exponent=E,ranks=K,base=B (discrete ladder)\n  --jitter SPEC     per-task work around the granularity:\n                    uniform[:half_width=H] (default, H=0.5)\n                    lognormal:sigma=S      (mean-preserving, S in (0,4])\n  --arrivals SPEC   submission stream shape (mean rate is always U/D):\n                    poisson (default)\n                    hyperexp:cv=C            (bursty renewal, C >= 1)\n                    diurnal:period=P,amplitude=A  (day/night cycle)\n                    mmpp:ratio=R,frac=F,len=L     (2-state bursts)\n  --policy NAME     bag-selection policy (default long-idle)\n  --het             heterogeneous platform (default homogeneous)\n  --avail LEVEL     availability class high|med|low (default high)\n  --workload FILE   also materialise one sampled workload with --seed N\n                    (default 1) and save it as a workload JSON\n\noracle:\n  runs the sweep, then replays each replication's captured environment\n  and searches for the hindsight-optimal bag schedule; the result JSON\n  gains a 'regret' section ((policy - oracle) / oracle with a CI)\n  --restarts N      independent search restarts per replication (default 8)\n  --iters N         move proposals per restart (default 120)\n  --oracle-seed N   search stream seed (default 0)\n  --oracle-reps N   replications the oracle evaluates (default 3)\n  --journal FILE    append each completed search restart to FILE (fsynced\n                    JSONL); with --resume, journaled restarts are folded\n                    in instead of recomputed, byte-identically\n\njournal:\n  --journal FILE    append each completed replication to FILE (fsynced\n                    JSONL) so a killed run loses at most the replication\n                    in flight; replications are panic-isolated\n  --resume          replay the journal's intact records instead of\n                    recomputing them; the final JSON is byte-identical to\n                    an uninterrupted run\n\nserve:\n  --addr HOST:PORT  listen address (default 127.0.0.1:7700; port 0 binds\n                    an ephemeral port, reported on stdout)\n  --cache-dir DIR   state directory for the result cache and journals\n                    (default: per-instance temp dir); results are keyed\n                    by sweep fingerprint and cache hits are byte-identical\n  --slots N         concurrent sweep slots, fair-shared across tenants\n                    round-robin (default 1)\n  --threads N       pool width for each sweep (default: DGSCHED_THREADS /\n                    RAYON_NUM_THREADS / all cores)\n  --check           self-test: bind, round-trip a demo sweep twice, verify\n                    the second is a byte-identical cache hit, exit\n\nenvironment:\n  DGSCHED_TRACE=1   attach the metrics registry to `dgsched run` (adds a\n                    'metrics' snapshot of replication 0 to the result JSON)"
     );
     exit(2)
 }
@@ -396,6 +401,262 @@ fn cmd_trace(mut args: Args) {
     }
 }
 
+/// Parses a `kind[:key=value[,key=value...]]` distribution spec into the
+/// kind tag and its parameter list. Keys stay ordered as written so error
+/// messages and `--help` examples line up.
+fn spec_parts(flag: &str, text: &str) -> (String, Vec<(String, f64)>) {
+    let (kind, rest) = match text.split_once(':') {
+        Some((k, r)) => (k, r),
+        None => (text, ""),
+    };
+    let mut params = Vec::new();
+    if !rest.is_empty() {
+        for pair in rest.split(',') {
+            let (key, value) = pair
+                .split_once('=')
+                .unwrap_or_else(|| fail(&format!("{flag}: expected key=value, got {pair:?}")));
+            let value: f64 = value
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("{flag}: {key} takes a number, got {value:?}")));
+            params.push((key.to_string(), value));
+        }
+    }
+    (kind.to_string(), params)
+}
+
+/// Pulls `key` out of the parsed parameter list, or `None` if absent.
+fn spec_take(params: &mut Vec<(String, f64)>, key: &str) -> Option<f64> {
+    params
+        .iter()
+        .position(|(k, _)| k == key)
+        .map(|i| params.remove(i).1)
+}
+
+/// Pulls `key` or dies with a usage error naming the flag.
+fn spec_need(flag: &str, params: &mut Vec<(String, f64)>, key: &str) -> f64 {
+    spec_take(params, key).unwrap_or_else(|| fail(&format!("{flag}: {key}=... is required")))
+}
+
+/// Dies if the user passed parameters the kind does not understand.
+fn spec_done(flag: &str, kind: &str, params: Vec<(String, f64)>) {
+    if let Some((key, _)) = params.first() {
+        fail(&format!("{flag}: unknown parameter {key:?} for {kind:?}"))
+    }
+}
+
+fn parse_size(text: &str) -> SizeModel {
+    let (kind, mut params) = spec_parts("--size", text);
+    let model = match kind.as_str() {
+        "fixed" => SizeModel::Fixed {
+            app_size: spec_take(&mut params, "app_size")
+                .unwrap_or(dgsched_workload::PAPER_APP_SIZE),
+        },
+        "pareto" => SizeModel::Pareto {
+            alpha: spec_need("--size", &mut params, "alpha"),
+            min: spec_need("--size", &mut params, "min"),
+            cap: spec_take(&mut params, "cap"),
+        },
+        "zipf" => {
+            let ranks = spec_need("--size", &mut params, "ranks");
+            if !(ranks.is_finite() && ranks >= 1.0 && ranks.fract() == 0.0) {
+                fail(&format!("--size: ranks takes a whole number, got {ranks}"))
+            }
+            SizeModel::Zipf {
+                exponent: spec_need("--size", &mut params, "exponent"),
+                ranks: ranks as u32,
+                base: spec_need("--size", &mut params, "base"),
+            }
+        }
+        other => fail(&format!("--size takes fixed|pareto|zipf, got {other:?}")),
+    };
+    spec_done("--size", &kind, params);
+    model
+}
+
+fn parse_jitter(text: &str) -> TaskJitter {
+    let (kind, mut params) = spec_parts("--jitter", text);
+    let jitter = match kind.as_str() {
+        "uniform" => TaskJitter::Uniform {
+            half_width: spec_take(&mut params, "half_width").unwrap_or(0.5),
+        },
+        "lognormal" => TaskJitter::Lognormal {
+            sigma: spec_need("--jitter", &mut params, "sigma"),
+        },
+        other => fail(&format!("--jitter takes uniform|lognormal, got {other:?}")),
+    };
+    spec_done("--jitter", &kind, params);
+    jitter
+}
+
+fn parse_arrivals(text: &str) -> ArrivalModel {
+    let (kind, mut params) = spec_parts("--arrivals", text);
+    let model = match kind.as_str() {
+        "poisson" => ArrivalModel::Poisson,
+        "hyperexp" => ArrivalModel::Hyperexponential {
+            cv: spec_need("--arrivals", &mut params, "cv"),
+        },
+        "diurnal" => ArrivalModel::Diurnal {
+            period: spec_need("--arrivals", &mut params, "period"),
+            amplitude: spec_need("--arrivals", &mut params, "amplitude"),
+        },
+        "mmpp" => ArrivalModel::Mmpp {
+            burst_ratio: spec_need("--arrivals", &mut params, "ratio"),
+            burst_frac: spec_need("--arrivals", &mut params, "frac"),
+            burst_len: spec_need("--arrivals", &mut params, "len"),
+        },
+        other => fail(&format!(
+            "--arrivals takes poisson|hyperexp|diurnal|mmpp, got {other:?}"
+        )),
+    };
+    spec_done("--arrivals", &kind, params);
+    model
+}
+
+/// Short tag for the default scenario name, one per distribution axis.
+fn size_tag(size: &SizeModel) -> &'static str {
+    match size {
+        SizeModel::Fixed { .. } => "fixed",
+        SizeModel::Pareto { .. } => "pareto",
+        SizeModel::Zipf { .. } => "zipf",
+    }
+}
+
+fn arrivals_tag(model: &ArrivalModel) -> &'static str {
+    match model {
+        ArrivalModel::Poisson => "poisson",
+        ArrivalModel::Hyperexponential { .. } => "hyperexp",
+        ArrivalModel::Diurnal { .. } => "diurnal",
+        ArrivalModel::Mmpp { .. } => "mmpp",
+    }
+}
+
+fn cmd_gen(mut args: Args) {
+    let mut granularity = 5_000.0f64;
+    let mut intensity = Intensity::Low;
+    let mut count = 60usize;
+    let mut size = SizeModel::paper();
+    let mut jitter = TaskJitter::paper();
+    let mut arrivals = ArrivalModel::Poisson;
+    let mut policy = PolicyKind::LongIdle;
+    let mut het = false;
+    let mut avail = Availability::HIGH;
+    let mut warmup = 5usize;
+    let mut name: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut workload_out: Option<String> = None;
+    let mut seed = 1u64;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "-g" | "--granularity" => {
+                granularity = flag_value(&mut args, "-g")
+                    .parse()
+                    .unwrap_or_else(|_| fail("-g takes a number"))
+            }
+            "-u" | "--intensity" => {
+                intensity = match flag_value(&mut args, "-u").as_str() {
+                    "low" => Intensity::Low,
+                    "medium" => Intensity::Medium,
+                    "high" => Intensity::High,
+                    other => fail(&format!("-u takes low|medium|high, got {other:?}")),
+                }
+            }
+            "-n" | "--count" => {
+                count = flag_value(&mut args, "-n")
+                    .parse()
+                    .unwrap_or_else(|_| fail("-n takes a number"))
+            }
+            "--size" => size = parse_size(&flag_value(&mut args, "--size")),
+            "--jitter" => jitter = parse_jitter(&flag_value(&mut args, "--jitter")),
+            "--arrivals" => arrivals = parse_arrivals(&flag_value(&mut args, "--arrivals")),
+            "--policy" => {
+                let text = flag_value(&mut args, "--policy");
+                policy = serde_json::from_str(&format!("\"{text}\""))
+                    .unwrap_or_else(|_| fail(&format!("unknown policy {text:?}")));
+            }
+            "--het" => het = true,
+            "--avail" => {
+                avail = match flag_value(&mut args, "--avail").as_str() {
+                    "high" => Availability::HIGH,
+                    "med" => Availability::MED,
+                    "low" => Availability::LOW,
+                    other => fail(&format!("--avail takes high|med|low, got {other:?}")),
+                }
+            }
+            "--warmup" => warmup = parse_u64(&mut args, "--warmup") as usize,
+            "--name" => name = Some(flag_value(&mut args, "--name")),
+            "-o" | "--out" => out = Some(flag_value(&mut args, "-o")),
+            "--workload" => workload_out = Some(flag_value(&mut args, "--workload")),
+            "--seed" => seed = parse_u64(&mut args, "--seed"),
+            _ => fail(&format!("unknown flag {flag:?} for 'gen'")),
+        }
+    }
+    let spec = RealisticSpec {
+        granularity,
+        size,
+        task_jitter: jitter,
+        arrivals,
+        intensity,
+        count,
+    };
+    if let Err(e) = spec.validate() {
+        fail(&e)
+    }
+    let heterogeneity = if het {
+        Heterogeneity::HET
+    } else {
+        Heterogeneity::HOM
+    };
+    let name = name.unwrap_or_else(|| {
+        format!(
+            "realistic {} g={} U={} size={} jitter={} arrivals={}",
+            if het { "het" } else { "hom" },
+            granularity,
+            intensity.utilization(),
+            size_tag(&spec.size),
+            match spec.task_jitter {
+                TaskJitter::Uniform { .. } => "uniform",
+                TaskJitter::Lognormal { .. } => "lognormal",
+            },
+            arrivals_tag(&spec.arrivals),
+        )
+    });
+    let scenario = Scenario {
+        name,
+        grid: GridConfig::paper(heterogeneity, avail),
+        workload: WorkloadKind::Realistic(spec),
+        policy,
+        sim: SimConfig {
+            warmup_bags: warmup,
+            ..SimConfig::default()
+        },
+    };
+    // Validated above at the spec level; the scenario wrapper re-checks
+    // grid and sim knobs so -o never writes a file `run` would reject.
+    if let Err(e) = scenario.validate() {
+        fail(&e)
+    }
+    let json = serde_json::to_string_pretty(&scenario).expect("scenario serialises");
+    match &out {
+        Some(path) => {
+            std::fs::write(path, json.as_bytes())
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            eprintln!("wrote scenario '{}' to {path}", scenario.name);
+        }
+        None => println!("{json}"),
+    }
+    if let Some(path) = &workload_out {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let w = scenario.workload.generate(&scenario.grid, &mut rng);
+        w.save(Path::new(path))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!(
+            "wrote {} bags / {} tasks (seed {seed}) to {path}",
+            w.len(),
+            w.total_tasks()
+        );
+    }
+}
+
 fn cmd_gen_workload(mut args: Args) {
     let mut granularity = 25_000.0f64;
     let mut intensity = Intensity::Low;
@@ -433,6 +694,15 @@ fn cmd_gen_workload(mut args: Args) {
         intensity,
         count,
     };
+    // Validate before generating: a zero/negative/NaN granularity would
+    // spin the fill loop forever (the running sum never reaches the
+    // application size) instead of producing a diagnosable error.
+    if let Err(e) = spec.bot_type.validate() {
+        fail(&e)
+    }
+    if count == 0 {
+        fail("-n takes a count >= 1")
+    }
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
     let w = spec.generate(&grid, &mut rng);
     w.save(Path::new(&out))
@@ -474,6 +744,7 @@ fn main() {
         Some("oracle") => cmd_oracle(args),
         Some("serve") => cmd_serve(args),
         Some("trace") => cmd_trace(args),
+        Some("gen") => cmd_gen(args),
         Some("gen-workload") => cmd_gen_workload(args),
         Some("summarize") => cmd_summarize(args),
         Some(other) => fail(&format!("unknown command {other:?}")),

@@ -3,7 +3,7 @@
 use crate::policy::PolicyKind;
 use crate::sim::SimConfig;
 use dgsched_grid::GridConfig;
-use dgsched_workload::{ArrivalModel, MixSpec, WorkloadSpec};
+use dgsched_workload::{ArrivalModel, MixSpec, RealisticSpec, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// The workload half of a scenario.
@@ -16,12 +16,16 @@ pub enum WorkloadKind {
     Mixed(MixSpec),
     /// A single-granularity stream with bursty (hyperexponential)
     /// arrivals at the same mean rate — the burstiness ablation.
+    /// `cv = 1` is the Poisson degenerate case.
     Bursty {
         /// The underlying workload description.
         spec: WorkloadSpec,
-        /// Coefficient of variation of the inter-arrival gaps (> 1).
+        /// Coefficient of variation of the inter-arrival gaps (≥ 1).
         cv: f64,
     },
+    /// A trace-realistic stream: heavy-tail per-bag sizes, configurable
+    /// task jitter and a time-varying arrival process (`dgsched gen`).
+    Realistic(RealisticSpec),
 }
 
 impl WorkloadKind {
@@ -31,6 +35,7 @@ impl WorkloadKind {
             WorkloadKind::Single(s) => s.count,
             WorkloadKind::Mixed(m) => m.count,
             WorkloadKind::Bursty { spec, .. } => spec.count,
+            WorkloadKind::Realistic(r) => r.count,
         }
     }
 
@@ -60,6 +65,7 @@ impl WorkloadKind {
                 }
                 Ok(())
             }
+            WorkloadKind::Realistic(r) => r.validate(),
         }
     }
 
@@ -75,6 +81,7 @@ impl WorkloadKind {
             WorkloadKind::Bursty { spec, cv } => {
                 spec.generate_with(ArrivalModel::Hyperexponential { cv: *cv }, grid, rng)
             }
+            WorkloadKind::Realistic(r) => r.generate(grid, rng),
         }
     }
 }
@@ -172,6 +179,64 @@ mod tests {
         assert!(s.validate().unwrap_err().contains("cv"));
         s.grid.total_power = f64::INFINITY;
         assert!(s.validate().unwrap_err().contains("total_power"));
+    }
+
+    #[test]
+    fn realistic_kind_counts_validates_and_generates() {
+        use dgsched_workload::{SizeModel, TaskJitter};
+        let grid = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
+        let spec = RealisticSpec {
+            granularity: 5_000.0,
+            size: SizeModel::Pareto {
+                alpha: 1.5,
+                min: 1.0e6,
+                cap: Some(1.0e8),
+            },
+            task_jitter: TaskJitter::Lognormal { sigma: 1.0 },
+            arrivals: ArrivalModel::Mmpp {
+                burst_ratio: 9.0,
+                burst_frac: 0.1,
+                burst_len: 25.0,
+            },
+            intensity: Intensity::Low,
+            count: 8,
+        };
+        let kind = WorkloadKind::Realistic(spec);
+        assert_eq!(kind.count(), 8);
+        assert!(kind.validate().is_ok());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let w = kind.generate(&grid, &mut rng);
+        assert_eq!(w.len(), 8);
+        assert!(w.validate().is_ok());
+        // Bad axes are caught at the scenario layer, not deep in a sweep.
+        let mut bad = spec;
+        bad.size = SizeModel::Fixed { app_size: f64::NAN };
+        assert!(WorkloadKind::Realistic(bad).validate().is_err());
+        // Serde round-trips through the scenario envelope.
+        let json = serde_json::to_string(&kind).unwrap();
+        let back: WorkloadKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(kind, back);
+    }
+
+    #[test]
+    fn bursty_cv_one_validates_and_generates() {
+        // Regression: `cv = 1.0` passed validation but panicked in
+        // `ArrivalModel::next_gap` (which asserted cv > 1). It is the
+        // Poisson degenerate case and must generate cleanly.
+        let kind = WorkloadKind::Bursty {
+            spec: WorkloadSpec {
+                bot_type: BotType::paper(25_000.0),
+                intensity: Intensity::Low,
+                count: 6,
+            },
+            cv: 1.0,
+        };
+        assert!(kind.validate().is_ok());
+        let grid = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let w = kind.generate(&grid, &mut rng);
+        assert_eq!(w.len(), 6);
+        assert!(w.validate().is_ok());
     }
 
     #[test]

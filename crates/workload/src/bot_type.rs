@@ -10,6 +10,7 @@
 //! application size; DESIGN.md §3 reconstructs them as
 //! {1000, 5000, 25000, 125000} s and 2.5 × 10⁶ reference-seconds.
 
+use crate::dist::TaskJitter;
 use crate::task::{TaskId, TaskSpec};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -94,21 +95,48 @@ impl BotType {
     /// to the application size (§4.2's fill construction; the final task is
     /// kept even if it overshoots).
     pub fn generate_tasks<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<TaskSpec> {
-        assert!(self.granularity > 0.0, "granularity must be positive");
-        assert!(self.app_size > 0.0, "application size must be positive");
         assert!((0.0..1.0).contains(&self.jitter), "jitter must be in [0,1)");
-        let mut tasks = Vec::with_capacity(self.expected_tasks().ceil() as usize + 1);
-        let mut sum = 0.0;
-        while sum < self.app_size {
-            let work = self.sample_work(rng);
-            tasks.push(TaskSpec {
-                id: TaskId(tasks.len() as u32),
-                work,
-            });
-            sum += work;
-        }
-        tasks
+        fill_tasks(
+            self.granularity,
+            self.app_size,
+            &TaskJitter::Uniform {
+                half_width: self.jitter,
+            },
+            rng,
+        )
     }
+}
+
+/// §4.2's fill construction for an arbitrary jitter model: tasks are
+/// appended, each drawing its work from `jitter` around `granularity`,
+/// until the work sums to `app_size` (the final task is kept even if it
+/// overshoots). This is the shared core of [`BotType::generate_tasks`]
+/// and the heavy-tail generator.
+pub fn fill_tasks<R: Rng + ?Sized>(
+    granularity: f64,
+    app_size: f64,
+    jitter: &TaskJitter,
+    rng: &mut R,
+) -> Vec<TaskSpec> {
+    assert!(
+        granularity.is_finite() && granularity > 0.0,
+        "granularity must be positive and finite, got {granularity}"
+    );
+    assert!(
+        app_size.is_finite() && app_size > 0.0,
+        "application size must be positive and finite, got {app_size}"
+    );
+    let mut tasks = Vec::with_capacity((app_size / granularity).ceil() as usize + 1);
+    let mut sum = 0.0;
+    while sum < app_size {
+        let work = jitter.sample(granularity, rng);
+        tasks.push(TaskSpec {
+            id: TaskId(tasks.len() as u32),
+            work,
+        });
+        sum += work;
+    }
+    tasks
 }
 
 #[cfg(test)]

@@ -1,9 +1,10 @@
 //! Workload generation: combining BoT types, arrival processes and grids
 //! into the 12 workloads of §4.2 (and arbitrary custom ones).
 
-use crate::arrival::{lambda_for, ArrivalModel, Intensity, PoissonArrivals};
+use crate::arrival::{bag_demand, lambda_for, ArrivalModel, Intensity, PoissonArrivals};
 use crate::bot::{BagOfTasks, BotId};
-use crate::bot_type::BotType;
+use crate::bot_type::{fill_tasks, BotType};
+use crate::dist::{SizeModel, TaskJitter};
 use crate::workload::Workload;
 use dgsched_des::time::SimTime;
 use dgsched_grid::config::GridConfig;
@@ -71,6 +72,107 @@ impl WorkloadSpec {
             }
         }
         out
+    }
+}
+
+/// Declarative trace-realistic workload: heavy-tailed per-bag sizes,
+/// configurable task-work jitter and a time-varying arrival process,
+/// each axis independently selectable (the paper's model is the all-
+/// defaults corner: fixed size, ±50 % uniform jitter, Poisson arrivals).
+///
+/// The arrival rate is still derived from the target utilization via
+/// `λ = U / D`, with the demand term computed from the *mean* of the size
+/// distribution, so a heavy-tail stream offers the same long-run load as
+/// the paper stream it replaces — only its variability differs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RealisticSpec {
+    /// Mean task work in reference-seconds (the granularity class).
+    pub granularity: f64,
+    /// Distribution of per-bag application sizes.
+    pub size: SizeModel,
+    /// Distribution of per-task work around the granularity.
+    pub task_jitter: TaskJitter,
+    /// Shape of the submission stream (mean rate is always λ).
+    pub arrivals: ArrivalModel,
+    /// Target grid utilization.
+    pub intensity: Intensity,
+    /// Number of bags to generate.
+    pub count: usize,
+}
+
+impl RealisticSpec {
+    /// The paper's workload expressed in this vocabulary: fixed size,
+    /// uniform ±50 % jitter, Poisson arrivals.
+    pub fn paper(granularity: f64, intensity: Intensity, count: usize) -> Self {
+        RealisticSpec {
+            granularity,
+            size: SizeModel::paper(),
+            task_jitter: TaskJitter::paper(),
+            arrivals: ArrivalModel::Poisson,
+            intensity,
+            count,
+        }
+    }
+
+    /// Checks every axis for NaN/∞/out-of-range parameters. Call on any
+    /// spec read from JSON before generating.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.granularity.is_finite() && self.granularity > 0.0) {
+            return Err(format!(
+                "granularity must be finite and > 0, got {}",
+                self.granularity
+            ));
+        }
+        self.size.validate().map_err(|e| format!("size: {e}"))?;
+        self.task_jitter
+            .validate()
+            .map_err(|e| format!("task_jitter: {e}"))?;
+        self.arrivals
+            .validate()
+            .map_err(|e| format!("arrivals: {e}"))?;
+        if self.count == 0 {
+            return Err("count must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// The arrival rate λ = U / D(mean size) this spec induces on `grid`.
+    pub fn lambda(&self, grid: &GridConfig) -> f64 {
+        self.intensity.utilization() / bag_demand(self.size.mean(), grid)
+    }
+
+    /// Generates the workload for a given grid. Seed-deterministic: the
+    /// stream is a pure function of (`self`, `grid`, the RNG state).
+    pub fn generate<R: Rng + ?Sized>(&self, grid: &GridConfig, rng: &mut R) -> Workload {
+        self.validate().expect("invalid realistic spec");
+        let lambda = self.lambda(grid);
+        let mut arrivals = self.arrivals.sampler(lambda, rng);
+        let bags = (0..self.count)
+            .map(|i| {
+                let at = arrivals.next_arrival(rng);
+                let app_size = self.size.sample(rng);
+                BagOfTasks {
+                    id: BotId(i as u32),
+                    arrival: SimTime::new(at),
+                    tasks: fill_tasks(self.granularity, app_size, &self.task_jitter, rng),
+                    granularity: self.granularity,
+                }
+            })
+            .collect();
+        Workload {
+            bags,
+            lambda,
+            label: format!(
+                "realistic g={} U={} {}",
+                self.granularity,
+                self.intensity,
+                match self.size {
+                    SizeModel::Fixed { .. } => "fixed",
+                    SizeModel::Pareto { .. } => "pareto",
+                    SizeModel::Zipf { .. } => "zipf",
+                }
+            ),
+        }
     }
 }
 
@@ -142,5 +244,103 @@ mod tests {
         let w1 = spec.generate(&grid(), &mut rand::rngs::StdRng::seed_from_u64(7));
         let w2 = spec.generate(&grid(), &mut rand::rngs::StdRng::seed_from_u64(7));
         assert_eq!(w1, w2);
+    }
+
+    fn heavy_tail_spec(count: usize) -> RealisticSpec {
+        RealisticSpec {
+            granularity: 5_000.0,
+            size: SizeModel::Pareto {
+                alpha: 1.5,
+                min: 1.0e6,
+                cap: Some(1.0e8),
+            },
+            task_jitter: TaskJitter::Lognormal { sigma: 1.0 },
+            arrivals: ArrivalModel::Mmpp {
+                burst_ratio: 9.0,
+                burst_frac: 0.1,
+                burst_len: 25.0,
+            },
+            intensity: Intensity::Low,
+            count,
+        }
+    }
+
+    #[test]
+    fn realistic_spec_generates_valid_workload() {
+        let spec = heavy_tail_spec(40);
+        assert!(spec.validate().is_ok());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let w = spec.generate(&grid(), &mut rng);
+        assert_eq!(w.len(), 40);
+        assert!(w.validate().is_ok(), "{:?}", w.validate());
+        // Every bag reaches its sampled size; sizes are heavy-tailed so
+        // bag totals must differ (unlike the paper's fixed app size).
+        for bag in &w.bags {
+            assert!(bag.total_work() >= 1.0e6);
+        }
+        let totals: Vec<f64> = w.bags.iter().map(|b| b.total_work()).collect();
+        let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = totals.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 1.5, "sizes not dispersed: {min}..{max}");
+    }
+
+    #[test]
+    fn realistic_spec_lambda_uses_mean_size() {
+        let spec = heavy_tail_spec(5);
+        let g = grid();
+        let expected = spec.intensity.utilization() / bag_demand(spec.size.mean(), &g);
+        assert!((spec.lambda(&g) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn realistic_paper_corner_matches_workload_spec_lambda() {
+        let realistic = RealisticSpec::paper(25_000.0, Intensity::High, 5);
+        let classic = WorkloadSpec {
+            bot_type: BotType::paper(25_000.0),
+            intensity: Intensity::High,
+            count: 5,
+        };
+        let g = grid();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let w = realistic.generate(&g, &mut rng);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let c = classic.generate(&g, &mut rng);
+        assert!((w.lambda - c.lambda).abs() < 1e-15);
+    }
+
+    #[test]
+    fn realistic_spec_is_seed_deterministic() {
+        let spec = heavy_tail_spec(10);
+        let w1 = spec.generate(&grid(), &mut rand::rngs::StdRng::seed_from_u64(8));
+        let w2 = spec.generate(&grid(), &mut rand::rngs::StdRng::seed_from_u64(8));
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn realistic_spec_validation_rejects_bad_axes() {
+        let mut s = heavy_tail_spec(10);
+        s.granularity = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = heavy_tail_spec(10);
+        s.size = SizeModel::Pareto {
+            alpha: 0.5,
+            min: 1.0,
+            cap: None,
+        };
+        assert!(s.validate().unwrap_err().contains("size"));
+        let mut s = heavy_tail_spec(10);
+        s.arrivals = ArrivalModel::Hyperexponential { cv: 0.5 };
+        assert!(s.validate().unwrap_err().contains("arrivals"));
+        let mut s = heavy_tail_spec(10);
+        s.count = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn realistic_spec_serde_round_trip() {
+        let s = heavy_tail_spec(12);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: RealisticSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
     }
 }

@@ -311,4 +311,43 @@ arrival,granularity,app_size
             assert_eq!(a.tasks, b.tasks);
         }
     }
+
+    #[test]
+    fn heavy_tail_round_trip_is_byte_identical() {
+        // Trace-realistic workloads carry extreme magnitudes (Pareto sizes
+        // spanning decades, lognormal task works with long decimal tails).
+        // export → import → export must reproduce the CSV byte for byte,
+        // or a workload archived to disk silently drifts on re-import.
+        use crate::arrival::ArrivalModel;
+        use crate::dist::{SizeModel, TaskJitter};
+        use crate::generator::RealisticSpec;
+        use crate::Intensity;
+        use dgsched_grid::{Availability, GridConfig, Heterogeneity};
+        let grid = GridConfig::paper(Heterogeneity::HOM, Availability::HIGH);
+        let spec = RealisticSpec {
+            granularity: 5_000.0,
+            size: SizeModel::Pareto {
+                alpha: 1.5,
+                min: 8.0e5,
+                cap: Some(1.0e8),
+            },
+            task_jitter: TaskJitter::Lognormal { sigma: 1.0 },
+            arrivals: ArrivalModel::Mmpp {
+                burst_ratio: 9.0,
+                burst_frac: 0.1,
+                burst_len: 25.0,
+            },
+            intensity: Intensity::Low,
+            count: 10,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let w = spec.generate(&grid, &mut rng);
+        let csv = export_tasks(&w);
+        let back = import_tasks(&csv).expect("exported CSV reimports");
+        assert_eq!(csv, export_tasks(&back), "export → import → export drifted");
+        for (a, b) in w.bags.iter().zip(&back.bags) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.tasks, b.tasks);
+        }
+    }
 }

@@ -8,8 +8,12 @@
 //! * [`task`], [`bot`] — tasks and bags;
 //! * [`bot_type`] — the four granularity classes and the fill-to-app-size
 //!   task construction;
-//! * [`arrival`] — demand/λ derivation and the Poisson process;
-//! * [`generator`] — the 12 paper workloads;
+//! * [`arrival`] — demand/λ derivation and the arrival processes
+//!   (Poisson, hyperexponential, diurnal, 2-state MMPP);
+//! * [`dist`] — heavy-tail size distributions (Pareto/Zipf) and task-work
+//!   jitter models (uniform/lognormal) for trace-realistic streams;
+//! * [`generator`] — the 12 paper workloads and the trace-realistic
+//!   [`RealisticSpec`] generator;
 //! * [`mix`] — mixed-granularity workloads (the paper's future work §5).
 //!
 //! ## Example
@@ -36,6 +40,7 @@
 pub mod arrival;
 pub mod bot;
 pub mod bot_type;
+pub mod dist;
 pub mod generator;
 pub mod import;
 pub mod mix;
@@ -43,10 +48,13 @@ pub mod summary;
 pub mod task;
 pub mod workload;
 
-pub use arrival::{bag_demand, lambda_for, ArrivalModel, Intensity, PoissonArrivals};
+pub use arrival::{
+    bag_demand, lambda_for, ArrivalModel, ArrivalSampler, Intensity, PoissonArrivals,
+};
 pub use bot::{BagOfTasks, BotId};
-pub use bot_type::{BotType, PAPER_APP_SIZE, PAPER_GRANULARITIES};
-pub use generator::WorkloadSpec;
+pub use bot_type::{fill_tasks, BotType, PAPER_APP_SIZE, PAPER_GRANULARITIES};
+pub use dist::{SizeModel, TaskJitter};
+pub use generator::{RealisticSpec, WorkloadSpec};
 pub use import::{export_tasks, import_bags, import_tasks, ImportError};
 pub use mix::{MixComponent, MixSpec};
 pub use summary::WorkloadSummary;

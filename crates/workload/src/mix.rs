@@ -7,7 +7,7 @@
 //! overall arrival rate is still derived from a target utilization, using
 //! the *mixture-average* application size for the demand term.
 
-use crate::arrival::{bag_demand, Intensity, PoissonArrivals};
+use crate::arrival::{bag_demand, ArrivalModel, Intensity};
 use crate::bot::{BagOfTasks, BotId};
 use crate::bot_type::BotType;
 use crate::workload::Workload;
@@ -79,8 +79,20 @@ impl MixSpec {
             .bot_type
     }
 
-    /// Generates the mixed workload for a grid.
+    /// Generates the mixed workload for a grid with the paper's Poisson
+    /// arrivals.
     pub fn generate<R: Rng + ?Sized>(&self, grid: &GridConfig, rng: &mut R) -> Workload {
+        self.generate_with(ArrivalModel::Poisson, grid, rng)
+    }
+
+    /// [`MixSpec::generate`] with an explicit arrival model (bursty or
+    /// diurnal submission at the same mean rate).
+    pub fn generate_with<R: Rng + ?Sized>(
+        &self,
+        model: ArrivalModel,
+        grid: &GridConfig,
+        rng: &mut R,
+    ) -> Workload {
         assert!(
             !self.components.is_empty(),
             "mixture needs at least one component"
@@ -92,7 +104,7 @@ impl MixSpec {
         assert!(self.count > 0, "workload must contain at least one bag");
         let demand = bag_demand(self.mean_app_size(), grid);
         let lambda = self.intensity.utilization() / demand;
-        let arrivals = PoissonArrivals::new(lambda).arrival_times(self.count, rng);
+        let arrivals = model.arrival_times(lambda, self.count, rng);
         let bags = arrivals
             .into_iter()
             .enumerate()

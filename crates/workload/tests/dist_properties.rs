@@ -1,0 +1,177 @@
+//! Property-based tests of the trace-realistic samplers: over random
+//! parameterisations, the Pareto/Zipf/lognormal draws and the MMPP
+//! arrival stream must hit their analytic moments and stay inside their
+//! supports. Statistical checks use robust statistics (medians, large
+//! samples, generous tolerances) so the properties hold for every seed,
+//! not just most of them.
+
+use dgsched_workload::{ArrivalModel, SizeModel, TaskJitter};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pareto_median_and_support(
+        alpha in 1.2f64..3.0,
+        min in 1.0e3f64..1.0e6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let model = SizeModel::Pareto { alpha, min, cap: None };
+        prop_assert!(model.validate().is_ok());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs: Vec<f64> = (0..10_001).map(|_| model.sample(&mut rng)).collect();
+        // Support: type-I Pareto never dips below its scale.
+        prop_assert!(xs.iter().all(|&x| x.is_finite() && x >= min));
+        // The median min·2^(1/α) is tail-insensitive, so it converges
+        // fast even where the mean estimator has infinite variance.
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let median = xs[xs.len() / 2];
+        let expected = min * 2.0f64.powf(1.0 / alpha);
+        prop_assert!(
+            (median - expected).abs() < 0.1 * expected,
+            "median {median} vs analytic {expected} (alpha={alpha}, min={min})"
+        );
+    }
+
+    #[test]
+    fn truncated_pareto_mean_and_cap(
+        alpha in 1.2f64..3.0,
+        min in 1.0e3f64..1.0e5,
+        cap_factor in 10.0f64..1000.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cap = min * cap_factor;
+        let model = SizeModel::Pareto { alpha, min, cap: Some(cap) };
+        prop_assert!(model.validate().is_ok());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 40_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = model.sample(&mut rng);
+            prop_assert!((min..=cap).contains(&x), "sample {x} escaped [{min}, {cap}]");
+            sum += x;
+        }
+        // Truncation caps the variance, so the sample mean converges.
+        let mean = sum / n as f64;
+        let expected = model.mean();
+        prop_assert!(
+            (mean - expected).abs() < 0.15 * expected,
+            "mean {mean} vs analytic {expected} (alpha={alpha}, cap={cap})"
+        );
+    }
+
+    #[test]
+    fn zipf_support_and_mean(
+        exponent in 0.5f64..2.5,
+        ranks in 2u32..64,
+        base in 1.0e3f64..1.0e6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let model = SizeModel::Zipf { exponent, ranks, base };
+        prop_assert!(model.validate().is_ok());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = model.sample(&mut rng);
+            // Support is the discrete ladder {base·k : 1 ≤ k ≤ ranks}.
+            let k = x / base;
+            prop_assert!(k >= 1.0 - 1e-9 && k <= ranks as f64 + 1e-9);
+            prop_assert!((k - k.round()).abs() < 1e-9, "off-ladder sample {x}");
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        let expected = model.mean();
+        // Bounded support ⇒ the mean estimator is well-behaved.
+        prop_assert!(
+            (mean - expected).abs() < 0.1 * expected,
+            "mean {mean} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn lognormal_jitter_preserves_the_mean(
+        sigma in 0.1f64..1.5,
+        g in 100.0f64..100_000.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let jitter = TaskJitter::Lognormal { sigma };
+        prop_assert!(jitter.validate().is_ok());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 40_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let w = jitter.sample(g, &mut rng);
+            prop_assert!(w.is_finite() && w > 0.0);
+            sum += w;
+        }
+        // E[g·exp(σZ − σ²/2)] = g: the σ²/2 correction makes the jitter
+        // mean-preserving, so heavy-tail workloads keep the paper's
+        // offered load. Relative sd of the estimate at σ=1.5 is ≈ 1.5 %.
+        let mean = sum / n as f64;
+        prop_assert!(
+            (mean - g).abs() < 0.1 * g,
+            "mean {mean} vs g={g} (sigma={sigma})"
+        );
+    }
+
+    #[test]
+    fn mmpp_preserves_the_long_run_rate(
+        ratio in 1.5f64..10.0,
+        frac in 0.05f64..0.5,
+        len in 5.0f64..50.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let model = ArrivalModel::Mmpp {
+            burst_ratio: ratio,
+            burst_frac: frac,
+            burst_len: len,
+        };
+        prop_assert!(model.validate().is_ok());
+        let lambda = 0.01;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sampler = model.sampler(lambda, &mut rng);
+        let n = 30_000;
+        let mut last = 0.0;
+        for _ in 0..n {
+            let t = sampler.next_arrival(&mut rng);
+            prop_assert!(t.is_finite() && t > last, "arrivals must strictly increase");
+            last = t;
+        }
+        // Long-run rate: n arrivals by time T ⇒ n/T ≈ λ. Burst/calm
+        // switching correlates the gaps, so the tolerance is loose.
+        let rate = n as f64 / last;
+        prop_assert!(
+            (rate - lambda).abs() < 0.2 * lambda,
+            "rate {rate} vs lambda {lambda} (ratio={ratio}, frac={frac}, len={len})"
+        );
+    }
+
+    #[test]
+    fn diurnal_preserves_the_long_run_rate(
+        period in 1.0e4f64..1.0e6,
+        amplitude in 0.0f64..1.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let model = ArrivalModel::Diurnal { period, amplitude };
+        prop_assert!(model.validate().is_ok());
+        let lambda = 0.01;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sampler = model.sampler(lambda, &mut rng);
+        let n = 30_000;
+        let mut last = 0.0;
+        for _ in 0..n {
+            let t = sampler.next_arrival(&mut rng);
+            prop_assert!(t.is_finite() && t > last);
+            last = t;
+        }
+        let rate = n as f64 / last;
+        prop_assert!(
+            (rate - lambda).abs() < 0.15 * lambda,
+            "rate {rate} vs lambda {lambda} (period={period}, amplitude={amplitude})"
+        );
+    }
+}

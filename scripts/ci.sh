@@ -70,6 +70,18 @@ echo "==> oracle gate: replay exactness + regret battery at widths 1 and 4"
 DGSCHED_THREADS=1 cargo test -q -p dgsched-core --test trace_replay --test oracle_regret
 DGSCHED_THREADS=4 cargo test -q -p dgsched-core --test trace_replay --test oracle_regret
 
+echo "==> generator gate: sampler calibration + dgsched gen byte-identity at widths 1 and 4"
+# The trace-realistic workload contract: the Pareto/Zipf/lognormal/MMPP
+# samplers hit their analytic moments over random parameterisations
+# (crates/workload/tests/dist_properties.rs), and `dgsched gen` emits
+# byte-identical scenarios/workloads for a fixed seed at any pool width,
+# rejects malformed distribution specs with usage errors, and its output
+# runs through `dgsched run`/`oracle` unmodified (tests/gen.rs).
+DGSCHED_THREADS=1 cargo test -q -p dgsched-workload
+DGSCHED_THREADS=4 cargo test -q -p dgsched-workload
+DGSCHED_THREADS=1 cargo test -q -p dgsched-core --test gen
+DGSCHED_THREADS=4 cargo test -q -p dgsched-core --test gen
+
 echo "==> telemetry gate: obs crate with and without the timing feature"
 # The observer seam must stay passive: the obs crate and its profiling
 # spans are built and tested in both configurations, and the passivity
